@@ -1,0 +1,237 @@
+(* ddt — test closed-source binary device drivers from the command line.
+
+   Subcommands:
+     list                      show the bundled driver corpus
+     test <driver>             run DDT on a corpus driver (buggy variant)
+     test --fixed <driver>     ... on the repaired variant
+     static <driver>           run the static-analysis baseline
+     stress <driver>           run the concrete stress baseline
+     disasm <driver>           print the driver binary's disassembly
+     info <driver>             Table 1 style image statistics *)
+
+open Cmdliner
+module Corpus = Ddt_drivers.Corpus
+module Report = Ddt_checkers.Report
+
+let driver_arg =
+  let doc = "Corpus driver short name (see `ddt_cli list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DRIVER" ~doc)
+
+let fixed_flag =
+  let doc = "Use the repaired variant of the driver." in
+  Arg.(value & flag & info [ "fixed" ] ~doc)
+
+let no_annot_flag =
+  let doc = "Disable API annotations (the paper's ablation mode)." in
+  Arg.(value & flag & info [ "no-annotations" ] ~doc)
+
+let traces_flag =
+  let doc = "Print the trace digest and replay script for each bug." in
+  Arg.(value & flag & info [ "traces" ] ~doc)
+
+let find_entry short =
+  match Corpus.find short with
+  | e -> Ok e
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown driver %S; try: %s" short
+           (String.concat ", " (List.map (fun e -> e.Corpus.short) Corpus.all)))
+
+let list_cmd =
+  let run () =
+    Format.printf "%-10s %-22s %-8s %s@." "SHORT" "NAME" "CLASS" "SEEDED BUGS";
+    List.iter
+      (fun e ->
+        Format.printf "%-10s %-22s %-8s %d@." e.Corpus.short e.Corpus.name
+          (match e.Corpus.driver_class with
+           | Ddt_core.Config.Network -> "network"
+           | Ddt_core.Config.Audio -> "audio")
+          (List.length e.Corpus.expected_bugs))
+      Corpus.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled driver corpus")
+    Term.(const run $ const ())
+
+let test_cmd =
+  let run short fixed no_annot traces =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let cfg =
+          Corpus.config ~fixed ~use_annotations:(not no_annot) entry
+        in
+        let r = Ddt_core.Ddt.test_driver cfg in
+        Format.printf "%a" Ddt_core.Ddt.pp_report r;
+        if traces then
+          List.iter
+            (fun b ->
+              Format.printf "@.%a@.%a%a" Ddt_core.Ddt.pp_bug_detail b
+                Ddt_trace.Replay.pp b.Report.b_replay
+                Ddt_checkers.Diagnose.pp
+                (Ddt_checkers.Diagnose.analyze b))
+            r.Ddt_core.Session.r_bugs;
+        if r.Ddt_core.Session.r_bugs = [] then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Test a driver binary with DDT")
+    Term.(const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag)
+
+let static_cmd =
+  let run short fixed =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let image =
+          if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+        in
+        let r = Ddt_baseline.Static.analyze ~name:entry.Corpus.name image in
+        Format.printf "%a" Ddt_baseline.Static.pp r;
+        0
+  in
+  Cmd.v
+    (Cmd.info "static" ~doc:"Run the static-analysis baseline on a driver")
+    Term.(const run $ driver_arg $ fixed_flag)
+
+let stress_cmd =
+  let runs_arg =
+    Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Stress iterations.")
+  in
+  let run short fixed runs =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let cfg = Corpus.config ~fixed entry in
+        let r = Ddt_baseline.Stress.run ~runs cfg in
+        Format.printf
+          "stress (%d concrete runs, %.2fs): %d bug(s) found@."
+          r.Ddt_baseline.Stress.s_runs r.Ddt_baseline.Stress.s_wall_time
+          (List.length r.Ddt_baseline.Stress.s_bugs);
+        List.iter
+          (fun b -> Format.printf "  %a@." Report.pp_bug b)
+          r.Ddt_baseline.Stress.s_bugs;
+        0
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Run the Driver-Verifier-style stress baseline")
+    Term.(const run $ driver_arg $ fixed_flag $ runs_arg)
+
+let disasm_cmd =
+  let run short fixed =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let image =
+          if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+        in
+        Format.printf "%a" Ddt_dvm.Disasm.pp_listing image;
+        0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a driver binary")
+    Term.(const run $ driver_arg $ fixed_flag)
+
+let info_cmd =
+  let run short fixed =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let image =
+          if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+        in
+        let s = Ddt_dvm.Image.stats image in
+        Format.printf
+          "%s@.  binary size: %d bytes@.  code segment: %d bytes@.  \
+           functions: %d@.  kernel imports: %d@."
+          entry.Corpus.name s.Ddt_dvm.Image.binary_size
+          s.Ddt_dvm.Image.code_size s.Ddt_dvm.Image.num_functions
+          s.Ddt_dvm.Image.num_kernel_imports;
+        0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print Table 1 style image statistics")
+    Term.(const run $ driver_arg $ fixed_flag)
+
+(* Save each bug's replay script (and optional crash dumps) to a
+   directory, then verify one can be re-executed. *)
+let evidence_cmd =
+  let dir_arg =
+    Arg.(value & opt string "ddt-evidence"
+         & info [ "out" ] ~doc:"Output directory for evidence files.")
+  in
+  let run short fixed dir =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let cfg =
+          { (Corpus.config ~fixed entry) with
+            Ddt_core.Config.collect_crashdumps = true }
+        in
+        let r = Ddt_core.Ddt.test_driver cfg in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        List.iteri
+          (fun i b ->
+            let path = Printf.sprintf "%s/%s-bug%d.replay" dir short (i + 1) in
+            let oc = open_out path in
+            output_string oc (Ddt_trace.Replay.to_string b.Report.b_replay);
+            close_out oc;
+            Format.printf "wrote %s (%s)@." path
+              (Ddt_checkers.Report.string_of_kind b.Report.b_kind))
+          r.Ddt_core.Session.r_bugs;
+        List.iter
+          (fun (state_id, dump) ->
+            let path = Printf.sprintf "%s/%s-state%d.dmp" dir short state_id in
+            let oc = open_out_bin path in
+            output_bytes oc (Ddt_trace.Crashdump.to_bytes dump);
+            close_out oc;
+            Format.printf "wrote %s@." path)
+          r.Ddt_core.Session.r_crashdumps;
+        Format.printf "execution tree: %d states, depth %d@."
+          (Ddt_trace.Tree.size r.Ddt_core.Session.r_tree)
+          (Ddt_trace.Tree.depth r.Ddt_core.Session.r_tree);
+        0
+  in
+  Cmd.v
+    (Cmd.info "evidence"
+       ~doc:"Run DDT and save replay scripts + crash dumps to disk")
+    Term.(const run $ driver_arg $ fixed_flag $ dir_arg)
+
+let replay_cmd =
+  let script_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"SCRIPT" ~doc:"Replay script file (.replay).")
+  in
+  let run short script_path =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let ic = open_in script_path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        let script = Ddt_trace.Replay.of_string text in
+        Format.printf "%a@." Ddt_trace.Replay.pp script;
+        let cfg =
+          { (Corpus.config entry) with
+            Ddt_core.Config.replay = Some script }
+        in
+        let r = Ddt_core.Ddt.test_driver cfg in
+        Format.printf "%a" Ddt_core.Ddt.pp_report r;
+        if r.Ddt_core.Session.r_bugs = [] then begin
+          Format.printf "replay did NOT reproduce any bug@.";
+          1
+        end
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a recorded failing path from its replay script")
+    Term.(const run $ driver_arg $ script_arg)
+
+let () =
+  let doc = "DDT: testing closed-source binary device drivers" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ddt_cli" ~doc)
+          [ list_cmd; test_cmd; static_cmd; stress_cmd; disasm_cmd; info_cmd;
+            evidence_cmd; replay_cmd ]))

@@ -1,0 +1,1 @@
+examples/annotate_api.ml: Ddt_annot Ddt_checkers Ddt_core Ddt_kernel Ddt_minicc Ddt_solver Format List

@@ -1,0 +1,1 @@
+examples/compare_tools.ml: Ddt_baseline Ddt_checkers Ddt_core Ddt_drivers Format List Printf String Unix

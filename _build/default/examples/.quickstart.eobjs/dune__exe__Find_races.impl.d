@@ -1,0 +1,1 @@
+examples/find_races.ml: Ddt_checkers Ddt_core Ddt_drivers Ddt_symexec Ddt_trace Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Ddt_core Ddt_drivers Ddt_dvm Format

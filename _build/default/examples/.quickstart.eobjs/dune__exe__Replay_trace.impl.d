@@ -1,0 +1,1 @@
+examples/replay_trace.ml: Ddt_checkers Ddt_core Ddt_drivers Ddt_trace Format List

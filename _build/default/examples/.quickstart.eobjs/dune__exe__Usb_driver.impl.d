@@ -1,0 +1,1 @@
+examples/usb_driver.ml: Ddt_checkers Ddt_core Ddt_drivers Format List String

@@ -1,0 +1,97 @@
+(* Writing your own interface annotations (§3.4 of the paper).
+
+   We test a small custom driver that reads a "BurstLength" registry
+   parameter and divides by it. With the stock annotation set the bug is
+   found (the parameter becomes symbolic and zero is feasible). We then
+   show the annotation mechanism itself: a custom annotation that models a
+   vendor-specific kernel extension, forking its return into the classes
+   "small" and "huge", which exposes a second bug.
+
+     dune exec examples/annotate_api.exe *)
+
+module Expr = Ddt_solver.Expr
+module Annot = Ddt_annot.Annot
+module Report = Ddt_checkers.Report
+
+(* A vendor-specific kernel API our mini-kernel doesn't know: register it
+   first (kernel extensions do exactly this). It concretely returns a
+   small DMA window size. *)
+let () =
+  Ddt_kernel.Kapi.register "VendorQueryDmaWindow"
+    (fun _ks m -> m.Ddt_kernel.Mach.set_ret 64)
+
+let driver_source = {|
+  const TAG = 0x44454D4F;
+  int g_window;
+  int chars[8];
+
+  int initialize(void) {
+    int cfg;
+    int status = NdisOpenConfiguration(&cfg);
+    if (status != 0) { return 1; }
+    int burst = NdisReadConfiguration(cfg, "BurstLength", 8);
+    NdisCloseConfiguration(cfg);
+
+    // BUG 1: a registry value is used as a divisor unchecked.
+    int per_burst = 4096 / burst;
+
+    g_window = VendorQueryDmaWindow();
+    int buf;
+    status = NdisAllocateMemoryWithTag(&buf, 128, TAG);
+    if (status != 0) { return 1; }
+    // BUG 2: trusts the vendor API to return at most 128.
+    *(buf + g_window) = per_burst;
+    NdisFreeMemory(buf, 128, 0);
+    return 0;
+  }
+
+  int driver_entry(void) {
+    chars[0] = initialize;
+    return NdisMRegisterMiniport(chars);
+  }
+|}
+
+(* The custom annotation: a concrete-to-symbolic conversion hint for the
+   vendor API — its return may be any window size up to 1 MiB. *)
+let vendor_annotation =
+  Annot.make ~api:"VendorQueryDmaWindow"
+    ~post:(fun _ks m ->
+      let symb = m.Ddt_kernel.Mach.fresh_symbolic "dma_window" Expr.W32 in
+      m.Ddt_kernel.Mach.assume
+        (Expr.cmp Expr.Leu symb (Expr.word 0x100000));
+      m.Ddt_kernel.Mach.set_ret_expr symb)
+    ~doc:"the DMA window size depends on chipset revision; treat as symbolic"
+    ()
+
+let run annotations =
+  let cfg =
+    Ddt_core.Config.make ~driver_name:"demo"
+      ~image:(Ddt_minicc.Codegen.compile ~name:"demo" driver_source)
+      ~driver_class:Ddt_core.Config.Network
+      ~workload:[ Ddt_core.Config.W_initialize ]
+      ~annotations ()
+  in
+  Ddt_core.Ddt.test_driver cfg
+
+let print_bugs r =
+  List.iter
+    (fun b -> Format.printf "  %a@." Report.pp_bug b)
+    r.Ddt_core.Session.r_bugs;
+  Format.printf "@."
+
+let () =
+  Format.printf "--- stock NDIS annotations only ---@.";
+  let stock = run Ddt_annot.Ndis_annotations.set in
+  print_bugs stock;
+
+  Format.printf "--- stock + custom VendorQueryDmaWindow annotation ---@.";
+  let custom =
+    run (Annot.combine Ddt_annot.Ndis_annotations.set [ vendor_annotation ])
+  in
+  print_bugs custom;
+
+  let count r = List.length r.Ddt_core.Session.r_bugs in
+  Format.printf
+    "the custom annotation exposed %d additional bug(s) — annotations are \
+     one-time effort that pays off across every driver using the API@."
+    (count custom - count stock)

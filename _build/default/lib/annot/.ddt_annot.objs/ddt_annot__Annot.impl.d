@@ -1,0 +1,1 @@
+lib/annot/annot.ml: Ddt_kernel List Option

@@ -1,0 +1,1 @@
+lib/annot/ndis_annotations.ml: Annot Ddt_kernel Ddt_solver

@@ -1,0 +1,1 @@
+lib/annot/ndis_annotations.mli: Annot

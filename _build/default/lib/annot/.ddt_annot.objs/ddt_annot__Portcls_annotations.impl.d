@@ -1,0 +1,1 @@
+lib/annot/portcls_annotations.ml: Annot Ddt_kernel

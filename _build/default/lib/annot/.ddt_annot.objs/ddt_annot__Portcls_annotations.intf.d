@@ -1,0 +1,1 @@
+lib/annot/portcls_annotations.mli: Annot

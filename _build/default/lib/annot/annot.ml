@@ -1,0 +1,69 @@
+module Kstate = Ddt_kernel.Kstate
+module Mach = Ddt_kernel.Mach
+
+type hook = Kstate.t -> Mach.t -> unit
+
+type t = {
+  a_api : string;
+  a_pre : hook option;
+  a_post : hook option;
+  a_doc : string;
+}
+
+type set = t list
+
+let empty = []
+let combine = ( @ )
+
+let run_pre set api ks mach =
+  List.iter
+    (fun a ->
+      if a.a_api = api then Option.iter (fun h -> h ks mach) a.a_pre)
+    set
+
+let run_post set api ks mach =
+  List.iter
+    (fun a ->
+      if a.a_api = api then Option.iter (fun h -> h ks mach) a.a_post)
+    set
+
+let make ~api ?pre ?post ~doc () =
+  { a_api = api; a_pre = pre; a_post = post; a_doc = doc }
+
+(* Undo a successful allocation on the forked failure path. The out value
+   is a heap address for pool memory but an opaque handle for pools and
+   sync objects. *)
+let release_alloc ks value =
+  match Kstate.alloc_of_addr ks value with
+  | Some a when not a.Kstate.a_freed -> Kstate.free_alloc ks a
+  | _ -> (
+      match Kstate.alloc_of_handle ks value with
+      | Some a when not a.Kstate.a_freed -> Kstate.free_alloc ks a
+      | _ -> ())
+
+let fork_alloc_failure ~api ~out_ptr_arg ~failure_status ~doc =
+  let post _ks (m : Mach.t) =
+    let out = m.Mach.arg out_ptr_arg in
+    let allocated = m.Mach.read_u32 out in
+    m.Mach.fork
+      [ ("success", fun _m' -> ());
+        ("failure",
+         fun m' ->
+           release_alloc (m'.Mach.kstate ()) allocated;
+           m'.Mach.write_u32 out 0;
+           m'.Mach.set_ret failure_status) ]
+  in
+  { a_api = api; a_pre = None; a_post = Some post; a_doc = doc }
+
+let fork_ret_null ~api ~doc =
+  let post _ks (m : Mach.t) =
+    m.Mach.fork
+      [ ("success", fun _m' -> ());
+        ("failure",
+         fun m' ->
+           (* The return register still holds the allocated pointer on the
+              forked path; release it and return NULL instead. *)
+           release_alloc (m'.Mach.kstate ()) (m'.Mach.get_ret ());
+           m'.Mach.set_ret 0) ]
+  in
+  { a_api = api; a_pre = None; a_post = Some post; a_doc = doc }

@@ -1,0 +1,53 @@
+(** Interface annotations (§3.4 of the paper).
+
+    Annotations encode developer knowledge of the kernel/driver API and
+    attach to kernel calls at their entry and return. The paper's DDT
+    compiles C annotations to LLVM bitcode; here they are OCaml closures
+    over the same primitives ([fresh_symbolic], [assume], [fork],
+    [discard]) exposed by {!Ddt_kernel.Mach}.
+
+    The four annotation categories of the paper map as follows:
+    - {e concrete-to-symbolic conversion hints}: post-hooks that replace a
+      concrete return value with a constrained symbolic one, or fork over
+      value classes (e.g. allocation success/failure);
+    - {e symbolic-to-concrete conversion hints}: pre-hooks that check or
+      constrain symbolic arguments to kernel calls;
+    - {e resource allocation hints}: carried by the kernel implementations
+      themselves ({!Ddt_kernel.Kstate} grant/revoke);
+    - {e kernel crash handler hook}: the {!Ddt_kernel.Bugcheck} exception,
+      intercepted by the engine. *)
+
+type hook = Ddt_kernel.Kstate.t -> Ddt_kernel.Mach.t -> unit
+
+type t = {
+  a_api : string;              (** kernel API the annotation attaches to *)
+  a_pre : hook option;
+  a_post : hook option;
+  a_doc : string;
+}
+
+type set = t list
+
+val empty : set
+val combine : set -> set -> set
+
+val run_pre : set -> string -> hook
+(** [run_pre set api] runs every matching pre-hook. *)
+
+val run_post : set -> string -> hook
+
+(** {1 Building blocks} *)
+
+val make :
+  api:string -> ?pre:hook -> ?post:hook -> doc:string -> unit -> t
+
+val fork_alloc_failure :
+  api:string -> out_ptr_arg:int -> failure_status:int -> doc:string -> t
+(** The standard allocation hint: after a successful allocation through an
+    out-pointer argument, also explore the path where it failed — the
+    annotation releases the successful allocation on that path, clears the
+    out pointer and rewrites the status. *)
+
+val fork_ret_null : api:string -> doc:string -> t
+(** Same for APIs returning the pointer directly ([ExAllocatePoolWithTag]):
+    the failure path returns NULL. *)

@@ -1,0 +1,45 @@
+module Expr = Ddt_solver.Expr
+module Mach = Ddt_kernel.Mach
+
+(* The paper's example annotation: a configuration parameter read from the
+   registry becomes an unconstrained symbolic integer, restricted to
+   non-negative values (paths with negative values are discarded). *)
+let read_configuration =
+  Annot.make ~api:"NdisReadConfiguration"
+    ~post:(fun _ks (m : Mach.t) ->
+      let symb = m.Mach.fresh_symbolic "registry_param" Expr.W32 in
+      m.Mach.assume (Expr.cmp Expr.Les (Expr.word 0) symb);
+      m.Mach.set_ret_expr symb)
+    ~doc:
+      "concrete-to-symbolic hint: registry parameters can hold any \
+       non-negative integer, whatever the current registry contains"
+    ()
+
+let allocate_memory =
+  Annot.fork_alloc_failure ~api:"NdisAllocateMemoryWithTag" ~out_ptr_arg:0
+    ~failure_status:2 (* STATUS_RESOURCES *)
+    ~doc:"memory allocation can fail; explore the failure path too"
+
+let allocate_packet_pool =
+  Annot.fork_alloc_failure ~api:"NdisAllocatePacketPool" ~out_ptr_arg:0
+    ~failure_status:2
+    ~doc:"packet pool allocation can fail"
+
+let allocate_buffer_pool =
+  Annot.fork_alloc_failure ~api:"NdisAllocateBufferPool" ~out_ptr_arg:0
+    ~failure_status:2
+    ~doc:"buffer pool allocation can fail"
+
+let allocate_packet =
+  Annot.fork_alloc_failure ~api:"NdisAllocatePacket" ~out_ptr_arg:0
+    ~failure_status:2
+    ~doc:"packet descriptor allocation can fail"
+
+let allocate_buffer =
+  Annot.fork_alloc_failure ~api:"NdisAllocateBuffer" ~out_ptr_arg:0
+    ~failure_status:2
+    ~doc:"buffer descriptor allocation can fail"
+
+let set : Annot.set =
+  [ read_configuration; allocate_memory; allocate_packet_pool;
+    allocate_buffer_pool; allocate_packet; allocate_buffer ]

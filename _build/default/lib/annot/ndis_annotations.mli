@@ -1,0 +1,11 @@
+(** The NDIS annotation set.
+
+    The paper reports annotating the full 277-function NDIS API in about
+    two weeks; this set covers the mini-NDIS surface the driver corpus
+    uses. The headline annotation is the one reproduced verbatim in the
+    paper (§3.4.1): on return from [NdisReadConfiguration], replace the
+    concrete registry value with a fresh symbolic integer constrained to
+    be non-negative — this is what exposes the RTL8029 driver's unchecked
+    [MaximumMulticastList] parameter. *)
+
+val set : Annot.set

@@ -1,0 +1,28 @@
+module Mach = Ddt_kernel.Mach
+module Kstate = Ddt_kernel.Kstate
+
+let ex_allocate_pool =
+  Annot.fork_ret_null ~api:"ExAllocatePoolWithTag"
+    ~doc:"pool allocation can return NULL; explore the failure path"
+
+(* PcNewInterruptSync can fail: undo the registration on the forked path. *)
+let pc_new_interrupt_sync =
+  Annot.make ~api:"PcNewInterruptSync"
+    ~post:(fun _ks (m : Mach.t) ->
+      let out = m.Mach.arg 0 in
+      m.Mach.fork
+        [ ("success", fun _m' -> ());
+          ("failure",
+           fun m' ->
+             let ks = m'.Mach.kstate () in
+             let handle = m'.Mach.read_u32 out in
+             (match Kstate.alloc_of_handle ks handle with
+              | Some a when not a.Kstate.a_freed -> Kstate.free_alloc ks a
+              | _ -> ());
+             Kstate.set_isr_registered ks false;
+             m'.Mach.write_u32 out 0;
+             m'.Mach.set_ret 1 (* STATUS_FAILURE *)) ])
+    ~doc:"interrupt sync creation can fail; explore the failure path"
+    ()
+
+let set : Annot.set = [ ex_allocate_pool; pc_new_interrupt_sync ]

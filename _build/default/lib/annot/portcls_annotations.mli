@@ -1,0 +1,6 @@
+(** The portcls (audio/WDM) annotation set — the paper reports writing the
+    54 annotations its sound drivers needed in one day. Covers pool
+    allocation failure (the Ensoniq AudioPCI null-deref) and
+    [PcNewInterruptSync] failure (its second crash in Table 2). *)
+
+val set : Annot.set

@@ -1,0 +1,1 @@
+lib/baseline/absint.ml: Cfg Hashtbl List Option Printf Queue

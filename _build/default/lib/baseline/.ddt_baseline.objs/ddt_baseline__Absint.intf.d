@@ -1,0 +1,1 @@
+lib/baseline/absint.mli: Cfg

@@ -1,0 +1,1 @@
+lib/baseline/cfg.ml: Array Bytes Ddt_dvm Hashtbl List

@@ -1,0 +1,1 @@
+lib/baseline/cfg.mli: Ddt_dvm Hashtbl

@@ -1,0 +1,1 @@
+lib/baseline/static.ml: Absint Cfg Format List Unix

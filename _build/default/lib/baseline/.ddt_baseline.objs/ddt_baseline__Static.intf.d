@@ -1,0 +1,1 @@
+lib/baseline/static.mli: Absint Ddt_dvm Format

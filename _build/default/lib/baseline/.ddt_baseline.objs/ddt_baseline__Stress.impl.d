@@ -1,0 +1,1 @@
+lib/baseline/stress.ml: Ddt_checkers Ddt_core Ddt_symexec Hashtbl List Unix

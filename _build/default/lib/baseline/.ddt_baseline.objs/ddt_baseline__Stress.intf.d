@@ -1,0 +1,1 @@
+lib/baseline/stress.mli: Ddt_checkers Ddt_core

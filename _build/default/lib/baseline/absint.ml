@@ -1,0 +1,261 @@
+type finding = {
+  fi_func : string;
+  fi_pos : int;
+  fi_rule : string;
+  fi_message : string;
+}
+
+(* --- the abstract domain ------------------------------------------------ *)
+
+type variant = Plain | Dpr
+
+type lock_state =
+  | Free
+  | Held of variant
+  | Maybe_held
+
+type bool3 = No | Yes | Maybe
+
+type state = {
+  locks : (Cfg.token * lock_state) list;     (* absent token = Free *)
+  stack : Cfg.token list option;             (* acquisition order; None = unknown *)
+  irql_high : bool3;
+  config_open : int * int;                   (* (min, max) open handles *)
+  freed : Cfg.token list;                    (* definitely freed *)
+}
+
+let initial =
+  { locks = []; stack = Some []; irql_high = No; config_open = (0, 0);
+    freed = [] }
+
+let lock_of st tok =
+  match List.assoc_opt tok st.locks with Some s -> s | None -> Free
+
+let set_lock st tok v =
+  { st with locks = (tok, v) :: List.remove_assoc tok st.locks }
+
+let join_lock a b =
+  match a, b with
+  | x, y when x = y -> x
+  | _ -> Maybe_held
+
+let join_bool3 a b = if a = b then a else Maybe
+
+let join s1 s2 =
+  let tokens =
+    List.sort_uniq compare (List.map fst s1.locks @ List.map fst s2.locks)
+  in
+  {
+    locks =
+      List.map (fun t -> (t, join_lock (lock_of s1 t) (lock_of s2 t))) tokens;
+    stack = (if s1.stack = s2.stack then s1.stack else None);
+    irql_high = join_bool3 s1.irql_high s2.irql_high;
+    config_open =
+      (let l1, h1 = s1.config_open and l2, h2 = s2.config_open in
+       (min l1 l2, max h1 h2));
+    freed = List.filter (fun t -> List.mem t s2.freed) s1.freed;
+  }
+
+let leq s1 s2 =
+  (* s1 subsumed by s2: joining adds nothing. *)
+  join s1 s2 = s2
+
+(* --- API classification ------------------------------------------------- *)
+
+let acquire_apis = [ ("NdisAcquireSpinLock", Plain); ("KeAcquireSpinLock", Plain);
+                     ("NdisDprAcquireSpinLock", Dpr);
+                     ("KeAcquireSpinLockAtDpcLevel", Dpr) ]
+
+let release_apis = [ ("NdisReleaseSpinLock", Plain); ("KeReleaseSpinLock", Plain);
+                     ("NdisDprReleaseSpinLock", Dpr);
+                     ("KeReleaseSpinLockFromDpcLevel", Dpr) ]
+
+let passive_only =
+  [ "NdisOpenConfiguration"; "NdisReadConfiguration";
+    "NdisCloseConfiguration"; "NdisMMapIoSpace" ]
+
+(* --- per-function analysis ---------------------------------------------- *)
+
+let analyze_function (f : Cfg.func) =
+  let findings = ref [] in
+  let reported = Hashtbl.create 8 in
+  (* Findings are only collected once the dataflow has reached its
+     fixpoint; transfer functions evaluated on intermediate states must
+     stay silent or they would report from states that later widen. *)
+  let report_enabled = ref false in
+  let report pos rule fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let key = (rule, pos) in
+        if !report_enabled && not (Hashtbl.mem reported key) then begin
+          Hashtbl.add reported key ();
+          findings :=
+            { fi_func = f.Cfg.f_name; fi_pos = pos; fi_rule = rule;
+              fi_message = msg }
+            :: !findings
+        end)
+      fmt
+  in
+  (* Pre-scan: which tokens have acquire / release sites in this function?
+     (Used for the FP-avoidance suppressions real tools need.) *)
+  let acquires_in_fn = Hashtbl.create 4 in
+  let releases_in_fn = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ (b : Cfg.block) ->
+      List.iter
+        (fun (kc : Cfg.kcall_site) ->
+          if List.mem_assoc kc.Cfg.kc_name acquire_apis then
+            Hashtbl.replace acquires_in_fn kc.Cfg.kc_arg0 ();
+          if List.mem_assoc kc.Cfg.kc_name release_apis then
+            Hashtbl.replace releases_in_fn kc.Cfg.kc_arg0 ())
+        b.Cfg.b_kcalls)
+    f.Cfg.f_blocks;
+  (* Transfer function over one kernel call. *)
+  let transfer st (kc : Cfg.kcall_site) =
+    let tok = kc.Cfg.kc_arg0 in
+    let pos = kc.Cfg.kc_pos in
+    match List.assoc_opt kc.Cfg.kc_name acquire_apis with
+    | Some variant -> (
+        (match lock_of st tok with
+         | Held _ ->
+             report pos "double-acquire"
+               "acquire of a spinlock already held (deadlock)"
+         | Free | Maybe_held -> ());
+        let st = set_lock st tok (Held variant) in
+        let st =
+          { st with
+            stack = Option.map (fun s -> tok :: s) st.stack;
+            irql_high = (if variant = Plain then Yes else st.irql_high) }
+        in
+        st)
+    | None -> (
+        match List.assoc_opt kc.Cfg.kc_name release_apis with
+        | Some variant -> (
+            (match lock_of st tok with
+             | Free ->
+                 (* Only locally-evident imbalance is reported: releasing a
+                    lock this function never acquired looks like a helper
+                    called with the lock held (summaries would be needed),
+                    so tools stay silent to avoid drowning in FPs. *)
+                 if Hashtbl.mem acquires_in_fn tok then
+                   report pos "extra-release"
+                     "release of a spinlock that is not held"
+             | Held v when v <> variant ->
+                 report pos "wrong-variant"
+                   "spinlock released with the wrong API variant (%s after \
+                    %s acquire)"
+                   (if variant = Dpr then "Dpr" else "plain")
+                   (if v = Dpr then "Dpr" else "plain")
+             | Held _ -> (
+                 match st.stack with
+                 | Some (top :: _) when top <> tok ->
+                     report pos "out-of-order"
+                       "spinlock released out of acquisition order"
+                 | _ -> ())
+             | Maybe_held -> ());
+            let st = set_lock st tok Free in
+            let any_held =
+              List.exists
+                (fun (_, s) -> s <> Free)
+                st.locks
+            in
+            { st with
+              stack =
+                Option.map (List.filter (fun t -> t <> tok)) st.stack;
+              irql_high =
+                (if variant = Plain && not any_held then No else st.irql_high)
+            })
+        | None ->
+            if List.mem kc.Cfg.kc_name passive_only then begin
+              if st.irql_high = Yes then
+                report pos "wrong-irql"
+                  "%s requires PASSIVE_LEVEL but a spinlock is held \
+                   (IRQL >= DISPATCH_LEVEL)"
+                  kc.Cfg.kc_name
+            end;
+            let st =
+              match kc.Cfg.kc_name with
+              | "NdisOpenConfiguration" ->
+                  let l, h = st.config_open in
+                  { st with config_open = (l + 1, h + 1) }
+              | "NdisCloseConfiguration" ->
+                  let l, h = st.config_open in
+                  { st with config_open = (max 0 (l - 1), max 0 (h - 1)) }
+              | "NdisFreeMemory" | "ExFreePoolWithTag" ->
+                  if tok <> Cfg.Tok_unknown && List.mem tok st.freed then begin
+                    report pos "double-free" "double free of the same object";
+                    st
+                  end
+                  else { st with freed = tok :: st.freed }
+              | "NdisAllocateMemoryWithTag" | "ExAllocatePoolWithTag" ->
+                  { st with freed = List.filter (fun t -> t <> tok) st.freed }
+              | _ -> st
+            in
+            st)
+  in
+  (* Worklist dataflow over blocks. *)
+  let in_states : (int, state) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace in_states f.Cfg.f_entry initial;
+  let exit_states = ref [] in
+  let worklist = Queue.create () in
+  Queue.add f.Cfg.f_entry worklist;
+  let iterations = ref 0 in
+  while (not (Queue.is_empty worklist)) && !iterations < 10_000 do
+    incr iterations;
+    let bstart = Queue.pop worklist in
+    match Hashtbl.find_opt f.Cfg.f_blocks bstart with
+    | None -> ()
+    | Some b ->
+        let st0 =
+          match Hashtbl.find_opt in_states bstart with
+          | Some s -> s
+          | None -> initial
+        in
+        let out = List.fold_left transfer st0 b.Cfg.b_kcalls in
+        (* A Ret inside the block is a function exit. *)
+        if b.Cfg.b_is_exit then exit_states := out :: !exit_states;
+        List.iter
+          (fun succ ->
+            let updated =
+              match Hashtbl.find_opt in_states succ with
+              | None -> Some out
+              | Some prev ->
+                  let j = join prev out in
+                  if leq out prev then None else Some j
+            in
+            match updated with
+            | None -> ()
+            | Some s ->
+                Hashtbl.replace in_states succ s;
+                Queue.add succ worklist)
+          b.Cfg.b_succs
+  done;
+  (* Reporting pass: every block once, from its fixpoint in-state. *)
+  report_enabled := true;
+  Hashtbl.iter
+    (fun bstart (b : Cfg.block) ->
+      match Hashtbl.find_opt in_states bstart with
+      | None -> ()
+      | Some st -> ignore (List.fold_left transfer st b.Cfg.b_kcalls))
+    f.Cfg.f_blocks;
+  (* Exit checks. *)
+  List.iter
+    (fun st ->
+      List.iter
+        (fun (tok, ls) ->
+          match ls with
+          | Held _ | Maybe_held ->
+              (* Lock-wrapper suppression: warn only when this function
+                 also releases the same lock somewhere, so the imbalance
+                 is locally evident. *)
+              if Hashtbl.mem releases_in_fn tok then
+                report f.Cfg.f_start "forgotten-release"
+                  "a spinlock may still be held when %s returns" f.Cfg.f_name
+          | Free -> ())
+        st.locks;
+      let lo, _ = st.config_open in
+      if lo > 0 then
+        report f.Cfg.f_start "config-leak"
+          "a configuration handle is left open when %s returns" f.Cfg.f_name)
+    !exit_states;
+  List.rev !findings

@@ -1,0 +1,24 @@
+(** Path-insensitive abstract interpretation of kernel-API usage rules —
+    the SLAM/SDV-style static baseline of §5.1.
+
+    Per function, a join-based dataflow analysis tracks spinlock states
+    (identified by the syntactic tokens {!Cfg} recovers), the IRQL, open
+    configuration handles and freed allocations. The analysis is
+    deliberately {e intraprocedural} and {e path-insensitive}, with the
+    classic consequences the paper attributes to this family of tools:
+
+    - defects split across helper functions are missed (no summaries);
+    - correct-but-conditional lock usage merges to "maybe held" at exit
+      and produces a false positive;
+    - warnings about helpers whose only lock operation is an acquire are
+      suppressed (they look like intentional lock-wrappers), hiding
+      interprocedural deadlocks and out-of-order releases. *)
+
+type finding = {
+  fi_func : string;
+  fi_pos : int;                (** image-relative offset *)
+  fi_rule : string;            (** short rule id *)
+  fi_message : string;
+}
+
+val analyze_function : Cfg.func -> finding list

@@ -1,0 +1,29 @@
+type result = {
+  st_driver : string;
+  st_findings : Absint.finding list;
+  st_wall_time : float;
+  st_functions : int;
+}
+
+let analyze ~name img =
+  let t0 = Unix.gettimeofday () in
+  let funcs = Cfg.build img in
+  let findings = List.concat_map Absint.analyze_function funcs in
+  {
+    st_driver = name;
+    st_findings = findings;
+    st_wall_time = Unix.gettimeofday () -. t0;
+    st_functions = List.length funcs;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "static analysis of %s: %d finding(s) in %d functions \
+                      (%.3fs)@."
+    r.st_driver
+    (List.length r.st_findings)
+    r.st_functions r.st_wall_time;
+  List.iter
+    (fun (f : Absint.finding) ->
+      Format.fprintf fmt "  [%s] %s at 0x%x: %s@." f.Absint.fi_rule
+        f.Absint.fi_func f.Absint.fi_pos f.Absint.fi_message)
+    r.st_findings

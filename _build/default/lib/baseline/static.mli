@@ -1,0 +1,14 @@
+(** The static-analysis baseline front end (SDV analog of §5.1): build the
+    CFG of every function in a driver binary and run the API-rule abstract
+    interpretation over each. *)
+
+type result = {
+  st_driver : string;
+  st_findings : Absint.finding list;
+  st_wall_time : float;
+  st_functions : int;
+}
+
+val analyze : name:string -> Ddt_dvm.Image.t -> result
+
+val pp : Format.formatter -> result -> unit

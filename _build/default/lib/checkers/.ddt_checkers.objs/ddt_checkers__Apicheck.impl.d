@@ -1,0 +1,1 @@
+lib/checkers/apicheck.ml: Ddt_kernel Ddt_symexec Printf Report

@@ -1,0 +1,1 @@
+lib/checkers/apicheck.mli: Ddt_kernel Ddt_symexec Report

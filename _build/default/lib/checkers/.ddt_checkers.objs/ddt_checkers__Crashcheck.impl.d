@@ -1,0 +1,1 @@
+lib/checkers/crashcheck.ml: Ddt_kernel Ddt_symexec Printf Report String

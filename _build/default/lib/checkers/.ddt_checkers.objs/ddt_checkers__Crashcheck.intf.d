@@ -1,0 +1,1 @@
+lib/checkers/crashcheck.mli: Ddt_symexec Report

@@ -1,0 +1,1 @@
+lib/checkers/diagnose.ml: Ddt_trace Format List Printf Report String

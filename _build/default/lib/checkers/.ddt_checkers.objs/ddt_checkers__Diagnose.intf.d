@@ -1,0 +1,1 @@
+lib/checkers/diagnose.mli: Format Report

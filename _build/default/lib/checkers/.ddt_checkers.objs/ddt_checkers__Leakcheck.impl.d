@@ -1,0 +1,1 @@
+lib/checkers/leakcheck.ml: Ddt_kernel Ddt_symexec Hashtbl List Printf Report String

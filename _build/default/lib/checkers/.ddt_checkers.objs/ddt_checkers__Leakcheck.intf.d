@@ -1,0 +1,1 @@
+lib/checkers/leakcheck.mli: Ddt_symexec Report

@@ -1,0 +1,1 @@
+lib/checkers/lockcheck.ml: Ddt_kernel Ddt_symexec List Printf Report String

@@ -1,0 +1,1 @@
+lib/checkers/lockcheck.mli: Ddt_kernel Ddt_symexec Report

@@ -1,0 +1,1 @@
+lib/checkers/loopcheck.ml: Ddt_symexec Printf Report

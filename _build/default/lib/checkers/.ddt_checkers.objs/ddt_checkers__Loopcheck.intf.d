@@ -1,0 +1,1 @@
+lib/checkers/loopcheck.mli: Ddt_symexec Report

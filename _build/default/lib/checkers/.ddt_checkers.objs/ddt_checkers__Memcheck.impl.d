@@ -1,0 +1,1 @@
+lib/checkers/memcheck.ml: Ddt_dvm Ddt_hw Ddt_kernel Ddt_solver Ddt_symexec Printf Report

@@ -1,0 +1,1 @@
+lib/checkers/memcheck.mli: Ddt_dvm Ddt_hw Ddt_symexec Report

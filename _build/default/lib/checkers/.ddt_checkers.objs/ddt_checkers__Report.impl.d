@@ -1,0 +1,1 @@
+lib/checkers/report.ml: Ddt_trace Format Hashtbl List String

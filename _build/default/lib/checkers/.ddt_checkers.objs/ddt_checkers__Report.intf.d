@@ -1,0 +1,1 @@
+lib/checkers/report.mli: Ddt_trace Format

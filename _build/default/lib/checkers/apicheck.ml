@@ -1,0 +1,57 @@
+module Kstate = Ddt_kernel.Kstate
+module Mach = Ddt_kernel.Mach
+module St = Ddt_symexec.Symstate
+
+type t = {
+  sink : Report.sink;
+  driver : string;
+}
+
+let create ~sink ~driver = { sink; driver }
+
+let bug t (st : St.t) ~key ~msg =
+  Report.report t.sink
+    {
+      Report.b_kind = Report.Kernel_crash;
+      b_driver = t.driver;
+      b_entry = st.St.entry_name;
+      b_pc = st.St.pc;
+      b_message = msg;
+      b_key = Printf.sprintf "api:%s:%s" t.driver key;
+      b_state_id = st.St.id;
+      b_events = st.St.trace;
+      b_choices = st.St.choices;
+      b_with_interrupt = st.St.injections > 0;
+      b_replay = Ddt_symexec.Exec.replay_script st;
+    }
+
+let on_kcall_enter t (st : St.t) name (m : Mach.t) =
+  let ks = st.St.ks in
+  match name with
+  | "NdisFreeMemory" -> (
+      let addr = m.Mach.arg 0 in
+      let len = m.Mach.arg 1 in
+      match Kstate.alloc_of_addr ks addr with
+      | Some a when (not a.Kstate.a_freed) && a.Kstate.a_size <> len ->
+          bug t st
+            ~key:(Printf.sprintf "freelen:0x%x" st.St.pc)
+            ~msg:
+              (Printf.sprintf
+                 "NdisFreeMemory called with length %d for an allocation of \
+                  %d bytes; the pool bookkeeping trusts the caller and \
+                  corrupts adjacent blocks"
+                 len a.Kstate.a_size)
+      | _ -> ())
+  | "NdisMRegisterInterrupt" ->
+      if Kstate.driver_ctx ks = 0 then
+        bug t st ~key:"isr-noctx"
+          ~msg:
+            "NdisMRegisterInterrupt before NdisMSetAttributes: the ISR \
+             would be invoked with a null miniport context"
+  | "NdisAllocateMemoryWithTag" | "ExAllocatePoolWithTag" ->
+      (* Both APIs carry the size as their second argument. *)
+      if m.Mach.arg 1 = 0 then
+        bug t st
+          ~key:(Printf.sprintf "zeroalloc:0x%x" st.St.pc)
+          ~msg:(name ^ " called with a zero size")
+  | _ -> ()

@@ -1,0 +1,40 @@
+module Kstate = Ddt_kernel.Kstate
+module St = Ddt_symexec.Symstate
+
+type t = {
+  sink : Report.sink;
+  driver : string;
+}
+
+let create ~sink ~driver = { sink; driver }
+
+let kind_of (st : St.t) (c : St.crash) =
+  let interrupt_context =
+    Kstate.in_isr st.St.ks || Kstate.in_dpc st.St.ks || st.St.pending <> []
+  in
+  if interrupt_context && st.St.injections > 0 then Report.Race_condition
+  else if
+    c.St.c_code = "DRIVER_FAULT"
+    && (String.length c.St.c_msg >= 4 && String.sub c.St.c_msg 0 4 = "null")
+  then Report.Segfault
+  else if c.St.c_code = "DRIVER_FAULT" then Report.Segfault
+  else Report.Kernel_crash
+
+let on_state_done t (st : St.t) =
+  match st.St.status with
+  | Some (St.Crashed c) ->
+      Report.report t.sink
+        {
+          Report.b_kind = kind_of st c;
+          b_driver = t.driver;
+          b_entry = st.St.entry_name;
+          b_pc = c.St.c_pc;
+          b_message = Printf.sprintf "%s: %s" c.St.c_code c.St.c_msg;
+          b_key = Printf.sprintf "crash:%s:%s:0x%x" t.driver c.St.c_code c.St.c_pc;
+          b_state_id = st.St.id;
+          b_events = st.St.trace;
+          b_choices = st.St.choices;
+          b_with_interrupt = st.St.injections > 0;
+      b_replay = Ddt_symexec.Exec.replay_script st;
+        }
+  | _ -> ()

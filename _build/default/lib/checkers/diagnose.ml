@@ -1,0 +1,165 @@
+module Event = Ddt_trace.Event
+module Replay = Ddt_trace.Replay
+
+type device_spec = {
+  ds_registers : (string * int * int) list;
+  ds_default : int * int;
+}
+
+let permissive_spec = { ds_registers = []; ds_default = (0, 255) }
+
+type hardware_verdict =
+  | Any_hardware
+  | Malfunction_only
+  | No_hardware_dependence
+
+type analysis = {
+  a_headline : string;
+  a_technical : string list;
+  a_hardware : hardware_verdict;
+  a_depends_on : string list;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let alloc_apis =
+  [ "NdisAllocateMemoryWithTag"; "ExAllocatePoolWithTag";
+    "NdisAllocatePacketPool"; "NdisAllocateBufferPool"; "NdisAllocatePacket";
+    "NdisAllocateBuffer"; "PcNewInterruptSync" ]
+
+(* Which failure-class choices were taken on the path. *)
+let failed_allocs (b : Report.bug) =
+  List.filter_map
+    (fun (api, choice) ->
+      if choice = "failure" && List.mem api alloc_apis then Some api else None)
+    b.Report.b_choices
+
+(* The interrupt injections on the path, oldest first. *)
+let interrupts (b : Report.bug) =
+  List.rev
+    (List.filter_map
+       (fun ev ->
+         match ev with
+         | Event.E_interrupt { site; phase } when phase = "isr" ->
+             Some site
+         | _ -> None)
+       b.Report.b_events)
+
+(* Device reads the failing path depended on, with the concrete values the
+   replay evidence pins them to: MMIO reads ("hw_...") and USB transfer
+   payloads/lengths ("usb_..."). *)
+let device_reads (b : Report.bug) =
+  List.filter
+    (fun (name, _) ->
+      starts_with ~prefix:"hw_" name || starts_with ~prefix:"usb_" name)
+    b.Report.b_replay.Replay.rs_inputs
+
+let spec_range spec name =
+  let rec find = function
+    | [] -> spec.ds_default
+    | (prefix, lo, hi) :: rest ->
+        if starts_with ~prefix name then (lo, hi) else find rest
+  in
+  find spec.ds_registers
+
+let hardware_verdict spec b =
+  match device_reads b with
+  | [] -> No_hardware_dependence
+  | reads ->
+      (* §3.6: if a pinned device-read value falls outside the range the
+         specification allows for that register, the path needs the
+         hardware to misbehave. *)
+      let out_of_spec =
+        List.exists
+          (fun (name, v) ->
+            let lo, hi = spec_range spec name in
+            v < lo || v > hi)
+          reads
+      in
+      if out_of_spec then Malfunction_only else Any_hardware
+
+let headline (b : Report.bug) =
+  let fails = failed_allocs b in
+  let irqs = interrupts b in
+  match b.Report.b_kind with
+  | Report.Resource_leak when fails <> [] ->
+      "driver leaks resources in low-memory situations"
+  | Report.Segfault when fails <> [] ->
+      "driver crashes in low-memory situations"
+  | Report.Race_condition when irqs <> [] ->
+      Printf.sprintf "driver crashes if an interrupt arrives %s"
+        (List.hd irqs)
+  | Report.Memory_error ->
+      "driver corrupts memory when given an unchecked input"
+  | Report.Infinite_loop -> "driver can hang the machine"
+  | Report.Lock_misuse -> "driver violates the spinlock protocol"
+  | Report.Kernel_crash -> "driver action crashes the kernel"
+  | Report.Segfault -> "driver dereferences an invalid pointer"
+  | Report.Race_condition -> "driver has a timing-dependent failure"
+  | Report.Resource_leak -> "driver leaks resources"
+
+let technical (b : Report.bug) =
+  let steps = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> steps := s :: !steps) fmt in
+  List.iter
+    (fun (api, choice) ->
+      if choice = "failure" then push "%s failed (explored value class)" api)
+    b.Report.b_choices;
+  List.iter (fun site -> push "symbolic interrupt delivered %s" site)
+    (interrupts b);
+  (let reads = device_reads b in
+   let rec take n = function
+     | [] -> []
+     | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+   in
+   List.iter
+     (fun (name, v) -> push "device read %s returned 0x%x" name v)
+     (take 4 reads);
+   if List.length reads > 4 then
+     push "... and %d further device reads" (List.length reads - 4));
+  push "%s at pc 0x%x: %s"
+    (Report.string_of_kind b.Report.b_kind)
+    b.Report.b_pc b.Report.b_message;
+  List.rev !steps
+
+let analyze ?(spec = permissive_spec) (b : Report.bug) =
+  {
+    a_headline = headline b;
+    a_technical = technical b;
+    a_hardware = hardware_verdict spec b;
+    a_depends_on =
+      List.map fst b.Report.b_replay.Replay.rs_inputs
+      |> List.sort_uniq compare;
+  }
+
+let pp fmt a =
+  Format.fprintf fmt "%s@." a.a_headline;
+  List.iter (fun s -> Format.fprintf fmt "  - %s@." s) a.a_technical;
+  (match a.a_hardware with
+   | No_hardware_dependence ->
+       Format.fprintf fmt "  hardware: path independent of device output@."
+   | Any_hardware ->
+       Format.fprintf fmt
+         "  hardware: reproducible with a specification-conforming device@."
+   | Malfunction_only ->
+       Format.fprintf fmt
+         "  hardware: requires device behavior outside its specification \
+          (malfunction)@.");
+  if a.a_depends_on <> [] then begin
+    let shown, rest =
+      let rec take n = function
+        | [] -> ([], [])
+        | x :: r when n > 0 ->
+            let s, rest = take (n - 1) r in
+            (x :: s, rest)
+        | l -> ([], l)
+      in
+      take 6 a.a_depends_on
+    in
+    Format.fprintf fmt "  depends on: %s%s@." (String.concat ", " shown)
+      (match rest with
+       | [] -> ""
+       | _ -> Printf.sprintf " (+%d more)" (List.length rest))
+  end

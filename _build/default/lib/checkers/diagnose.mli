@@ -1,0 +1,45 @@
+(** Automated bug analysis and classification (§3.6 of the paper).
+
+    The paper does this manually ("the analyses took a maximum of 20
+    minutes per bug") and suggests tools could automate it; this module is
+    that tool. From a bug's trace, choices and replay script it derives:
+
+    - a user-readable one-liner ("driver crashes in low-memory
+      situations", "requires an interrupt while the driver initializes");
+    - the technical chain ("AllocateMemory failed at pc1 caused a null
+      pointer dereference at pc2");
+    - the {e hardware-dependence verdict}: given the device's
+      specification (which values each register can legally produce),
+      whether the failing path requires a malfunctioning device — the
+      paper's §3.6 criterion: if the concrete device reads on the failing
+      path fall outside the specified ranges, the bug only occurs when
+      the hardware misbehaves. *)
+
+(** What each device register may legally read as, per the vendor
+    specification: byte ranges keyed by BAR-relative offset. *)
+type device_spec = {
+  ds_registers : (string * int * int) list;
+      (** (symbolic read name prefix, min byte, max byte); names follow
+          {!Ddt_hw.Symdev.fresh_read}: ["hw_bar0+0x4"] *)
+  ds_default : int * int;  (** range for unlisted registers *)
+}
+
+val permissive_spec : device_spec
+(** Any register may read as any byte — no bug is ever blamed on the
+    hardware. *)
+
+type hardware_verdict =
+  | Any_hardware           (** occurs with spec-conforming devices *)
+  | Malfunction_only       (** requires out-of-spec device behavior *)
+  | No_hardware_dependence (** the path reads no device registers *)
+
+type analysis = {
+  a_headline : string;          (** the user-readable message *)
+  a_technical : string list;    (** the causal chain, one step per line *)
+  a_hardware : hardware_verdict;
+  a_depends_on : string list;   (** symbolic inputs the path depends on *)
+}
+
+val analyze : ?spec:device_spec -> Report.bug -> analysis
+
+val pp : Format.formatter -> analysis -> unit

@@ -1,0 +1,20 @@
+(** Spinlock and IRQL discipline checking — the guest-OS-level verifier
+    analog (Driver Verifier's lock rules, §3.1.2).
+
+    Detected violations:
+    - acquiring a spinlock already held on this path (self-deadlock);
+    - releasing with the wrong variant for the context: plain
+      [NdisReleaseSpinLock] from a DPC (the Intel Pro/100 bug), or the
+      [Dpr] variant for a lock acquired with the plain one;
+    - releasing locks out of acquisition (LIFO) order;
+    - returning from an entry point with locks still held;
+    - calling [Dpr]-acquire outside DPC context. *)
+
+type t
+
+val create : sink:Report.sink -> driver:string -> t
+
+val on_kcall_enter :
+  t -> Ddt_symexec.Symstate.t -> string -> Ddt_kernel.Mach.t -> unit
+
+val on_state_done : t -> Ddt_symexec.Symstate.t -> unit

@@ -1,0 +1,13 @@
+(** Hang / infinite-loop detection ([34] in the paper).
+
+    A state that exhausts its per-path instruction budget without
+    terminating is flagged: driver code that never returns to the kernel
+    hangs the machine at raised IRQL. The coverage heuristic already
+    starves polling loops, so a state only reaches its full budget when
+    every schedule keeps it spinning. *)
+
+type t
+
+val create : sink:Report.sink -> driver:string -> t
+
+val on_state_done : t -> Ddt_symexec.Symstate.t -> unit

@@ -1,0 +1,70 @@
+type kind =
+  | Memory_error
+  | Segfault
+  | Race_condition
+  | Resource_leak
+  | Lock_misuse
+  | Kernel_crash
+  | Infinite_loop
+
+let string_of_kind = function
+  | Memory_error -> "Memory corruption"
+  | Segfault -> "Segmentation fault"
+  | Race_condition -> "Race condition"
+  | Resource_leak -> "Resource leak"
+  | Lock_misuse -> "Lock misuse"
+  | Kernel_crash -> "Kernel crash"
+  | Infinite_loop -> "Infinite loop"
+
+type bug = {
+  b_kind : kind;
+  b_driver : string;
+  b_entry : string;
+  b_pc : int;
+  b_message : string;
+  b_key : string;
+  b_state_id : int;
+  b_events : Ddt_trace.Event.t list;
+  b_choices : (string * string) list;
+  b_with_interrupt : bool;
+  b_replay : Ddt_trace.Replay.script;
+}
+
+type sink = {
+  mutable found : bug list;    (* newest first *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+let create_sink () = { found = []; seen = Hashtbl.create 16 }
+
+let report sink bug =
+  if not (Hashtbl.mem sink.seen bug.b_key) then begin
+    Hashtbl.add sink.seen bug.b_key ();
+    sink.found <- bug :: sink.found
+  end
+
+let bugs sink = List.rev sink.found
+let count sink = List.length sink.found
+
+let clear sink =
+  sink.found <- [];
+  Hashtbl.reset sink.seen
+
+let pp_bug fmt b =
+  Format.fprintf fmt "[%s] %s in %s (entry %s, pc 0x%x)%s@.    %s"
+    (string_of_kind b.b_kind) b.b_driver
+    (match b.b_choices with
+     | [] -> "default path"
+     | cs ->
+         String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) cs))
+    b.b_entry b.b_pc
+    (if b.b_with_interrupt then " [under symbolic interrupt]" else "")
+    b.b_message
+
+let pp_summary fmt sink =
+  Format.fprintf fmt "%-18s %-18s %s@." "Tested Driver" "Bug Type" "Description";
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "%-18s %-18s %s@." b.b_driver
+        (string_of_kind b.b_kind) b.b_message)
+    (bugs sink)

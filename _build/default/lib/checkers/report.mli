@@ -1,0 +1,45 @@
+(** Bug reports and the report sink.
+
+    Checkers deposit findings here; the sink deduplicates (the same defect
+    is typically reached on many paths) and keeps, per bug, the trace of
+    the first path that exposed it — the replayable evidence of §3.5. *)
+
+type kind =
+  | Memory_error        (** OOB access, access to unowned/freed memory *)
+  | Segfault            (** null/bad pointer dereference *)
+  | Race_condition      (** crash or corruption under a symbolic interrupt *)
+  | Resource_leak
+  | Lock_misuse         (** deadlock, wrong-variant or unbalanced release *)
+  | Kernel_crash        (** bugcheck raised by the kernel *)
+  | Infinite_loop
+
+val string_of_kind : kind -> string
+
+type bug = {
+  b_kind : kind;
+  b_driver : string;
+  b_entry : string;            (** entry point under exercise *)
+  b_pc : int;                  (** driver pc at detection *)
+  b_message : string;
+  b_key : string;              (** deduplication key *)
+  b_state_id : int;
+  b_events : Ddt_trace.Event.t list;       (** trace, newest first *)
+  b_choices : (string * string) list;      (** annotation decisions taken *)
+  b_with_interrupt : bool;
+  b_replay : Ddt_trace.Replay.script;
+  (** concrete inputs + system events that reproduce this path (§3.5) *)
+}
+
+type sink
+
+val create_sink : unit -> sink
+val report : sink -> bug -> unit
+val bugs : sink -> bug list
+(** In first-reported order. *)
+
+val count : sink -> int
+val clear : sink -> unit
+
+val pp_bug : Format.formatter -> bug -> unit
+val pp_summary : Format.formatter -> sink -> unit
+(** The Table 2 style listing: driver, bug type, description. *)

@@ -1,0 +1,1 @@
+lib/core/config.mli: Ddt_annot Ddt_dvm Ddt_kernel Ddt_symexec Ddt_trace

@@ -1,0 +1,1 @@
+lib/core/ddt.ml: Ddt_checkers Ddt_symexec Ddt_trace Format List Session

@@ -1,0 +1,1 @@
+lib/core/ddt.mli: Config Ddt_checkers Format Session

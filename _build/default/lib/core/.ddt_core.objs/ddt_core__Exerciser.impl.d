@@ -1,0 +1,1 @@
+lib/core/exerciser.ml: Config Ddt_kernel Ddt_solver Ddt_symexec List

@@ -1,0 +1,1 @@
+lib/core/exerciser.mli: Config Ddt_symexec

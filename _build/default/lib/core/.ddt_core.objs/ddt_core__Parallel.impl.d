@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Config Ddt_checkers Ddt_kernel Ddt_symexec Domain Hashtbl List Printf Session Unix

@@ -1,0 +1,1 @@
+lib/core/session.ml: Config Ddt_annot Ddt_checkers Ddt_dvm Ddt_hw Ddt_kernel Ddt_symexec Ddt_trace Exerciser List Option Printf Unix

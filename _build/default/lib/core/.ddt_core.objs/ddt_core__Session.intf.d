@@ -1,0 +1,1 @@
+lib/core/session.mli: Config Ddt_checkers Ddt_symexec Ddt_trace

@@ -1,0 +1,29 @@
+module Report = Ddt_checkers.Report
+
+let test_driver = Session.run
+
+let pp_report fmt (r : Session.result) =
+  Format.fprintf fmt "=== DDT report for %s ===@." r.Session.r_driver;
+  if r.Session.r_bugs = [] then Format.fprintf fmt "No bugs found.@."
+  else begin
+    Format.fprintf fmt "%d bug(s) found:@." (List.length r.Session.r_bugs);
+    List.iteri
+      (fun i b -> Format.fprintf fmt "%2d. %a@." (i + 1) Report.pp_bug b)
+      r.Session.r_bugs
+  end;
+  let stats = r.Session.r_stats in
+  Format.fprintf fmt
+    "coverage: %d/%d basic blocks (%.1f%%) | %d invocations | %d states | \
+     %d instructions | %.2fs@."
+    (match List.rev r.Session.r_coverage with
+     | [] -> 0
+     | p :: _ -> p.Session.cp_blocks)
+    r.Session.r_total_blocks
+    (Session.coverage_percent r)
+    r.Session.r_invocations
+    stats.Ddt_symexec.Exec.st_states_created
+    stats.Ddt_symexec.Exec.st_total_steps r.Session.r_wall_time
+
+let pp_bug_detail fmt (b : Report.bug) =
+  Format.fprintf fmt "%a@.--- execution trace ---@.%s@." Report.pp_bug b
+    (Ddt_trace.Event.summarize b.Report.b_events)

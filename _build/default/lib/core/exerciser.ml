@@ -1,0 +1,104 @@
+module Expr = Ddt_solver.Expr
+module Exec = Ddt_symexec.Exec
+module St = Ddt_symexec.Symstate
+module Kstate = Ddt_kernel.Kstate
+
+let scratch_len = 64
+
+(* Queue one invocation of a registered entry point on a fork of [base]. *)
+let invoke eng base ~entry ~args_of =
+  match Kstate.entry_point base.St.ks entry with
+  | None -> 0
+  | Some addr ->
+      let child = Exec.fork_of eng base in
+      let args = args_of child in
+      Exec.start_invocation eng child ~name:entry ~addr ~args;
+      1
+
+let symbolic_word eng st name =
+  Exec.fresh_symbolic eng st ~name ~origin:"workload" Expr.W32
+
+(* OIDs the concrete exerciser uses when annotations are off: the ones a
+   stress tool derives from the driver's supported list — ordinary,
+   expected values only, per operation. This is precisely why the
+   Driver-Verifier-style baseline misses the unexpected-OID crashes. *)
+let concrete_query_oids = [ 1; 2 ]
+let concrete_set_oids = [ 2; 3 ]
+
+let queue eng (cfg : Config.t) base item =
+  let use_sym = cfg.Config.use_annotations in
+  match item with
+  | Config.W_initialize ->
+      invoke eng base ~entry:"initialize" ~args_of:(fun _ -> [])
+  | Config.W_halt -> invoke eng base ~entry:"halt" ~args_of:(fun _ -> [])
+  | Config.W_reset -> invoke eng base ~entry:"reset" ~args_of:(fun _ -> [])
+  | Config.W_stop -> invoke eng base ~entry:"stop" ~args_of:(fun _ -> [])
+  | Config.W_query | Config.W_set ->
+      let entry = if item = Config.W_query then "query" else "set" in
+      if use_sym then
+        invoke eng base ~entry ~args_of:(fun st ->
+            let buf =
+              Kstate.scratch_alloc st.St.ks ~size:scratch_len
+                ~note:"information buffer"
+            in
+            let oid = symbolic_word eng st "oid" in
+            [ oid; Expr.word buf; Expr.word scratch_len ])
+      else
+        let oids =
+          if item = Config.W_query then concrete_query_oids
+          else concrete_set_oids
+        in
+        List.fold_left
+          (fun n oid ->
+            n
+            + invoke eng base ~entry ~args_of:(fun st ->
+                  let buf =
+                    Kstate.scratch_alloc st.St.ks ~size:scratch_len
+                      ~note:"information buffer"
+                  in
+                  [ Expr.word oid; Expr.word buf; Expr.word scratch_len ]))
+          0 oids
+  | Config.W_send ->
+      invoke eng base ~entry:"send" ~args_of:(fun st ->
+          let pkt =
+            Kstate.scratch_alloc st.St.ks ~size:scratch_len
+              ~note:"network packet"
+          in
+          if use_sym then
+            (* The packet's content is symbolic: all packet-type dispatch
+               paths in the driver get explored (§3.2 of the paper). *)
+            Exec.write_symbolic_bytes eng st ~addr:pkt ~len:scratch_len
+              ~origin:"packet"
+          else
+            (* A plausible concrete frame. *)
+            List.iteri
+              (fun i b ->
+                Ddt_symexec.Symmem.write_u8 st.St.mem (pkt + i) (Expr.byte b))
+              (List.init scratch_len (fun i -> (i * 7 + 3) land 0xFF));
+          [ Expr.word pkt; Expr.word scratch_len ])
+  | Config.W_play ->
+      invoke eng base ~entry:"play" ~args_of:(fun st ->
+          let buf =
+            Kstate.scratch_alloc st.St.ks ~size:scratch_len
+              ~note:"audio buffer"
+          in
+          if use_sym then
+            Exec.write_symbolic_bytes eng st ~addr:buf ~len:scratch_len
+              ~origin:"audio"
+          ;
+          [ Expr.word buf; Expr.word scratch_len ])
+  | Config.W_interrupt ->
+      if Kstate.isr_registered base.St.ks then begin
+        let child = Exec.fork_of eng base in
+        Exec.start_interrupt_fire eng child;
+        1
+      end
+      else 0
+  | Config.W_timers ->
+      List.fold_left
+        (fun n (timer_addr, _) ->
+          let child = Exec.fork_of eng base in
+          Exec.start_timer_fire eng child ~timer_addr;
+          n + 1)
+        0
+        (Kstate.due_timers base.St.ks)

@@ -1,0 +1,19 @@
+(** The concrete workload generator — the Device Path Exerciser analog
+    (§4.3 of the paper).
+
+    Each workload item queues one or more entry-point invocations on a
+    base state. Under annotations, the workload's concrete-to-symbolic
+    hints apply: OIDs and packet contents become symbolic, letting the
+    engine sweep all driver dispatch paths; without annotations the
+    exerciser passes a fixed set of ordinary concrete values (which is
+    why the §5.1 ablation loses the unexpected-OID segfaults). *)
+
+val queue :
+  Ddt_symexec.Exec.engine ->
+  Config.t ->
+  Ddt_symexec.Symstate.t ->
+  Config.workload_item ->
+  int
+(** [queue eng cfg base item] forks [base] as needed and queues the
+    invocations for [item]; returns how many were queued (0 when the
+    driver registered no matching entry point). *)

@@ -1,0 +1,90 @@
+module Report = Ddt_checkers.Report
+module Exec = Ddt_symexec.Exec
+module Sched = Ddt_symexec.Sched
+
+type result = {
+  p_bugs : Report.bug list;
+  p_jobs : int;
+  p_wall_time : float;
+  p_sequential_time : float;
+  p_per_job : (string * int * float) list;
+}
+
+let strategy_label = function
+  | Sched.Min_touch -> "min-touch"
+  | Sched.Dfs -> "dfs"
+  | Sched.Bfs -> "bfs"
+  | Sched.Random_pick seed -> Printf.sprintf "random-%d" seed
+
+(* Worker i gets a distinct exploration flavor. *)
+let variant (cfg : Config.t) i =
+  if i = 0 then cfg
+  else
+    let strategy =
+      match i mod 3 with
+      | 1 -> Sched.Bfs
+      | 2 -> Sched.Random_pick (1000 + i)
+      | _ -> Sched.Dfs
+    in
+    { cfg with
+      Config.exec_config = { cfg.Config.exec_config with Exec.strategy } }
+
+let test_driver ?jobs (cfg : Config.t) =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  (* Force shared lazies before spawning: the kernel API table is
+     registered once, and the image must already be compiled. *)
+  Ddt_kernel.Ndis.install ();
+  Ddt_kernel.Portcls.install ();
+  Ddt_kernel.Usb.install ();
+  ignore cfg.Config.image;
+  let t0 = Unix.gettimeofday () in
+  let run_one i =
+    let c = variant cfg i in
+    let t = Unix.gettimeofday () in
+    let r = Session.run c in
+    (strategy_label c.Config.exec_config.Exec.strategy,
+     r.Session.r_bugs,
+     Unix.gettimeofday () -. t)
+  in
+  let outcomes =
+    match jobs with
+    | 1 -> [ run_one 0 ]
+    | _ ->
+        let domains =
+          List.init (jobs - 1) (fun i ->
+              Domain.spawn (fun () -> run_one (i + 1)))
+        in
+        let mine = run_one 0 in
+        mine :: List.map Domain.join domains
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Merge with key-based dedup, first worker first. *)
+  let seen = Hashtbl.create 32 in
+  let merged = ref [] in
+  List.iter
+    (fun (_, bugs, _) ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem seen b.Report.b_key) then begin
+            Hashtbl.add seen b.Report.b_key ();
+            merged := b :: !merged
+          end)
+        bugs)
+    outcomes;
+  {
+    p_bugs = List.rev !merged;
+    p_jobs = jobs;
+    p_wall_time = wall;
+    p_sequential_time =
+      List.fold_left (fun acc (_, _, t) -> acc +. t) 0.0 outcomes;
+    p_per_job =
+      List.map (fun (label, bugs, t) -> (label, List.length bugs, t)) outcomes;
+  }
+
+let speedup r =
+  if r.p_wall_time <= 0.0 then 1.0
+  else r.p_sequential_time /. r.p_wall_time

@@ -1,0 +1,31 @@
+(** Parallel symbolic execution (the §6.1 direction: "we are exploring
+    ways to mitigate this problem by running symbolic execution in
+    parallel").
+
+    Runs several complete test sessions of the same driver concurrently in
+    OCaml 5 domains. The workers are diversified the way a Cloud9-style
+    fleet would be — different search strategies and different random-pick
+    seeds — so they explore different regions of the path space; their bug
+    reports are merged with the usual key-based deduplication.
+
+    Sessions are fully independent (each builds its own VM memory, kernel
+    state and engine); the only shared mutable state in the stack is the
+    atomic symbolic-variable counter. *)
+
+type result = {
+  p_bugs : Ddt_checkers.Report.bug list;   (** merged, deduplicated *)
+  p_jobs : int;
+  p_wall_time : float;
+  p_sequential_time : float;
+      (** sum of the individual sessions' wall times, i.e. what running
+          the same fleet sequentially would have cost *)
+  p_per_job : (string * int * float) list;
+      (** (strategy label, bugs found, wall time) per worker *)
+}
+
+val test_driver : ?jobs:int -> Config.t -> result
+(** [jobs] defaults to [min 4 (Domain.recommended_domain_count ())]. The
+    first worker always runs the configuration's own strategy, so the
+    merged result finds at least whatever a single session finds. *)
+
+val speedup : result -> float

@@ -1,0 +1,175 @@
+module Mem = Ddt_dvm.Mem
+module Image = Ddt_dvm.Image
+module Layout = Ddt_dvm.Layout
+module Kstate = Ddt_kernel.Kstate
+module Pci = Ddt_kernel.Pci
+module Exec = Ddt_symexec.Exec
+module St = Ddt_symexec.Symstate
+module Report = Ddt_checkers.Report
+
+type coverage_point = {
+  cp_time : float;
+  cp_steps : int;
+  cp_blocks : int;
+}
+
+type result = {
+  r_driver : string;
+  r_bugs : Report.bug list;
+  r_coverage : coverage_point list;
+  r_total_blocks : int;
+  r_stats : Exec.stats;
+  r_wall_time : float;
+  r_invocations : int;
+  r_finished_states : int;
+  r_kcalls : int;
+  r_tree : Ddt_trace.Tree.t;
+  r_crashdumps : (int * Ddt_trace.Crashdump.t) list;
+  (** state id -> dump, for crashed states (when enabled) *)
+}
+
+(* Returned states that can seed the next workload phase: prefer clean
+   successes; fall back to any completed invocation. *)
+let pick_bases states limit =
+  let returned =
+    List.filter
+      (fun st -> match st.St.status with Some (St.Returned _) -> true | _ -> false)
+      states
+  in
+  let ok, failed =
+    List.partition
+      (fun st -> st.St.status = Some (St.Returned 0))
+      returned
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take limit (ok @ failed)
+
+let run (cfg : Config.t) =
+  let t0 = Unix.gettimeofday () in
+  let base_mem = Mem.create () in
+  let loaded = Image.load cfg.Config.image base_mem ~base:Layout.image_base in
+  let device =
+    Pci.assign_resources cfg.Config.descriptor ~mmio_base:Layout.mmio_base
+  in
+  let symdev = Ddt_hw.Symdev.create device in
+  let exec_config =
+    match cfg.Config.concrete_device with
+    | None -> cfg.Config.exec_config
+    | Some seed ->
+        List.iter (Mem.add_mmio base_mem)
+          (Ddt_hw.Symdev.concrete_mmio symdev (Ddt_hw.Symdev.Random seed));
+        { cfg.Config.exec_config with Exec.concrete_hardware = true }
+  in
+  let eng = Exec.create ~config:exec_config loaded base_mem symdev in
+  Option.iter (Exec.set_replay eng) cfg.Config.replay;
+  let sink = Report.create_sink () in
+  let driver = cfg.Config.driver_name in
+  (* Wire the checkers. *)
+  let memcheck =
+    Ddt_checkers.Memcheck.create ~sink ~driver ~loaded ~symdev
+  in
+  let leakcheck = Ddt_checkers.Leakcheck.create ~sink ~driver in
+  let lockcheck = Ddt_checkers.Lockcheck.create ~sink ~driver in
+  let apicheck = Ddt_checkers.Apicheck.create ~sink ~driver in
+  let crashcheck = Ddt_checkers.Crashcheck.create ~sink ~driver in
+  let loopcheck = Ddt_checkers.Loopcheck.create ~sink ~driver in
+  Exec.set_on_mem_access eng (Ddt_checkers.Memcheck.on_mem_access memcheck);
+  let finished_count = ref 0 in
+  let crashdumps = ref [] in
+  Exec.set_on_state_done eng (fun st ->
+      incr finished_count;
+      (match st.St.status with
+       | Some (St.Crashed c) when cfg.Config.collect_crashdumps ->
+           crashdumps :=
+             (st.St.id,
+              Exec.crashdump eng st
+                ~note:(Printf.sprintf "%s: %s" c.St.c_code c.St.c_msg))
+             :: !crashdumps
+       | _ -> ());
+      Ddt_checkers.Leakcheck.on_state_done leakcheck st;
+      Ddt_checkers.Lockcheck.on_state_done lockcheck st;
+      Ddt_checkers.Crashcheck.on_state_done crashcheck st;
+      Ddt_checkers.Loopcheck.on_state_done loopcheck st);
+  Exec.set_kcall_hooks eng
+    ~enter:(fun st name mach ->
+      Ddt_checkers.Lockcheck.on_kcall_enter lockcheck st name mach;
+      Ddt_checkers.Apicheck.on_kcall_enter apicheck st name mach)
+    ~leave:(fun _ _ _ -> ());
+  (* Annotations (§3.4): off for the ablation experiment. *)
+  if cfg.Config.use_annotations then begin
+    let set = cfg.Config.annotations in
+    Exec.set_annotations eng
+      ~pre:(fun name ks mach -> Ddt_annot.Annot.run_pre set name ks mach)
+      ~post:(fun name ks mach -> Ddt_annot.Annot.run_post set name ks mach)
+  end;
+  (* Coverage sampling. *)
+  let coverage = ref [] in
+  let blocks_seen = ref 0 in
+  Exec.set_on_new_block eng (fun _st _pc ->
+      incr blocks_seen;
+      let stats = Exec.stats eng in
+      coverage :=
+        { cp_time = Unix.gettimeofday () -. t0;
+          cp_steps = stats.Exec.st_total_steps;
+          cp_blocks = !blocks_seen }
+        :: !coverage);
+  (* Root state + driver load phase: the kernel invokes the image entry
+     point, which registers the miniport. *)
+  let ks = Kstate.create ~registry:cfg.Config.registry ~device () in
+  let root = Exec.new_root_state eng ks in
+  let invocations = ref 0 in
+  Exec.start_invocation eng root ~name:"load"
+    ~addr:(loaded.Image.base + cfg.Config.image.Image.entry)
+    ~args:[];
+  incr invocations;
+  Exec.run eng ~max_total_steps:cfg.Config.max_total_steps
+    ~plateau_steps:cfg.Config.plateau_steps ();
+  let bases = ref (pick_bases (Exec.drain_finished eng) 1) in
+  (* Workload phases. *)
+  List.iter
+    (fun item ->
+      let queued =
+        List.fold_left
+          (fun n base -> n + Exerciser.queue eng cfg base item)
+          0 !bases
+      in
+      invocations := !invocations + queued;
+      if queued > 0 then begin
+        Exec.run eng ~max_total_steps:cfg.Config.max_total_steps
+          ~plateau_steps:cfg.Config.plateau_steps ();
+        let finished = Exec.drain_finished eng in
+        let next = pick_bases finished cfg.Config.max_bases_per_phase in
+        (* If every invocation crashed or failed, keep the previous bases
+           so later phases still run (e.g. halt after a crashing send). *)
+        if next <> [] then bases := next
+      end)
+    cfg.Config.workload;
+  let stats = Exec.stats eng in
+  let kcalls =
+    List.fold_left (fun acc st -> acc + Kstate.kcall_count st.St.ks) 0 !bases
+  in
+  {
+    r_driver = driver;
+    r_bugs = Report.bugs sink;
+    r_coverage = List.rev !coverage;
+    r_total_blocks =
+      List.length (Ddt_dvm.Disasm.basic_block_starts cfg.Config.image);
+    r_stats = stats;
+    r_wall_time = Unix.gettimeofday () -. t0;
+    r_invocations = !invocations;
+    r_finished_states = !finished_count;
+    r_kcalls = kcalls;
+    r_tree = Exec.execution_tree eng;
+    r_crashdumps = List.rev !crashdumps;
+  }
+
+let coverage_percent r =
+  if r.r_total_blocks = 0 then 0.0
+  else
+    match List.rev r.r_coverage with
+    | [] -> 0.0
+    | last :: _ ->
+        100.0 *. float_of_int last.cp_blocks /. float_of_int r.r_total_blocks

@@ -1,0 +1,32 @@
+(** A full DDT testing session: load the driver binary into the VM, fool
+    the kernel into binding it to the fake symbolic device, exercise every
+    workload phase with selective symbolic execution, run the dynamic
+    checkers, and collect bugs, traces and coverage.
+
+    This is the programmatic equivalent of the paper's "Test Now" button. *)
+
+type coverage_point = {
+  cp_time : float;      (** seconds since session start *)
+  cp_steps : int;       (** engine instructions executed so far *)
+  cp_blocks : int;      (** cumulative distinct basic blocks *)
+}
+
+type result = {
+  r_driver : string;
+  r_bugs : Ddt_checkers.Report.bug list;
+  r_coverage : coverage_point list;      (** chronological *)
+  r_total_blocks : int;                  (** static basic-block count *)
+  r_stats : Ddt_symexec.Exec.stats;
+  r_wall_time : float;
+  r_invocations : int;
+  r_finished_states : int;
+  r_kcalls : int;
+  r_tree : Ddt_trace.Tree.t;
+  (** the reconstructed execution tree of all explored paths (§3.5) *)
+  r_crashdumps : (int * Ddt_trace.Crashdump.t) list;
+  (** crashed-state id -> crash dump (when [collect_crashdumps]) *)
+}
+
+val run : Config.t -> result
+
+val coverage_percent : result -> float

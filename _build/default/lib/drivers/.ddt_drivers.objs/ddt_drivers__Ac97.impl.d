@@ -1,0 +1,1 @@
+lib/drivers/ac97.ml: Ddt_kernel Ddt_minicc

@@ -1,0 +1,1 @@
+lib/drivers/ac97.mli: Ddt_dvm Ddt_kernel

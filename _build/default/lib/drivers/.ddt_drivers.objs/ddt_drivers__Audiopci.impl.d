@@ -1,0 +1,1 @@
+lib/drivers/audiopci.ml: Ddt_kernel Ddt_minicc

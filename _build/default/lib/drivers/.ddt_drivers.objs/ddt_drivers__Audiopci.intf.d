@@ -1,0 +1,1 @@
+lib/drivers/audiopci.mli: Ddt_dvm Ddt_kernel

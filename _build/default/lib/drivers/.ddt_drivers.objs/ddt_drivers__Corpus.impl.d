@@ -1,0 +1,1 @@
+lib/drivers/corpus.ml: Ac97 Audiopci Ddt_checkers Ddt_core Ddt_dvm Ddt_kernel List Pcnet Pro100 Pro1000 Rtl8029

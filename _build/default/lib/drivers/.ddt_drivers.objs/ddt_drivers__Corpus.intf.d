@@ -1,0 +1,1 @@
+lib/drivers/corpus.mli: Ddt_checkers Ddt_core Ddt_dvm Ddt_kernel

@@ -1,0 +1,1 @@
+lib/drivers/pcnet.ml: Ddt_kernel Ddt_minicc

@@ -1,0 +1,1 @@
+lib/drivers/pcnet.mli: Ddt_dvm Ddt_kernel

@@ -1,0 +1,1 @@
+lib/drivers/pro100.ml: Ddt_kernel Ddt_minicc

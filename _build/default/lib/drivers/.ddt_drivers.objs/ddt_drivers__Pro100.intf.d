@@ -1,0 +1,1 @@
+lib/drivers/pro100.mli: Ddt_dvm Ddt_kernel

@@ -1,0 +1,1 @@
+lib/drivers/pro1000.ml: Ddt_kernel Ddt_minicc

@@ -1,0 +1,1 @@
+lib/drivers/pro1000.mli: Ddt_dvm Ddt_kernel

@@ -1,0 +1,1 @@
+lib/drivers/rtl8029.ml: Ddt_kernel Ddt_minicc

@@ -1,0 +1,1 @@
+lib/drivers/rtl8029.mli: Ddt_dvm Ddt_kernel

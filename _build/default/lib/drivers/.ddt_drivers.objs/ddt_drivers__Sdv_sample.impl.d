@@ -1,0 +1,1 @@
+lib/drivers/sdv_sample.ml: Ddt_kernel Ddt_minicc Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/drivers/sdv_sample.mli: Ddt_dvm Ddt_kernel

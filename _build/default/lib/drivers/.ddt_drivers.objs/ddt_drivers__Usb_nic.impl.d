@@ -1,0 +1,1 @@
+lib/drivers/usb_nic.ml: Ddt_minicc

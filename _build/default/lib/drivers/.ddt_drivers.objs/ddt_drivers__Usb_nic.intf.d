@@ -1,0 +1,1 @@
+lib/drivers/usb_nic.mli: Ddt_dvm

@@ -1,0 +1,112 @@
+module Report = Ddt_checkers.Report
+module Config = Ddt_core.Config
+
+type entry = {
+  name : string;
+  short : string;
+  driver_class : Config.driver_class;
+  image : unit -> Ddt_dvm.Image.t;
+  fixed_image : unit -> Ddt_dvm.Image.t;
+  registry : (string * int) list;
+  descriptor : Ddt_kernel.Pci.descriptor;
+  expected_bugs : (Report.kind * string) list;
+}
+
+let all =
+  [
+    {
+      name = "Intel Pro/1000";
+      short = "pro1000";
+      driver_class = Config.Network;
+      image = Pro1000.image;
+      fixed_image = Pro1000.fixed_image;
+      registry = Pro1000.registry;
+      descriptor = Pro1000.descriptor;
+      expected_bugs =
+        [ (Report.Resource_leak, "Memory leak on failed initialization") ];
+    };
+    {
+      name = "Intel Pro/100 (DDK)";
+      short = "pro100";
+      driver_class = Config.Network;
+      image = Pro100.image;
+      fixed_image = Pro100.fixed_image;
+      registry = Pro100.registry;
+      descriptor = Pro100.descriptor;
+      expected_bugs =
+        [ (Report.Lock_misuse,
+           "NdisReleaseSpinLock called from DPC routine") ];
+    };
+    {
+      name = "Intel 82801AA AC97";
+      short = "ac97";
+      driver_class = Config.Audio;
+      image = Ac97.image;
+      fixed_image = Ac97.fixed_image;
+      registry = Ac97.registry;
+      descriptor = Ac97.descriptor;
+      expected_bugs =
+        [ (Report.Race_condition,
+           "During playback, the interrupt handler can cause a BSOD") ];
+    };
+    {
+      name = "Ensoniq AudioPCI";
+      short = "audiopci";
+      driver_class = Config.Audio;
+      image = Audiopci.image;
+      fixed_image = Audiopci.fixed_image;
+      registry = Audiopci.registry;
+      descriptor = Audiopci.descriptor;
+      expected_bugs =
+        [ (Report.Segfault, "Crash when ExAllocatePoolWithTag returns NULL");
+          (Report.Segfault, "Crash when PcNewInterruptSync fails");
+          (Report.Race_condition, "Race condition in the initialization routine");
+          (Report.Race_condition,
+           "Race conditions with interrupts while playing audio") ];
+    };
+    {
+      name = "AMD PCNet";
+      short = "pcnet";
+      driver_class = Config.Network;
+      image = Pcnet.image;
+      fixed_image = Pcnet.fixed_image;
+      registry = Pcnet.registry;
+      descriptor = Pcnet.descriptor;
+      expected_bugs =
+        [ (Report.Resource_leak,
+           "Driver does not free memory allocated with \
+            NdisAllocateMemoryWithTag");
+          (Report.Resource_leak,
+           "Driver does not free packets and buffers on failed \
+            initialization") ];
+    };
+    {
+      name = "RTL8029";
+      short = "rtl8029";
+      driver_class = Config.Network;
+      image = Rtl8029.image;
+      fixed_image = Rtl8029.fixed_image;
+      registry = Rtl8029.registry;
+      descriptor = Rtl8029.descriptor;
+      expected_bugs =
+        [ (Report.Resource_leak,
+           "Driver does not always call NdisCloseConfiguration when \
+            initialization fails");
+          (Report.Memory_error,
+           "Driver does not check the range for MaximumMulticastList \
+            registry parameter");
+          (Report.Race_condition,
+           "Interrupt arriving before timer initialization leads to BSOD");
+          (Report.Segfault, "Crash when getting an unexpected OID in \
+                             QueryInformation");
+          (Report.Segfault, "Crash when getting an unexpected OID in \
+                             SetInformation") ];
+    };
+  ]
+
+let find short = List.find (fun e -> e.short = short) all
+
+let config ?(fixed = false) ?(use_annotations = true) e =
+  let image = if fixed then e.fixed_image () else e.image () in
+  Config.make ~driver_name:e.name ~image ~driver_class:e.driver_class
+    ~descriptor:e.descriptor ~registry:e.registry ~use_annotations ()

@@ -1,0 +1,25 @@
+(** The evaluation corpus: the six drivers of Table 1, each in a buggy
+    (as-shipped) and a fixed variant, with their device descriptors,
+    registry contents and ready-made DDT configurations. *)
+
+type entry = {
+  name : string;                       (** Table 1 display name *)
+  short : string;
+  driver_class : Ddt_core.Config.driver_class;
+  image : unit -> Ddt_dvm.Image.t;
+  fixed_image : unit -> Ddt_dvm.Image.t;
+  registry : (string * int) list;
+  descriptor : Ddt_kernel.Pci.descriptor;
+  expected_bugs : (Ddt_checkers.Report.kind * string) list;
+  (** Table 2 rows for this driver: kind and a short description. *)
+}
+
+val all : entry list
+(** In Table 1 order (largest binary first). *)
+
+val find : string -> entry
+(** By [short] name. @raise Not_found *)
+
+val config :
+  ?fixed:bool -> ?use_annotations:bool -> entry -> Ddt_core.Config.t
+(** A ready-to-run DDT configuration for one corpus entry. *)

@@ -1,0 +1,1 @@
+lib/dvm/asm.ml: Array Buffer Bytes Hashtbl Image Int32 Isa List Printf String

@@ -1,0 +1,1 @@
+lib/dvm/cpu.ml: Array Format Isa

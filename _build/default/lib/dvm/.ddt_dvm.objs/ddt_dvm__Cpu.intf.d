@@ -1,0 +1,1 @@
+lib/dvm/cpu.mli: Format Isa

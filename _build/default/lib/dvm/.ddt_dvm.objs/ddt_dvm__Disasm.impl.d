@@ -1,0 +1,1 @@
+lib/dvm/disasm.ml: Bytes Format Hashtbl Image Isa List

@@ -1,0 +1,1 @@
+lib/dvm/disasm.mli: Format Image Isa

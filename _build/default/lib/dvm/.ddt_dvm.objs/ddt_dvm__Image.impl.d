@@ -1,0 +1,1 @@
+lib/dvm/image.ml: Array Buffer Bytes Int32 List Mem String

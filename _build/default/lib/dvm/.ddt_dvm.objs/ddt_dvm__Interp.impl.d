@@ -1,0 +1,1 @@
+lib/dvm/interp.ml: Cpu Hashtbl Isa Layout List Mem Printf

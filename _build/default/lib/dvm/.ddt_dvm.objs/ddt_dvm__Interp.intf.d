@@ -1,0 +1,1 @@
+lib/dvm/interp.mli: Cpu Hashtbl Isa Mem

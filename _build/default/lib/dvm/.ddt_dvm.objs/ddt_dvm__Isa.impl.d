@@ -1,0 +1,1 @@
+lib/dvm/isa.ml: Bytes Format Int32

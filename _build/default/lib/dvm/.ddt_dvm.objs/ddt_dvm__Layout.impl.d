@@ -1,0 +1,1 @@
+lib/dvm/layout.ml:

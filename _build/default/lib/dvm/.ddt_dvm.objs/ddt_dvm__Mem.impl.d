@@ -1,0 +1,1 @@
+lib/dvm/mem.ml: Buffer Bytes Char Hashtbl List String

@@ -1,0 +1,394 @@
+exception Error of string * int
+
+type section = Text | Data
+
+type operand =
+  | Reg of Isa.reg
+  | Num of int
+  | Sym of string
+  | Mem of Isa.reg * int   (* [reg+off] *)
+
+type stmt =
+  | Label of string
+  | Func of string
+  | Entry of string
+  | Section of section
+  | Ins of string * operand list
+  | Dword of operand list
+  | Dbyte of int list
+  | Dspace of int
+  | Dasciz of string
+
+let err line msg = raise (Error (msg, line))
+
+(* --- lexing ----------------------------------------------------------- *)
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_reg s =
+  match String.lowercase_ascii s with
+  | "sp" -> Some Isa.sp
+  | "fp" -> Some Isa.fp
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n < Isa.num_regs -> Some n
+      | _ -> None)
+  | _ -> None
+
+let parse_num s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n -> Some n
+  | None -> None
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9') || c = '_' || c = '.'
+
+let parse_mem_operand line s =
+  (* "[reg]", "[reg+off]", "[reg-off]" *)
+  let inner = String.sub s 1 (String.length s - 2) |> String.trim in
+  let split_at i =
+    let base = String.trim (String.sub inner 0 i) in
+    let off = String.trim (String.sub inner i (String.length inner - i)) in
+    (base, off)
+  in
+  let base_s, off_s =
+    match String.index_opt inner '+' with
+    | Some i -> split_at i
+    | None -> (
+        (* Careful: a '-' can only be the offset sign here. *)
+        match String.index_opt inner '-' with
+        | Some i -> split_at i
+        | None -> (inner, "0"))
+  in
+  let base =
+    match parse_reg base_s with
+    | Some r -> r
+    | None -> err line (Printf.sprintf "bad base register %S" base_s)
+  in
+  let off =
+    match parse_num (if off_s.[0] = '+' then String.sub off_s 1 (String.length off_s - 1) else off_s) with
+    | Some n -> n
+    | None -> err line (Printf.sprintf "bad offset %S" off_s)
+  in
+  Mem (base, off)
+
+let parse_operand line s =
+  let s = String.trim s in
+  if s = "" then err line "empty operand"
+  else if s.[0] = '[' then
+    if s.[String.length s - 1] = ']' then parse_mem_operand line s
+    else err line "unterminated memory operand"
+  else
+    match parse_reg s with
+    | Some r -> Reg r
+    | None -> (
+        match parse_num s with
+        | Some n -> Num n
+        | None ->
+            if String.for_all is_ident_char s then Sym s
+            else err line (Printf.sprintf "bad operand %S" s))
+
+let split_operands s =
+  (* Commas never occur inside our operands, so a plain split suffices. *)
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_string_literal line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    err line "expected string literal";
+  let body = String.sub s 1 (n - 2) in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i < String.length body then
+      if body.[i] = '\\' && i + 1 < String.length body then begin
+        (match body.[i + 1] with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | '0' -> Buffer.add_char buf '\000'
+         | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf body.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse_line line_no raw =
+  let s = String.trim (strip_comment raw) in
+  if s = "" then []
+  else
+    (* Leading "label:" prefix, possibly followed by more on the line. *)
+    let label, rest =
+      match String.index_opt s ':' with
+      | Some i
+        when i > 0
+             && String.for_all is_ident_char (String.sub s 0 i)
+             && not (String.contains (String.sub s 0 i) '.') ->
+          ( [ Label (String.sub s 0 i) ],
+            String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+      | _ -> ([], s)
+    in
+    if rest = "" then label
+    else
+      let stmt =
+        match String.index_opt rest ' ' with
+        | None -> (
+            match String.lowercase_ascii rest with
+            | ".text" -> Section Text
+            | ".data" -> Section Data
+            | m -> Ins (m, []))
+        | Some i ->
+            let head = String.lowercase_ascii (String.sub rest 0 i) in
+            let tail = String.trim (String.sub rest i (String.length rest - i)) in
+            (match head with
+             | ".text" -> Section Text
+             | ".data" -> Section Data
+             | ".entry" -> Entry tail
+             | ".func" -> Func tail
+             | ".word" -> Dword (List.map (parse_operand line_no) (split_operands tail))
+             | ".byte" ->
+                 Dbyte
+                   (List.map
+                      (fun x ->
+                        match parse_num x with
+                        | Some n -> n land 0xFF
+                        | None -> err line_no "bad .byte value")
+                      (split_operands tail))
+             | ".space" -> (
+                 match parse_num tail with
+                 | Some n -> Dspace n
+                 | None -> err line_no "bad .space size")
+             | ".asciz" -> Dasciz (parse_string_literal line_no tail)
+             | m -> Ins (m, List.map (parse_operand line_no) (split_operands tail)))
+      in
+      label @ [ stmt ]
+
+(* --- assembly --------------------------------------------------------- *)
+
+let aluops =
+  [ ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("divu", Isa.Divu);
+    ("remu", Isa.Remu); ("and", Isa.And); ("or", Isa.Or); ("xor", Isa.Xor);
+    ("shl", Isa.Shl); ("shru", Isa.Shru); ("shrs", Isa.Shrs) ]
+
+let cmpops =
+  [ ("cmpeq", Isa.Eq); ("cmpne", Isa.Ne); ("cmpltu", Isa.Ltu);
+    ("cmpleu", Isa.Leu); ("cmplts", Isa.Lts); ("cmples", Isa.Les) ]
+
+type ctx = {
+  mutable imports : string list;         (* reversed *)
+  mutable import_count : int;
+  import_tbl : (string, int) Hashtbl.t;
+}
+
+let import_index ctx name =
+  match Hashtbl.find_opt ctx.import_tbl name with
+  | Some i -> i
+  | None ->
+      let i = ctx.import_count in
+      Hashtbl.add ctx.import_tbl name i;
+      ctx.imports <- name :: ctx.imports;
+      ctx.import_count <- i + 1;
+      i
+
+(* Size in bytes a statement contributes to its section. *)
+let stmt_size = function
+  | Label _ | Func _ | Entry _ | Section _ -> 0
+  | Ins _ -> Isa.instr_size
+  | Dword ops -> 4 * List.length ops
+  | Dbyte bs -> List.length bs
+  | Dspace n -> n
+  | Dasciz s -> String.length s + 1
+
+let assemble ~name source =
+  let lines = String.split_on_char '\n' source in
+  let stmts =
+    List.concat
+      (List.mapi
+         (fun i raw -> List.map (fun s -> (i + 1, s)) (parse_line (i + 1) raw))
+         lines)
+  in
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 64 in
+  let funcs = ref [] in
+  let entry_name = ref "driver_entry" in
+  let text_size = ref 0 and data_size = ref 0 in
+  let section = ref Text in
+  List.iter
+    (fun (line, s) ->
+      let off = match !section with Text -> !text_size | Data -> !data_size in
+      (match s with
+       | Section sec -> section := sec
+       | Entry n -> entry_name := n
+       | Label n ->
+           if Hashtbl.mem labels n then
+             err line (Printf.sprintf "duplicate label %S" n);
+           Hashtbl.add labels n (!section, off)
+       | Func n ->
+           (* Records the function symbol only; the label itself is
+              declared by the usual "name:" line. *)
+           funcs := (n, off) :: !funcs
+       | _ -> ());
+      match !section with
+      | Text -> text_size := !text_size + stmt_size s
+      | Data -> data_size := !data_size + stmt_size s)
+    stmts;
+  let text_len = !text_size in
+  let resolve line n =
+    match Hashtbl.find_opt labels n with
+    | Some (Text, off) -> off
+    | Some (Data, off) -> text_len + off
+    | None -> err line (Printf.sprintf "undefined symbol %S" n)
+  in
+  (* Pass 2: encoding. *)
+  let text = Buffer.create text_len in
+  let data = Buffer.create !data_size in
+  let relocs = ref [] in
+  let ctx = { imports = []; import_count = 0; import_tbl = Hashtbl.create 16 } in
+  let section = ref Text in
+  let emit_instr line i ~reloc =
+    if !section <> Text then err line "instruction outside .text";
+    if reloc then
+      relocs := (Buffer.length text + Isa.imm_field_offset) :: !relocs;
+    Buffer.add_bytes text (Isa.encode i)
+  in
+  let value_or_sym line = function
+    | Num n -> (n, false)
+    | Sym s -> (resolve line s, true)
+    | _ -> err line "expected immediate or symbol"
+  in
+  let encode_stmt line s =
+    match s with
+    | Section sec -> section := sec
+    | Label _ | Func _ | Entry _ -> ()
+    | Dword ops ->
+        if !section <> Data then err line ".word outside .data";
+        List.iter
+          (fun op ->
+            let v, is_sym = value_or_sym line op in
+            if is_sym then relocs := (text_len + Buffer.length data) :: !relocs;
+            Buffer.add_int32_le data (Int32.of_int (v land 0xFFFFFFFF)))
+          ops
+    | Dbyte bs ->
+        if !section <> Data then err line ".byte outside .data";
+        List.iter (fun b -> Buffer.add_uint8 data b) bs
+    | Dspace n ->
+        if !section <> Data then err line ".space outside .data";
+        Buffer.add_bytes data (Bytes.make n '\000')
+    | Dasciz str ->
+        if !section <> Data then err line ".asciz outside .data";
+        Buffer.add_string data str;
+        Buffer.add_uint8 data 0
+    | Ins (m, ops) -> (
+        let alu3 op =
+          match ops with
+          | [ Reg rd; Reg rs1; Reg rs2 ] ->
+              emit_instr line (Isa.Alu (op, rd, rs1, rs2)) ~reloc:false
+          | [ Reg rd; Reg rs1; o ] ->
+              let v, is_sym = value_or_sym line o in
+              emit_instr line (Isa.Alui (op, rd, rs1, v)) ~reloc:is_sym
+          | _ -> err line (Printf.sprintf "bad operands for %s" m)
+        in
+        let cmp3 op =
+          match ops with
+          | [ Reg rd; Reg rs1; Reg rs2 ] ->
+              emit_instr line (Isa.Cmp (op, rd, rs1, rs2)) ~reloc:false
+          | [ Reg rd; Reg rs1; o ] ->
+              let v, is_sym = value_or_sym line o in
+              emit_instr line (Isa.Cmpi (op, rd, rs1, v)) ~reloc:is_sym
+          | _ -> err line (Printf.sprintf "bad operands for %s" m)
+        in
+        match m, ops with
+        | "nop", [] -> emit_instr line Isa.Nop ~reloc:false
+        | "hlt", [] -> emit_instr line Isa.Hlt ~reloc:false
+        | "cli", [] -> emit_instr line Isa.Cli ~reloc:false
+        | "sti", [] -> emit_instr line Isa.Sti ~reloc:false
+        | "ret", [] -> emit_instr line Isa.Ret ~reloc:false
+        | "mov", [ Reg rd; Reg rs ] -> emit_instr line (Isa.Mov (rd, rs)) ~reloc:false
+        | ("mov" | "movi"), [ Reg rd; o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Movi (rd, v)) ~reloc:is_sym
+        | "lea", [ Reg rd; o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Lea (rd, v)) ~reloc:is_sym
+        | "ldw", [ Reg rd; Mem (b, off) ] ->
+            emit_instr line (Isa.Ldw (rd, b, off)) ~reloc:false
+        | "ldb", [ Reg rd; Mem (b, off) ] ->
+            emit_instr line (Isa.Ldb (rd, b, off)) ~reloc:false
+        | "stw", [ Mem (b, off); Reg rs ] ->
+            emit_instr line (Isa.Stw (b, off, rs)) ~reloc:false
+        | "stb", [ Mem (b, off); Reg rs ] ->
+            emit_instr line (Isa.Stb (b, off, rs)) ~reloc:false
+        | "push", [ Reg rs ] -> emit_instr line (Isa.Push rs) ~reloc:false
+        | "pop", [ Reg rd ] -> emit_instr line (Isa.Pop rd) ~reloc:false
+        | "jmp", [ o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Jmp v) ~reloc:is_sym
+        | "jz", [ Reg rs; o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Jz (rs, v)) ~reloc:is_sym
+        | "jnz", [ Reg rs; o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Jnz (rs, v)) ~reloc:is_sym
+        | "call", [ Reg rs ] -> emit_instr line (Isa.Callr rs) ~reloc:false
+        | "call", [ o ] ->
+            let v, is_sym = value_or_sym line o in
+            emit_instr line (Isa.Call v) ~reloc:is_sym
+        | "callr", [ Reg rs ] -> emit_instr line (Isa.Callr rs) ~reloc:false
+        | "kcall", [ Sym s ] ->
+            emit_instr line (Isa.Kcall (import_index ctx s)) ~reloc:false
+        | "kcall", [ Num n ] -> emit_instr line (Isa.Kcall n) ~reloc:false
+        | _ -> (
+            match List.assoc_opt m aluops with
+            | Some op -> alu3 op
+            | None -> (
+                match List.assoc_opt m cmpops with
+                | Some op -> cmp3 op
+                | None ->
+                    (* Accept explicit "addi"/"cmpeqi" spellings. *)
+                    let base =
+                      if String.length m > 1 && m.[String.length m - 1] = 'i'
+                      then String.sub m 0 (String.length m - 1)
+                      else m
+                    in
+                    (match List.assoc_opt base aluops with
+                     | Some op -> alu3 op
+                     | None -> (
+                         match List.assoc_opt base cmpops with
+                         | Some op -> cmp3 op
+                         | None ->
+                             err line (Printf.sprintf "unknown mnemonic %S" m))))))
+  in
+  List.iter (fun (line, s) -> encode_stmt line s) stmts;
+  let entry =
+    match Hashtbl.find_opt labels !entry_name with
+    | Some (Text, off) -> off
+    | Some (Data, _) -> err 0 "entry symbol is in .data"
+    | None -> 0
+  in
+  let exports =
+    Hashtbl.fold
+      (fun n (sec, off) acc ->
+        ((n, match sec with Text -> off | Data -> text_len + off) :: acc))
+      labels []
+  in
+  {
+    Image.name;
+    text = Buffer.to_bytes text;
+    data = Buffer.to_bytes data;
+    bss_size = 0;
+    entry;
+    imports = Array.of_list (List.rev ctx.imports);
+    exports = List.sort compare exports;
+    relocs = List.rev !relocs;
+    funcs = List.rev !funcs;
+  }

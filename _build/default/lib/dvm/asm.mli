@@ -1,0 +1,35 @@
+(** Two-pass assembler producing DXE images.
+
+    Syntax (one statement per line, [;] starts a comment):
+
+    {v
+    .text                       ; switch to the text section (default)
+    .data                       ; switch to the data section
+    .entry main                 ; entry symbol (default: driver_entry)
+    .func main                  ; function symbol + label at this offset
+    main:                       ; plain label
+        movi  r0, 42
+        lea   r1, message       ; address of a label (relocated)
+        ldw   r2, [r1+4]
+        stw   [sp-8], r2
+        add   r0, r0, r2        ; register form
+        add   r0, r0, 7         ; immediate form, selected automatically
+        jz    r0, done
+        call  helper
+        kcall NdisAllocateMemoryWithTag   ; import by name
+    done:
+        ret
+    .data
+    message: .asciz "hello"
+    table:   .word 1, 2, main   ; label refs are relocated
+    buffer:  .space 64
+    bytes:   .byte 0xDE, 0xAD
+    v}
+
+    All labels are exported; [.func] labels additionally appear in the
+    image's function list (used for Table 1 statistics). *)
+
+exception Error of string * int
+(** [(message, line_number)] *)
+
+val assemble : name:string -> string -> Image.t

@@ -1,0 +1,45 @@
+let disassemble (img : Image.t) =
+  let n = Bytes.length img.Image.text in
+  let rec go pos acc =
+    if pos + Isa.instr_size > n then List.rev acc
+    else
+      let acc =
+        match Isa.decode img.Image.text pos with
+        | i -> (pos, i) :: acc
+        | exception Isa.Invalid_opcode _ -> acc
+      in
+      go (pos + Isa.instr_size) acc
+  in
+  go 0 []
+
+let pp_listing fmt (img : Image.t) =
+  let funcs = List.map (fun (n, a) -> (a, n)) img.Image.funcs in
+  List.iter
+    (fun (off, instr) ->
+      (match List.assoc_opt off funcs with
+       | Some name -> Format.fprintf fmt "%s:@." name
+       | None -> ());
+      Format.fprintf fmt "  %06x: %a@." off Isa.pp instr)
+    (disassemble img)
+
+let basic_block_starts (img : Image.t) =
+  let leaders = Hashtbl.create 64 in
+  let text_len = Bytes.length img.Image.text in
+  let add off = if off >= 0 && off < text_len then Hashtbl.replace leaders off () in
+  List.iter (fun (_, a) -> add a) img.Image.funcs;
+  add img.Image.entry;
+  (* Relocated jump targets are stored image-relative pre-load, so the
+     decoded immediates here are image-relative too. *)
+  List.iter
+    (fun (off, instr) ->
+      match instr with
+      | Isa.Jmp t -> add t; add (off + Isa.instr_size)
+      | Isa.Jz (_, t) | Isa.Jnz (_, t) ->
+          add t;
+          add (off + Isa.instr_size)
+      | Isa.Call t -> add t; add (off + Isa.instr_size)
+      | Isa.Callr _ | Isa.Ret | Isa.Hlt | Isa.Kcall _ ->
+          add (off + Isa.instr_size)
+      | _ -> ())
+    (disassemble img);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders [])

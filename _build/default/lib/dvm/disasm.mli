@@ -1,0 +1,13 @@
+(** Disassembler for DXE images: linear sweep over the text section. *)
+
+val disassemble : Image.t -> (int * Isa.instr) list
+(** [(image-relative offset, instruction)] pairs. Bytes that do not decode
+    are skipped one instruction slot at a time. *)
+
+val pp_listing : Format.formatter -> Image.t -> unit
+(** Human-readable listing with function labels interleaved. *)
+
+val basic_block_starts : Image.t -> int list
+(** Image-relative offsets of basic-block leaders: function entries,
+    branch targets, and fall-throughs after branches/calls/returns. Used
+    for the coverage accounting of Figures 2 and 3. *)

@@ -1,0 +1,132 @@
+type t = {
+  name : string;
+  text : bytes;
+  data : bytes;
+  bss_size : int;
+  entry : int;
+  imports : string array;
+  exports : (string * int) list;
+  relocs : int list;
+  funcs : (string * int) list;
+}
+
+type loaded = {
+  image : t;
+  base : int;
+  text_start : int;
+  text_end : int;
+  data_start : int;
+  data_end : int;
+}
+
+let load img mem ~base =
+  Mem.load_bytes mem base img.text;
+  let data_start = base + Bytes.length img.text in
+  Mem.load_bytes mem data_start img.data;
+  (* Zero the bss. *)
+  for i = 0 to img.bss_size - 1 do
+    Mem.write_u8 mem (data_start + Bytes.length img.data + i) 0
+  done;
+  (* Patch relocations: each is the offset of a 32-bit field holding an
+     image-relative address. *)
+  List.iter
+    (fun off ->
+      let v = Mem.read_u32 mem (base + off) in
+      Mem.write_u32 mem (base + off) ((v + base) land 0xFFFFFFFF))
+    img.relocs;
+  {
+    image = img;
+    base;
+    text_start = base;
+    text_end = base + Bytes.length img.text;
+    data_start;
+    data_end = data_start + Bytes.length img.data + img.bss_size;
+  }
+
+let export_addr l name = l.base + List.assoc name l.image.exports
+
+let in_text l addr = addr >= l.text_start && addr < l.text_end
+
+(* --- serialization --------------------------------------------------- *)
+
+let magic = "DXE1"
+
+let to_bytes img =
+  let buf = Buffer.create 1024 in
+  let u32 v =
+    Buffer.add_int32_le buf (Int32.of_int (v land 0xFFFFFFFF))
+  in
+  let str s =
+    u32 (String.length s);
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf magic;
+  str img.name;
+  u32 (Bytes.length img.text);
+  Buffer.add_bytes buf img.text;
+  u32 (Bytes.length img.data);
+  Buffer.add_bytes buf img.data;
+  u32 img.bss_size;
+  u32 img.entry;
+  u32 (Array.length img.imports);
+  Array.iter str img.imports;
+  u32 (List.length img.exports);
+  List.iter (fun (n, a) -> str n; u32 a) img.exports;
+  u32 (List.length img.relocs);
+  List.iter u32 img.relocs;
+  u32 (List.length img.funcs);
+  List.iter (fun (n, a) -> str n; u32 a) img.funcs;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let pos = ref 0 in
+  let fail msg = failwith ("Image.of_bytes: " ^ msg) in
+  let need n = if !pos + n > Bytes.length b then fail "truncated" in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (Bytes.get_int32_le b !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
+  in
+  let str () =
+    let n = u32 () in
+    need n;
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    s
+  in
+  let raw () =
+    let n = u32 () in
+    need n;
+    let s = Bytes.sub b !pos n in
+    pos := !pos + n;
+    s
+  in
+  need 4;
+  if Bytes.sub_string b 0 4 <> magic then fail "bad magic";
+  pos := 4;
+  let name = str () in
+  let text = raw () in
+  let data = raw () in
+  let bss_size = u32 () in
+  let entry = u32 () in
+  let imports = Array.init (u32 ()) (fun _ -> str ()) in
+  let exports = List.init (u32 ()) (fun _ -> let n = str () in (n, u32 ())) in
+  let relocs = List.init (u32 ()) (fun _ -> u32 ()) in
+  let funcs = List.init (u32 ()) (fun _ -> let n = str () in (n, u32 ())) in
+  { name; text; data; bss_size; entry; imports; exports; relocs; funcs }
+
+type stats = {
+  binary_size : int;
+  code_size : int;
+  num_functions : int;
+  num_kernel_imports : int;
+}
+
+let stats img =
+  {
+    binary_size = Bytes.length (to_bytes img);
+    code_size = Bytes.length img.text;
+    num_functions = List.length img.funcs;
+    num_kernel_imports = Array.length img.imports;
+  }

@@ -1,0 +1,58 @@
+(** DXE — the DVM executable image format.
+
+    A DXE image is what a "closed-source binary driver" is in this system:
+    text and data sections, an entry point, an import table naming the
+    kernel API functions the driver calls, exported symbols, and a
+    relocation list. Drivers are shipped, loaded and tested in this form
+    only; the testing stack never sees their source.
+
+    Addresses inside an image are image-relative; {!load} rebases them. *)
+
+type t = {
+  name : string;
+  text : bytes;                (** executable section *)
+  data : bytes;                (** initialized data (includes zeroed space) *)
+  bss_size : int;
+  entry : int;                 (** image-relative entry offset *)
+  imports : string array;      (** [Kcall n] calls [imports.(n)] *)
+  exports : (string * int) list;
+  relocs : int list;           (** image-relative offsets of 32-bit address
+                                   fields to be rebased at load time *)
+  funcs : (string * int) list; (** function symbols, for image statistics *)
+}
+
+type loaded = {
+  image : t;
+  base : int;
+  text_start : int;
+  text_end : int;              (** exclusive *)
+  data_start : int;
+  data_end : int;              (** exclusive; covers data + bss *)
+}
+
+val load : t -> Mem.t -> base:int -> loaded
+(** Copies sections into memory at [base] and patches relocations. *)
+
+val export_addr : loaded -> string -> int
+(** Absolute address of an exported symbol. @raise Not_found *)
+
+val in_text : loaded -> int -> bool
+(** Is this address inside the image's executable section? This predicate
+    defines the selective-symbolic-execution boundary. *)
+
+(** {1 Serialization} — the on-disk binary form. *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** @raise Failure on a malformed image. *)
+
+(** {1 Statistics} (Table 1 of the paper) *)
+
+type stats = {
+  binary_size : int;           (** size of the serialized image *)
+  code_size : int;             (** text section size *)
+  num_functions : int;
+  num_kernel_imports : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,211 @@
+type fault =
+  | Null_deref
+  | Div_by_zero
+  | Bad_opcode
+  | Stack_overflow
+  | Bad_jump
+
+exception Fault of fault * int
+
+let string_of_fault = function
+  | Null_deref -> "null pointer dereference"
+  | Div_by_zero -> "division by zero"
+  | Bad_opcode -> "invalid opcode"
+  | Stack_overflow -> "stack overflow"
+  | Bad_jump -> "jump outside executable memory"
+
+type hooks = {
+  mutable on_step : int -> unit;
+  mutable on_read : int -> int -> int -> unit;
+  mutable on_write : int -> int -> int -> unit;
+}
+
+type env = {
+  mem : Mem.t;
+  cpu : Cpu.t;
+  mutable kcall : int -> unit;
+  hooks : hooks;
+  mutable steps : int;
+  mutable fuel : int;
+  decode_cache : (int, Isa.instr) Hashtbl.t;
+}
+
+let no_hooks () =
+  { on_step = (fun _ -> ()); on_read = (fun _ _ _ -> ());
+    on_write = (fun _ _ _ -> ()) }
+
+let create ?(fuel = 50_000_000) mem =
+  { mem; cpu = Cpu.create ();
+    kcall = (fun n -> failwith (Printf.sprintf "unbound kcall %d" n));
+    hooks = no_hooks (); steps = 0; fuel; decode_cache = Hashtbl.create 256 }
+
+let mask32 v = v land 0xFFFFFFFF
+
+let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let alu op a b pc =
+  match op with
+  | Isa.Add -> mask32 (a + b)
+  | Isa.Sub -> mask32 (a - b)
+  | Isa.Mul -> mask32 (a * b)
+  | Isa.Divu -> if b = 0 then raise (Fault (Div_by_zero, pc)) else a / b
+  | Isa.Remu -> if b = 0 then raise (Fault (Div_by_zero, pc)) else a mod b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Shl -> mask32 (a lsl (b land 31))
+  | Isa.Shru -> a lsr (b land 31)
+  | Isa.Shrs -> mask32 (to_signed32 a asr (b land 31))
+
+let cmp op a b =
+  let holds =
+    match op with
+    | Isa.Eq -> a = b
+    | Isa.Ne -> a <> b
+    | Isa.Ltu -> a < b
+    | Isa.Leu -> a <= b
+    | Isa.Lts -> to_signed32 a < to_signed32 b
+    | Isa.Les -> to_signed32 a <= to_signed32 b
+  in
+  if holds then 1 else 0
+
+let check_data_addr _env pc addr =
+  if addr land 0xFFFFFFFF < Layout.null_guard then raise (Fault (Null_deref, pc))
+
+let read_u32 env pc addr =
+  let addr = mask32 addr in
+  check_data_addr env pc addr;
+  let v = Mem.read_u32 env.mem addr in
+  env.hooks.on_read addr 4 v;
+  v
+
+let read_u8 env pc addr =
+  let addr = mask32 addr in
+  check_data_addr env pc addr;
+  let v = Mem.read_u8 env.mem addr in
+  env.hooks.on_read addr 1 v;
+  v
+
+let write_u32 env pc addr v =
+  let addr = mask32 addr in
+  check_data_addr env pc addr;
+  env.hooks.on_write addr 4 v;
+  Mem.write_u32 env.mem addr v
+
+let write_u8 env pc addr v =
+  let addr = mask32 addr in
+  check_data_addr env pc addr;
+  env.hooks.on_write addr 1 v;
+  Mem.write_u8 env.mem addr v
+
+let push env pc v =
+  let sp = Cpu.get env.cpu Isa.sp - 4 in
+  if sp < Layout.stack_limit then raise (Fault (Stack_overflow, pc));
+  Cpu.set env.cpu Isa.sp sp;
+  write_u32 env pc sp v
+
+let pop env pc =
+  let sp = Cpu.get env.cpu Isa.sp in
+  let v = read_u32 env pc sp in
+  Cpu.set env.cpu Isa.sp (sp + 4);
+  v
+
+let fetch env pc =
+  (* Instructions never live in MMIO space and loaded text is immutable,
+     so decoding is memoized per address. *)
+  match Hashtbl.find_opt env.decode_cache pc with
+  | Some i -> i
+  | None -> (
+      let b = Mem.read_bytes env.mem pc Isa.instr_size in
+      try
+        let i = Isa.decode b 0 in
+        Hashtbl.replace env.decode_cache pc i;
+        i
+      with Isa.Invalid_opcode _ -> raise (Fault (Bad_opcode, pc)))
+
+let step env =
+  let cpu = env.cpu in
+  let pc = cpu.Cpu.pc in
+  env.hooks.on_step pc;
+  env.steps <- env.steps + 1;
+  let instr = fetch env pc in
+  let next = pc + Isa.instr_size in
+  let g = Cpu.get cpu and s = Cpu.set cpu in
+  match instr with
+  | Isa.Nop -> cpu.Cpu.pc <- next
+  | Isa.Hlt -> cpu.Cpu.halted <- true
+  | Isa.Mov (rd, rs) -> s rd (g rs); cpu.Cpu.pc <- next
+  | Isa.Movi (rd, imm) | Isa.Lea (rd, imm) -> s rd imm; cpu.Cpu.pc <- next
+  | Isa.Alu (op, rd, rs1, rs2) ->
+      s rd (alu op (g rs1) (g rs2) pc);
+      cpu.Cpu.pc <- next
+  | Isa.Alui (op, rd, rs1, imm) ->
+      s rd (alu op (g rs1) imm pc);
+      cpu.Cpu.pc <- next
+  | Isa.Cmp (op, rd, rs1, rs2) ->
+      s rd (cmp op (g rs1) (g rs2));
+      cpu.Cpu.pc <- next
+  | Isa.Cmpi (op, rd, rs1, imm) ->
+      s rd (cmp op (g rs1) imm);
+      cpu.Cpu.pc <- next
+  | Isa.Ldw (rd, rs1, off) ->
+      s rd (read_u32 env pc (g rs1 + off));
+      cpu.Cpu.pc <- next
+  | Isa.Ldb (rd, rs1, off) ->
+      s rd (read_u8 env pc (g rs1 + off));
+      cpu.Cpu.pc <- next
+  | Isa.Stw (rs1, off, rs2) ->
+      write_u32 env pc (g rs1 + off) (g rs2);
+      cpu.Cpu.pc <- next
+  | Isa.Stb (rs1, off, rs2) ->
+      write_u8 env pc (g rs1 + off) (g rs2);
+      cpu.Cpu.pc <- next
+  | Isa.Push rs -> push env pc (g rs); cpu.Cpu.pc <- next
+  | Isa.Pop rd -> s rd (pop env pc); cpu.Cpu.pc <- next
+  | Isa.Jmp imm -> cpu.Cpu.pc <- imm
+  | Isa.Jz (rs, imm) -> cpu.Cpu.pc <- (if g rs = 0 then imm else next)
+  | Isa.Jnz (rs, imm) -> cpu.Cpu.pc <- (if g rs <> 0 then imm else next)
+  | Isa.Call imm ->
+      push env pc next;
+      cpu.Cpu.pc <- imm
+  | Isa.Callr rs ->
+      let target = g rs in
+      if target < Layout.null_guard then raise (Fault (Bad_jump, pc));
+      push env pc next;
+      cpu.Cpu.pc <- target
+  | Isa.Ret -> cpu.Cpu.pc <- pop env pc
+  | Isa.Kcall n ->
+      cpu.Cpu.pc <- next;
+      env.kcall n
+  | Isa.Cli -> cpu.Cpu.int_enabled <- false; cpu.Cpu.pc <- next
+  | Isa.Sti -> cpu.Cpu.int_enabled <- true; cpu.Cpu.pc <- next
+
+type stop = Sentinel | Halted | Out_of_fuel
+
+let run env =
+  let rec go () =
+    if env.cpu.Cpu.halted then Halted
+    else if env.cpu.Cpu.pc = Layout.return_sentinel then Sentinel
+    else if env.fuel <= 0 then Out_of_fuel
+    else begin
+      env.fuel <- env.fuel - 1;
+      step env;
+      go ()
+    end
+  in
+  go ()
+
+let call_function env ~addr ~args =
+  let saved_pc = env.cpu.Cpu.pc in
+  List.iter (fun a -> push env addr a) (List.rev args);
+  push env addr Layout.return_sentinel;
+  env.cpu.Cpu.pc <- addr;
+  let stop = run env in
+  (match stop with
+   | Sentinel -> ()
+   | Halted -> ()
+   | Out_of_fuel -> ());
+  (* Pop the arguments (the callee's Ret consumed the sentinel). *)
+  Cpu.set env.cpu Isa.sp (Cpu.get env.cpu Isa.sp + (4 * List.length args));
+  env.cpu.Cpu.pc <- saved_pc;
+  Cpu.get env.cpu 0

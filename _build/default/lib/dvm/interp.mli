@@ -1,0 +1,52 @@
+(** The concrete DVM interpreter.
+
+    Used when driver code must run with fully concrete state: trace
+    replay (§3.5 of the paper) and the stress-testing baseline. The
+    symbolic engine in [ddt_symexec] has its own executor; both share
+    {!Isa} decoding and these fault semantics. *)
+
+type fault =
+  | Null_deref
+  | Div_by_zero
+  | Bad_opcode
+  | Stack_overflow
+  | Bad_jump
+
+exception Fault of fault * int
+(** [(fault, pc)] *)
+
+val string_of_fault : fault -> string
+
+type hooks = {
+  mutable on_step : int -> unit;                       (** pc before exec *)
+  mutable on_read : int -> int -> int -> unit;         (** addr width value *)
+  mutable on_write : int -> int -> int -> unit;        (** addr width value *)
+}
+
+type env = {
+  mem : Mem.t;
+  cpu : Cpu.t;
+  mutable kcall : int -> unit;
+  (** Import-table dispatch; reads args from the stack, returns in [r0]. *)
+  hooks : hooks;
+  mutable steps : int;                                 (** instructions run *)
+  mutable fuel : int;                                  (** remaining budget *)
+  decode_cache : (int, Isa.instr) Hashtbl.t;
+  (** loaded text is immutable; decoding is memoized per address *)
+}
+
+val create : ?fuel:int -> Mem.t -> env
+
+type stop = Sentinel | Halted | Out_of_fuel
+
+val step : env -> unit
+(** Execute one instruction. @raise Fault *)
+
+val run : env -> stop
+(** Run until the return sentinel, [Hlt], or fuel exhaustion. *)
+
+val call_function : env -> addr:int -> args:int list -> int
+(** Push [args] (right-to-left) and the return sentinel, run the function
+    at [addr] to completion, pop the arguments, return [r0]. This is how
+    the (native) kernel invokes driver entry points and how interrupts
+    nest an ISR invocation into the current execution. *)

@@ -1,0 +1,213 @@
+type reg = int
+
+let sp = 15
+let fp = 14
+let num_regs = 16
+
+type aluop =
+  | Add | Sub | Mul | Divu | Remu
+  | And | Or | Xor
+  | Shl | Shru | Shrs
+
+type cmpop = Eq | Ne | Ltu | Leu | Lts | Les
+
+type instr =
+  | Nop
+  | Hlt
+  | Mov of reg * reg
+  | Movi of reg * int
+  | Lea of reg * int
+  | Alu of aluop * reg * reg * reg
+  | Alui of aluop * reg * reg * int
+  | Cmp of cmpop * reg * reg * reg
+  | Cmpi of cmpop * reg * reg * int
+  | Ldw of reg * reg * int
+  | Ldb of reg * reg * int
+  | Stw of reg * int * reg
+  | Stb of reg * int * reg
+  | Push of reg
+  | Pop of reg
+  | Jmp of int
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Call of int
+  | Callr of reg
+  | Ret
+  | Kcall of int
+  | Cli
+  | Sti
+
+let instr_size = 8
+let imm_field_offset = 4
+
+exception Invalid_opcode of int * int
+
+let aluop_base = 0x10
+
+let aluop_index = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Divu -> 3 | Remu -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Shl -> 8 | Shru -> 9 | Shrs -> 10
+
+let aluop_of_index = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Divu | 4 -> Remu
+  | 5 -> And | 6 -> Or | 7 -> Xor | 8 -> Shl | 9 -> Shru | 10 -> Shrs
+  | _ -> assert false
+
+let cmpop_base = 0x30
+
+let cmpop_index = function
+  | Eq -> 0 | Ne -> 1 | Ltu -> 2 | Leu -> 3 | Lts -> 4 | Les -> 5
+
+let cmpop_of_index = function
+  | 0 -> Eq | 1 -> Ne | 2 -> Ltu | 3 -> Leu | 4 -> Lts | 5 -> Les
+  | _ -> assert false
+
+(* Fixed opcodes outside the ALU/CMP ranges. ALU register forms occupy
+   [0x10, 0x1A], ALU immediate forms [0x50, 0x5A], CMP register forms
+   [0x30, 0x35], CMP immediate forms [0x70, 0x75]. *)
+let op_nop = 0x00
+let op_hlt = 0x01
+let op_mov = 0x02
+let op_movi = 0x03
+let op_lea = 0x04
+let op_ldw = 0x40
+let op_ldb = 0x41
+let op_stw = 0x42
+let op_stb = 0x43
+let op_push = 0x80
+let op_pop = 0x81
+let op_jmp = 0x82
+let op_jz = 0x83
+let op_jnz = 0x84
+let op_call = 0x85
+let op_callr = 0x86
+let op_ret = 0x87
+let op_kcall = 0x88
+let op_cli = 0x89
+let op_sti = 0x8A
+
+let fields = function
+  | Nop -> (op_nop, 0, 0, 0, 0)
+  | Hlt -> (op_hlt, 0, 0, 0, 0)
+  | Mov (rd, rs) -> (op_mov, rd, rs, 0, 0)
+  | Movi (rd, imm) -> (op_movi, rd, 0, 0, imm)
+  | Lea (rd, imm) -> (op_lea, rd, 0, 0, imm)
+  | Alu (op, rd, rs1, rs2) -> (aluop_base + aluop_index op, rd, rs1, rs2, 0)
+  | Alui (op, rd, rs1, imm) -> (0x50 + aluop_index op, rd, rs1, 0, imm)
+  | Cmp (op, rd, rs1, rs2) -> (cmpop_base + cmpop_index op, rd, rs1, rs2, 0)
+  | Cmpi (op, rd, rs1, imm) -> (0x70 + cmpop_index op, rd, rs1, 0, imm)
+  | Ldw (rd, rs1, off) -> (op_ldw, rd, rs1, 0, off)
+  | Ldb (rd, rs1, off) -> (op_ldb, rd, rs1, 0, off)
+  | Stw (rs1, off, rs2) -> (op_stw, 0, rs1, rs2, off)
+  | Stb (rs1, off, rs2) -> (op_stb, 0, rs1, rs2, off)
+  | Push rs -> (op_push, 0, rs, 0, 0)
+  | Pop rd -> (op_pop, rd, 0, 0, 0)
+  | Jmp imm -> (op_jmp, 0, 0, 0, imm)
+  | Jz (rs, imm) -> (op_jz, 0, rs, 0, imm)
+  | Jnz (rs, imm) -> (op_jnz, 0, rs, 0, imm)
+  | Call imm -> (op_call, 0, 0, 0, imm)
+  | Callr rs -> (op_callr, 0, rs, 0, 0)
+  | Ret -> (op_ret, 0, 0, 0, 0)
+  | Kcall imm -> (op_kcall, 0, 0, 0, imm)
+  | Cli -> (op_cli, 0, 0, 0, 0)
+  | Sti -> (op_sti, 0, 0, 0, 0)
+
+let encode i =
+  let opc, rd, rs1, rs2, imm = fields i in
+  let b = Bytes.create instr_size in
+  Bytes.set_uint8 b 0 opc;
+  Bytes.set_uint8 b 1 rd;
+  Bytes.set_uint8 b 2 rs1;
+  Bytes.set_uint8 b 3 rs2;
+  Bytes.set_int32_le b 4 (Int32.of_int (imm land 0xFFFFFFFF));
+  b
+
+let decode buf pos =
+  let opc = Bytes.get_uint8 buf pos in
+  let rd = Bytes.get_uint8 buf (pos + 1) in
+  let rs1 = Bytes.get_uint8 buf (pos + 2) in
+  let rs2 = Bytes.get_uint8 buf (pos + 3) in
+  let imm = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) land 0xFFFFFFFF in
+  if opc >= aluop_base && opc <= aluop_base + 10 then
+    Alu (aluop_of_index (opc - aluop_base), rd, rs1, rs2)
+  else if opc >= 0x50 && opc <= 0x5A then
+    Alui (aluop_of_index (opc - 0x50), rd, rs1, imm)
+  else if opc >= cmpop_base && opc <= cmpop_base + 5 then
+    Cmp (cmpop_of_index (opc - cmpop_base), rd, rs1, rs2)
+  else if opc >= 0x70 && opc <= 0x75 then
+    Cmpi (cmpop_of_index (opc - 0x70), rd, rs1, imm)
+  else if opc = op_nop then Nop
+  else if opc = op_hlt then Hlt
+  else if opc = op_mov then Mov (rd, rs1)
+  else if opc = op_movi then Movi (rd, imm)
+  else if opc = op_lea then Lea (rd, imm)
+  else if opc = op_ldw then Ldw (rd, rs1, imm)
+  else if opc = op_ldb then Ldb (rd, rs1, imm)
+  else if opc = op_stw then Stw (rs1, imm, rs2)
+  else if opc = op_stb then Stb (rs1, imm, rs2)
+  else if opc = op_push then Push rs1
+  else if opc = op_pop then Pop rd
+  else if opc = op_jmp then Jmp imm
+  else if opc = op_jz then Jz (rs1, imm)
+  else if opc = op_jnz then Jnz (rs1, imm)
+  else if opc = op_call then Call imm
+  else if opc = op_callr then Callr rs1
+  else if opc = op_ret then Ret
+  else if opc = op_kcall then Kcall imm
+  else if opc = op_cli then Cli
+  else if opc = op_sti then Sti
+  else raise (Invalid_opcode (opc, pos))
+
+let string_of_aluop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Divu -> "divu"
+  | Remu -> "remu" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shru -> "shru" | Shrs -> "shrs"
+
+let string_of_cmpop = function
+  | Eq -> "cmpeq" | Ne -> "cmpne" | Ltu -> "cmpltu" | Leu -> "cmpleu"
+  | Lts -> "cmplts" | Les -> "cmples"
+
+let pp_reg fmt r =
+  if r = sp then Format.pp_print_string fmt "sp"
+  else if r = fp then Format.pp_print_string fmt "fp"
+  else Format.fprintf fmt "r%d" r
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Hlt -> Format.pp_print_string fmt "hlt"
+  | Mov (rd, rs) -> Format.fprintf fmt "mov %a, %a" pp_reg rd pp_reg rs
+  | Movi (rd, imm) -> Format.fprintf fmt "movi %a, %d" pp_reg rd imm
+  | Lea (rd, imm) -> Format.fprintf fmt "lea %a, 0x%x" pp_reg rd imm
+  | Alu (op, rd, rs1, rs2) ->
+      Format.fprintf fmt "%s %a, %a, %a" (string_of_aluop op) pp_reg rd
+        pp_reg rs1 pp_reg rs2
+  | Alui (op, rd, rs1, imm) ->
+      Format.fprintf fmt "%si %a, %a, %d" (string_of_aluop op) pp_reg rd
+        pp_reg rs1 imm
+  | Cmp (op, rd, rs1, rs2) ->
+      Format.fprintf fmt "%s %a, %a, %a" (string_of_cmpop op) pp_reg rd
+        pp_reg rs1 pp_reg rs2
+  | Cmpi (op, rd, rs1, imm) ->
+      Format.fprintf fmt "%si %a, %a, %d" (string_of_cmpop op) pp_reg rd
+        pp_reg rs1 imm
+  | Ldw (rd, rs1, off) ->
+      Format.fprintf fmt "ldw %a, [%a%+d]" pp_reg rd pp_reg rs1 off
+  | Ldb (rd, rs1, off) ->
+      Format.fprintf fmt "ldb %a, [%a%+d]" pp_reg rd pp_reg rs1 off
+  | Stw (rs1, off, rs2) ->
+      Format.fprintf fmt "stw [%a%+d], %a" pp_reg rs1 off pp_reg rs2
+  | Stb (rs1, off, rs2) ->
+      Format.fprintf fmt "stb [%a%+d], %a" pp_reg rs1 off pp_reg rs2
+  | Push rs -> Format.fprintf fmt "push %a" pp_reg rs
+  | Pop rd -> Format.fprintf fmt "pop %a" pp_reg rd
+  | Jmp imm -> Format.fprintf fmt "jmp 0x%x" imm
+  | Jz (rs, imm) -> Format.fprintf fmt "jz %a, 0x%x" pp_reg rs imm
+  | Jnz (rs, imm) -> Format.fprintf fmt "jnz %a, 0x%x" pp_reg rs imm
+  | Call imm -> Format.fprintf fmt "call 0x%x" imm
+  | Callr rs -> Format.fprintf fmt "callr %a" pp_reg rs
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Kcall imm -> Format.fprintf fmt "kcall %d" imm
+  | Cli -> Format.pp_print_string fmt "cli"
+  | Sti -> Format.pp_print_string fmt "sti"
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,72 @@
+(** The DVM instruction set.
+
+    DVM is a little-endian 32-bit word machine with 16 general registers
+    and byte-addressed memory. It plays the role x86/QEMU plays in the DDT
+    paper: drivers exist only as binary images of these instructions.
+
+    Conventions (used by the Mini-C compiler and the kernel ABI):
+    - [r15] is the stack pointer ([sp]), [r14] the frame pointer ([fp]);
+    - arguments are pushed right-to-left; [CALL] pushes the return
+      address; return values travel in [r0];
+    - [KCALL n] invokes entry [n] of the image's import table (a kernel
+      API function executed natively); arguments are read from the stack.
+
+    Every instruction encodes to exactly {!instr_size} bytes:
+    [opcode u8, rd u8, rs1 u8, rs2 u8, imm u32 LE]. *)
+
+type reg = int
+(** Register index, 0..15. *)
+
+val sp : reg
+val fp : reg
+val num_regs : int
+
+type aluop =
+  | Add | Sub | Mul | Divu | Remu
+  | And | Or | Xor
+  | Shl | Shru | Shrs
+
+type cmpop = Eq | Ne | Ltu | Leu | Lts | Les
+
+type instr =
+  | Nop
+  | Hlt
+  | Mov of reg * reg
+  | Movi of reg * int
+  | Lea of reg * int        (** like [Movi] but the imm is a relocated address *)
+  | Alu of aluop * reg * reg * reg
+  | Alui of aluop * reg * reg * int
+  | Cmp of cmpop * reg * reg * reg
+  | Cmpi of cmpop * reg * reg * int
+  | Ldw of reg * reg * int  (** [Ldw (rd, rs1, off)]: rd <- mem32[rs1+off] *)
+  | Ldb of reg * reg * int
+  | Stw of reg * int * reg  (** [Stw (rs1, off, rs2)]: mem32[rs1+off] <- rs2 *)
+  | Stb of reg * int * reg
+  | Push of reg
+  | Pop of reg
+  | Jmp of int
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Call of int
+  | Callr of reg
+  | Ret
+  | Kcall of int
+  | Cli
+  | Sti
+
+val instr_size : int
+(** 8 bytes. *)
+
+exception Invalid_opcode of int * int
+(** [(opcode, position)] *)
+
+val encode : instr -> bytes
+val decode : bytes -> int -> instr
+(** [decode buf pos] decodes the instruction at byte offset [pos]. *)
+
+val imm_field_offset : int
+(** Byte offset of the 32-bit immediate inside an encoded instruction —
+    relocations patch this field in place. *)
+
+val pp : Format.formatter -> instr -> unit
+val to_string : instr -> string

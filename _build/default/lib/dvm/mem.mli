@@ -1,0 +1,40 @@
+(** Concrete byte-addressed memory with MMIO hooks.
+
+    Backed by 4 KiB pages allocated on demand. MMIO regions divert
+    accesses to device callbacks (byte granularity); everything else is
+    plain RAM. This is the memory of the concrete engines (replay, stress
+    baseline); the symbolic engine layers its copy-on-write store on top
+    of a snapshot of this. *)
+
+type t
+
+val create : unit -> t
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+
+val load_bytes : t -> int -> bytes -> unit
+val read_bytes : t -> int -> int -> bytes
+
+val read_cstring : t -> int -> string
+(** NUL-terminated string at an address (capped at 4096 bytes). *)
+
+val write_cstring : t -> int -> string -> unit
+
+type mmio = {
+  mmio_start : int;
+  mmio_size : int;
+  mmio_read : int -> int;          (** byte offset within region -> byte *)
+  mmio_write : int -> int -> unit; (** byte offset, byte value *)
+}
+
+val add_mmio : t -> mmio -> unit
+val find_mmio : t -> int -> mmio option
+
+val snapshot : t -> t
+(** Deep copy of RAM; MMIO regions are shared. *)
+
+val iter_pages : t -> (int -> bytes -> unit) -> unit
+(** For crash dumps: iterate (page_base, contents) over allocated pages. *)

@@ -1,0 +1,1 @@
+lib/hw/symdev.ml: Ddt_dvm Ddt_kernel Ddt_solver List Printf Random

@@ -1,0 +1,1 @@
+lib/hw/symdev.mli: Ddt_dvm Ddt_kernel Ddt_solver

@@ -1,0 +1,76 @@
+module Pci = Ddt_kernel.Pci
+module Expr = Ddt_solver.Expr
+
+type t = {
+  dev : Pci.assigned;
+  mutable reads : (string * Expr.var) list;
+}
+
+let create dev = { dev; reads = [] }
+let device t = t.dev
+
+let bar_of t addr =
+  let rec go i = function
+    | [] -> None
+    | bar :: rest ->
+        let size =
+          match List.nth_opt t.dev.Pci.desc.Pci.bar_sizes i with
+          | Some s -> max s 0x1000
+          | None -> 0x1000
+        in
+        if addr >= bar && addr < bar + size then Some (i, addr - bar)
+        else go (i + 1) rest
+  in
+  go 0 t.dev.Pci.bars
+
+let is_device_addr t addr = bar_of t addr <> None
+
+let fresh_read t addr =
+  let name =
+    match bar_of t addr with
+    | Some (i, off) -> Printf.sprintf "hw_bar%d+0x%x" i off
+    | None -> Printf.sprintf "hw_0x%x" addr
+  in
+  let v = Expr.fresh_var ~name Expr.W8 in
+  t.reads <- (name, v) :: t.reads;
+  Expr.var v
+
+let reads_made t = t.reads
+
+type concrete_mode =
+  | Zeros
+  | Random of int
+  | Scripted of int list
+
+let concrete_mmio t mode =
+  let next =
+    match mode with
+    | Zeros -> fun () -> 0
+    | Random seed ->
+        let st = Random.State.make [| seed |] in
+        fun () -> Random.State.int st 256
+    | Scripted values ->
+        let remaining = ref values in
+        fun () ->
+          (match !remaining with
+           | [] -> 0
+           | v :: rest ->
+               remaining := rest;
+               v land 0xFF)
+  in
+  List.mapi
+    (fun i bar ->
+      let size =
+        match List.nth_opt t.dev.Pci.desc.Pci.bar_sizes i with
+        | Some s -> max s 0x1000
+        | None -> 0x1000
+      in
+      { Ddt_dvm.Mem.mmio_start = bar; mmio_size = size;
+        mmio_read = (fun _off -> next ());
+        mmio_write = (fun _off _v -> ()) })
+    t.dev.Pci.bars
+
+let pci_shell ~vendor ~device ?(revision = 1) ?(bar_sizes = [ 0x1000 ])
+    ?(irq = 9) () =
+  { Pci.vendor_id = vendor; device_id = device; revision; bar_sizes;
+    irq_line = irq }

@@ -1,0 +1,39 @@
+(** Fully symbolic hardware (§3.3, §4.1.4 of the paper).
+
+    A symbolic device ignores all writes to its registers and produces a
+    fresh unconstrained symbolic value for every read. The symbolic engine
+    consults {!is_device_addr}/{!fresh_read}; the concrete engines (replay
+    and the stress baseline) install {!concrete_mmio}, which replaces the
+    symbolic reads with scripted or pseudo-random values. *)
+
+type t
+
+val create : Ddt_kernel.Pci.assigned -> t
+
+
+val device : t -> Ddt_kernel.Pci.assigned
+val is_device_addr : t -> int -> bool
+
+val fresh_read : t -> int -> Ddt_solver.Expr.t
+(** A fresh symbolic byte for a device-register read; names encode the
+    register offset so traces show provenance ("hw_bar0+0x04"). *)
+
+val reads_made : t -> (string * Ddt_solver.Expr.var) list
+(** Every symbolic variable created by device reads, newest first. *)
+
+(** {1 Concrete stand-ins} *)
+
+type concrete_mode =
+  | Zeros
+  | Random of int                  (** seed *)
+  | Scripted of int list           (** byte values consumed in read order;
+                                       zeros once exhausted *)
+
+val concrete_mmio : t -> concrete_mode -> Ddt_dvm.Mem.mmio list
+(** One MMIO region per BAR. Writes are discarded in every mode. *)
+
+val pci_shell :
+  vendor:int -> device:int -> ?revision:int -> ?bar_sizes:int list ->
+  ?irq:int -> unit -> Ddt_kernel.Pci.descriptor
+(** The fake-device "shell" of §4.2: a descriptor with vendor/device IDs
+    and resource sizes, and no behavior behind it. *)

@@ -1,0 +1,1 @@
+lib/kernel/bugcheck.ml: Printf

@@ -1,0 +1,1 @@
+lib/kernel/intr.mli: Kstate

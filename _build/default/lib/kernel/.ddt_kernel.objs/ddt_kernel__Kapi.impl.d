@@ -1,0 +1,1 @@
+lib/kernel/kapi.ml: Hashtbl Kstate List Mach Printf

@@ -1,0 +1,1 @@
+lib/kernel/kapi.mli: Kstate Mach

@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Bugcheck Ddt_dvm Hashtbl List Option Pci

@@ -1,0 +1,1 @@
+lib/kernel/mach.ml: Buffer Char Ddt_solver Kstate

@@ -1,0 +1,1 @@
+lib/kernel/mach.mli: Ddt_solver Kstate

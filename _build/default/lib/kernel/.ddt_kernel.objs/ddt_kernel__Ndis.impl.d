@@ -1,0 +1,1 @@
+lib/kernel/ndis.ml: Bugcheck Ddt_dvm Kapi Kstate List Mach Pci

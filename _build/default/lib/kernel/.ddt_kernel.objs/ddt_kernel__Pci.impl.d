@@ -1,0 +1,1 @@
+lib/kernel/pci.ml: Bytes List

@@ -1,0 +1,1 @@
+lib/kernel/portcls.ml: Bugcheck Ddt_dvm Kapi Kstate List Mach Ndis

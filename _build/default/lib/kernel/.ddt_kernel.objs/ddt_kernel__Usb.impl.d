@@ -1,0 +1,1 @@
+lib/kernel/usb.ml: Array Bugcheck Ddt_solver Kapi Kstate List Mach Printf

@@ -1,0 +1,1 @@
+lib/kernel/usb.mli:

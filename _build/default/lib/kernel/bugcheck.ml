@@ -1,0 +1,22 @@
+type code =
+  | Irql_not_less_or_equal
+  | Bad_timer
+  | Spin_lock_not_owned
+  | Null_handler
+  | Bad_handle
+  | Driver_fault
+  | Verifier_detected
+
+exception Bugcheck of code * string
+
+let string_of_code = function
+  | Irql_not_less_or_equal -> "IRQL_NOT_LESS_OR_EQUAL"
+  | Bad_timer -> "BAD_TIMER_OBJECT"
+  | Spin_lock_not_owned -> "SPIN_LOCK_NOT_OWNED"
+  | Null_handler -> "NULL_HANDLER"
+  | Bad_handle -> "BAD_HANDLE"
+  | Driver_fault -> "DRIVER_FAULT"
+  | Verifier_detected -> "DRIVER_VERIFIER_DETECTED_VIOLATION"
+
+let crash code fmt =
+  Printf.ksprintf (fun msg -> raise (Bugcheck (code, msg))) fmt

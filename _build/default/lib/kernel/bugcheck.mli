@@ -1,0 +1,22 @@
+(** Kernel crash ("blue screen") conditions.
+
+    Raised by kernel API implementations when a driver action would crash
+    the real kernel. The engines intercept the exception on the faulting
+    path — this is the analog of DDT's kernel-crash-handler hook
+    annotation (§3.4.1 of the paper). *)
+
+type code =
+  | Irql_not_less_or_equal
+  | Bad_timer                 (** timer object used before initialization *)
+  | Spin_lock_not_owned
+  | Null_handler              (** required entry point missing *)
+  | Bad_handle
+  | Driver_fault              (** a VM fault surfaced as a crash *)
+  | Verifier_detected         (** in-guest Driver Verifier bugcheck *)
+
+exception Bugcheck of code * string
+
+val crash : code -> ('a, unit, string, 'b) format4 -> 'a
+(** [crash code fmt ...] raises {!Bugcheck} with a formatted message. *)
+
+val string_of_code : code -> string

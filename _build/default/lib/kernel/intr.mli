@@ -1,0 +1,41 @@
+(** Interrupt and deferred-work orchestration.
+
+    The engines (symbolic and concrete) drive interrupt delivery: they
+    decide *when* an interrupt fires (for DDT, symbolically — at each
+    kernel/driver boundary crossing, §3.3/§4.3), then use these helpers to
+    perform the kernel's half of the protocol:
+
+    {v
+    begin_isr  ->  run driver ISR at DEVICE_LEVEL
+               ->  after_isr (ISR result bit 1 = queue DPC)
+               ->  optionally run HandleInterrupt DPC at DISPATCH_LEVEL
+               ->  finish restores the interrupted IRQL
+    v}
+
+    The ISR return value convention: bit 0 = interrupt recognized,
+    bit 1 = queue the HandleInterrupt DPC. *)
+
+type call = { call_addr : int; call_args : int list }
+
+val begin_isr : Kstate.t -> (call * int) option
+(** [Some (isr_call, saved_irql)] when an ISR is registered; raises IRQL
+    to DEVICE_LEVEL and sets the in-ISR flag. *)
+
+val after_isr : Kstate.t -> saved_irql:int -> isr_ret:int -> call option
+(** Clears the in-ISR flag; when the ISR queued a DPC, a HandleInterrupt
+    handler exists, and the interrupted code ran below DISPATCH_LEVEL,
+    enters DPC context and returns its call. A DPC never preempts
+    DISPATCH_LEVEL code (it would be queued); such deferred DPCs are
+    dropped in this model. *)
+
+val finish : Kstate.t -> saved_irql:int -> unit
+(** Leaves DPC context (if any) and restores the interrupted IRQL. *)
+
+val begin_timer : Kstate.t -> int -> (call * int) option
+(** [begin_timer ks timer_addr]: fire a due timer — disarms one-shot
+    timers, enters DPC context at DISPATCH_LEVEL. Returns the handler call
+    and the saved IRQL. *)
+
+val isr_ctx : Kstate.t -> int
+(** Context argument for the ISR: set by [PcNewInterruptSync] for audio
+    drivers, otherwise the miniport context. *)

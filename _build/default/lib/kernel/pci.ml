@@ -1,0 +1,45 @@
+type descriptor = {
+  vendor_id : int;
+  device_id : int;
+  revision : int;
+  bar_sizes : int list;
+  irq_line : int;
+}
+
+let put16 b off v =
+  Bytes.set_uint8 b off (v land 0xFF);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xFF)
+
+let put32 b off v =
+  put16 b off (v land 0xFFFF);
+  put16 b (off + 2) ((v lsr 16) land 0xFFFF)
+
+let config_space d =
+  let b = Bytes.make 64 '\000' in
+  put16 b 0x00 d.vendor_id;
+  put16 b 0x02 d.device_id;
+  Bytes.set_uint8 b 0x08 d.revision;
+  Bytes.set_uint8 b 0x3C d.irq_line;
+  b
+
+type assigned = {
+  desc : descriptor;
+  bars : int list;
+  irq : int;
+}
+
+let page_align v = (v + 0xFFF) land lnot 0xFFF
+
+let assign_resources d ~mmio_base =
+  let bars, _ =
+    List.fold_left
+      (fun (acc, next) size ->
+        (next :: acc, next + page_align (max size 0x1000)))
+      ([], mmio_base) d.bar_sizes
+  in
+  { desc = d; bars = List.rev bars; irq = d.irq_line }
+
+let read_config a off =
+  let b = config_space a.desc in
+  List.iteri (fun i bar -> put32 b (0x10 + (4 * i)) bar) a.bars;
+  if off >= 0 && off < Bytes.length b then Bytes.get_uint8 b off else 0

@@ -1,0 +1,27 @@
+(** PCI device descriptors and the fake-device "shell" (§4.2 of the
+    paper): just enough of a config space to make the kernel load the
+    driver and assign resources; the device behind it is fully symbolic. *)
+
+type descriptor = {
+  vendor_id : int;
+  device_id : int;
+  revision : int;
+  bar_sizes : int list;        (** sizes of the memory BARs, in order *)
+  irq_line : int;
+}
+
+val config_space : descriptor -> bytes
+(** 64-byte type-0 configuration header encoding the descriptor. BARs are
+    filled in by the kernel at resource-assignment time. *)
+
+type assigned = {
+  desc : descriptor;
+  bars : int list;             (** assigned MMIO base addresses *)
+  irq : int;
+}
+
+val assign_resources : descriptor -> mmio_base:int -> assigned
+(** Allocate BAR addresses sequentially from [mmio_base] (4 KiB aligned). *)
+
+val read_config : assigned -> int -> int
+(** Byte read from the (post-assignment) config space. *)

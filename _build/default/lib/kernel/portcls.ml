@@ -1,0 +1,70 @@
+let entry_point_names = [ "initialize"; "play"; "stop"; "isr"; "dpc"; "halt" ]
+
+let pc_register_miniport ks (m : Mach.t) =
+  let chars = m.Mach.arg 0 in
+  List.iteri
+    (fun i name ->
+      let addr = m.Mach.read_u32 (chars + (4 * i)) in
+      if addr <> 0 then Kstate.set_entry_point ks name addr)
+    entry_point_names;
+  m.Mach.set_ret Ndis.status_success
+
+let pc_new_interrupt_sync ks (m : Mach.t) =
+  let out = m.Mach.arg 0 in
+  let isr_func = m.Mach.arg 1 in
+  let ctx = m.Mach.arg 2 in
+  let a = Kstate.handle_alloc ks ~kind:Kstate.Interrupt_sync ~tag:0 in
+  Kstate.set_entry_point ks "isr" isr_func;
+  Kstate.set_entry_point ks "isr_ctx" ctx;
+  Kstate.set_isr_registered ks true;
+  m.Mach.write_u32 out (Ddt_dvm.Layout.kernel_base + (a.Kstate.a_id * 16));
+  m.Mach.set_ret Ndis.status_success
+
+let pc_unregister_interrupt_sync ks (m : Mach.t) =
+  let h = m.Mach.arg 0 in
+  (match Kstate.alloc_of_handle ks h with
+   | Some ({ Kstate.a_kind = Kstate.Interrupt_sync; a_freed = false; _ } as a)
+     ->
+       Kstate.free_alloc ks a;
+       Kstate.set_isr_registered ks false
+   | _ ->
+       Bugcheck.crash Bugcheck.Bad_handle
+         "PcUnregisterInterruptSync: invalid handle 0x%x" h);
+  m.Mach.set_ret Ndis.status_success
+
+let ke_initialize_spin_lock ks (m : Mach.t) =
+  Kstate.init_lock ks (m.Mach.arg 0);
+  m.Mach.set_ret Ndis.status_success
+
+let ke_acquire_spin_lock ks (m : Mach.t) =
+  Kstate.acquire_lock ks (m.Mach.arg 0) ~dpr:false;
+  m.Mach.set_ret Ndis.status_success
+
+let ke_release_spin_lock ks (m : Mach.t) =
+  Kstate.release_lock ks (m.Mach.arg 0) ~dpr:false;
+  m.Mach.set_ret Ndis.status_success
+
+let ke_acquire_spin_lock_at_dpc ks (m : Mach.t) =
+  Kstate.acquire_lock ks (m.Mach.arg 0) ~dpr:true;
+  m.Mach.set_ret Ndis.status_success
+
+let ke_release_spin_lock_from_dpc ks (m : Mach.t) =
+  Kstate.release_lock ks (m.Mach.arg 0) ~dpr:true;
+  m.Mach.set_ret Ndis.status_success
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter
+      (fun (name, impl) -> Kapi.register name impl)
+      [ ("PcRegisterMiniport", pc_register_miniport);
+        ("PcNewInterruptSync", pc_new_interrupt_sync);
+        ("PcUnregisterInterruptSync", pc_unregister_interrupt_sync);
+        ("KeInitializeSpinLock", ke_initialize_spin_lock);
+        ("KeAcquireSpinLock", ke_acquire_spin_lock);
+        ("KeReleaseSpinLock", ke_release_spin_lock);
+        ("KeAcquireSpinLockAtDpcLevel", ke_acquire_spin_lock_at_dpc);
+        ("KeReleaseSpinLockFromDpcLevel", ke_release_spin_lock_from_dpc) ]
+  end

@@ -1,0 +1,15 @@
+(** The mini-portcls kernel API — the audio-driver half of the interface.
+
+    Audio miniports register through [PcRegisterMiniport] with a
+    six-word characteristics block: Initialize, Play, Stop, ISR,
+    HandleInterrupt (DPC), Halt. Interrupt service is attached with
+    [PcNewInterruptSync] (which can fail — the Ensoniq AudioPCI bug of
+    Table 2 crashes on exactly that failure path when the corresponding
+    annotation forks it). Spinlocks use the [Ke*] flavor, which shares
+    semantics with the NDIS ones. *)
+
+val entry_point_names : string list
+(** ["initialize"; "play"; "stop"; "isr"; "dpc"; "halt"] *)
+
+val install : unit -> unit
+(** Register all portcls API implementations with {!Kapi}. Idempotent. *)

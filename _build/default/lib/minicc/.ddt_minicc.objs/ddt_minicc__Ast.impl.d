@@ -1,0 +1,1 @@
+lib/minicc/ast.ml:

@@ -1,0 +1,1 @@
+lib/minicc/codegen.ml: Ast Buffer Ddt_dvm List Option Parser Printf String Typecheck

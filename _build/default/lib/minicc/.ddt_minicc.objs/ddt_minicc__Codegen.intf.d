@@ -1,0 +1,1 @@
+lib/minicc/codegen.mli: Ast Ddt_dvm

@@ -1,0 +1,1 @@
+lib/minicc/lexer.ml: Buffer Char List Printf String

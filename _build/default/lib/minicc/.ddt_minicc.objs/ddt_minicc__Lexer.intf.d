@@ -1,0 +1,1 @@
+lib/minicc/lexer.mli:

@@ -1,0 +1,1 @@
+lib/minicc/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/minicc/typecheck.ml: Ast List Option Printf

@@ -1,0 +1,54 @@
+type unop = Neg | LogNot | BitNot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BitAnd | BitOr | BitXor
+  | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LogAnd | LogOr
+
+type expr =
+  | Num of int
+  | Str of string
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | Ternary of expr * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addr of expr
+
+type elem_type = Word | Byte
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sdecl of decl
+
+and decl = {
+  d_name : string;
+  d_elem : elem_type;
+  d_array : expr option;
+  d_init : expr option;
+}
+
+type func = {
+  f_name : string;
+  f_params : string list;
+  f_body : stmt list;
+}
+
+type global =
+  | Gvar of decl
+  | Gconst of string * expr
+  | Gfunc of func
+
+type program = global list

@@ -1,0 +1,63 @@
+(** Abstract syntax of Mini-C.
+
+    Mini-C is the small C dialect the driver corpus is written in. All
+    scalar values are 32-bit words; [int] arrays index in words, [char]
+    arrays in bytes. Comparison operators are signed ([<u]-style unsigned
+    comparisons exist as builtins), [/ %] are unsigned, [>>] is a logical
+    shift. Calls to functions not defined in the translation unit compile
+    to kernel imports ([Kcall]) — the driver/kernel ABI of the paper. *)
+
+type unop = Neg | LogNot | BitNot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BitAnd | BitOr | BitXor
+  | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge      (** signed *)
+  | LogAnd | LogOr                    (** short-circuit *)
+
+type expr =
+  | Num of int
+  | Str of string                     (** address of a NUL-terminated literal *)
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr             (** lvalue = expr *)
+  | Ternary of expr * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr              (** scaling depends on the array's type *)
+  | Deref of expr                     (** 32-bit load through a pointer *)
+  | Addr of expr                      (** address of an lvalue or function *)
+
+type elem_type = Word | Byte
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sdecl of decl
+
+and decl = {
+  d_name : string;
+  d_elem : elem_type;
+  d_array : expr option;              (** array size (const expr) or scalar *)
+  d_init : expr option;
+}
+
+type func = {
+  f_name : string;
+  f_params : string list;
+  f_body : stmt list;
+}
+
+type global =
+  | Gvar of decl
+  | Gconst of string * expr
+  | Gfunc of func
+
+type program = global list

@@ -1,0 +1,509 @@
+open Ast
+
+exception Error of string
+
+(* Storage classes an identifier can resolve to. *)
+type storage =
+  | Local of int                 (* fp - offset *)
+  | Local_array of int * elem_type
+  | Param of int                 (* index *)
+  | Global of string
+  | Global_array of string * elem_type
+  | Constant of int
+  | Function of string
+
+type ctx = {
+  buf : Buffer.t;
+  data : Buffer.t;
+  mutable label_counter : int;
+  mutable string_counter : int;
+  mutable strings : (string * string) list;   (* literal -> label *)
+  consts : (string * int) list;
+  global_syms : (string * storage) list;
+  mutable env : (string * storage) list list; (* scopes, innermost first *)
+  mutable frame_next : int;                   (* next free local offset *)
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  mutable epilogue : string;
+}
+
+let emit ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf ("  " ^ s ^ "\n")) fmt
+let emit_label ctx l = Buffer.add_string ctx.buf (l ^ ":\n")
+let emit_raw ctx s = Buffer.add_string ctx.buf (s ^ "\n")
+
+let fresh_label ctx prefix =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Printf.sprintf "L%s_%d" prefix ctx.label_counter
+
+let string_label ctx s =
+  match List.assoc_opt s ctx.strings with
+  | Some l -> l
+  | None ->
+      ctx.string_counter <- ctx.string_counter + 1;
+      let l = Printf.sprintf "Lstr_%d" ctx.string_counter in
+      ctx.strings <- (s, l) :: ctx.strings;
+      l
+
+let lookup ctx name =
+  let rec in_scopes = function
+    | [] -> List.assoc_opt name ctx.global_syms
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some s -> Some s
+        | None -> in_scopes rest)
+  in
+  match in_scopes ctx.env with
+  | Some s -> s
+  | None -> raise (Error (Printf.sprintf "codegen: unresolved %S" name))
+
+let declare_local ctx (d : decl) resolve_const =
+  let size =
+    match d.d_array with
+    | None -> 4
+    | Some e -> (
+        match Typecheck.const_eval resolve_const e with
+        | Some n ->
+            let bytes = match d.d_elem with Word -> 4 * n | Byte -> n in
+            (bytes + 3) land lnot 3
+        | None -> raise (Error "non-constant array size"))
+  in
+  ctx.frame_next <- ctx.frame_next + size;
+  let off = ctx.frame_next in
+  let storage =
+    match d.d_array with
+    | None -> Local off
+    | Some _ -> Local_array (off, d.d_elem)
+  in
+  (match ctx.env with
+   | scope :: rest -> ctx.env <- ((d.d_name, storage) :: scope) :: rest
+   | [] -> assert false);
+  storage
+
+(* Total bytes of locals a function can ever allocate (no slot reuse). *)
+let frame_bytes resolve_const (f : func) =
+  let total = ref 0 in
+  let add_decl (d : decl) =
+    let size =
+      match d.d_array with
+      | None -> 4
+      | Some e -> (
+          match Typecheck.const_eval resolve_const e with
+          | Some n ->
+              let bytes = match d.d_elem with Word -> 4 * n | Byte -> n in
+              (bytes + 3) land lnot 3
+          | None -> raise (Error "non-constant array size"))
+    in
+    total := !total + size
+  in
+  let rec walk = function
+    | Sdecl d -> add_decl d
+    | Sblock body -> List.iter walk body
+    | Sif (_, a, b) -> walk a; Option.iter walk b
+    | Swhile (_, body) -> walk body
+    | Sfor (_, _, _, body) -> walk body
+    | Sexpr _ | Sreturn _ | Sbreak | Scontinue -> ()
+  in
+  List.iter walk f.f_body;
+  !total
+
+(* --- expressions ------------------------------------------------------ *)
+
+(* Generates code leaving the value in r0. Uses the stack for temporaries
+   so nested expressions cannot clobber each other. *)
+let rec gen_expr ctx e =
+  match e with
+  | Num n -> emit ctx "movi r0, %d" n
+  | Str s -> emit ctx "lea r0, %s" (string_label ctx s)
+  | Ident name -> (
+      match lookup ctx name with
+      | Constant v -> emit ctx "movi r0, %d" v
+      | Local off -> emit ctx "ldw r0, [fp-%d]" off
+      | Param i -> emit ctx "ldw r0, [fp+%d]" (8 + (4 * i))
+      | Global l -> emit ctx "lea r1, %s" l; emit ctx "ldw r0, [r1+0]"
+      | Local_array (off, _) -> emit ctx "sub r0, fp, %d" off
+      | Global_array (l, _) -> emit ctx "lea r0, %s" l
+      | Function l -> emit ctx "lea r0, %s" l)
+  | Unop (Neg, a) ->
+      gen_expr ctx a;
+      emit ctx "movi r1, 0";
+      emit ctx "sub r0, r1, r0"
+  | Unop (LogNot, a) ->
+      gen_expr ctx a;
+      emit ctx "cmpeq r0, r0, 0"
+  | Unop (BitNot, a) ->
+      gen_expr ctx a;
+      emit ctx "xor r0, r0, 0xFFFFFFFF"
+  | Binop (LogAnd, a, b) ->
+      let l_false = fresh_label ctx "and_false" in
+      let l_end = fresh_label ctx "and_end" in
+      gen_expr ctx a;
+      emit ctx "jz r0, %s" l_false;
+      gen_expr ctx b;
+      emit ctx "cmpne r0, r0, 0";
+      emit ctx "jmp %s" l_end;
+      emit_label ctx l_false;
+      emit ctx "movi r0, 0";
+      emit_label ctx l_end
+  | Binop (LogOr, a, b) ->
+      let l_true = fresh_label ctx "or_true" in
+      let l_end = fresh_label ctx "or_end" in
+      gen_expr ctx a;
+      emit ctx "jnz r0, %s" l_true;
+      gen_expr ctx b;
+      emit ctx "cmpne r0, r0, 0";
+      emit ctx "jmp %s" l_end;
+      emit_label ctx l_true;
+      emit ctx "movi r0, 1";
+      emit_label ctx l_end
+  | Binop (op, a, b) ->
+      gen_expr ctx a;
+      emit ctx "push r0";
+      gen_expr ctx b;
+      emit ctx "mov r1, r0";
+      emit ctx "pop r0";
+      let m =
+        match op with
+        | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "divu"
+        | Rem -> "remu" | BitAnd -> "and" | BitOr -> "or" | BitXor -> "xor"
+        | Shl -> "shl" | Shr -> "shru"
+        | Eq -> "cmpeq" | Ne -> "cmpne" | Lt -> "cmplts" | Le -> "cmples"
+        | Gt -> "" | Ge -> "" | LogAnd | LogOr -> assert false
+      in
+      (match op with
+       | Gt -> emit ctx "cmplts r0, r1, r0"   (* a > b  <=>  b < a *)
+       | Ge -> emit ctx "cmples r0, r1, r0"
+       | _ -> emit ctx "%s r0, r0, r1" m)
+  | Assign (lhs, rhs) ->
+      let elem = gen_lvalue ctx lhs in
+      emit ctx "push r0";
+      gen_expr ctx rhs;
+      emit ctx "pop r1";
+      (match elem with
+       | Word -> emit ctx "stw [r1+0], r0"
+       | Byte -> emit ctx "stb [r1+0], r0")
+  | Ternary (c, a, b) ->
+      let l_else = fresh_label ctx "tern_else" in
+      let l_end = fresh_label ctx "tern_end" in
+      gen_expr ctx c;
+      emit ctx "jz r0, %s" l_else;
+      gen_expr ctx a;
+      emit ctx "jmp %s" l_end;
+      emit_label ctx l_else;
+      gen_expr ctx b;
+      emit_label ctx l_end
+  | Call (name, args) -> gen_call ctx name args
+  | Index _ | Deref _ ->
+      let elem = gen_lvalue ctx e in
+      (match elem with
+       | Word -> emit ctx "ldw r0, [r0+0]"
+       | Byte -> emit ctx "ldb r0, [r0+0]")
+  | Addr lv -> (
+      match lv with
+      | Ident name -> (
+          match lookup ctx name with
+          | Function l -> emit ctx "lea r0, %s" l
+          | _ -> ignore (gen_lvalue ctx lv))
+      | _ -> ignore (gen_lvalue ctx lv))
+
+(* Generates the address of an lvalue into r0 and reports its element
+   width (Word for everything except indexing into byte arrays). *)
+and gen_lvalue ctx e =
+  match e with
+  | Ident name -> (
+      match lookup ctx name with
+      | Local off -> emit ctx "sub r0, fp, %d" off; Word
+      | Param i -> emit ctx "add r0, fp, %d" (8 + (4 * i)); Word
+      | Global l -> emit ctx "lea r0, %s" l; Word
+      | Local_array (off, elem) -> emit ctx "sub r0, fp, %d" off; elem
+      | Global_array (l, elem) -> emit ctx "lea r0, %s" l; elem
+      | Constant _ -> raise (Error "constant is not an lvalue")
+      | Function _ -> raise (Error "function is not an lvalue"))
+  | Deref a -> gen_expr ctx a; Word
+  | Index (base, idx) ->
+      let elem =
+        match base with
+        | Ident name -> (
+            match lookup ctx name with
+            | Local_array (_, e) | Global_array (_, e) -> e
+            | _ -> Word)
+        | _ -> Word
+      in
+      (* Address of the base... *)
+      (match base with
+       | Ident name -> (
+           match lookup ctx name with
+           | Local_array _ | Global_array _ -> ignore (gen_lvalue ctx base)
+           | _ -> gen_expr ctx base)
+       | _ -> gen_expr ctx base);
+      emit ctx "push r0";
+      gen_expr ctx idx;
+      (match elem with
+       | Word -> emit ctx "shl r0, r0, 2"
+       | Byte -> ());
+      emit ctx "pop r1";
+      emit ctx "add r0, r1, r0";
+      elem
+  | _ -> raise (Error "expression is not an lvalue")
+
+and gen_call ctx name args =
+  (* Inline builtins first. *)
+  match name, args with
+  | "__ldb", [ p ] ->
+      gen_expr ctx p;
+      emit ctx "ldb r0, [r0+0]"
+  | "__stb", [ p; v ] ->
+      gen_expr ctx p;
+      emit ctx "push r0";
+      gen_expr ctx v;
+      emit ctx "pop r1";
+      emit ctx "stb [r1+0], r0"
+  | "__ltu", [ a; b ] ->
+      gen_expr ctx a;
+      emit ctx "push r0";
+      gen_expr ctx b;
+      emit ctx "mov r1, r0";
+      emit ctx "pop r0";
+      emit ctx "cmpltu r0, r0, r1"
+  | "__leu", [ a; b ] ->
+      gen_expr ctx a;
+      emit ctx "push r0";
+      gen_expr ctx b;
+      emit ctx "mov r1, r0";
+      emit ctx "pop r0";
+      emit ctx "cmpleu r0, r0, r1"
+  | "__shrs", [ a; b ] ->
+      gen_expr ctx a;
+      emit ctx "push r0";
+      gen_expr ctx b;
+      emit ctx "mov r1, r0";
+      emit ctx "pop r0";
+      emit ctx "shrs r0, r0, r1"
+  | "__cli", [] -> emit ctx "cli"
+  | "__sti", [] -> emit ctx "sti"
+  | "__halt", [] -> emit ctx "hlt"
+  | _ ->
+      (* Push arguments right-to-left. *)
+      List.iter
+        (fun a ->
+          gen_expr ctx a;
+          emit ctx "push r0")
+        (List.rev args);
+      let is_local_fn =
+        match List.assoc_opt name ctx.global_syms with
+        | Some (Function _) -> true
+        | _ -> false
+      in
+      if is_local_fn then emit ctx "call %s" name
+      else emit ctx "kcall %s" name;
+      if args <> [] then emit ctx "add sp, sp, %d" (4 * List.length args)
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec gen_stmt ctx resolve_const s =
+  match s with
+  | Sexpr e -> gen_expr ctx e
+  | Sif (c, then_, else_) -> (
+      gen_expr ctx c;
+      match else_ with
+      | None ->
+          let l_end = fresh_label ctx "if_end" in
+          emit ctx "jz r0, %s" l_end;
+          gen_stmt ctx resolve_const then_;
+          emit_label ctx l_end
+      | Some e ->
+          let l_else = fresh_label ctx "if_else" in
+          let l_end = fresh_label ctx "if_end" in
+          emit ctx "jz r0, %s" l_else;
+          gen_stmt ctx resolve_const then_;
+          emit ctx "jmp %s" l_end;
+          emit_label ctx l_else;
+          gen_stmt ctx resolve_const e;
+          emit_label ctx l_end)
+  | Swhile (c, body) ->
+      let l_top = fresh_label ctx "while_top" in
+      let l_end = fresh_label ctx "while_end" in
+      emit_label ctx l_top;
+      gen_expr ctx c;
+      emit ctx "jz r0, %s" l_end;
+      ctx.break_labels <- l_end :: ctx.break_labels;
+      ctx.continue_labels <- l_top :: ctx.continue_labels;
+      gen_stmt ctx resolve_const body;
+      ctx.break_labels <- List.tl ctx.break_labels;
+      ctx.continue_labels <- List.tl ctx.continue_labels;
+      emit ctx "jmp %s" l_top;
+      emit_label ctx l_end
+  | Sfor (init, cond, step, body) ->
+      let l_top = fresh_label ctx "for_top" in
+      let l_step = fresh_label ctx "for_step" in
+      let l_end = fresh_label ctx "for_end" in
+      Option.iter (gen_expr ctx) init;
+      emit_label ctx l_top;
+      (match cond with
+       | Some c ->
+           gen_expr ctx c;
+           emit ctx "jz r0, %s" l_end
+       | None -> ());
+      ctx.break_labels <- l_end :: ctx.break_labels;
+      ctx.continue_labels <- l_step :: ctx.continue_labels;
+      gen_stmt ctx resolve_const body;
+      ctx.break_labels <- List.tl ctx.break_labels;
+      ctx.continue_labels <- List.tl ctx.continue_labels;
+      emit_label ctx l_step;
+      Option.iter (gen_expr ctx) step;
+      emit ctx "jmp %s" l_top;
+      emit_label ctx l_end
+  | Sreturn e ->
+      (match e with
+       | Some e -> gen_expr ctx e
+       | None -> emit ctx "movi r0, 0");
+      emit ctx "jmp %s" ctx.epilogue
+  | Sbreak -> (
+      match ctx.break_labels with
+      | l :: _ -> emit ctx "jmp %s" l
+      | [] -> raise (Error "break outside loop"))
+  | Scontinue -> (
+      match ctx.continue_labels with
+      | l :: _ -> emit ctx "jmp %s" l
+      | [] -> raise (Error "continue outside loop"))
+  | Sblock body ->
+      ctx.env <- [] :: ctx.env;
+      List.iter (gen_stmt ctx resolve_const) body;
+      ctx.env <- List.tl ctx.env
+  | Sdecl d -> (
+      let storage = declare_local ctx d resolve_const in
+      match d.d_init, storage with
+      | Some init, Local off ->
+          gen_expr ctx init;
+          emit ctx "stw [fp-%d], r0" off
+      | Some _, _ -> raise (Error "array initializers are not supported")
+      | None, _ -> ())
+
+(* --- top level -------------------------------------------------------- *)
+
+let gen_function ctx resolve_const (f : func) =
+  emit_raw ctx (Printf.sprintf ".func %s" f.f_name);
+  emit_label ctx f.f_name;
+  let frame = frame_bytes resolve_const f in
+  emit ctx "push fp";
+  emit ctx "mov fp, sp";
+  if frame > 0 then emit ctx "sub sp, sp, %d" frame;
+  ctx.env <- [ List.mapi (fun i p -> (p, Param i)) f.f_params ];
+  ctx.frame_next <- 0;
+  ctx.epilogue <- fresh_label ctx ("ret_" ^ f.f_name);
+  ctx.break_labels <- [];
+  ctx.continue_labels <- [];
+  (* Fall-off-the-end returns 0. *)
+  List.iter (gen_stmt ctx resolve_const) f.f_body;
+  emit ctx "movi r0, 0";
+  emit_label ctx ctx.epilogue;
+  emit ctx "mov sp, fp";
+  emit ctx "pop fp";
+  emit ctx "ret"
+
+let to_assembly (program : program) =
+  let info = Typecheck.analyze program in
+  let resolve_const name = List.assoc_opt name info.Typecheck.consts in
+  (* Global symbol table. *)
+  let global_syms =
+    List.filter_map
+      (function
+        | Gconst (name, _) ->
+            Some (name, Constant (List.assoc name info.Typecheck.consts))
+        | Gvar d ->
+            let label = "g_" ^ d.d_name in
+            Some
+              (d.d_name,
+               match d.d_array with
+               | None -> Global label
+               | Some _ -> Global_array (label, d.d_elem))
+        | Gfunc f -> Some (f.f_name, Function f.f_name))
+      program
+  in
+  let ctx =
+    {
+      buf = Buffer.create 4096;
+      data = Buffer.create 1024;
+      label_counter = 0;
+      string_counter = 0;
+      strings = [];
+      consts = info.Typecheck.consts;
+      global_syms;
+      env = [];
+      frame_next = 0;
+      break_labels = [];
+      continue_labels = [];
+      epilogue = "";
+    }
+  in
+  let entry =
+    if List.mem_assoc "driver_entry" info.Typecheck.functions then
+      "driver_entry"
+    else
+      match program with
+      | _ ->
+          (match
+             List.find_opt (function Gfunc _ -> true | _ -> false) program
+           with
+           | Some (Gfunc f) -> f.f_name
+           | _ -> "driver_entry")
+  in
+  emit_raw ctx (Printf.sprintf ".entry %s" entry);
+  emit_raw ctx ".text";
+  List.iter
+    (function
+      | Gfunc f -> gen_function ctx resolve_const f
+      | Gvar _ | Gconst _ -> ())
+    program;
+  (* Data section: globals then string literals. *)
+  Buffer.add_string ctx.data ".data\n";
+  List.iter
+    (function
+      | Gvar d ->
+          let label = "g_" ^ d.d_name in
+          (match d.d_array with
+           | None ->
+               let v =
+                 match d.d_init with
+                 | None -> 0
+                 | Some e -> (
+                     match Typecheck.const_eval resolve_const e with
+                     | Some v -> v
+                     | None ->
+                         raise (Error "global initializer must be constant"))
+               in
+               Buffer.add_string ctx.data
+                 (Printf.sprintf "%s: .word %d\n" label v)
+           | Some size_e ->
+               let n =
+                 match Typecheck.const_eval resolve_const size_e with
+                 | Some n -> n
+                 | None -> raise (Error "non-constant array size")
+               in
+               let bytes = match d.d_elem with Word -> 4 * n | Byte -> n in
+               if d.d_init <> None then
+                 raise (Error "array initializers are not supported");
+               Buffer.add_string ctx.data
+                 (Printf.sprintf "%s: .space %d\n" label bytes))
+      | Gconst _ | Gfunc _ -> ())
+    program;
+  List.iter
+    (fun (s, l) ->
+      let escaped =
+        String.concat ""
+          (List.map
+             (function
+               | '"' -> "\\\""
+               | '\n' -> "\\n"
+               | '\t' -> "\\t"
+               | '\000' -> "\\0"
+               | c -> String.make 1 c)
+             (List.init (String.length s) (String.get s)))
+      in
+      Buffer.add_string ctx.data (Printf.sprintf "%s: .asciz \"%s\"\n" l escaped))
+    (List.rev ctx.strings);
+  Buffer.contents ctx.buf ^ Buffer.contents ctx.data
+
+let compile ~name source =
+  let program = Parser.parse source in
+  let asm = to_assembly program in
+  Ddt_dvm.Asm.assemble ~name asm

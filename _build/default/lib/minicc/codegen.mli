@@ -1,0 +1,21 @@
+(** Mini-C code generation: AST -> DVM assembly -> DXE image.
+
+    Calling convention (shared with the kernel ABI): arguments pushed
+    right-to-left, [call] pushes the return address, results in [r0].
+    Locals live below [fp]; parameters at [fp + 8 + 4*i]. Calls to
+    functions not defined in the unit compile to [kcall <name>] and appear
+    in the image's import table.
+
+    Builtins compiled inline: [__ldb p], [__stb p v] (byte memory access),
+    [__ltu a b], [__leu a b] (unsigned comparisons), [__shrs a b]
+    (arithmetic shift), [__cli], [__sti], [__halt]. *)
+
+exception Error of string
+
+val to_assembly : Ast.program -> string
+(** Emit DVM assembly for a checked program. *)
+
+val compile : name:string -> string -> Ddt_dvm.Image.t
+(** Parse, analyze and assemble a full translation unit.
+    @raise Error, @raise Parser.Error, @raise Lexer.Error,
+    @raise Typecheck.Error *)

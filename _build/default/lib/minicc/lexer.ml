@@ -1,0 +1,162 @@
+type token =
+  | INT | CHAR | VOID | IF | ELSE | WHILE | FOR | RETURN
+  | BREAK | CONTINUE | CONST
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [ ("int", INT); ("char", CHAR); ("void", VOID); ("if", IF); ("else", ELSE);
+    ("while", WHILE); ("for", FOR); ("return", RETURN); ("break", BREAK);
+    ("continue", CONTINUE); ("const", CONST) ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' -> incr line; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then raise (Error ("unterminated comment", !line))
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then incr line;
+              skip (j + 1)
+            end
+          in
+          go (skip (i + 2))
+      | c when is_digit c ->
+          let rec scan j =
+            if j < n && (is_ident_char src.[j]) then scan (j + 1) else j
+          in
+          let j = scan i in
+          let s = String.sub src i (j - i) in
+          (match int_of_string_opt s with
+           | Some v -> emit (NUM (v land 0xFFFFFFFF))
+           | None -> raise (Error (Printf.sprintf "bad number %S" s, !line)));
+          go j
+      | c when is_ident_start c ->
+          let rec scan j =
+            if j < n && is_ident_char src.[j] then scan (j + 1) else j
+          in
+          let j = scan i in
+          let s = String.sub src i (j - i) in
+          (match List.assoc_opt s keywords with
+           | Some t -> emit t
+           | None -> emit (IDENT s));
+          go j
+      | '\'' ->
+          (* Char literal, with the usual escapes. *)
+          let v, j =
+            if i + 1 >= n then raise (Error ("unterminated char", !line))
+            else if src.[i + 1] = '\\' && i + 3 < n then
+              let v =
+                match src.[i + 2] with
+                | 'n' -> 10 | 't' -> 9 | '0' -> 0 | 'r' -> 13
+                | c -> Char.code c
+              in
+              (v, i + 4)
+            else (Char.code src.[i + 1], i + 3)
+          in
+          if j - 1 >= n || src.[j - 1] <> '\'' then
+            raise (Error ("unterminated char literal", !line));
+          emit (NUM v);
+          go j
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then raise (Error ("unterminated string", !line))
+            else if src.[j] = '"' then j + 1
+            else if src.[j] = '\\' && j + 1 < n then begin
+              (match src.[j + 1] with
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | '0' -> Buffer.add_char buf '\000'
+               | c -> Buffer.add_char buf c);
+              scan (j + 2)
+            end
+            else begin
+              Buffer.add_char buf src.[j];
+              scan (j + 1)
+            end
+          in
+          let j = scan (i + 1) in
+          emit (STRING (Buffer.contents buf));
+          go j
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '?' -> emit QUESTION; go (i + 1)
+      | ':' -> emit COLON; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '~' -> emit TILDE; go (i + 1)
+      | '^' -> emit CARET; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; go (i + 2)
+      | '&' -> emit AMP; go (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; go (i + 2)
+      | '|' -> emit PIPE; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '<' -> emit LSHIFT; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '>' -> emit RSHIFT; go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; go (i + 2)
+      | '=' -> emit ASSIGN; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; go (i + 2)
+      | '!' -> emit BANG; go (i + 1)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+  in
+  go 0;
+  List.rev !toks
+
+let to_string = function
+  | INT -> "int" | CHAR -> "char" | VOID -> "void" | IF -> "if"
+  | ELSE -> "else" | WHILE -> "while" | FOR -> "for" | RETURN -> "return"
+  | BREAK -> "break" | CONTINUE -> "continue" | CONST -> "const"
+  | IDENT s -> s
+  | NUM n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | QUESTION -> "?" | COLON -> ":" | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||"
+  | EOF -> "<eof>"

@@ -1,0 +1,25 @@
+(** Mini-C lexer. *)
+
+type token =
+  | INT | CHAR | VOID | IF | ELSE | WHILE | FOR | RETURN
+  | BREAK | CONTINUE | CONST
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR
+  | EOF
+
+exception Error of string * int
+(** [(message, line)] *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers; ends with [EOF]. *)
+
+val to_string : token -> string

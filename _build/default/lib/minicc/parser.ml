@@ -1,0 +1,332 @@
+open Ast
+
+exception Error of string * int
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Lexer.to_string (peek st)),
+                line st))
+
+let expect st t msg =
+  if peek st = t then advance st else err st msg
+
+let accept st t =
+  if peek st = t then begin advance st; true end
+  else false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> err st "expected identifier"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  if accept st Lexer.ASSIGN then
+    let rhs = parse_assign st in
+    Assign (lhs, rhs)
+  else lhs
+
+and parse_ternary st =
+  let c = parse_logor st in
+  if accept st Lexer.QUESTION then begin
+    let a = parse_expr st in
+    expect st Lexer.COLON "expected ':'";
+    let b = parse_ternary st in
+    Ternary (c, a, b)
+  end
+  else c
+
+and parse_logor st =
+  let rec go acc =
+    if accept st Lexer.OROR then go (Binop (LogOr, acc, parse_logand st))
+    else acc
+  in
+  go (parse_logand st)
+
+and parse_logand st =
+  let rec go acc =
+    if accept st Lexer.ANDAND then go (Binop (LogAnd, acc, parse_bitor st))
+    else acc
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go acc =
+    if accept st Lexer.PIPE then go (Binop (BitOr, acc, parse_bitxor st))
+    else acc
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go acc =
+    if accept st Lexer.CARET then go (Binop (BitXor, acc, parse_bitand st))
+    else acc
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go acc =
+    if accept st Lexer.AMP then go (Binop (BitAnd, acc, parse_equality st))
+    else acc
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go acc =
+    match peek st with
+    | Lexer.EQ -> advance st; go (Binop (Eq, acc, parse_relational st))
+    | Lexer.NE -> advance st; go (Binop (Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go acc =
+    match peek st with
+    | Lexer.LT -> advance st; go (Binop (Lt, acc, parse_shift st))
+    | Lexer.LE -> advance st; go (Binop (Le, acc, parse_shift st))
+    | Lexer.GT -> advance st; go (Binop (Gt, acc, parse_shift st))
+    | Lexer.GE -> advance st; go (Binop (Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | Lexer.LSHIFT -> advance st; go (Binop (Shl, acc, parse_additive st))
+    | Lexer.RSHIFT -> advance st; go (Binop (Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS -> advance st; go (Binop (Add, acc, parse_multiplicative st))
+    | Lexer.MINUS -> advance st; go (Binop (Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR -> advance st; go (Binop (Mul, acc, parse_unary st))
+    | Lexer.SLASH -> advance st; go (Binop (Div, acc, parse_unary st))
+    | Lexer.PERCENT -> advance st; go (Binop (Rem, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS -> advance st; Unop (Neg, parse_unary st)
+  | Lexer.BANG -> advance st; Unop (LogNot, parse_unary st)
+  | Lexer.TILDE -> advance st; Unop (BitNot, parse_unary st)
+  | Lexer.STAR -> advance st; Deref (parse_unary st)
+  | Lexer.AMP -> advance st; Addr (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go acc =
+    if accept st Lexer.LBRACKET then begin
+      let i = parse_expr st in
+      expect st Lexer.RBRACKET "expected ']'";
+      go (Index (acc, i))
+    end
+    else acc
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUM n -> advance st; Num n
+  | Lexer.STRING s -> advance st; Str s
+  | Lexer.IDENT name ->
+      advance st;
+      if accept st Lexer.LPAREN then begin
+        let args =
+          if peek st = Lexer.RPAREN then []
+          else
+            let rec go acc =
+              let a = parse_expr st in
+              if accept st Lexer.COMMA then go (a :: acc)
+              else List.rev (a :: acc)
+            in
+            go []
+        in
+        expect st Lexer.RPAREN "expected ')'";
+        Call (name, args)
+      end
+      else Ident name
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN "expected ')'";
+      e
+  | _ -> err st "expected expression"
+
+(* --- statements ------------------------------------------------------- *)
+
+let parse_type st =
+  let elem =
+    match peek st with
+    | Lexer.INT -> advance st; Word
+    | Lexer.CHAR -> advance st; Byte
+    | Lexer.VOID -> advance st; Word
+    | _ -> err st "expected type"
+  in
+  (* Pointer stars: pointers are plain words. *)
+  let elem = ref elem in
+  while accept st Lexer.STAR do elem := Word done;
+  !elem
+
+let is_type_token = function
+  | Lexer.INT | Lexer.CHAR | Lexer.VOID -> true
+  | _ -> false
+
+let parse_decl st =
+  let elem = parse_type st in
+  let name = ident st in
+  let arr =
+    if accept st Lexer.LBRACKET then begin
+      let e = parse_expr st in
+      expect st Lexer.RBRACKET "expected ']'";
+      Some e
+    end
+    else None
+  in
+  (* A declared array of bytes keeps Byte element type; scalars and
+     pointer declarations are words. *)
+  let elem = if arr = None then Word else elem in
+  let init = if accept st Lexer.ASSIGN then Some (parse_expr st) else None in
+  expect st Lexer.SEMI "expected ';'";
+  { d_name = name; d_elem = elem; d_array = arr; d_init = init }
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.LBRACE ->
+      advance st;
+      let rec go acc =
+        if accept st Lexer.RBRACE then Sblock (List.rev acc)
+        else go (parse_stmt st :: acc)
+      in
+      go []
+  | Lexer.IF ->
+      advance st;
+      expect st Lexer.LPAREN "expected '('";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN "expected ')'";
+      let then_ = parse_stmt st in
+      let else_ = if accept st Lexer.ELSE then Some (parse_stmt st) else None in
+      Sif (c, then_, else_)
+  | Lexer.WHILE ->
+      advance st;
+      expect st Lexer.LPAREN "expected '('";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN "expected ')'";
+      Swhile (c, parse_stmt st)
+  | Lexer.FOR ->
+      advance st;
+      expect st Lexer.LPAREN "expected '('";
+      let init = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+      expect st Lexer.SEMI "expected ';'";
+      let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+      expect st Lexer.SEMI "expected ';'";
+      let step = if peek st = Lexer.RPAREN then None else Some (parse_expr st) in
+      expect st Lexer.RPAREN "expected ')'";
+      Sfor (init, cond, step, parse_stmt st)
+  | Lexer.RETURN ->
+      advance st;
+      if accept st Lexer.SEMI then Sreturn None
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI "expected ';'";
+        Sreturn (Some e)
+      end
+  | Lexer.BREAK ->
+      advance st;
+      expect st Lexer.SEMI "expected ';'";
+      Sbreak
+  | Lexer.CONTINUE ->
+      advance st;
+      expect st Lexer.SEMI "expected ';'";
+      Scontinue
+  | t when is_type_token t -> Sdecl (parse_decl st)
+  | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI "expected ';'";
+      Sexpr e
+
+(* --- globals ---------------------------------------------------------- *)
+
+let parse_global st =
+  if accept st Lexer.CONST then begin
+    let name = ident st in
+    expect st Lexer.ASSIGN "expected '='";
+    let e = parse_expr st in
+    expect st Lexer.SEMI "expected ';'";
+    Gconst (name, e)
+  end
+  else begin
+    let elem = parse_type st in
+    let name = ident st in
+    if accept st Lexer.LPAREN then begin
+      (* Function definition. *)
+      let params =
+        if peek st = Lexer.RPAREN then []
+        else if peek st = Lexer.VOID && fst st.toks.(st.pos + 1) = Lexer.RPAREN
+        then begin advance st; [] end
+        else
+          let rec go acc =
+            let _ = parse_type st in
+            let p = ident st in
+            if accept st Lexer.COMMA then go (p :: acc)
+            else List.rev (p :: acc)
+          in
+          go []
+      in
+      expect st Lexer.RPAREN "expected ')'";
+      expect st Lexer.LBRACE "expected '{'";
+      let rec go acc =
+        if accept st Lexer.RBRACE then List.rev acc
+        else go (parse_stmt st :: acc)
+      in
+      Gfunc { f_name = name; f_params = params; f_body = go [] }
+    end
+    else begin
+      let arr =
+        if accept st Lexer.LBRACKET then begin
+          let e = parse_expr st in
+          expect st Lexer.RBRACKET "expected ']'";
+          Some e
+        end
+        else None
+      in
+      let elem = if arr = None then Word else elem in
+      let init = if accept st Lexer.ASSIGN then Some (parse_expr st) else None in
+      expect st Lexer.SEMI "expected ';'";
+      Gvar { d_name = name; d_elem = elem; d_array = arr; d_init = init }
+    end
+  end
+
+let parse source =
+  let st = { toks = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc
+    else go (parse_global st :: acc)
+  in
+  go []

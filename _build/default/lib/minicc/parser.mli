@@ -1,0 +1,7 @@
+(** Recursive-descent parser for Mini-C. *)
+
+exception Error of string * int
+(** [(message, line)] *)
+
+val parse : string -> Ast.program
+(** Lex and parse a translation unit. @raise Error, @raise Lexer.Error *)

@@ -1,0 +1,182 @@
+open Ast
+
+exception Error of string
+
+type info = {
+  consts : (string * int) list;
+  imports : string list;
+  functions : (string * int) list;
+}
+
+let mask32 v = v land 0xFFFFFFFF
+let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let rec const_eval resolve e =
+  let open Option in
+  let bin f a b =
+    bind (const_eval resolve a) (fun x ->
+        bind (const_eval resolve b) (fun y -> some (f x y)))
+  in
+  let bool_of f a b = bin (fun x y -> if f x y then 1 else 0) a b in
+  match e with
+  | Num n -> some n
+  | Ident name -> resolve name
+  | Unop (Neg, a) -> map (fun x -> mask32 (- x)) (const_eval resolve a)
+  | Unop (BitNot, a) -> map (fun x -> mask32 (lnot x)) (const_eval resolve a)
+  | Unop (LogNot, a) ->
+      map (fun x -> if x = 0 then 1 else 0) (const_eval resolve a)
+  | Binop (Add, a, b) -> bin (fun x y -> mask32 (x + y)) a b
+  | Binop (Sub, a, b) -> bin (fun x y -> mask32 (x - y)) a b
+  | Binop (Mul, a, b) -> bin (fun x y -> mask32 (x * y)) a b
+  | Binop (Div, a, b) -> bin (fun x y -> if y = 0 then 0 else x / y) a b
+  | Binop (Rem, a, b) -> bin (fun x y -> if y = 0 then 0 else x mod y) a b
+  | Binop (BitAnd, a, b) -> bin ( land ) a b
+  | Binop (BitOr, a, b) -> bin ( lor ) a b
+  | Binop (BitXor, a, b) -> bin ( lxor ) a b
+  | Binop (Shl, a, b) -> bin (fun x y -> mask32 (x lsl (y land 31))) a b
+  | Binop (Shr, a, b) -> bin (fun x y -> x lsr (y land 31)) a b
+  | Binop (Eq, a, b) -> bool_of ( = ) a b
+  | Binop (Ne, a, b) -> bool_of ( <> ) a b
+  | Binop (Lt, a, b) -> bool_of (fun x y -> to_signed32 x < to_signed32 y) a b
+  | Binop (Le, a, b) -> bool_of (fun x y -> to_signed32 x <= to_signed32 y) a b
+  | Binop (Gt, a, b) -> bool_of (fun x y -> to_signed32 x > to_signed32 y) a b
+  | Binop (Ge, a, b) -> bool_of (fun x y -> to_signed32 x >= to_signed32 y) a b
+  | _ -> none
+
+(* Builtins compiled inline by the code generator; callable everywhere. *)
+let builtins =
+  [ ("__ldb", 1); ("__stb", 2); ("__ltu", 2); ("__leu", 2); ("__shrs", 2);
+    ("__cli", 0); ("__sti", 0); ("__halt", 0) ]
+
+type scope = {
+  mutable vars : string list list;  (* one list per nesting level *)
+}
+
+let declare scope name =
+  match scope.vars with
+  | top :: rest ->
+      if List.mem name top then
+        raise (Error (Printf.sprintf "duplicate declaration of %S" name));
+      scope.vars <- (name :: top) :: rest
+  | [] -> assert false
+
+let declared scope name = List.exists (List.mem name) scope.vars
+
+let analyze program =
+  (* Collect globals first: Mini-C allows forward references among
+     functions and globals. *)
+  let consts = ref [] in
+  let resolve_const name = List.assoc_opt name !consts in
+  let globals = ref [] in
+  let functions = ref [] in
+  List.iter
+    (function
+      | Gconst (name, e) -> (
+          match const_eval resolve_const e with
+          | Some v -> consts := (name, v) :: !consts
+          | None ->
+              raise (Error (Printf.sprintf "const %S is not constant" name)))
+      | Gvar d ->
+          if List.mem_assoc d.d_name !functions || List.mem d.d_name !globals
+          then raise (Error (Printf.sprintf "duplicate global %S" d.d_name));
+          (match d.d_array with
+           | Some e when const_eval resolve_const e = None ->
+               raise (Error (Printf.sprintf "array size of %S is not constant"
+                               d.d_name))
+           | _ -> ());
+          globals := d.d_name :: !globals
+      | Gfunc f ->
+          if List.mem_assoc f.f_name !functions then
+            raise (Error (Printf.sprintf "duplicate function %S" f.f_name));
+          functions := (f.f_name, List.length f.f_params) :: !functions)
+    program;
+  let imports = ref [] in
+  let note_import name =
+    if not (List.mem name !imports) then imports := name :: !imports
+  in
+  let rec check_expr scope ~loops:_ e =
+    let recur = check_expr scope ~loops:0 in
+    match e with
+    | Num _ | Str _ -> ()
+    | Ident name ->
+        if
+          not
+            (declared scope name || List.mem name !globals
+             || List.mem_assoc name !consts
+             || List.mem_assoc name !functions)
+        then raise (Error (Printf.sprintf "undeclared identifier %S" name))
+    | Unop (_, a) -> recur a
+    | Binop (_, a, b) -> recur a; recur b
+    | Assign (lhs, rhs) ->
+        (match lhs with
+         | Ident name when List.mem_assoc name !consts ->
+             raise (Error (Printf.sprintf "assignment to constant %S" name))
+         | Ident _ | Deref _ | Index _ -> ()
+         | _ -> raise (Error "assignment target is not an lvalue"));
+        recur lhs;
+        recur rhs
+    | Ternary (c, a, b) -> recur c; recur a; recur b
+    | Call (name, args) ->
+        (match List.assoc_opt name !functions with
+         | Some arity ->
+             if List.length args <> arity then
+               raise
+                 (Error
+                    (Printf.sprintf "%S expects %d arguments, got %d" name
+                       arity (List.length args)))
+         | None -> (
+             match List.assoc_opt name builtins with
+             | Some arity ->
+                 if List.length args <> arity then
+                   raise
+                     (Error (Printf.sprintf "builtin %S expects %d arguments"
+                               name arity))
+             | None -> note_import name));
+        List.iter recur args
+    | Index (a, i) -> recur a; recur i
+    | Deref a -> recur a
+    | Addr a -> (
+        match a with
+        | Ident _ | Deref _ | Index _ -> recur a
+        | _ -> raise (Error "cannot take the address of this expression"))
+  in
+  let rec check_stmt scope ~loops s =
+    match s with
+    | Sexpr e -> check_expr scope ~loops e
+    | Sif (c, a, b) ->
+        check_expr scope ~loops c;
+        check_stmt scope ~loops a;
+        Option.iter (check_stmt scope ~loops) b
+    | Swhile (c, body) ->
+        check_expr scope ~loops c;
+        check_stmt scope ~loops:(loops + 1) body
+    | Sfor (init, cond, step, body) ->
+        Option.iter (check_expr scope ~loops) init;
+        Option.iter (check_expr scope ~loops) cond;
+        Option.iter (check_expr scope ~loops) step;
+        check_stmt scope ~loops:(loops + 1) body
+    | Sreturn e -> Option.iter (check_expr scope ~loops) e
+    | Sbreak | Scontinue ->
+        if loops = 0 then raise (Error "break/continue outside a loop")
+    | Sblock body ->
+        scope.vars <- [] :: scope.vars;
+        List.iter (check_stmt scope ~loops) body;
+        scope.vars <- List.tl scope.vars
+    | Sdecl d ->
+        (match d.d_array with
+         | Some e when const_eval resolve_const e = None ->
+             raise (Error (Printf.sprintf "array size of %S is not constant"
+                             d.d_name))
+         | _ -> ());
+        Option.iter (check_expr scope ~loops) d.d_init;
+        declare scope d.d_name
+  in
+  List.iter
+    (function
+      | Gfunc f ->
+          let scope = { vars = [ [] ] } in
+          List.iter (declare scope) f.f_params;
+          List.iter (check_stmt scope ~loops:0) f.f_body
+      | Gvar _ | Gconst _ -> ())
+    program;
+  { consts = !consts; imports = List.rev !imports; functions = !functions }

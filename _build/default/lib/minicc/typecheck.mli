@@ -1,0 +1,22 @@
+(** Semantic analysis for Mini-C.
+
+    Mini-C is word-typed, so "type checking" here means symbol resolution
+    and structural sanity: every identifier is declared (calls to unknown
+    functions are allowed — they become kernel imports), array sizes and
+    [const] initializers are compile-time constants, lvalues are
+    assignable, [break]/[continue] appear inside loops, and locally
+    defined functions are called with the right arity. *)
+
+exception Error of string
+
+type info = {
+  consts : (string * int) list;          (** resolved constants *)
+  imports : string list;                 (** called but not defined here *)
+  functions : (string * int) list;       (** defined functions and arities *)
+}
+
+val analyze : Ast.program -> info
+(** @raise Error on any violation. *)
+
+val const_eval : (string -> int option) -> Ast.expr -> int option
+(** Evaluate a constant expression given a constant-name resolver. *)

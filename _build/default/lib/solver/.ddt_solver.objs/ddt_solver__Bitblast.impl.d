@@ -1,0 +1,1 @@
+lib/solver/bitblast.ml: Array Cnf Expr Hashtbl

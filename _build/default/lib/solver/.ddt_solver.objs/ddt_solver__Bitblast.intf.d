@@ -1,0 +1,1 @@
+lib/solver/bitblast.mli: Cnf Expr

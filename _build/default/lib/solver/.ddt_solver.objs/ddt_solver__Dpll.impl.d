@@ -1,0 +1,1 @@
+lib/solver/dpll.ml: Array Cnf List

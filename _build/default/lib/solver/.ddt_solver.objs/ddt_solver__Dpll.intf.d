@@ -1,0 +1,1 @@
+lib/solver/dpll.mli: Cnf

@@ -1,0 +1,1 @@
+lib/solver/expr.ml: Array Atomic Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/solver/interval.ml: Expr Hashtbl List

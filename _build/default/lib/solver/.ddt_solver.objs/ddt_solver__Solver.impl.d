@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Atomic Bitblast Dpll Expr Hashtbl Interval List Simplify

@@ -1,0 +1,24 @@
+(** Bit-blasting of symbolic expressions into CNF.
+
+    Each expression is compiled to an array of CNF literals (LSB first).
+    Word operations become the usual circuits: ripple-carry adders,
+    shift-add multipliers, barrel shifters, bit comparators. Unsigned
+    division/remainder are encoded by their defining identity
+    [a = q*b + r /\ r <u b] over a double-width product, with the SMT-LIB
+    convention for division by zero ([q = all-ones], [r = a]). *)
+
+type ctx
+
+val create : unit -> ctx
+val cnf : ctx -> Cnf.t
+
+val blast : ctx -> Expr.t -> int array
+(** Literal vector of the expression, memoized per structurally-equal
+    subterm within one context. *)
+
+val assert_true : ctx -> Expr.t -> unit
+(** Assert a width-1 expression as a constraint. *)
+
+val model_of : ctx -> bool array -> Expr.var -> int
+(** Read a variable's value out of a SAT assignment. Variables never
+    mentioned in any blasted expression default to 0. *)

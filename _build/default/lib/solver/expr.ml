@@ -1,0 +1,251 @@
+type width = W1 | W8 | W32
+
+type var = { id : int; name : string; var_width : width }
+
+type binop =
+  | Add | Sub | Mul | Divu | Remu
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+
+type cmpop = Eq | Ne | Ltu | Leu | Lts | Les
+
+type t =
+  | Const of width * int
+  | Var of var
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | Ite of t * t * t
+  | Extract of t * int
+  | Concat4 of t * t * t * t
+  | Zext of t
+  | Not of t
+
+let bits_of_width = function W1 -> 1 | W8 -> 8 | W32 -> 32
+let mask_of_width = function W1 -> 1 | W8 -> 0xFF | W32 -> 0xFFFFFFFF
+
+let rec width_of = function
+  | Const (w, _) -> w
+  | Var v -> v.var_width
+  | Binop (_, a, _) -> width_of a
+  | Cmp _ -> W1
+  | Ite (_, a, _) -> width_of a
+  | Extract _ -> W8
+  | Concat4 _ -> W32
+  | Zext _ -> W32
+  | Not _ -> W1
+
+(* Atomic so independent sessions can run in parallel domains (the
+   paper's §6.1 parallel-symbolic-execution direction). *)
+let var_counter = Atomic.make 0
+
+let fresh_var ?(name = "v") w =
+  let id = Atomic.fetch_and_add var_counter 1 + 1 in
+  { id; name; var_width = w }
+
+let reset_var_counter () = Atomic.set var_counter 0
+
+let const w v = Const (w, v land mask_of_width w)
+let word v = const W32 v
+let byte v = const W8 v
+let tru = Const (W1, 1)
+let fls = Const (W1, 0)
+let var v = Var v
+
+let to_signed w v =
+  let bits = bits_of_width w in
+  let sign_bit = 1 lsl (bits - 1) in
+  if v land sign_bit <> 0 then v - (1 lsl bits) else v
+
+let eval_binop op w a b =
+  let mask = mask_of_width w in
+  let bits = bits_of_width w in
+  let r =
+    match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | Divu -> if b = 0 then mask else a / b
+    | Remu -> if b = 0 then a else a mod b
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> a lsl (b land (bits - 1))
+    | Lshr -> a lsr (b land (bits - 1))
+    | Ashr -> to_signed w a asr (b land (bits - 1))
+  in
+  r land mask
+
+let eval_cmp op w a b =
+  let sa = to_signed w a and sb = to_signed w b in
+  let holds =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Ltu -> a < b
+    | Leu -> a <= b
+    | Lts -> sa < sb
+    | Les -> sa <= sb
+  in
+  if holds then 1 else 0
+
+let is_const = function Const _ -> true | _ -> false
+let to_const = function Const (_, v) -> Some v | _ -> None
+
+(* Structural equality: expressions contain only immediate data, so the
+   polymorphic comparison is exact. *)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let binop op a b =
+  let w = width_of a in
+  match a, b, op with
+  | Const (_, x), Const (_, y), _ -> const w (eval_binop op w x y)
+  | x, Const (_, 0), (Add | Sub | Or | Xor | Shl | Lshr | Ashr) -> x
+  | Const (_, 0), x, (Add | Or | Xor) -> x
+  | _, Const (_, 0), (Mul | And) -> const w 0
+  | Const (_, 0), _, (Mul | And | Divu | Remu | Shl | Lshr | Ashr) -> const w 0
+  | x, Const (_, 1), (Mul | Divu) -> x
+  | Const (_, 1), x, Mul -> x
+  | x, Const (_, m), And when m = mask_of_width w -> x
+  | Const (_, m), x, And when m = mask_of_width w -> x
+  | _, Const (_, m), Or when m = mask_of_width w -> const w m
+  | x, y, (And | Or) when equal x y -> x
+  | x, y, (Xor | Sub) when equal x y -> const w 0
+  | x, y, Remu when equal x y -> const w 0
+  | _ -> Binop (op, a, b)
+
+let cmp op a b =
+  let w = width_of a in
+  match a, b with
+  | Const (_, x), Const (_, y) -> Const (W1, eval_cmp op w x y)
+  | x, y when equal x y -> (
+      match op with
+      | Eq | Leu | Les -> tru
+      | Ne | Ltu | Lts -> fls)
+  | _ -> Cmp (op, a, b)
+
+let not_ e =
+  match e with
+  | Const (W1, v) -> Const (W1, 1 - v)
+  | Not x -> x
+  | Cmp (Eq, a, b) -> cmp Ne a b
+  | Cmp (Ne, a, b) -> cmp Eq a b
+  | Cmp (Ltu, a, b) -> cmp Leu b a
+  | Cmp (Leu, a, b) -> cmp Ltu b a
+  | Cmp (Lts, a, b) -> cmp Les b a
+  | Cmp (Les, a, b) -> cmp Lts b a
+  | _ -> Not e
+
+let ite c a b =
+  match c with
+  | Const (W1, 1) -> a
+  | Const (W1, 0) -> b
+  | _ -> if equal a b then a else Ite (c, a, b)
+
+let zext e =
+  match e with
+  | Const (W1, v) | Const (W8, v) -> Const (W32, v)
+  | _ when width_of e = W32 -> e
+  | _ -> Zext e
+
+let extract e i =
+  assert (i >= 0 && i < 4);
+  match e with
+  | Const (_, v) -> byte ((v lsr (8 * i)) land 0xFF)
+  | Concat4 (b3, b2, b1, b0) -> [| b0; b1; b2; b3 |].(i)
+  | Zext inner when width_of inner = W8 ->
+      if i = 0 then inner else byte 0
+  | Zext inner when width_of inner = W1 ->
+      if i = 0 then Ite (inner, byte 1, byte 0) else byte 0
+  | _ -> Extract (e, i)
+
+let concat4 b3 b2 b1 b0 =
+  match b3, b2, b1, b0 with
+  | Const (_, v3), Const (_, v2), Const (_, v1), Const (_, v0) ->
+      word ((v3 lsl 24) lor (v2 lsl 16) lor (v1 lsl 8) lor v0)
+  | Extract (e3, 3), Extract (e2, 2), Extract (e1, 1), Extract (e0, 0)
+    when equal e3 e2 && equal e2 e1 && equal e1 e0 ->
+      e0
+  | _ -> Concat4 (b3, b2, b1, b0)
+
+let and1 a b =
+  match a, b with
+  | Const (W1, 0), _ | _, Const (W1, 0) -> fls
+  | Const (W1, 1), x | x, Const (W1, 1) -> x
+  | x, y when equal x y -> x
+  | _ -> Binop (And, a, b)
+
+let or1 a b =
+  match a, b with
+  | Const (W1, 1), _ | _, Const (W1, 1) -> tru
+  | Const (W1, 0), x | x, Const (W1, 0) -> x
+  | x, y when equal x y -> x
+  | _ -> Binop (Or, a, b)
+
+let rec eval env e =
+  match e with
+  | Const (_, v) -> v
+  | Var v -> env v land mask_of_width v.var_width
+  | Binop (op, a, b) -> eval_binop op (width_of a) (eval env a) (eval env b)
+  | Cmp (op, a, b) -> eval_cmp op (width_of a) (eval env a) (eval env b)
+  | Ite (c, a, b) -> if eval env c = 1 then eval env a else eval env b
+  | Extract (x, i) -> (eval env x lsr (8 * i)) land 0xFF
+  | Concat4 (b3, b2, b1, b0) ->
+      (eval env b3 lsl 24) lor (eval env b2 lsl 16)
+      lor (eval env b1 lsl 8) lor eval env b0
+  | Zext x -> eval env x
+  | Not x -> 1 - eval env x
+
+let vars e =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v.id) then begin
+          Hashtbl.add seen v.id ();
+          acc := v :: !acc
+        end
+    | Binop (_, a, b) | Cmp (_, a, b) -> go a; go b
+    | Ite (c, a, b) -> go c; go a; go b
+    | Extract (x, _) | Zext x | Not x -> go x
+    | Concat4 (b3, b2, b1, b0) -> go b3; go b2; go b1; go b0
+  in
+  go e;
+  List.sort (fun a b -> Stdlib.compare a.id b.id) !acc
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Binop (_, a, b) | Cmp (_, a, b) -> 1 + size a + size b
+  | Ite (c, a, b) -> 1 + size c + size a + size b
+  | Extract (x, _) | Zext x | Not x -> 1 + size x
+  | Concat4 (b3, b2, b1, b0) -> 1 + size b3 + size b2 + size b1 + size b0
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Divu -> "/u" | Remu -> "%u"
+  | And -> "&" | Or -> "|" | Xor -> "^"
+  | Shl -> "<<" | Lshr -> ">>u" | Ashr -> ">>s"
+
+let string_of_cmpop = function
+  | Eq -> "==" | Ne -> "!=" | Ltu -> "<u" | Leu -> "<=u"
+  | Lts -> "<s" | Les -> "<=s"
+
+let pp_var fmt v = Format.fprintf fmt "%s#%d" v.name v.id
+
+let rec pp fmt = function
+  | Const (W1, v) -> Format.fprintf fmt "%db1" v
+  | Const (W8, v) -> Format.fprintf fmt "0x%02x" v
+  | Const (W32, v) -> Format.fprintf fmt "0x%x" v
+  | Var v -> pp_var fmt v
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (string_of_binop op) pp b
+  | Cmp (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (string_of_cmpop op) pp b
+  | Ite (c, a, b) -> Format.fprintf fmt "(if %a then %a else %a)" pp c pp a pp b
+  | Extract (x, i) -> Format.fprintf fmt "%a[%d]" pp x i
+  | Concat4 (b3, b2, b1, b0) ->
+      Format.fprintf fmt "{%a,%a,%a,%a}" pp b3 pp b2 pp b1 pp b0
+  | Zext x -> Format.fprintf fmt "zext(%a)" pp x
+  | Not x -> Format.fprintf fmt "!%a" pp x
+
+let to_string e = Format.asprintf "%a" pp e

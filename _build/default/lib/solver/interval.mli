@@ -1,0 +1,34 @@
+(** Unsigned interval reasoning over symbolic expressions.
+
+    A cheap, sound pre-pass used by {!Solver} before bit-blasting: it
+    derives per-variable unsigned ranges from the path constraints and can
+    (a) prove a constraint set infeasible, and (b) propose candidate models
+    that are then verified by concrete evaluation. Anything it cannot
+    interpret it ignores, so it never produces a wrong answer, only
+    "unknown". *)
+
+type t = { lo : int; hi : int }
+(** A non-empty unsigned interval [lo, hi], 0 <= lo <= hi. *)
+
+val full : Expr.width -> t
+val singleton : int -> t
+val is_singleton : t -> bool
+val meet : t -> t -> t option
+(** Intersection; [None] when empty. *)
+
+val range_of : (Expr.var -> t) -> Expr.t -> t
+(** Conservative range of an expression under per-variable ranges. *)
+
+type env = (int, t) Hashtbl.t
+(** Variable id -> interval. *)
+
+val infer : Expr.t list -> env option
+(** [infer constraints] narrows variable ranges from constraints of
+    recognizable shapes, to a fixpoint. [None] means the constraints are
+    definitely unsatisfiable. [Some env] makes no satisfiability claim. *)
+
+val lookup : env -> Expr.var -> t
+
+val candidates : env -> Expr.var list -> (Expr.var -> int) list
+(** A few cheap whole-model guesses (low ends, high ends, midpoints) to be
+    verified against the constraints by evaluation. *)

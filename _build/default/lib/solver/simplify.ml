@@ -1,0 +1,83 @@
+open Expr
+
+(* One top-level rewrite step applied to an already-recursively-simplified
+   node. Returns [None] when no rule fires. *)
+let step e =
+  match e with
+  (* ((x + c1) + c2)  -->  x + (c1 + c2); same with mixed add/sub. *)
+  | Binop (Add, Binop (Add, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop Add x (const w (c1 + c2)))
+  | Binop (Add, Binop (Sub, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop Add x (const w (c2 - c1)))
+  | Binop (Sub, Binop (Add, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop Add x (const w (c1 - c2)))
+  | Binop (Sub, Binop (Sub, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop Sub x (const w (c1 + c2)))
+  (* Constant on the left of a commutative op: move right. *)
+  | Binop (((Add | Mul | And | Or | Xor) as op), (Const _ as c), x)
+    when not (is_const x) ->
+      Some (binop op x c)
+  (* (x + c == d)  -->  (x == d - c), and friends; addition on W32 is a
+     bijection so equality/disequality transfer exactly. *)
+  | Cmp ((Eq | Ne) as op, Binop (Add, x, Const (w, c)), Const (_, d)) ->
+      Some (cmp op x (const w (d - c)))
+  | Cmp ((Eq | Ne) as op, Binop (Sub, x, Const (w, c)), Const (_, d)) ->
+      Some (cmp op x (const w (d + c)))
+  (* zext b != 0  -->  b ; zext b == 0  -->  !b   (b of width 1). *)
+  | Cmp (Ne, Zext b, Const (_, 0)) when width_of b = W1 -> Some b
+  | Cmp (Eq, Zext b, Const (_, 0)) when width_of b = W1 -> Some (not_ b)
+  | Cmp (Eq, Zext b, Const (_, 1)) when width_of b = W1 -> Some b
+  | Cmp (Ne, Zext b, Const (_, 1)) when width_of b = W1 -> Some (not_ b)
+  (* Comparisons of a zero-extended byte against out-of-range constants. *)
+  | Cmp (Eq, Zext b, Const (_, c)) when width_of b = W8 ->
+      if c > 0xFF then Some fls else Some (cmp Eq b (byte c))
+  | Cmp (Ne, Zext b, Const (_, c)) when width_of b = W8 ->
+      if c > 0xFF then Some tru else Some (cmp Ne b (byte c))
+  | Cmp (Ltu, Zext b, Const (_, c)) when width_of b = W8 && c > 0xFF ->
+      Some tru
+  | Cmp (Leu, Zext b, Const (_, c)) when width_of b = W8 && c >= 0xFF ->
+      Some tru
+  | Cmp (Ltu, Const (_, c), Zext b) when width_of b = W8 && c >= 0xFF ->
+      Some fls
+  (* An unsigned value is never below zero and always >= 0. *)
+  | Cmp (Ltu, _, Const (_, 0)) -> Some fls
+  | Cmp (Leu, Const (_, 0), _) -> Some tru
+  (* if c then 1 else 0 (width 1 arms) is just c. *)
+  | Ite (c, Const (W1, 1), Const (W1, 0)) -> Some c
+  | Ite (c, Const (W1, 0), Const (W1, 1)) -> Some (not_ c)
+  (* zext (if c then a else b) --> if c then zext a else zext b when the
+     arms are constants: lets comparisons above it fold. *)
+  | Cmp (op, Ite (c, (Const _ as a), (Const _ as b)), (Const _ as d)) ->
+      Some (ite c (cmp op a d) (cmp op b d))
+  | Binop (And, Binop (And, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop And x (const w (c1 land c2)))
+  | Binop (Or, Binop (Or, x, Const (w, c1)), Const (_, c2)) ->
+      Some (binop Or x (const w (c1 lor c2)))
+  | _ -> None
+
+let rec fixpoint n e =
+  if n = 0 then e
+  else
+    match step e with
+    | None -> e
+    | Some e' -> fixpoint (n - 1) e'
+
+let rec simplify e =
+  let e' =
+    match e with
+    | Const _ | Var _ -> e
+    | Binop (op, a, b) -> binop op (simplify a) (simplify b)
+    | Cmp (op, a, b) -> cmp op (simplify a) (simplify b)
+    | Ite (c, a, b) -> ite (simplify c) (simplify a) (simplify b)
+    | Extract (x, i) -> extract (simplify x) i
+    | Concat4 (b3, b2, b1, b0) ->
+        concat4 (simplify b3) (simplify b2) (simplify b1) (simplify b0)
+    | Zext x -> zext (simplify x)
+    | Not x -> not_ (simplify x)
+  in
+  fixpoint 8 e'
+
+let simplify_bool e =
+  let e' = simplify e in
+  assert (width_of e' = W1);
+  e'

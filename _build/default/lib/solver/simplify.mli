@@ -1,0 +1,17 @@
+(** Algebraic simplification of symbolic expressions.
+
+    Rebuilds an expression bottom-up through the smart constructors of
+    {!Expr} and applies a set of rewrite rules that the smart constructors
+    do not: constant re-association, comparison shifting, boolean
+    round-trip elimination ([zext b != 0] back to [b]), and range-based
+    folding of comparisons against zero-extended narrow values.
+
+    Simplification is semantics-preserving: for every environment [env],
+    [Expr.eval env (simplify e) = Expr.eval env e]. The property test suite
+    checks exactly this. *)
+
+val simplify : Expr.t -> Expr.t
+
+val simplify_bool : Expr.t -> Expr.t
+(** [simplify_bool e] simplifies a width-1 expression used as a path
+    condition. Same as {!simplify} but asserts the result width. *)

@@ -1,0 +1,70 @@
+type model = Expr.var -> int
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown
+
+let queries = Atomic.make 0
+let stats_queries () = Atomic.get queries
+let reset_stats () = Atomic.set queries 0
+
+let verified constraints env =
+  List.for_all (fun c -> Expr.eval env c = 1) constraints
+
+let check constraints =
+  Atomic.incr queries;
+  let constraints = List.map Simplify.simplify_bool constraints in
+  if List.exists (fun c -> c = Expr.fls) constraints then Unsat
+  else
+    let constraints = List.filter (fun c -> c <> Expr.tru) constraints in
+    if constraints = [] then Sat (fun _ -> 0)
+    else
+      let vars =
+        List.concat_map Expr.vars constraints
+        |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
+      in
+      match Interval.infer constraints with
+      | None -> Unsat
+      | Some env_ranges -> (
+          (* Cheap verified guesses first. *)
+          let guess =
+            List.find_opt
+              (fun m -> verified constraints m)
+              (Interval.candidates env_ranges vars)
+          in
+          match guess with
+          | Some m -> Sat m
+          | None -> (
+              let ctx = Bitblast.create () in
+              List.iter (Bitblast.assert_true ctx) constraints;
+              match Dpll.solve (Bitblast.cnf ctx) with
+              | Some Dpll.Unsat -> Unsat
+              | None -> Unknown
+              | Some (Dpll.Sat assign) ->
+                  let tbl = Hashtbl.create 16 in
+                  List.iter
+                    (fun v ->
+                      Hashtbl.replace tbl v.Expr.id
+                        (Bitblast.model_of ctx assign v))
+                    vars;
+                  let m (v : Expr.var) =
+                    match Hashtbl.find_opt tbl v.Expr.id with
+                    | Some x -> x
+                    | None -> 0
+                  in
+                  (* The model must satisfy the constraints; a failure here
+                     is a bit-blasting bug, so fail loudly. *)
+                  assert (verified constraints m);
+                  Sat m))
+
+let is_feasible constraints =
+  match check constraints with Sat _ | Unknown -> true | Unsat -> false
+
+let concretize constraints e =
+  match check constraints with
+  | Unsat -> None
+  | Sat m -> Some (Expr.eval m e)
+  | Unknown ->
+      (* Fall back to an unverified guess: evaluate under zeros. *)
+      Some (Expr.eval (fun _ -> 0) e)

@@ -1,0 +1,36 @@
+(** The constraint solver used by the symbolic execution engine.
+
+    Decides satisfiability of a conjunction of width-1 expressions (path
+    constraints) through a layered pipeline:
+
+    + algebraic simplification — trivially true constraints are dropped,
+      a trivially false one answers Unsat immediately;
+    + interval inference — sound contradiction detection and cheap
+      candidate models verified by concrete evaluation;
+    + bit-blasting to CNF and DPLL search.
+
+    Every Sat answer carries a model that has been {e verified} by
+    evaluating all constraints under it. *)
+
+type model = Expr.var -> int
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown
+
+val check : Expr.t list -> result
+
+val is_feasible : Expr.t list -> bool
+(** Unknown is treated as feasible (the engine must never drop a path that
+    might be real; over-approximation can only cost false positives, which
+    the replay step weeds out). *)
+
+val concretize : Expr.t list -> Expr.t -> int option
+(** [concretize constraints e] returns a feasible concrete value of [e]
+    under the constraints, or [None] if they are unsatisfiable. *)
+
+val stats_queries : unit -> int
+(** Number of [check] calls since start; used by the benchmark harness. *)
+
+val reset_stats : unit -> unit

@@ -1,0 +1,1 @@
+lib/symexec/exec.ml: Array Bytes Ddt_dvm Ddt_hw Ddt_kernel Ddt_solver Ddt_trace Format Hashtbl List Printf Sched Symmem Symstate

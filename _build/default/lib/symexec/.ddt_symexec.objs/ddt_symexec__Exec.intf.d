@@ -1,0 +1,1 @@
+lib/symexec/exec.mli: Ddt_dvm Ddt_hw Ddt_kernel Ddt_solver Ddt_trace Sched Symstate

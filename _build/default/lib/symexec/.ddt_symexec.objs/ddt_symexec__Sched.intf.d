@@ -1,0 +1,1 @@
+lib/symexec/sched.mli: Symstate

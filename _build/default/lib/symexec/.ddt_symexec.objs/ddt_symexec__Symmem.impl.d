@@ -1,0 +1,1 @@
+lib/symexec/symmem.ml: Ddt_dvm Ddt_hw Ddt_solver Hashtbl Option

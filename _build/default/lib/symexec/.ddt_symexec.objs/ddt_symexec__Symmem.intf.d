@@ -1,0 +1,1 @@
+lib/symexec/symmem.mli: Ddt_dvm Ddt_hw Ddt_solver

@@ -1,0 +1,1 @@
+lib/symexec/symstate.ml: Array Ddt_dvm Ddt_kernel Ddt_solver Ddt_trace Format Symmem

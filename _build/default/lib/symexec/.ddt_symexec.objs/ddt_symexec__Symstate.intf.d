@@ -1,0 +1,1 @@
+lib/symexec/symstate.mli: Ddt_kernel Ddt_solver Ddt_trace Format Symmem

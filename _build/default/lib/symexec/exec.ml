@@ -1,0 +1,944 @@
+module Expr = Ddt_solver.Expr
+module Simplify = Ddt_solver.Simplify
+module Solver = Ddt_solver.Solver
+module Isa = Ddt_dvm.Isa
+module Layout = Ddt_dvm.Layout
+module Image = Ddt_dvm.Image
+module Mem = Ddt_dvm.Mem
+module Kstate = Ddt_kernel.Kstate
+module Mach = Ddt_kernel.Mach
+module Kapi = Ddt_kernel.Kapi
+module Intr = Ddt_kernel.Intr
+module Bugcheck = Ddt_kernel.Bugcheck
+module Event = Ddt_trace.Event
+module Replay = Ddt_trace.Replay
+module St = Symstate
+
+type config = {
+  max_states : int;
+  max_steps_per_state : int;
+  quantum : int;
+  max_injections : int;
+  inject_interrupts : bool;
+  respect_cli : bool;
+  record_exec_pcs : bool;
+  concrete_hardware : bool;
+  (** route device reads to the concrete MMIO hooks instead of minting
+      symbolic values — used by the stress baseline *)
+  strategy : Sched.strategy;
+}
+
+let default_config =
+  {
+    max_states = 512;
+    max_steps_per_state = 200_000;
+    quantum = 2_000;
+    max_injections = 1;
+    inject_interrupts = true;
+    respect_cli = true;
+    record_exec_pcs = false;
+    concrete_hardware = false;
+    strategy = Sched.Min_touch;
+  }
+
+type mem_access = {
+  ma_state : St.t;
+  ma_pc : int;
+  ma_write : bool;
+  ma_addr : Expr.t;
+  ma_conc : int;
+  ma_width : int;
+  ma_constraints : Expr.t list;
+  ma_sp : int;
+}
+
+type engine = {
+  cfg : config;
+  base_mem : Mem.t;
+  img : Image.loaded;
+  symdev : Ddt_hw.Symdev.t;
+  block_starts : (int, unit) Hashtbl.t;     (* absolute addresses *)
+  decode_cache : (int, Isa.instr) Hashtbl.t;
+  injected_sites_global : (int, unit) Hashtbl.t;
+  block_counts : (int, int) Hashtbl.t;
+  last_block : (int, int) Hashtbl.t;        (* state id -> block addr *)
+  mutable worklist : St.t list;
+  mutable done_states : St.t list;
+  mutable next_id : int;
+  mutable total_steps : int;
+  mutable states_created : int;
+  mutable states_dropped : int;
+  mutable max_cow_depth : int;
+  mutable peak_live_words : int;
+  mutable picks : int;
+  mutable lineage : (int * int * string * int) list;
+  mutable last_new_block_step : int;
+  mutable on_mem_access : mem_access -> unit;
+  mutable on_state_done : St.t -> unit;
+  mutable on_new_block : St.t -> int -> unit;
+  mutable annot_pre : string -> Kstate.t -> Mach.t -> unit;
+  mutable annot_post : string -> Kstate.t -> Mach.t -> unit;
+  mutable kcall_enter : St.t -> string -> Mach.t -> unit;
+  mutable kcall_leave : St.t -> string -> Mach.t -> unit;
+  mutable replay : Replay.script option;
+}
+
+exception Discard_state of string
+exception Fork_alts of (string * (Mach.t -> unit)) list
+exception Vm_crash of string * string
+
+let create ?(config = default_config) img base_mem symdev =
+  Ddt_kernel.Ndis.install ();
+  Ddt_kernel.Portcls.install ();
+  Ddt_kernel.Usb.install ();
+  let block_starts = Hashtbl.create 256 in
+  List.iter
+    (fun off -> Hashtbl.replace block_starts (img.Image.base + off) ())
+    (Ddt_dvm.Disasm.basic_block_starts img.Image.image);
+  {
+    cfg = config;
+    base_mem;
+    img;
+    symdev;
+    block_starts;
+    decode_cache = Hashtbl.create 1024;
+    injected_sites_global = Hashtbl.create 64;
+    block_counts = Hashtbl.create 256;
+    last_block = Hashtbl.create 64;
+    worklist = [];
+    done_states = [];
+    next_id = 0;
+    total_steps = 0;
+    states_created = 0;
+    states_dropped = 0;
+    max_cow_depth = 0;
+    peak_live_words = 0;
+    picks = 0;
+    lineage = [];
+    last_new_block_step = 0;
+    on_mem_access = (fun _ -> ());
+    on_state_done = (fun _ -> ());
+    on_new_block = (fun _ _ -> ());
+    annot_pre = (fun _ _ _ -> ());
+    annot_post = (fun _ _ _ -> ());
+    kcall_enter = (fun _ _ _ -> ());
+    kcall_leave = (fun _ _ _ -> ());
+    replay = None;
+  }
+
+let config eng = eng.cfg
+let loaded eng = eng.img
+let set_on_mem_access eng f = eng.on_mem_access <- f
+let set_on_state_done eng f = eng.on_state_done <- f
+let set_on_new_block eng f = eng.on_new_block <- f
+
+let set_annotations eng ~pre ~post =
+  eng.annot_pre <- pre;
+  eng.annot_post <- post
+
+let set_kcall_hooks eng ~enter ~leave =
+  eng.kcall_enter <- enter;
+  eng.kcall_leave <- leave
+
+let set_replay eng script = eng.replay <- Some script
+
+(* --- state management -------------------------------------------------- *)
+
+let install_sym_hook eng st =
+  Symmem.set_sym_read_hook st.St.mem (fun name var ->
+      st.St.sym_inputs <- (var, "device read") :: st.St.sym_inputs;
+      St.record st (Event.E_sym_create { name; origin = "device read"; var });
+      match eng.replay with
+      | None -> ()
+      | Some _ -> (
+          match st.St.replay_inputs with
+          | (n, v) :: rest when n = name ->
+              st.St.replay_inputs <- rest;
+              St.add_constraint st
+                (Expr.cmp Expr.Eq (Expr.var var) (Expr.byte v))
+          | _ -> ()))
+
+let new_root_state eng ks =
+  eng.next_id <- eng.next_id + 1;
+  eng.states_created <- eng.states_created + 1;
+  let mem =
+    Symmem.create ~base:eng.base_mem
+      ~symdev:(if eng.cfg.concrete_hardware then None else Some eng.symdev)
+  in
+  let st = St.create ~id:eng.next_id ~mem ~ks in
+  (match eng.replay with
+   | Some script ->
+       st.St.replay_inputs <- script.Replay.rs_inputs;
+       st.St.replay_choices <- script.Replay.rs_choices
+   | None -> ());
+  install_sym_hook eng st;
+  st
+
+let add_state eng st =
+  if List.length eng.worklist >= eng.cfg.max_states then
+    eng.states_dropped <- eng.states_dropped + 1
+  else eng.worklist <- st :: eng.worklist
+
+let fork_state eng st =
+  eng.next_id <- eng.next_id + 1;
+  eng.states_created <- eng.states_created + 1;
+  let child = St.fork st ~id:eng.next_id in
+  install_sym_hook eng child;
+  install_sym_hook eng st;
+  (* Forking moved the parent to a fresh COW leaf too; re-binding the hook
+     keeps symbolic-read events attributed to the right state. *)
+  let d = Symmem.chain_depth child.St.mem in
+  if d > eng.max_cow_depth then eng.max_cow_depth <- d;
+  Hashtbl.replace eng.last_block child.St.id
+    (try Hashtbl.find eng.last_block st.St.id with Not_found -> 0);
+  child
+
+let retire eng st status ~report =
+  st.St.status <- Some status;
+  Hashtbl.remove eng.last_block st.St.id;
+  let forks =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Event.E_branch { forked = true; _ } -> acc + 1
+        | _ -> acc)
+      0 st.St.trace
+  in
+  eng.lineage <-
+    (st.St.id, st.St.parent_id,
+     Format.asprintf "%s: %a" st.St.entry_name St.pp_status status, forks)
+    :: eng.lineage;
+  if report then begin
+    eng.done_states <- st :: eng.done_states;
+    eng.on_state_done st
+  end
+
+(* --- expression helpers ------------------------------------------------ *)
+
+let concretize eng st e reason =
+  ignore eng;
+  let e = Simplify.simplify e in
+  match Expr.to_const e with
+  | Some v -> v
+  | None -> (
+      match Solver.concretize st.St.constraints e with
+      | None -> raise (Discard_state "infeasible path condition")
+      | Some v ->
+          St.add_constraint st
+            (Expr.cmp Expr.Eq e (Expr.const (Expr.width_of e) v));
+          St.record st
+            (Event.E_concretize { pc = st.St.pc; expr = e; value = v; reason });
+          v)
+
+let feasible st extra = Solver.is_feasible (extra :: st.St.constraints)
+
+(* Split on a boolean condition. Returns the live successors, each paired
+   with the condition's value on that path. The input state is reused for
+   one successor when feasible; fresh children are NOT yet queued. *)
+let fork_bool eng st cond =
+  let cond = Simplify.simplify cond in
+  match Expr.to_const cond with
+  | Some v -> [ (st, v = 1) ]
+  | None ->
+      let not_cond = Expr.not_ cond in
+      let f_true = feasible st cond in
+      let f_false = feasible st not_cond in
+      if f_true && f_false then begin
+        let child = fork_state eng st in
+        St.add_constraint child cond;
+        St.add_constraint st not_cond;
+        [ (child, true); (st, false) ]
+      end
+      else if f_true then begin
+        St.add_constraint st cond;
+        [ (st, true) ]
+      end
+      else if f_false then begin
+        St.add_constraint st not_cond;
+        [ (st, false) ]
+      end
+      else []
+
+(* In replay mode, pin a freshly created symbolic value to the recorded
+   concrete value when the head of the state's input queue matches. *)
+let replay_pin eng st name e =
+  match eng.replay with
+  | None -> ()
+  | Some _ -> (
+      match st.St.replay_inputs with
+      | (n, v) :: rest when n = name ->
+          st.St.replay_inputs <- rest;
+          St.add_constraint st
+            (Expr.cmp Expr.Eq e (Expr.const (Expr.width_of e) v))
+      | _ -> ())
+
+let fresh_symbolic eng st ~name ~origin width =
+  let var = Expr.fresh_var ~name width in
+  st.St.sym_inputs <- (var, origin) :: st.St.sym_inputs;
+  St.record st (Event.E_sym_create { name; origin; var });
+  let e = Expr.var var in
+  replay_pin eng st name e;
+  e
+
+let write_symbolic_bytes eng st ~addr ~len ~origin =
+  for i = 0 to len - 1 do
+    let e =
+      fresh_symbolic eng st ~name:(Printf.sprintf "%s[%d]" origin i) ~origin
+        Expr.W8
+    in
+    Symmem.write_u8 st.St.mem (addr + i) e
+  done
+
+(* --- memory access with checking --------------------------------------- *)
+
+let checked_access eng st ~pc ~write ~addr_expr ~width =
+  let constraints_before = st.St.constraints in
+  let conc = concretize eng st addr_expr "memory address" in
+  let sp = concretize eng st (St.reg_get st Isa.sp) "stack pointer" in
+  eng.on_mem_access
+    { ma_state = st; ma_pc = pc; ma_write = write; ma_addr = addr_expr;
+      ma_conc = conc; ma_width = width; ma_constraints = constraints_before;
+      ma_sp = sp };
+  if conc < Layout.null_guard then
+    raise
+      (Vm_crash
+         ("DRIVER_FAULT",
+          Printf.sprintf "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
+  conc
+
+(* --- the machine interface for kernel calls ---------------------------- *)
+
+let make_mach eng st =
+  let conc e reason = concretize eng st e reason in
+  let sp_now () = conc (St.reg_get st Isa.sp) "stack pointer" in
+  {
+    Mach.arg =
+      (fun i -> conc (Symmem.read_u32 st.St.mem (sp_now () + (4 * i))) "kcall argument");
+    arg_expr = (fun i -> Symmem.read_u32 st.St.mem (sp_now () + (4 * i)));
+    set_ret = (fun v -> St.reg_set st 0 (Expr.word v));
+    get_ret = (fun () -> conc (St.reg_get st 0) "return register");
+    set_ret_expr = (fun e -> St.reg_set st 0 e);
+    read_u32 = (fun a -> conc (Symmem.read_u32 st.St.mem a) "kernel read");
+    write_u32 = (fun a v -> Symmem.write_u32 st.St.mem a (Expr.word v));
+    read_u8 = (fun a -> conc (Symmem.read_u8 st.St.mem a) "kernel read");
+    write_u8 = (fun a v -> Symmem.write_u8 st.St.mem a (Expr.byte v));
+    read_expr_u32 = (fun a -> Symmem.read_u32 st.St.mem a);
+    write_expr_u32 = (fun a e -> Symmem.write_u32 st.St.mem a e);
+    read_expr_u8 = (fun a -> Symmem.read_u8 st.St.mem a);
+    write_expr_u8 = (fun a e -> Symmem.write_u8 st.St.mem a e);
+    fresh_symbolic =
+      (fun name w -> fresh_symbolic eng st ~name ~origin:"annotation" w);
+    assume =
+      (fun c ->
+        if feasible st c then St.add_constraint st c
+        else raise (Mach.Path_terminated "assumption infeasible"));
+    fork = (fun alts -> raise (Fork_alts alts));
+    discard = (fun why -> raise (Mach.Path_terminated why));
+    cur_pc = (fun () -> st.St.pc);
+    kstate = (fun () -> st.St.ks);
+  }
+
+(* --- forced driver calls (interrupts, entry points) --------------------- *)
+
+let push_word eng st v =
+  let sp = concretize eng st (St.reg_get st Isa.sp) "stack pointer" - 4 in
+  if sp < Layout.stack_limit then
+    raise (Vm_crash ("DRIVER_FAULT", "stack overflow"));
+  St.reg_set st Isa.sp (Expr.word sp);
+  Symmem.write_u32 st.St.mem sp v
+
+let setup_forced_call eng st ~addr ~args =
+  List.iter (fun a -> push_word eng st a) (List.rev args);
+  push_word eng st (Expr.word Layout.return_sentinel);
+  st.St.pc <- addr
+
+let save_ctx st =
+  { St.s_regs = Array.copy st.St.regs; s_pc = st.St.pc;
+    s_int = st.St.int_enabled }
+
+let restore_ctx st (ctx : St.saved_ctx) =
+  Array.blit ctx.St.s_regs 0 st.St.regs 0 (Array.length ctx.St.s_regs);
+  st.St.pc <- ctx.St.s_pc;
+  st.St.int_enabled <- ctx.St.s_int
+
+(* Inject a symbolic interrupt at a kernel/driver boundary crossing: fork a
+   successor in which the interrupt fires right now (§3.3, §4.3). *)
+let maybe_inject eng st ~site ~phase =
+  let site_allowed =
+    match eng.replay with
+    | None -> true
+    | Some script -> List.mem site script.Replay.rs_inject_sites
+  in
+  if
+    site_allowed
+    && eng.cfg.inject_interrupts
+    && Kstate.isr_registered st.St.ks
+    && ((not eng.cfg.respect_cli) || st.St.int_enabled)
+    && (not (Kstate.in_isr st.St.ks))
+    && Kstate.irql st.St.ks < Kstate.device_level
+    && st.St.injections < eng.cfg.max_injections
+    && (not (List.mem site st.St.injected_sites))
+    && not (Hashtbl.mem eng.injected_sites_global site)
+  then begin
+    (* Interrupt arrival times at the same boundary site form one
+       equivalence class (§3.3): deliver once per site, across all paths,
+       to keep the state count linear in the number of crossings. *)
+    Hashtbl.replace eng.injected_sites_global site ();
+    st.St.injected_sites <- site :: st.St.injected_sites;
+    let child = fork_state eng st in
+    child.St.injections <- child.St.injections + 1;
+    match Intr.begin_isr child.St.ks with
+    | None -> ()
+    | Some (call, saved_irql) ->
+        let ctx = save_ctx child in
+        child.St.pending <-
+          St.Pa_after_isr (ctx, saved_irql) :: child.St.pending;
+        St.record child (Event.E_interrupt { site = phase; phase = "isr" });
+        setup_forced_call eng child ~addr:call.Intr.call_addr
+          ~args:(List.map (fun a -> Expr.word a) call.Intr.call_args);
+        add_state eng child
+  end
+
+(* --- kcall dispatch ----------------------------------------------------- *)
+
+let kcall_name eng n =
+  let imports = eng.img.Image.image.Image.imports in
+  if n >= 0 && n < Array.length imports then imports.(n)
+  else failwith (Printf.sprintf "kcall index %d out of range" n)
+
+let dispatch_kcall eng st name =
+  let run_call target_st =
+    let mach = make_mach eng target_st in
+    eng.kcall_enter target_st name mach;
+    Kapi.call ~pre:eng.annot_pre ~post:eng.annot_post target_st.St.ks mach name;
+    eng.kcall_leave target_st name mach
+  in
+  try
+    run_call st;
+    St.record st (Event.E_kcall_ret { name });
+    `Continue
+  with Fork_alts alts -> (
+    (* The current path splits into one successor per alternative. Shared
+       side effects already happened; per-successor adjustments run via
+       the alternative's callback against that successor's machine. The
+       first alternative continues in the current state. *)
+    let alts =
+      (* Replay: resolve the fork to the recorded alternative. *)
+      match eng.replay with
+      | Some _ -> (
+          match st.St.replay_choices with
+          | (api, choice) :: rest_choices when api = name -> (
+              match List.filter (fun (l, _) -> l = choice) alts with
+              | [ alt ] ->
+                  st.St.replay_choices <- rest_choices;
+                  [ alt ]
+              | _ -> alts)
+          | _ -> alts)
+      | None -> alts
+    in
+    match alts with
+    | [] -> raise (Discard_state "fork with no alternatives")
+    | (first_label, first_apply) :: rest ->
+        let finish target label apply =
+          target.St.choices <- (name, label) :: target.St.choices;
+          St.record target (Event.E_choice { label = name; choice = label });
+          (try apply (make_mach eng target) with
+           | Mach.Path_terminated why ->
+               retire eng target (St.Discarded why) ~report:false);
+          Kstate.emit target.St.ks (Kstate.Ev_kcall_leave name);
+          St.record target (Event.E_kcall_ret { name })
+        in
+        List.iter
+          (fun (label, apply) ->
+            let child = fork_state eng st in
+            finish child label apply;
+            if not (St.terminated child) then add_state eng child)
+          rest;
+        finish st first_label first_apply;
+        if St.terminated st then `Forked else `Continue)
+
+(* --- instruction step --------------------------------------------------- *)
+
+let alu_to_binop = function
+  | Isa.Add -> Expr.Add
+  | Isa.Sub -> Expr.Sub
+  | Isa.Mul -> Expr.Mul
+  | Isa.Divu -> Expr.Divu
+  | Isa.Remu -> Expr.Remu
+  | Isa.And -> Expr.And
+  | Isa.Or -> Expr.Or
+  | Isa.Xor -> Expr.Xor
+  | Isa.Shl -> Expr.Shl
+  | Isa.Shru -> Expr.Lshr
+  | Isa.Shrs -> Expr.Ashr
+
+let cmp_to_cmpop = function
+  | Isa.Eq -> Expr.Eq
+  | Isa.Ne -> Expr.Ne
+  | Isa.Ltu -> Expr.Ltu
+  | Isa.Leu -> Expr.Leu
+  | Isa.Lts -> Expr.Lts
+  | Isa.Les -> Expr.Les
+
+let fetch eng pc =
+  (* Driver text is immutable once loaded, so decoding is memoizable —
+     the analog of QEMU's translation cache (§4.1.2). *)
+  match Hashtbl.find_opt eng.decode_cache pc with
+  | Some i -> i
+  | None -> (
+      let b = Mem.read_bytes eng.base_mem pc Isa.instr_size in
+      try
+        let i = Isa.decode b 0 in
+        Hashtbl.replace eng.decode_cache pc i;
+        i
+      with Isa.Invalid_opcode _ ->
+        raise
+          (Vm_crash ("DRIVER_FAULT", Printf.sprintf "invalid opcode at 0x%x" pc)))
+
+let note_block eng st pc =
+  if Hashtbl.mem eng.block_starts pc then begin
+    let c = try Hashtbl.find eng.block_counts pc with Not_found -> 0 in
+    Hashtbl.replace eng.block_counts pc (c + 1);
+    Hashtbl.replace eng.last_block st.St.id pc;
+    if c = 0 then begin
+      eng.last_new_block_step <- eng.total_steps;
+      eng.on_new_block st pc
+    end
+  end
+
+(* Handle reaching the return sentinel: either an interrupt continuation
+   finishes, or the whole entry-point invocation is complete. *)
+let handle_sentinel eng st =
+  match st.St.pending with
+  | [] ->
+      let ret = concretize eng st (St.reg_get st 0) "entry return value" in
+      Kstate.end_invocation st.St.ks st.St.entry_name ret;
+      St.record st (Event.E_entry_ret { name = st.St.entry_name; ret });
+      retire eng st (St.Returned ret) ~report:true
+  | St.Pa_after_isr (ctx, saved_irql) :: rest ->
+      st.St.pending <- rest;
+      (* Does the ISR queue its DPC? Bit 1 of the result decides; explore
+         both outcomes when it is symbolic. *)
+      let dpc_cond =
+        Expr.cmp Expr.Ne
+          (Expr.binop Expr.And (St.reg_get st 0) (Expr.word 2))
+          (Expr.word 0)
+      in
+      let successors = fork_bool eng st dpc_cond in
+      List.iter
+        (fun (s, wants_dpc) ->
+          (match
+             Intr.after_isr s.St.ks ~saved_irql
+               ~isr_ret:(if wants_dpc then 2 else 0)
+           with
+           | Some call ->
+               s.St.pending <-
+                 St.Pa_after_dpc (ctx, saved_irql) :: s.St.pending;
+               St.record s
+                 (Event.E_interrupt { site = "isr-completion"; phase = "dpc" });
+               restore_ctx s ctx;
+               setup_forced_call eng s ~addr:call.Intr.call_addr
+                 ~args:(List.map (fun a -> Expr.word a) call.Intr.call_args)
+           | None ->
+               Intr.finish s.St.ks ~saved_irql;
+               restore_ctx s ctx);
+          if s != st then add_state eng s)
+        successors;
+      if successors = [] then retire eng st (St.Discarded "infeasible") ~report:false
+  | St.Pa_after_dpc (ctx, saved_irql) :: rest
+  | St.Pa_after_timer (ctx, saved_irql) :: rest ->
+      st.St.pending <- rest;
+      Intr.finish st.St.ks ~saved_irql;
+      restore_ctx st ctx
+
+let step eng st =
+  let pc = st.St.pc in
+  if pc = Layout.return_sentinel then handle_sentinel eng st
+  else begin
+    note_block eng st pc;
+    if eng.cfg.record_exec_pcs then St.record st (Event.E_exec pc);
+    st.St.steps <- st.St.steps + 1;
+    eng.total_steps <- eng.total_steps + 1;
+    let instr = fetch eng pc in
+    let next = pc + Isa.instr_size in
+    let g r = St.reg_get st r in
+    let s r e = St.reg_set st r e in
+    let record_mem ~write ~addr ~width ~value =
+      St.record st (Event.E_mem { pc; write; addr; width; value })
+    in
+    match instr with
+    | Isa.Nop -> st.St.pc <- next
+    | Isa.Hlt ->
+        raise (Vm_crash ("DRIVER_FAULT", "driver executed HLT"))
+    | Isa.Mov (rd, rs) -> s rd (g rs); st.St.pc <- next
+    | Isa.Movi (rd, imm) | Isa.Lea (rd, imm) ->
+        s rd (Expr.word imm);
+        st.St.pc <- next
+    | Isa.Alu ((Isa.Divu | Isa.Remu) as op, rd, rs1, rs2) ->
+        let divisor = g rs2 in
+        let zero_cond = Expr.cmp Expr.Eq divisor (Expr.word 0) in
+        let successors = fork_bool eng st zero_cond in
+        List.iter
+          (fun (sx, is_zero) ->
+            if is_zero then
+              retire eng sx
+                (St.Crashed
+                   { c_code = "DRIVER_FAULT"; c_msg = "division by zero";
+                     c_pc = pc })
+                ~report:true
+            else begin
+              St.reg_set sx rd
+                (Expr.binop (alu_to_binop op) (St.reg_get sx rs1)
+                   (St.reg_get sx rs2));
+              sx.St.pc <- next;
+              if sx != st then add_state eng sx
+            end)
+          successors;
+        if successors = [] then
+          retire eng st (St.Discarded "infeasible") ~report:false
+    | Isa.Alu (op, rd, rs1, rs2) ->
+        s rd (Expr.binop (alu_to_binop op) (g rs1) (g rs2));
+        st.St.pc <- next
+    | Isa.Alui ((Isa.Divu | Isa.Remu) as op, rd, rs1, imm) ->
+        if imm = 0 then
+          raise (Vm_crash ("DRIVER_FAULT", "division by zero"))
+        else begin
+          s rd (Expr.binop (alu_to_binop op) (g rs1) (Expr.word imm));
+          st.St.pc <- next
+        end
+    | Isa.Alui (op, rd, rs1, imm) ->
+        s rd (Expr.binop (alu_to_binop op) (g rs1) (Expr.word imm));
+        st.St.pc <- next
+    | Isa.Cmp (op, rd, rs1, rs2) ->
+        s rd (Expr.zext (Expr.cmp (cmp_to_cmpop op) (g rs1) (g rs2)));
+        st.St.pc <- next
+    | Isa.Cmpi (op, rd, rs1, imm) ->
+        s rd (Expr.zext (Expr.cmp (cmp_to_cmpop op) (g rs1) (Expr.word imm)));
+        st.St.pc <- next
+    | Isa.Ldw (rd, rs1, off) ->
+        let addr_expr = Expr.binop Expr.Add (g rs1) (Expr.word off) in
+        let a = checked_access eng st ~pc ~write:false ~addr_expr ~width:4 in
+        let v = Symmem.read_u32 st.St.mem a in
+        record_mem ~write:false ~addr:addr_expr ~width:4 ~value:v;
+        s rd v;
+        st.St.pc <- next
+    | Isa.Ldb (rd, rs1, off) ->
+        let addr_expr = Expr.binop Expr.Add (g rs1) (Expr.word off) in
+        let a = checked_access eng st ~pc ~write:false ~addr_expr ~width:1 in
+        let v = Symmem.read_u8 st.St.mem a in
+        record_mem ~write:false ~addr:addr_expr ~width:1 ~value:v;
+        s rd (Expr.zext v);
+        st.St.pc <- next
+    | Isa.Stw (rs1, off, rs2) ->
+        let addr_expr = Expr.binop Expr.Add (g rs1) (Expr.word off) in
+        let a = checked_access eng st ~pc ~write:true ~addr_expr ~width:4 in
+        record_mem ~write:true ~addr:addr_expr ~width:4 ~value:(g rs2);
+        Symmem.write_u32 st.St.mem a (g rs2);
+        st.St.pc <- next
+    | Isa.Stb (rs1, off, rs2) ->
+        let addr_expr = Expr.binop Expr.Add (g rs1) (Expr.word off) in
+        let a = checked_access eng st ~pc ~write:true ~addr_expr ~width:1 in
+        let byte_v = Expr.extract (g rs2) 0 in
+        record_mem ~write:true ~addr:addr_expr ~width:1 ~value:byte_v;
+        Symmem.write_u8 st.St.mem a byte_v;
+        st.St.pc <- next
+    | Isa.Push rs ->
+        push_word eng st (g rs);
+        st.St.pc <- next
+    | Isa.Pop rd ->
+        let sp = concretize eng st (g Isa.sp) "stack pointer" in
+        s rd (Symmem.read_u32 st.St.mem sp);
+        s Isa.sp (Expr.word (sp + 4));
+        st.St.pc <- next
+    | Isa.Jmp imm -> st.St.pc <- imm
+    | Isa.Jz (rs, target) | Isa.Jnz (rs, target) ->
+        let taken_cond =
+          match instr with
+          | Isa.Jz _ -> Expr.cmp Expr.Eq (g rs) (Expr.word 0)
+          | _ -> Expr.cmp Expr.Ne (g rs) (Expr.word 0)
+        in
+        let was_symbolic =
+          Expr.to_const (Simplify.simplify taken_cond) = None
+        in
+        let successors = fork_bool eng st taken_cond in
+        let forked = List.length successors > 1 in
+        List.iter
+          (fun (sx, taken) ->
+            St.record sx
+              (Event.E_branch
+                 { pc; taken; forked = forked && was_symbolic;
+                   cond = taken_cond });
+            sx.St.pc <- (if taken then target else next);
+            if sx != st then add_state eng sx)
+          successors;
+        if successors = [] then
+          retire eng st (St.Discarded "infeasible branch") ~report:false
+    | Isa.Call target ->
+        push_word eng st (Expr.word next);
+        st.St.pc <- target
+    | Isa.Callr rs ->
+        let target = concretize eng st (g rs) "indirect call target" in
+        if target < Layout.null_guard then
+          raise
+            (Vm_crash
+               ("DRIVER_FAULT",
+                Printf.sprintf "indirect call through bad pointer 0x%x" target));
+        push_word eng st (Expr.word next);
+        st.St.pc <- target
+    | Isa.Ret ->
+        let sp = concretize eng st (g Isa.sp) "stack pointer" in
+        let ret_addr =
+          concretize eng st (Symmem.read_u32 st.St.mem sp) "return address"
+        in
+        s Isa.sp (Expr.word (sp + 4));
+        st.St.pc <- ret_addr
+    | Isa.Kcall n ->
+        let name = kcall_name eng n in
+        St.record st (Event.E_kcall { pc; name });
+        (* Symbolic interrupt before the call: the fork resumes at this
+           kcall instruction, so the interrupt precedes the kernel call. *)
+        maybe_inject eng st ~site:pc ~phase:("before " ^ name);
+        st.St.pc <- next;
+        (match dispatch_kcall eng st name with
+         | `Continue ->
+             maybe_inject eng st ~site:next ~phase:("after " ^ name)
+         | `Forked ->
+             retire eng st (St.Discarded "replaced by fork successors")
+               ~report:false)
+    | Isa.Cli ->
+        st.St.int_enabled <- false;
+        st.St.pc <- next
+    | Isa.Sti ->
+        st.St.int_enabled <- true;
+        st.St.pc <- next
+  end
+
+(* --- driving ------------------------------------------------------------ *)
+
+let fork_of eng st = fork_state eng st
+
+let start_timer_fire eng st ~timer_addr =
+  match Intr.begin_timer st.St.ks timer_addr with
+  | None -> ()
+  | Some (call, saved_irql) ->
+      st.St.entry_name <- "timer";
+      Kstate.begin_invocation st.St.ks "timer";
+      let ctx = save_ctx st in
+      st.St.pending <- St.Pa_after_timer (ctx, saved_irql) :: st.St.pending;
+      St.record st (Event.E_interrupt { site = "timer expiry"; phase = "timer" });
+      setup_forced_call eng st ~addr:call.Intr.call_addr
+        ~args:(List.map (fun a -> Expr.word a) call.Intr.call_args);
+      add_state eng st
+
+(* Fire one interrupt at top level (between invocations) — the timing a
+   concrete stress tool exercises; it never lands inside the windows that
+   symbolic injection reaches. *)
+let start_interrupt_fire eng st =
+  match Intr.begin_isr st.St.ks with
+  | None -> ()
+  | Some (call, saved_irql) ->
+      st.St.entry_name <- "interrupt";
+      Kstate.begin_invocation st.St.ks "interrupt";
+      let ctx = save_ctx st in
+      st.St.pending <- St.Pa_after_isr (ctx, saved_irql) :: st.St.pending;
+      St.record st (Event.E_interrupt { site = "top-level"; phase = "isr" });
+      setup_forced_call eng st ~addr:call.Intr.call_addr
+        ~args:(List.map (fun a -> Expr.word a) call.Intr.call_args);
+      add_state eng st
+
+let start_invocation eng st ~name ~addr ~args =
+  st.St.entry_name <- name;
+  (* The symbolic-interrupt budget is per invocation. *)
+  st.St.injections <- 0;
+  st.St.pc <- addr;
+  St.reg_set st Isa.sp (Expr.word Layout.stack_top);
+  Kstate.begin_invocation st.St.ks name;
+  St.record st (Event.E_entry { name; addr });
+  (* Push symbolic or concrete args, then the sentinel. *)
+  List.iter (fun a -> push_word eng st a) (List.rev args);
+  push_word eng st (Expr.word Layout.return_sentinel);
+  maybe_inject eng st ~site:addr ~phase:("entry " ^ name);
+  add_state eng st
+
+let step_quantum eng st =
+  let budget = ref eng.cfg.quantum in
+  (try
+     while
+       (not (St.terminated st))
+       && !budget > 0
+       && st.St.steps < eng.cfg.max_steps_per_state
+     do
+       decr budget;
+       step eng st
+     done;
+     if St.terminated st then ()
+     else if st.St.steps >= eng.cfg.max_steps_per_state then
+       retire eng st St.Exhausted ~report:true
+     else eng.worklist <- eng.worklist @ [ st ]
+   with
+   | Discard_state why | Mach.Path_terminated why ->
+       retire eng st (St.Discarded why) ~report:false
+   | Vm_crash (code, msg) ->
+       retire eng st
+         (St.Crashed { c_code = code; c_msg = msg; c_pc = st.St.pc })
+         ~report:true
+   | Bugcheck.Bugcheck (code, msg) ->
+       retire eng st
+         (St.Crashed
+            { c_code = Bugcheck.string_of_code code; c_msg = msg;
+              c_pc = st.St.pc })
+         ~report:true)
+
+let priority eng st =
+  let block =
+    try Hashtbl.find eng.last_block st.St.id with Not_found -> st.St.pc
+  in
+  try Hashtbl.find eng.block_counts block with Not_found -> 0
+
+let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
+  let start = eng.total_steps in
+  eng.last_new_block_step <- eng.total_steps;
+  let rec loop () =
+    if eng.total_steps - start >= max_total_steps then
+      (* Budget exhausted: remaining states end as Exhausted. *)
+      List.iter
+        (fun st -> retire eng st St.Exhausted ~report:true)
+        eng.worklist
+      |> fun () -> eng.worklist <- []
+    else if eng.total_steps - eng.last_new_block_step >= plateau_steps then
+      (* The paper's stopping rule: run until no new basic blocks are
+         discovered for some amount of time (§5.2). Remaining states are
+         redundant path siblings; drop them quietly. *)
+      List.iter
+        (fun st ->
+          retire eng st (St.Discarded "coverage plateau") ~report:false)
+        eng.worklist
+      |> fun () -> eng.worklist <- []
+    else
+      match Sched.pick eng.cfg.strategy ~priority:(priority eng) eng.worklist with
+      | None -> ()
+      | Some (st, rest) ->
+          eng.worklist <- rest;
+          eng.picks <- eng.picks + 1;
+          if eng.picks land 63 = 0 then begin
+            (* Sample the copy-on-write footprint for the E5 accounting. *)
+            let live =
+              List.fold_left
+                (fun acc s -> acc + Symmem.live_words s.St.mem)
+                (Symmem.live_words st.St.mem)
+                eng.worklist
+            in
+            if live > eng.peak_live_words then eng.peak_live_words <- live
+          end;
+          step_quantum eng st;
+          loop ()
+  in
+  loop ()
+
+let replay_script ?(extra = []) ?constraints (st : St.t) =
+  let base_constraints =
+    match constraints with Some cs -> cs | None -> st.St.constraints
+  in
+  let model =
+    match Solver.check (extra @ base_constraints) with
+    | Solver.Sat m -> m
+    | Solver.Unsat | Solver.Unknown -> (
+        (* The extra witness constraints may be unsatisfiable together
+           with the path; fall back to the plain path condition. *)
+        match Solver.check st.St.constraints with
+        | Solver.Sat m -> m
+        | Solver.Unsat | Solver.Unknown -> fun _ -> 0)
+  in
+  {
+    Replay.rs_inputs =
+      List.rev_map (fun (var, _) -> (var.Expr.name, model var)) st.St.sym_inputs;
+    rs_choices = List.rev st.St.choices;
+    rs_inject_sites = List.rev st.St.injected_sites;
+    rs_entry = st.St.entry_name;
+  }
+
+let execution_tree eng = Ddt_trace.Tree.build eng.lineage
+
+(* A crash-dump of a state: concretized registers plus the pages its
+   copy-on-write store touched, valued under the path condition's model
+   (§3.5: "each execution state maintained by DDT is a complete snapshot
+   of the system"). *)
+let crashdump eng (st : St.t) ~note =
+  let model =
+    match Solver.check st.St.constraints with
+    | Solver.Sat m -> m
+    | Solver.Unsat | Solver.Unknown -> fun _ -> 0
+  in
+  let value e =
+    let e = Simplify.simplify e in
+    match Expr.to_const e with Some v -> v | None -> Expr.eval model e
+  in
+  let regs = Array.map value st.St.regs in
+  (* Reconstruct the touched pages. *)
+  let pages = Hashtbl.create 8 in
+  let page_of addr = addr land lnot 0xFFF in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.E_mem { addr; _ } -> (
+          match Expr.to_const (Simplify.simplify addr) with
+          | Some a ->
+              (* Device pages are not dumpable: every read would mint a
+                 fresh symbolic value (the device has no stable state). *)
+              if not (Ddt_hw.Symdev.is_device_addr eng.symdev a) then
+                Hashtbl.replace pages (page_of a) ()
+          | None -> ())
+      | _ -> ())
+    st.St.trace;
+  let dump_pages =
+    Hashtbl.fold
+      (fun base () acc ->
+        let b = Bytes.create 4096 in
+        for i = 0 to 4095 do
+          Bytes.set_uint8 b i (value (Symmem.read_u8 st.St.mem (base + i)))
+        done;
+        (base, b) :: acc)
+      pages []
+  in
+  {
+    Ddt_trace.Crashdump.d_pc = st.St.pc;
+    d_regs = regs;
+    d_note = note;
+    d_pages = List.sort compare dump_pages;
+  }
+
+let finished eng = eng.done_states
+
+let drain_finished eng =
+  let r = eng.done_states in
+  eng.done_states <- [];
+  r
+
+type stats = {
+  st_total_steps : int;
+  st_states_created : int;
+  st_states_dropped : int;
+  st_blocks_covered : int;
+  st_max_cow_depth : int;
+  st_live_words : int;
+}
+
+let block_coverage eng = Hashtbl.length eng.block_counts
+
+let covered_blocks eng =
+  Hashtbl.fold (fun k _ acc -> k :: acc) eng.block_counts []
+  |> List.sort compare
+
+let stats eng =
+  let live =
+    List.fold_left (fun acc st -> acc + Symmem.live_words st.St.mem) 0
+      eng.worklist
+  in
+  {
+    st_total_steps = eng.total_steps;
+    st_states_created = eng.states_created;
+    st_states_dropped = eng.states_dropped;
+    st_blocks_covered = block_coverage eng;
+    st_max_cow_depth = eng.max_cow_depth;
+    st_live_words = max live eng.peak_live_words;
+  }

@@ -1,0 +1,161 @@
+(** The selective symbolic execution engine (§3.2, §4.1 of the paper).
+
+    Driver code (inside the loaded image's text section) is interpreted
+    over symbolic expressions; [Kcall]s transfer to native kernel API
+    implementations that run concretely against a {!Ddt_kernel.Mach}
+    built for the current state. Conditional branches on symbolic values
+    fork complete system states; symbolic hardware reads mint fresh
+    variables; symbolic interrupts are injected by forking at
+    kernel/driver boundary crossings (§4.3).
+
+    The engine is checker-agnostic: it exposes hooks for memory accesses,
+    newly covered basic blocks, and terminated states; [ddt_core.Session]
+    wires these to the dynamic checkers. *)
+
+module Expr = Ddt_solver.Expr
+
+type config = {
+  max_states : int;            (** cap on simultaneously queued states *)
+  max_steps_per_state : int;   (** per-invocation instruction budget *)
+  quantum : int;               (** instructions per scheduling slice *)
+  max_injections : int;        (** symbolic interrupts per path *)
+  inject_interrupts : bool;
+  respect_cli : bool;          (** honor the CPU interrupt-enable flag *)
+  record_exec_pcs : bool;      (** record every executed pc in the trace *)
+  concrete_hardware : bool;
+  (** route device reads to the concrete MMIO hooks instead of minting
+      symbolic values — used by the stress baseline *)
+  strategy : Sched.strategy;
+}
+
+val default_config : config
+
+type mem_access = {
+  ma_state : Symstate.t;
+  ma_pc : int;
+  ma_write : bool;
+  ma_addr : Expr.t;             (** pre-concretization address expression *)
+  ma_conc : int;                (** concretized address actually accessed *)
+  ma_width : int;
+  ma_constraints : Expr.t list; (** path condition before concretization *)
+  ma_sp : int;                  (** stack pointer at the access *)
+}
+
+type engine
+
+val create :
+  ?config:config -> Ddt_dvm.Image.loaded -> Ddt_dvm.Mem.t ->
+  Ddt_hw.Symdev.t -> engine
+
+val config : engine -> config
+val loaded : engine -> Ddt_dvm.Image.loaded
+
+(** {1 Hooks} *)
+
+val set_on_mem_access : engine -> (mem_access -> unit) -> unit
+val set_on_state_done : engine -> (Symstate.t -> unit) -> unit
+(** Fired for [Returned], [Crashed] and [Exhausted] states (not for
+    discarded or fork-retired ones). *)
+
+val set_on_new_block : engine -> (Symstate.t -> int -> unit) -> unit
+(** First global execution of a basic block (absolute address). *)
+
+val set_annotations :
+  engine ->
+  pre:(string -> Ddt_kernel.Kstate.t -> Ddt_kernel.Mach.t -> unit) ->
+  post:(string -> Ddt_kernel.Kstate.t -> Ddt_kernel.Mach.t -> unit) ->
+  unit
+
+val set_kcall_hooks :
+  engine ->
+  enter:(Symstate.t -> string -> Ddt_kernel.Mach.t -> unit) ->
+  leave:(Symstate.t -> string -> Ddt_kernel.Mach.t -> unit) ->
+  unit
+(** Checker taps around each kernel call, with the state in hand — this is
+    where guest-OS-level verification tools (the Driver-Verifier analog)
+    observe the driver (§3.1.2). *)
+
+val set_replay : engine -> Ddt_trace.Replay.script -> unit
+(** Replay mode: pin symbolic inputs, fork decisions and interrupt sites
+    to a recorded script, making the engine deterministic along that
+    path (§3.5). *)
+
+val replay_script :
+  ?extra:Expr.t list -> ?constraints:Expr.t list -> Symstate.t ->
+  Ddt_trace.Replay.script
+(** Derive the concrete inputs and system events that drive the driver
+    down this state's path, by solving its path condition ([constraints]
+    overrides it, e.g. with a pre-concretization snapshot). [extra] adds
+    witness constraints (e.g. "the symbolic address actually escapes its
+    region") so the evidence triggers the defect, not merely reaches it. *)
+
+(** {1 Driving} *)
+
+val new_root_state : engine -> Ddt_kernel.Kstate.t -> Symstate.t
+
+val start_invocation :
+  engine -> Symstate.t -> name:string -> addr:int -> args:Expr.t list -> unit
+(** Prepare the state to run one driver entry point (args may be
+    symbolic) and queue it. *)
+
+val fork_of : engine -> Symstate.t -> Symstate.t
+(** Fork a state for reuse as the base of another invocation (the child's
+    status is cleared). *)
+
+val start_timer_fire : engine -> Symstate.t -> timer_addr:int -> unit
+(** Fire a due timer on this state as a top-level DPC invocation. *)
+
+val start_interrupt_fire : engine -> Symstate.t -> unit
+(** Deliver one interrupt at top level (between invocations) — the safe
+    timing a concrete stress tool exercises, as opposed to the
+    boundary-crossing injection of symbolic interrupts. *)
+
+val run : engine -> ?max_total_steps:int -> ?plateau_steps:int -> unit -> unit
+(** Explore until the worklist empties, the step budget is exhausted
+    (leftover states are marked [Exhausted]), or no new basic block has
+    been covered for [plateau_steps] instructions — the paper's stopping
+    rule (§5.2); plateau leftovers are redundant siblings and are dropped
+    silently. *)
+
+val execution_tree : engine -> Ddt_trace.Tree.t
+(** The tree of every explored path (§3.5): nodes are states, children are
+    fork successors, labels carry the terminal status. *)
+
+val crashdump :
+  engine -> Symstate.t -> note:string -> Ddt_trace.Crashdump.t
+(** Snapshot a state as a crash dump: registers and touched memory pages
+    concretized under the path condition's model. *)
+
+val finished : engine -> Symstate.t list
+(** Terminated states, in completion order (newest first). *)
+
+val drain_finished : engine -> Symstate.t list
+(** Like {!finished} but clears the list — used between workload phases. *)
+
+(** {1 Helpers for the exerciser and annotations} *)
+
+val write_symbolic_bytes :
+  engine -> Symstate.t -> addr:int -> len:int -> origin:string -> unit
+
+val fresh_symbolic :
+  engine -> Symstate.t -> name:string -> origin:string -> Expr.width -> Expr.t
+
+val concretize : engine -> Symstate.t -> Expr.t -> string -> int
+
+(** {1 Statistics} *)
+
+type stats = {
+  st_total_steps : int;
+  st_states_created : int;
+  st_states_dropped : int;     (** children not queued due to max_states *)
+  st_blocks_covered : int;
+  st_max_cow_depth : int;
+  st_live_words : int;
+  (** peak copy-on-write entries across all queued states (sampled) *)
+}
+
+val stats : engine -> stats
+val block_coverage : engine -> int
+(** Number of distinct basic blocks executed so far. *)
+
+val covered_blocks : engine -> int list

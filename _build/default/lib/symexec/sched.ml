@@ -1,0 +1,44 @@
+type strategy =
+  | Min_touch
+  | Dfs
+  | Bfs
+  | Random_pick of int
+
+let remove_first p xs =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if p x then Some (x, List.rev_append acc rest) else go (x :: acc) rest
+  in
+  go [] xs
+
+let pick strategy ~priority worklist =
+  match worklist with
+  | [] -> None
+  | first :: rest -> (
+      match strategy with
+      | Dfs -> Some (first, rest)     (* worklist is push-front *)
+      | Bfs -> (
+          match List.rev worklist with
+          | last :: before -> Some (last, List.rev before)
+          | [] -> None)
+      | Random_pick seed ->
+          let n = List.length worklist in
+          let idx = abs (Hashtbl.hash (seed, n, first.Symstate.id)) mod n in
+          let chosen = List.nth worklist idx in
+          remove_first (fun s -> s == chosen) worklist
+      | Min_touch ->
+          (* Ties break toward the oldest queued state (the worklist is
+             push-front): without FIFO tie-breaking the search herds on
+             the newest fork siblings and behaves like DFS. *)
+          let best =
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | None -> Some s
+                | Some b -> if priority s <= priority b then Some s else acc)
+              None worklist
+          in
+          (match best with
+           | None -> None
+           | Some b -> remove_first (fun s -> s == b) worklist))

@@ -1,0 +1,18 @@
+(** State-selection strategies for the exploration worklist.
+
+    The default, {!Min_touch}, is the coverage heuristic of the paper
+    (§4.3, after EXE): keep a counter per basic block and always pick the
+    state whose current block was executed least, which starves states
+    stuck in polling loops. *)
+
+type strategy =
+  | Min_touch
+  | Dfs
+  | Bfs
+  | Random_pick of int    (** seed *)
+
+val pick :
+  strategy -> priority:(Symstate.t -> int) -> Symstate.t list ->
+  (Symstate.t * Symstate.t list) option
+(** Remove and return the next state to run. [priority] is the current
+    block's execution count (lower runs first); only {!Min_touch} uses it. *)

@@ -1,0 +1,103 @@
+module Expr = Ddt_solver.Expr
+
+type node = {
+  parent : node option;
+  writes : (int, Expr.t) Hashtbl.t;
+}
+
+type t = {
+  mutable node : node;
+  base : Ddt_dvm.Mem.t;
+  mutable cache : (int, Expr.t) Hashtbl.t;
+  symdev : Ddt_hw.Symdev.t option;
+  mutable sym_read_hook : string -> Expr.var -> unit;
+}
+
+let create ~base ~symdev =
+  {
+    node = { parent = None; writes = Hashtbl.create 64 };
+    base;
+    cache = Hashtbl.create 64;
+    symdev;
+    sym_read_hook = (fun _ _ -> ());
+  }
+
+let fork t =
+  let old = t.node in
+  t.node <- { parent = Some old; writes = Hashtbl.create 16 };
+  {
+    t with
+    node = { parent = Some old; writes = Hashtbl.create 16 };
+    cache = Hashtbl.copy t.cache;
+  }
+
+let set_sym_read_hook t f = t.sym_read_hook <- f
+
+let is_mmio t addr =
+  match t.symdev with
+  | Some d -> Ddt_hw.Symdev.is_device_addr d addr
+  | None -> false
+
+let read_u8 t addr =
+  let addr = addr land 0xFFFFFFFF in
+  if is_mmio t addr then begin
+    (* Fully symbolic hardware: every read is a fresh unconstrained value. *)
+    let d = Option.get t.symdev in
+    let e = Ddt_hw.Symdev.fresh_read d addr in
+    (match e with
+     | Expr.Var v -> t.sym_read_hook v.Expr.name v
+     | _ -> ());
+    e
+  end
+  else
+    match Hashtbl.find_opt t.cache addr with
+    | Some v -> v
+    | None ->
+        let rec walk = function
+          | None -> Expr.byte (Ddt_dvm.Mem.read_u8 t.base addr)
+          | Some n -> (
+              match Hashtbl.find_opt n.writes addr with
+              | Some v -> v
+              | None -> walk n.parent)
+        in
+        let v = walk (Some t.node) in
+        Hashtbl.replace t.cache addr v;
+        v
+
+let write_u8 t addr v =
+  let addr = addr land 0xFFFFFFFF in
+  if is_mmio t addr then
+    (* Symbolic hardware discards register writes. *)
+    ()
+  else begin
+    Hashtbl.replace t.node.writes addr v;
+    Hashtbl.replace t.cache addr v
+  end
+
+let read_u32 t addr =
+  let b0 = read_u8 t addr in
+  let b1 = read_u8 t (addr + 1) in
+  let b2 = read_u8 t (addr + 2) in
+  let b3 = read_u8 t (addr + 3) in
+  Expr.concat4 b3 b2 b1 b0
+
+let write_u32 t addr v =
+  for i = 0 to 3 do
+    write_u8 t (addr + i) (Expr.extract v i)
+  done
+
+let read_u8_concrete_view t valuation addr = valuation (read_u8 t addr)
+
+let chain_depth t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (acc + 1) n.parent
+  in
+  go 0 (Some t.node)
+
+let live_words t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (acc + Hashtbl.length n.writes) n.parent
+  in
+  go 0 (Some t.node)

@@ -1,0 +1,37 @@
+(** Symbolic memory with chained copy-on-write (§4.1.3 of the paper).
+
+    Forking creates an empty memory object pointing to its parent; writes
+    go to the leaf object, reads that miss locally walk the parent chain
+    and fall through to the shared concrete backing memory. Resolved reads
+    are cached in the leaf to keep deep fork chains cheap — exactly the
+    optimization the paper describes.
+
+    Reads from the symbolic device's MMIO ranges return a fresh
+    unconstrained symbolic byte on every access; writes there are
+    discarded (fully symbolic hardware, §3.3). *)
+
+type t
+
+val create :
+  base:Ddt_dvm.Mem.t -> symdev:Ddt_hw.Symdev.t option -> t
+
+val fork : t -> t
+(** Returns a child; the original also moves to a fresh leaf so neither
+    side can see the other's subsequent writes. *)
+
+val set_sym_read_hook : t -> (string -> Ddt_solver.Expr.var -> unit) -> unit
+(** Called whenever an MMIO read mints a fresh symbolic byte. *)
+
+val read_u8 : t -> int -> Ddt_solver.Expr.t
+val write_u8 : t -> int -> Ddt_solver.Expr.t -> unit
+val read_u32 : t -> int -> Ddt_solver.Expr.t
+val write_u32 : t -> int -> Ddt_solver.Expr.t -> unit
+
+val read_u8_concrete_view : t -> (Ddt_solver.Expr.t -> int) -> int -> int
+(** Read a byte and concretize it with the supplied valuation. *)
+
+val chain_depth : t -> int
+(** Length of the copy-on-write chain (for statistics/benchmarks). *)
+
+val live_words : t -> int
+(** Total entries across this leaf's chain (memory accounting, E5). *)

@@ -1,0 +1,95 @@
+module Expr = Ddt_solver.Expr
+
+type crash = {
+  c_code : string;
+  c_msg : string;
+  c_pc : int;
+}
+
+type status =
+  | Returned of int
+  | Crashed of crash
+  | Discarded of string
+  | Exhausted
+
+type saved_ctx = {
+  s_regs : Expr.t array;
+  s_pc : int;
+  s_int : bool;
+}
+
+type post_action =
+  | Pa_after_isr of saved_ctx * int
+  | Pa_after_dpc of saved_ctx * int
+  | Pa_after_timer of saved_ctx * int
+
+type t = {
+  id : int;
+  parent_id : int;
+  regs : Expr.t array;
+  mutable pc : int;
+  mutable int_enabled : bool;
+  mem : Symmem.t;
+  mutable constraints : Expr.t list;
+  ks : Ddt_kernel.Kstate.t;
+  mutable pending : post_action list;
+  mutable trace : Ddt_trace.Event.t list;
+  mutable choices : (string * string) list;
+  mutable sym_inputs : (Expr.var * string) list;
+  mutable injections : int;
+  mutable injected_sites : int list;
+  mutable steps : int;
+  mutable status : status option;
+  mutable entry_name : string;
+  mutable depth : int;
+  mutable replay_inputs : (string * int) list;
+  mutable replay_choices : (string * string) list;
+}
+
+let create ~id ~mem ~ks =
+  {
+    id;
+    parent_id = 0;
+    regs = Array.make Ddt_dvm.Isa.num_regs (Expr.word 0);
+    pc = 0;
+    int_enabled = true;
+    mem;
+    constraints = [];
+    ks;
+    pending = [];
+    trace = [];
+    choices = [];
+    sym_inputs = [];
+    injections = 0;
+    injected_sites = [];
+    steps = 0;
+    status = None;
+    entry_name = "";
+    depth = 0;
+    replay_inputs = [];
+    replay_choices = [];
+  }
+
+let fork t ~id =
+  {
+    t with
+    id;
+    parent_id = t.id;
+    regs = Array.copy t.regs;
+    mem = Symmem.fork t.mem;
+    ks = Ddt_kernel.Kstate.copy t.ks;
+    depth = t.depth + 1;
+    status = None;
+  }
+
+let record t ev = t.trace <- ev :: t.trace
+let add_constraint t c = t.constraints <- c :: t.constraints
+let reg_get t r = t.regs.(r)
+let reg_set t r e = t.regs.(r) <- e
+let terminated t = t.status <> None
+
+let pp_status fmt = function
+  | Returned r -> Format.fprintf fmt "returned 0x%x" r
+  | Crashed c -> Format.fprintf fmt "crashed %s at 0x%x: %s" c.c_code c.c_pc c.c_msg
+  | Discarded why -> Format.fprintf fmt "discarded (%s)" why
+  | Exhausted -> Format.fprintf fmt "exhausted"

@@ -1,0 +1,64 @@
+(** A symbolic execution state: conceptually a complete system snapshot
+    (§4.1.2) — CPU registers holding expressions, copy-on-write symbolic
+    memory, the path condition, a forked copy of the kernel state, the
+    stack of pending interrupt continuations, and the execution trace. *)
+
+module Expr = Ddt_solver.Expr
+
+type crash = {
+  c_code : string;
+  c_msg : string;
+  c_pc : int;
+}
+
+type status =
+  | Returned of int            (** invocation finished; concretized r0 *)
+  | Crashed of crash
+  | Discarded of string
+  | Exhausted                  (** step budget or fuel ran out *)
+
+(** Saved CPU context for nested (interrupt) driver invocations. *)
+type saved_ctx = {
+  s_regs : Expr.t array;
+  s_pc : int;
+  s_int : bool;
+}
+
+type post_action =
+  | Pa_after_isr of saved_ctx * int    (** saved context, saved IRQL *)
+  | Pa_after_dpc of saved_ctx * int
+  | Pa_after_timer of saved_ctx * int
+
+type t = {
+  id : int;
+  parent_id : int;
+  regs : Expr.t array;
+  mutable pc : int;
+  mutable int_enabled : bool;
+  mem : Symmem.t;
+  mutable constraints : Expr.t list;
+  ks : Ddt_kernel.Kstate.t;
+  mutable pending : post_action list;
+  mutable trace : Ddt_trace.Event.t list;       (** newest first *)
+  mutable choices : (string * string) list;     (** annotation decisions *)
+  mutable sym_inputs : (Expr.var * string) list;
+  mutable injections : int;
+  mutable injected_sites : int list;
+  mutable steps : int;
+  mutable status : status option;
+  mutable entry_name : string;
+  mutable depth : int;                          (** fork depth *)
+  mutable replay_inputs : (string * int) list;
+  (** replay mode: pending (name, value) pins, oldest first *)
+  mutable replay_choices : (string * string) list;
+  (** replay mode: pending (api, alternative) decisions, oldest first *)
+}
+
+val create : id:int -> mem:Symmem.t -> ks:Ddt_kernel.Kstate.t -> t
+val fork : t -> id:int -> t
+val record : t -> Ddt_trace.Event.t -> unit
+val add_constraint : t -> Expr.t -> unit
+val reg_get : t -> int -> Expr.t
+val reg_set : t -> int -> Expr.t -> unit
+val terminated : t -> bool
+val pp_status : Format.formatter -> status -> unit

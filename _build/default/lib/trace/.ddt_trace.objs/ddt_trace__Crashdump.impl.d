@@ -1,0 +1,1 @@
+lib/trace/crashdump.ml: Array Buffer Bytes Format Int32 List String

@@ -1,0 +1,1 @@
+lib/trace/event.ml: Buffer Ddt_solver Format List Printf

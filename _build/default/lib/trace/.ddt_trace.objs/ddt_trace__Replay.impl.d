@@ -1,0 +1,1 @@
+lib/trace/replay.ml: Buffer Format List Printf String

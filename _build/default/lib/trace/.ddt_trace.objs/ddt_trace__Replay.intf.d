@@ -1,0 +1,1 @@
+lib/trace/replay.mli: Format

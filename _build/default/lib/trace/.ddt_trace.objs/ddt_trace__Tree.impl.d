@@ -1,0 +1,1 @@
+lib/trace/tree.ml: Format Hashtbl List Printf

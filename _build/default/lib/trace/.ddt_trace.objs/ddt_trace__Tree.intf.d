@@ -1,0 +1,1 @@
+lib/trace/tree.mli: Format

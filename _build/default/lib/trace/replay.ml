@@ -1,0 +1,62 @@
+type script = {
+  rs_inputs : (string * int) list;
+  rs_choices : (string * string) list;
+  rs_inject_sites : int list;
+  rs_entry : string;
+}
+
+let empty =
+  { rs_inputs = []; rs_choices = []; rs_inject_sites = []; rs_entry = "" }
+
+let pp fmt s =
+  Format.fprintf fmt "replay script (entry %s):@." s.rs_entry;
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "  input %s = 0x%x@." name v)
+    s.rs_inputs;
+  List.iter
+    (fun (api, choice) -> Format.fprintf fmt "  choice %s -> %s@." api choice)
+    s.rs_choices;
+  List.iter
+    (fun site -> Format.fprintf fmt "  interrupt at site 0x%x@." site)
+    s.rs_inject_sites
+
+(* Line-oriented textual format: one record per line, tab separated. *)
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "entry\t%s\n" s.rs_entry);
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "input\t%s\t%d\n" n v))
+    s.rs_inputs;
+  List.iter
+    (fun (a, c) ->
+      Buffer.add_string buf (Printf.sprintf "choice\t%s\t%s\n" a c))
+    s.rs_choices;
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "inject\t%d\n" p))
+    s.rs_inject_sites;
+  Buffer.contents buf
+
+let of_string text =
+  let entry = ref "" in
+  let inputs = ref [] and choices = ref [] and sites = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then
+           match String.split_on_char '\t' line with
+           | [ "entry"; e ] -> entry := e
+           | [ "input"; n; v ] -> (
+               match int_of_string_opt v with
+               | Some v -> inputs := (n, v) :: !inputs
+               | None -> failwith "Replay.of_string: bad input value")
+           | [ "choice"; a; c ] -> choices := (a, c) :: !choices
+           | [ "inject"; p ] -> (
+               match int_of_string_opt p with
+               | Some p -> sites := p :: !sites
+               | None -> failwith "Replay.of_string: bad site")
+           | _ -> failwith "Replay.of_string: malformed line");
+  {
+    rs_entry = !entry;
+    rs_inputs = List.rev !inputs;
+    rs_choices = List.rev !choices;
+    rs_inject_sites = List.rev !sites;
+  }

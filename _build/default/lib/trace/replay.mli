@@ -1,0 +1,30 @@
+(** Replay scripts — the concrete inputs and system events that take the
+    driver down a failing path again (§3.5 of the paper).
+
+    A script pins every symbolic input of the failing path to the concrete
+    value the constraint solver derived from the path condition, fixes
+    which alternative every annotation fork took, and lists the exact
+    boundary sites where symbolic interrupts fired. Re-running the same
+    session with the script makes the engine deterministic along the
+    recorded path, reproducing the bug. *)
+
+type script = {
+  rs_inputs : (string * int) list;
+  (** symbolic-input name -> concrete value, in creation order (oldest
+      first); consumed as a queue during replay *)
+  rs_choices : (string * string) list;
+  (** kernel API name -> fork alternative taken, oldest first *)
+  rs_inject_sites : int list;
+  (** boundary sites (pcs) where an interrupt fired on this path *)
+  rs_entry : string;
+  (** entry point whose invocation failed *)
+}
+
+val empty : script
+val pp : Format.formatter -> script -> unit
+
+(** {1 Serialization} (traces are shippable evidence) *)
+
+val to_string : script -> string
+val of_string : string -> script
+(** @raise Failure on malformed input. *)

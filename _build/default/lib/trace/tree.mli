@@ -1,0 +1,29 @@
+(** Execution-tree reconstruction (§3.5 of the paper).
+
+    Every branch that forked has a flag in the trace, so the set of
+    explored states — each knowing its parent — reconstructs the tree of
+    paths; each leaf is a machine state, and the path from the root to a
+    failed leaf is the evidence presented to the developer. *)
+
+type node = {
+  t_id : int;
+  t_parent : int;            (** 0 for roots *)
+  t_label : string;          (** status or description of the state *)
+  t_forks : int;             (** forked branches recorded on this path *)
+  mutable t_children : int list;
+}
+
+type t
+
+val build : (int * int * string * int) list -> t
+(** [(id, parent, label, forks)] per explored state. *)
+
+val node : t -> int -> node option
+val roots : t -> int list
+val size : t -> int
+val depth : t -> int
+val path_to_root : t -> int -> int list
+(** Leaf to root, inclusive. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering of the whole tree. *)

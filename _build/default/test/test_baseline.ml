@@ -1,0 +1,223 @@
+(* Tests for ddt_baseline: CFG recovery from binaries, the abstract
+   interpreter's rules (including its engineered blind spots), and the
+   stress baseline's inability to find the corpus bugs. *)
+
+open Ddt_baseline
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile src = Ddt_minicc.Codegen.compile ~name:"t" src
+
+let analyze src = Static.analyze ~name:"t" (compile src)
+
+let rules r =
+  List.map (fun f -> f.Absint.fi_rule) r.Static.st_findings
+  |> List.sort compare
+
+(* --- CFG recovery ----------------------------------------------------------- *)
+
+let test_cfg_functions_and_tokens () =
+  let img = compile {|
+    const LOCK_OFF = 8;
+    int g_ctx;
+    int f(void) {
+      NdisAcquireSpinLock(g_ctx + LOCK_OFF);
+      NdisReleaseSpinLock(g_ctx + LOCK_OFF);
+      return 0;
+    }
+    int driver_entry(void) { return f(); }
+  |} in
+  let funcs = Cfg.build img in
+  check_int "two functions" 2 (List.length funcs);
+  let f = List.find (fun f -> f.Cfg.f_name = "f") funcs in
+  let kcalls =
+    Hashtbl.fold (fun _ b acc -> b.Cfg.b_kcalls @ acc) f.Cfg.f_blocks []
+  in
+  check_int "two kcalls" 2 (List.length kcalls);
+  List.iter
+    (fun kc ->
+      check_bool "token recovered as ctx offset" true
+        (kc.Cfg.kc_arg0 = Cfg.Tok_offset 8))
+    kcalls
+
+let test_cfg_branch_successors () =
+  let img = compile {|
+    int driver_entry(int x) {
+      if (x) { return 1; }
+      return 2;
+    }
+  |} in
+  let funcs = Cfg.build img in
+  let f = List.hd funcs in
+  let n_blocks = Hashtbl.length f.Cfg.f_blocks in
+  check_bool "at least three blocks" true (n_blocks >= 3);
+  let has_branching_block =
+    Hashtbl.fold
+      (fun _ b acc -> acc || List.length b.Cfg.b_succs = 2)
+      f.Cfg.f_blocks false
+  in
+  check_bool "conditional produces two successors" true has_branching_block
+
+(* --- abstract interpretation rules ------------------------------------------ *)
+
+let lock_harness body = Printf.sprintf {|
+  const L1 = 8;
+  const L2 = 24;
+  int g_ctx;
+  int f(int flag) {
+%s
+    return 0;
+  }
+  int driver_entry(void) { return f(1); }
+|} body
+
+let test_absint_double_acquire () =
+  let r = analyze (lock_harness {|
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisReleaseSpinLock(g_ctx + L1);
+  |}) in
+  check_bool "double-acquire" true (List.mem "double-acquire" (rules r))
+
+let test_absint_wrong_variant () =
+  let r = analyze (lock_harness {|
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisDprReleaseSpinLock(g_ctx + L1);
+  |}) in
+  check_bool "wrong-variant" true (List.mem "wrong-variant" (rules r))
+
+let test_absint_out_of_order () =
+  let r = analyze (lock_harness {|
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisAcquireSpinLock(g_ctx + L2);
+    NdisReleaseSpinLock(g_ctx + L1);
+    NdisReleaseSpinLock(g_ctx + L2);
+  |}) in
+  check_bool "out-of-order" true (List.mem "out-of-order" (rules r))
+
+let test_absint_clean_balanced () =
+  let r = analyze (lock_harness {|
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisAcquireSpinLock(g_ctx + L2);
+    NdisReleaseSpinLock(g_ctx + L2);
+    NdisReleaseSpinLock(g_ctx + L1);
+  |}) in
+  check_int "no findings on balanced locking" 0 (List.length (rules r))
+
+let test_absint_forgotten_release () =
+  let r = analyze (lock_harness {|
+    NdisAcquireSpinLock(g_ctx + L1);
+    if (flag == 0) { return 1; }
+    NdisReleaseSpinLock(g_ctx + L1);
+  |}) in
+  check_bool "forgotten-release" true
+    (List.mem "forgotten-release" (rules r))
+
+let test_absint_conditional_fp () =
+  (* CORRECT code: acquire and release guarded by the same condition.
+     The path-insensitive analysis must (by design) misreport it — this
+     is the engineered false positive of the §5.1 comparison. *)
+  let r = analyze (lock_harness {|
+    if (flag != 0) { NdisAcquireSpinLock(g_ctx + L1); }
+    if (flag != 0) { NdisReleaseSpinLock(g_ctx + L1); }
+  |}) in
+  check_bool "the engineered FP is present" true
+    (List.mem "forgotten-release" (rules r))
+
+let test_absint_interprocedural_blindness () =
+  (* A deadlock split across helpers must be missed (no summaries). *)
+  let r = analyze {|
+    const L1 = 8;
+    int g_ctx;
+    int lock_it(void) { NdisAcquireSpinLock(g_ctx + L1); return 0; }
+    int f(void) { lock_it(); lock_it(); return 0; }
+    int driver_entry(void) { return f(); }
+  |} in
+  check_int "interprocedural deadlock missed" 0 (List.length (rules r))
+
+let test_absint_wrong_irql () =
+  let r = analyze (lock_harness {|
+    int cfg;
+    NdisAcquireSpinLock(g_ctx + L1);
+    NdisOpenConfiguration(&cfg);
+    NdisCloseConfiguration(cfg);
+    NdisReleaseSpinLock(g_ctx + L1);
+  |}) in
+  check_bool "wrong-irql" true (List.mem "wrong-irql" (rules r))
+
+let test_absint_double_free () =
+  let r = analyze {|
+    const TAG = 1;
+    int f(void) {
+      int p;
+      int status = NdisAllocateMemoryWithTag(&p, 32, TAG);
+      if (status != 0) { return 1; }
+      NdisFreeMemory(p, 32, 0);
+      NdisFreeMemory(p, 32, 0);
+      return 0;
+    }
+    int driver_entry(void) { return f(); }
+  |} in
+  check_bool "double-free" true (List.mem "double-free" (rules r))
+
+(* --- full static front end ---------------------------------------------------- *)
+
+let test_static_on_sample () =
+  let r =
+    Static.analyze ~name:"sdv" (Ddt_drivers.Sdv_sample.image ())
+  in
+  check_int "8 findings on the 8-bug sample" 8
+    (List.length r.Static.st_findings);
+  let r_fixed =
+    Static.analyze ~name:"sdv-fixed" (Ddt_drivers.Sdv_sample.fixed_image ())
+  in
+  check_int "0 findings on the fixed sample" 0
+    (List.length r_fixed.Static.st_findings)
+
+(* --- stress baseline ------------------------------------------------------------ *)
+
+let test_stress_finds_nothing_on_rtl8029 () =
+  let entry = Ddt_drivers.Corpus.find "rtl8029" in
+  let r = Stress.run ~runs:6 (Ddt_drivers.Corpus.config entry) in
+  List.iter
+    (fun b ->
+      Format.printf "stress unexpectedly found: %a@."
+        Ddt_checkers.Report.pp_bug b)
+    r.Stress.s_bugs;
+  check_int "stress misses all rtl8029 bugs" 0 (List.length r.Stress.s_bugs)
+
+let test_stress_is_concrete () =
+  (* No forking: a stress run creates exactly one state per invocation. *)
+  let entry = Ddt_drivers.Corpus.find "pcnet" in
+  let r = Stress.run ~runs:2 (Ddt_drivers.Corpus.config entry) in
+  check_int "no bugs" 0 (List.length r.Stress.s_bugs);
+  check_bool "fast" true (r.Stress.s_wall_time < 30.0)
+
+let () =
+  Alcotest.run "ddt_baseline"
+    [ ("cfg",
+       [ Alcotest.test_case "functions and tokens" `Quick
+           test_cfg_functions_and_tokens;
+         Alcotest.test_case "branch successors" `Quick
+           test_cfg_branch_successors ]);
+      ("absint",
+       [ Alcotest.test_case "double acquire" `Quick test_absint_double_acquire;
+         Alcotest.test_case "wrong variant" `Quick test_absint_wrong_variant;
+         Alcotest.test_case "out of order" `Quick test_absint_out_of_order;
+         Alcotest.test_case "balanced is clean" `Quick
+           test_absint_clean_balanced;
+         Alcotest.test_case "forgotten release" `Quick
+           test_absint_forgotten_release;
+         Alcotest.test_case "conditional FP (by design)" `Quick
+           test_absint_conditional_fp;
+         Alcotest.test_case "interprocedural blindness (by design)" `Quick
+           test_absint_interprocedural_blindness;
+         Alcotest.test_case "wrong irql" `Quick test_absint_wrong_irql;
+         Alcotest.test_case "double free" `Quick test_absint_double_free ]);
+      ("static",
+       [ Alcotest.test_case "sample driver 8/0" `Quick test_static_on_sample ]);
+      ("stress",
+       [ Alcotest.test_case "misses rtl8029 bugs" `Quick
+           test_stress_finds_nothing_on_rtl8029;
+         Alcotest.test_case "concrete and fast" `Quick test_stress_is_concrete ]) ]

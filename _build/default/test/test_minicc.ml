@@ -1,0 +1,391 @@
+(* Tests for ddt_minicc: lexer, parser, typechecker, and compiled-program
+   behaviour on the concrete DVM interpreter. *)
+
+open Ddt_dvm
+open Ddt_minicc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Compile a translation unit, load it, call [fn] with [args]. Kernel
+   imports can be provided as an assoc list name -> OCaml function over
+   the argument list. *)
+let compile_and_run ?(imports = []) ?(fn = "main") src args =
+  let img = Codegen.compile ~name:"test" src in
+  let mem = Mem.create () in
+  let loaded = Image.load img mem ~base:Layout.image_base in
+  let env = Interp.create mem in
+  env.Interp.kcall <-
+    (fun n ->
+      let name = img.Image.imports.(n) in
+      match List.assoc_opt name imports with
+      | Some f ->
+          let sp = Cpu.get env.Interp.cpu Isa.sp in
+          let arg i = Mem.read_u32 mem (sp + (4 * i)) in
+          Cpu.set env.Interp.cpu 0 (f arg)
+      | None -> failwith ("unexpected import " ^ name));
+  Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
+  Interp.call_function env ~addr:(Image.export_addr loaded fn) ~args
+
+let test_arith () =
+  let src = {|
+    int main(void) {
+      return (2 + 3) * 4 - 10 / 2;
+    }
+  |} in
+  check_int "expr" 15 (compile_and_run src [])
+
+let test_params_and_locals () =
+  let src = {|
+    int add_weighted(int a, int b, int w) {
+      int t = a * w;
+      int u = b * (10 - w);
+      return t + u;
+    }
+    int main(void) { return add_weighted(3, 5, 7); }
+  |} in
+  check_int "weighted" ((3 * 7) + (5 * 3)) (compile_and_run src [])
+
+let test_control_flow () =
+  let src = {|
+    int collatz_steps(int n) {
+      int steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      return steps;
+    }
+    int main(void) { return collatz_steps(27); }
+  |} in
+  check_int "collatz(27)" 111 (compile_and_run src [])
+
+let test_for_break_continue () =
+  let src = {|
+    int main(void) {
+      int sum = 0;
+      int i;
+      for (i = 0; i < 100; i = i + 1) {
+        if (i == 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;
+      }
+      return sum;   // 1+3+5+7+9
+    }
+  |} in
+  check_int "loop sum" 25 (compile_and_run src [])
+
+let test_arrays () =
+  let src = {|
+    int fib[20];
+    int main(void) {
+      fib[0] = 0;
+      fib[1] = 1;
+      int i;
+      for (i = 2; i < 20; i = i + 1) {
+        fib[i] = fib[i-1] + fib[i-2];
+      }
+      return fib[19];
+    }
+  |} in
+  check_int "fib 19" 4181 (compile_and_run src [])
+
+let test_local_byte_array () =
+  let src = {|
+    int main(void) {
+      char buf[8];
+      int i;
+      for (i = 0; i < 8; i = i + 1) { buf[i] = 65 + i; }
+      return buf[0] + buf[7] * 256;
+    }
+  |} in
+  check_int "byte array" (65 + (72 * 256)) (compile_and_run src [])
+
+let test_pointers () =
+  let src = {|
+    int cell;
+    int write_through(int p, int v) { *p = v; return 0; }
+    int main(void) {
+      write_through(&cell, 1234);
+      return cell;
+    }
+  |} in
+  check_int "deref store" 1234 (compile_and_run src [])
+
+let test_const_and_ternary () =
+  let src = {|
+    const LIMIT = 16;
+    const DOUBLED = LIMIT * 2;
+    int main(void) {
+      int x = 40;
+      return x > DOUBLED ? x - DOUBLED : DOUBLED - x;
+    }
+  |} in
+  check_int "ternary" 8 (compile_and_run src [])
+
+let test_logical_ops () =
+  let src = {|
+    int side_effects;
+    int bump(void) { side_effects = side_effects + 1; return 1; }
+    int main(void) {
+      side_effects = 0;
+      int a = 0 && bump();     // short-circuit: bump not called
+      int b = 1 || bump();     // short-circuit: bump not called
+      int c = 1 && bump();     // called
+      return side_effects * 100 + a * 10 + b + c;
+    }
+  |} in
+  check_int "short circuit" 102 (compile_and_run src [])
+
+let test_signed_compare () =
+  let src = {|
+    int main(void) {
+      int neg = 0 - 5;
+      if (neg < 0) { return 1; }
+      return 0;
+    }
+  |} in
+  check_int "signed lt" 1 (compile_and_run src [])
+
+let test_unsigned_builtin () =
+  let src = {|
+    int main(void) {
+      int big = 0 - 5;             // 0xFFFFFFFB
+      int r = 0;
+      if (__ltu(3, big)) { r = r + 1; }   // unsigned: 3 < huge
+      if (3 < big) { r = r + 10; }        // signed: 3 < -5 is false
+      return r;
+    }
+  |} in
+  check_int "unsigned vs signed" 1 (compile_and_run src [])
+
+let test_kernel_imports () =
+  let src = {|
+    int main(void) {
+      int h = OpenThing(42);
+      return ReadThing(h, 5);
+    }
+  |} in
+  let imports =
+    [ ("OpenThing", fun arg -> arg 0 + 1000);
+      ("ReadThing", fun arg -> arg 0 + arg 1) ]
+  in
+  check_int "imports" 1047 (compile_and_run ~imports src [])
+
+let test_string_literals () =
+  let src = {|
+    int main(void) {
+      int s = "AB";
+      return __ldb(s) * 256 + __ldb(s + 1);
+    }
+  |} in
+  check_int "string bytes" ((65 * 256) + 66) (compile_and_run src [])
+
+let test_function_pointer_export () =
+  let src = {|
+    int handler(int x) { return x * 3; }
+    int main(void) { return RegisterHandler(handler); }
+  |} in
+  let captured = ref 0 in
+  let imports = [ ("RegisterHandler", fun arg -> captured := arg 0; 0) ] in
+  ignore (compile_and_run ~imports src []);
+  check_bool "function address in text" true
+    (!captured >= Layout.image_base && !captured < Layout.image_base + 0x10000)
+
+let test_recursion () =
+  let src = {|
+    int ack(int m, int n) {
+      if (m == 0) { return n + 1; }
+      if (n == 0) { return ack(m - 1, 1); }
+      return ack(m - 1, ack(m, n - 1));
+    }
+    int main(void) { return ack(2, 3); }
+  |} in
+  check_int "ackermann" 9 (compile_and_run src [])
+
+let test_typecheck_errors () =
+  let expect_error src =
+    match Codegen.compile ~name:"bad" src with
+    | exception Typecheck.Error _ -> ()
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("should not compile: " ^ src)
+  in
+  expect_error "int main(void) { return undefined_var; }";
+  expect_error "int main(void) { break; }";
+  expect_error "int f(int a) { return a; } int main(void) { return f(1,2); }";
+  expect_error "const C = 1; int main(void) { C = 2; return 0; }";
+  expect_error "int main(void) { int x[foo]; return 0; }";
+  expect_error "int main(void) { 1 = 2; return 0; }"
+
+let test_entry_point_selection () =
+  let src = {|
+    int helper(void) { return 1; }
+    int driver_entry(int ctx) { return 7; }
+  |} in
+  let img = Codegen.compile ~name:"drv" src in
+  let mem = Mem.create () in
+  let loaded = Image.load img mem ~base:Layout.image_base in
+  check_int "entry is driver_entry"
+    (Image.export_addr loaded "driver_entry")
+    (loaded.Image.base + img.Image.entry)
+
+(* Property: compiled arithmetic expressions agree with OCaml 32-bit
+   evaluation over random operand values. *)
+let prop_compiled_arith_matches =
+  let gen =
+    QCheck.Gen.(
+      let* a = int_bound 0xFFFF in
+      let* b = int_range 1 0xFFFF in
+      let* c = int_bound 0xFFFF in
+      return (a, b, c))
+  in
+  QCheck.Test.make ~count:50 ~name:"compiled arithmetic matches OCaml"
+    (QCheck.make gen)
+    (fun (a, b, c) ->
+      let src =
+        Printf.sprintf
+          {|
+          int main(void) {
+            int a = %d; int b = %d; int c = %d;
+            return (a * b + c) ^ (a >> 3) ^ (b %% 7) + (c << 2) - (a & b | c);
+          }
+          |}
+          a b c
+      in
+      let mask = 0xFFFFFFFF in
+      (* Mirror of Mini-C precedence: * / %% bind tighter than + -, shifts
+         next, then & ^ |. *)
+      let expected =
+        let mul = (a * b + c) land mask in
+        let shr = a lsr 3 in
+        let rem = b mod 7 in
+        let shl = (c lsl 2) land mask in
+        let andor = a land b lor c in
+        mul lxor shr lxor ((rem + shl - andor) land mask)
+      in
+      compile_and_run src [] = expected land mask)
+
+let test_precedence_matrix () =
+  (* Spot-check the full precedence ladder in one expression each. *)
+  let cases =
+    [ ("2 + 3 * 4", 14);
+      ("(2 + 3) * 4", 20);
+      ("1 << 2 + 1", 8);            (* shift binds looser than + *)
+      ("7 & 3 == 3", 1);            (* == binds tighter than &, C-style *)
+      ("1 | 2 ^ 2", 1);             (* ^ tighter than | *)
+      ("6 / 2 % 2", 1);
+      ("1 + 2 < 4 == 1", 1);
+      ("~0 & 0xFF", 0xFF);
+      ("-3 + 5", 2);
+      ("!0 + !5", 1) ]
+  in
+  List.iter
+    (fun (expr, expected) ->
+      let src = Printf.sprintf "int main(void) { return %s; }" expr in
+      check_int expr expected (compile_and_run src []))
+    cases
+
+let test_block_scoping () =
+  let src = {|
+    int main(void) {
+      int x = 1;
+      {
+        int x = 2;
+        { int x = 3; }
+      }
+      return x;
+    }
+  |} in
+  check_int "outer x survives shadowing" 1 (compile_and_run src [])
+
+let test_comments_and_literals () =
+  let src = {|
+    // line comment
+    /* block
+       comment */
+    int main(void) {
+      int c = 'A';          // char literal
+      int n = 'a' - 'A';    /* inline */
+      return c + n;
+    }
+  |} in
+  check_int "char literals" (Char.code 'a') (compile_and_run src [])
+
+let test_lexer_errors () =
+  let expect_lex_error src =
+    match Codegen.compile ~name:"bad" src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should not lex: " ^ src)
+  in
+  expect_lex_error "int main(void) { return `; }";
+  expect_lex_error "int main(void) { int s = \"unterminated; }";
+  expect_lex_error "int main(void) { /* unterminated"
+
+let test_parser_errors () =
+  let expect_parse_error src =
+    match Codegen.compile ~name:"bad" src with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  expect_parse_error "int main(void) { return 1 + ; }";
+  expect_parse_error "int main(void) { if (1) return 0 }";
+  expect_parse_error "int main(void { return 0; }";
+  expect_parse_error "int 3bad(void) { return 0; }"
+
+let test_for_without_clauses () =
+  let src = {|
+    int main(void) {
+      int n = 0;
+      for (;;) {
+        n = n + 1;
+        if (n == 5) { break; }
+      }
+      return n;
+    }
+  |} in
+  check_int "for(;;)" 5 (compile_and_run src [])
+
+let test_nested_calls_evaluation () =
+  let src = {|
+    int twice(int x) { return x * 2; }
+    int plus(int a, int b) { return a + b; }
+    int main(void) { return plus(twice(3), twice(plus(1, 2))); }
+  |} in
+  check_int "nested calls" 12 (compile_and_run src [])
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "ddt_minicc"
+    [ ("compile-and-run",
+       [ Alcotest.test_case "arithmetic" `Quick test_arith;
+         Alcotest.test_case "params and locals" `Quick test_params_and_locals;
+         Alcotest.test_case "control flow" `Quick test_control_flow;
+         Alcotest.test_case "for/break/continue" `Quick test_for_break_continue;
+         Alcotest.test_case "arrays" `Quick test_arrays;
+         Alcotest.test_case "byte arrays" `Quick test_local_byte_array;
+         Alcotest.test_case "pointers" `Quick test_pointers;
+         Alcotest.test_case "const and ternary" `Quick test_const_and_ternary;
+         Alcotest.test_case "short-circuit" `Quick test_logical_ops;
+         Alcotest.test_case "signed compare" `Quick test_signed_compare;
+         Alcotest.test_case "unsigned builtins" `Quick test_unsigned_builtin;
+         Alcotest.test_case "kernel imports" `Quick test_kernel_imports;
+         Alcotest.test_case "string literals" `Quick test_string_literals;
+         Alcotest.test_case "function pointers" `Quick
+           test_function_pointer_export;
+         Alcotest.test_case "recursion" `Quick test_recursion;
+         qtest prop_compiled_arith_matches ]);
+      ("language",
+       [ Alcotest.test_case "precedence matrix" `Quick test_precedence_matrix;
+         Alcotest.test_case "block scoping" `Quick test_block_scoping;
+         Alcotest.test_case "comments and literals" `Quick
+           test_comments_and_literals;
+         Alcotest.test_case "for without clauses" `Quick
+           test_for_without_clauses;
+         Alcotest.test_case "nested calls" `Quick test_nested_calls_evaluation ]);
+      ("diagnostics",
+       [ Alcotest.test_case "typecheck errors" `Quick test_typecheck_errors;
+         Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+         Alcotest.test_case "parser errors" `Quick test_parser_errors;
+         Alcotest.test_case "entry point" `Quick test_entry_point_selection ]) ]

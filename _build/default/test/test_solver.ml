@@ -1,0 +1,485 @@
+(* Tests for ddt_solver: expressions, simplification, intervals, SAT and
+   the end-to-end constraint solver. *)
+
+open Ddt_solver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Expr ------------------------------------------------------------ *)
+
+let test_const_fold () =
+  let open Expr in
+  check_int "add" 7 (match binop Add (word 3) (word 4) with
+    | Const (_, v) -> v | _ -> -1);
+  check_int "sub wrap" 0xFFFFFFFF
+    (match binop Sub (word 0) (word 1) with Const (_, v) -> v | _ -> -1);
+  check_int "mul mask" ((0xFFFF * 0x10001) land 0xFFFFFFFF)
+    (match binop Mul (word 0xFFFF) (word 0x10001) with
+     | Const (_, v) -> v | _ -> -1);
+  check_int "divu by zero = all ones" 0xFFFFFFFF
+    (match binop Divu (word 42) (word 0) with Const (_, v) -> v | _ -> -1);
+  check_int "remu by zero = dividend" 42
+    (match binop Remu (word 42) (word 0) with Const (_, v) -> v | _ -> -1)
+
+let test_identities () =
+  let open Expr in
+  let v = var (fresh_var W32) in
+  check_bool "x+0" true (equal (binop Add v (word 0)) v);
+  check_bool "x*1" true (equal (binop Mul v (word 1)) v);
+  check_bool "x&0" true (equal (binop And v (word 0)) (word 0));
+  check_bool "x^x" true (equal (binop Xor v v) (word 0));
+  check_bool "x==x" true (equal (cmp Eq v v) tru);
+  check_bool "x<x" true (equal (cmp Ltu v v) fls);
+  check_bool "not not" true (equal (not_ (not_ (cmp Eq v (word 5))))
+                               (cmp Eq v (word 5)))
+
+let test_not_pushes_into_cmp () =
+  let open Expr in
+  let v = var (fresh_var W32) in
+  check_bool "!(a<b) = b<=a" true
+    (equal (not_ (cmp Ltu v (word 9))) (cmp Leu (word 9) v));
+  check_bool "!(a==b) = a!=b" true
+    (equal (not_ (cmp Eq v (word 9))) (cmp Ne v (word 9)))
+
+let test_extract_concat_roundtrip () =
+  let open Expr in
+  let v = var (fresh_var W32) in
+  let rebuilt =
+    concat4 (extract v 3) (extract v 2) (extract v 1) (extract v 0)
+  in
+  check_bool "concat of extracts folds" true (equal rebuilt v);
+  check_int "extract of const" 0xAB
+    (match extract (word 0xAB1234CD) 3 with Const (_, x) -> x | _ -> -1)
+
+let test_eval_signed () =
+  let open Expr in
+  check_int "lts negative" 1
+    (eval_cmp Lts W32 0xFFFFFFFF 0 (* -1 < 0 signed *));
+  check_int "ltu same values" 0 (eval_cmp Ltu W32 0xFFFFFFFF 0);
+  check_int "ashr sign fill" 0xFFFFFFFF (eval_binop Ashr W32 0x80000000 31);
+  check_int "lshr no fill" 1 (eval_binop Lshr W32 0x80000000 31)
+
+(* Random expression generator for semantic-preservation properties. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let open Expr in
+  (* A small pool of variables shared across the expression. *)
+  let mk_vars () =
+    [| fresh_var ~name:"a" W32; fresh_var ~name:"b" W32;
+       fresh_var ~name:"c" W8 |]
+  in
+  let vars = mk_vars () in
+  let leaf =
+    oneof
+      [ map (fun v -> word v) (int_bound 0xFFFF);
+        map (fun v -> word (v land 0xFFFFFFFF)) int;
+        return (var vars.(0));
+        return (var vars.(1));
+        map (fun v -> byte v) (int_bound 255) ]
+  in
+  let binops = [| Add; Sub; Mul; Divu; Remu; And; Or; Xor; Shl; Lshr; Ashr |] in
+  let cmpops = [| Eq; Ne; Ltu; Leu; Lts; Les |] in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (4,
+           (fun op a b ->
+              let a = if width_of a = W8 then zext a else a in
+              let b = if width_of b = W8 then zext b else b in
+              binop op a b)
+           <$> map (fun i -> binops.(i)) (int_bound 10)
+           <*> go (depth - 1) <*> go (depth - 1));
+          (2,
+           (fun op a b ->
+              let a = if width_of a = W8 then zext a else a in
+              let b = if width_of b = W8 then zext b else b in
+              zext (cmp op a b))
+           <$> map (fun i -> cmpops.(i)) (int_bound 5)
+           <*> go (depth - 1) <*> go (depth - 1));
+          (1,
+           (fun c a b ->
+              let a = if width_of a = W8 then zext a else a in
+              let b = if width_of b = W8 then zext b else b in
+              ite (cmp Ne (if width_of c = W8 then zext c else c) (word 0)) a b)
+           <$> go (depth - 1) <*> go (depth - 1) <*> go (depth - 1));
+          (1, map (fun e ->
+                 let e = if width_of e = W8 then zext e else e in
+                 zext (extract e 1)) (go (depth - 1))) ]
+  in
+  go 3
+
+let arb_expr = QCheck.make ~print:Expr.to_string gen_expr
+
+let random_env seed =
+  let st = Random.State.make [| seed |] in
+  let tbl = Hashtbl.create 8 in
+  fun (v : Expr.var) ->
+    match Hashtbl.find_opt tbl v.Expr.id with
+    | Some x -> x
+    | None ->
+        let x = Random.State.int st 0x3FFFFFFF in
+        Hashtbl.replace tbl v.Expr.id x;
+        x
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~count:500 ~name:"simplify preserves eval" arb_expr
+    (fun e ->
+      let e' = Simplify.simplify e in
+      List.for_all
+        (fun seed ->
+          let env = random_env seed in
+          Expr.eval env e = Expr.eval env e')
+        [ 1; 2; 3; 42; 1234 ])
+
+let prop_smart_constructors_preserve =
+  QCheck.Test.make ~count:500 ~name:"eval within width mask" arb_expr
+    (fun e ->
+      let env = random_env 7 in
+      let v = Expr.eval env e in
+      v >= 0 && v <= Expr.mask_of_width (Expr.width_of e))
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~count:300 ~name:"simplify is idempotent" arb_expr
+    (fun e ->
+      let once = Simplify.simplify e in
+      Expr.equal (Simplify.simplify once) once)
+
+(* --- Interval --------------------------------------------------------- *)
+
+let test_interval_infeasible () =
+  let open Expr in
+  let v = var (fresh_var W32) in
+  (* v < 5 and v > 10 is infeasible. *)
+  let cs = [ cmp Ltu v (word 5); cmp Ltu (word 10) v ] in
+  check_bool "contradiction detected" true (Interval.infer cs = None)
+
+let test_interval_narrowing () =
+  let open Expr in
+  let x = fresh_var W32 in
+  let cs = [ cmp Ltu (var x) (word 100); cmp Ltu (word 50) (var x) ] in
+  match Interval.infer cs with
+  | None -> Alcotest.fail "should be feasible"
+  | Some env ->
+      let r = Interval.lookup env x in
+      check_int "lo" 51 r.Interval.lo;
+      check_int "hi" 99 r.Interval.hi
+
+let test_interval_range_of () =
+  let open Expr in
+  let x = fresh_var W8 in
+  let r =
+    Interval.range_of
+      (fun _ -> Interval.full W8)
+      (binop Add (zext (var x)) (word 10))
+  in
+  check_int "lo" 10 r.Interval.lo;
+  check_int "hi" 265 r.Interval.hi
+
+(* Soundness: for any expression and any environment consistent with the
+   per-variable ranges, the evaluated value lies within [range_of]. *)
+let prop_interval_sound =
+  QCheck.Test.make ~count:300 ~name:"interval range_of is sound" arb_expr
+    (fun e ->
+      let vars = Expr.vars e in
+      (* Random per-variable singleton ranges double as the environment. *)
+      let st = Random.State.make [| Hashtbl.hash (Expr.to_string e) |] in
+      let assignment = Hashtbl.create 8 in
+      List.iter
+        (fun (v : Expr.var) ->
+          let r =
+            (Random.State.int st 0x10000 lsl 16) lor Random.State.int st 0x10000
+          in
+          Hashtbl.replace assignment v.Expr.id
+            (r land Expr.mask_of_width v.Expr.var_width))
+        vars;
+      let env (v : Expr.var) =
+        try Hashtbl.find assignment v.Expr.id with Not_found -> 0
+      in
+      let lookup (v : Expr.var) = Interval.singleton (env v) in
+      let r = Interval.range_of lookup e in
+      let value = Expr.eval env e in
+      r.Interval.lo <= value && value <= r.Interval.hi)
+
+(* --- DPLL ------------------------------------------------------------- *)
+
+let test_dpll_simple_sat () =
+  let c = Cnf.create () in
+  let a = Cnf.fresh c and b = Cnf.fresh c in
+  Cnf.add_clause c [ a; b ];
+  Cnf.add_clause c [ -a; b ];
+  (match Dpll.solve c with
+   | Some (Dpll.Sat m) -> check_bool "b true" true m.(b)
+   | _ -> Alcotest.fail "expected sat")
+
+let test_dpll_unsat () =
+  let c = Cnf.create () in
+  let a = Cnf.fresh c in
+  Cnf.add_clause c [ a ];
+  Cnf.add_clause c [ -a ];
+  check_bool "unsat" true (Dpll.solve c = Some Dpll.Unsat)
+
+let test_dpll_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small UNSAT instance. *)
+  let c = Cnf.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Cnf.fresh c)) in
+  for i = 0 to 2 do
+    Cnf.add_clause c [ p.(i).(0); p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Cnf.add_clause c [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  check_bool "pigeonhole unsat" true (Dpll.solve c = Some Dpll.Unsat)
+
+(* Compare DPLL against brute force on random small CNFs. *)
+let prop_dpll_matches_bruteforce =
+  let gen =
+    QCheck.Gen.(
+      let clause nv =
+        list_size (int_range 1 3)
+          (map2 (fun v s -> if s then v + 2 else -(v + 2)) (int_bound (nv - 1)) bool)
+      in
+      let* nv = int_range 2 6 in
+      let* ncl = int_range 1 12 in
+      let* cls = list_repeat ncl (clause nv) in
+      return (nv, cls))
+  in
+  let print (nv, cls) =
+    Printf.sprintf "nv=%d cls=%s" nv
+      (String.concat ";"
+         (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls))
+  in
+  QCheck.Test.make ~count:300 ~name:"dpll = bruteforce" (QCheck.make ~print gen)
+    (fun (nv, cls) ->
+      let c = Cnf.create () in
+      for _ = 1 to nv do ignore (Cnf.fresh c) done;
+      List.iter (Cnf.add_clause c) cls;
+      let dpll_sat =
+        match Dpll.solve c with
+        | Some (Dpll.Sat _) -> true
+        | Some Dpll.Unsat -> false
+        | None -> QCheck.assume_fail ()
+      in
+      (* Brute force over variables 2..nv+1 (1 is the TRUE constant). *)
+      let brute = ref false in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let value l =
+          let v = abs l in
+          let b = if v = 1 then true else (mask lsr (v - 2)) land 1 = 1 in
+          if l > 0 then b else not b
+        in
+        if List.for_all (fun cl -> List.exists value cl) cls then brute := true
+      done;
+      dpll_sat = !brute)
+
+(* --- Bitblast + Solver ------------------------------------------------ *)
+
+let solve_exprs cs = Solver.check cs
+
+let test_solver_simple () =
+  let open Expr in
+  let x = fresh_var W32 in
+  match solve_exprs [ cmp Eq (binop Add (var x) (word 5)) (word 12) ] with
+  | Solver.Sat m -> check_int "x = 7" 7 (m x)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_unsat_via_bits () =
+  let open Expr in
+  let x = fresh_var W32 in
+  (* x & 1 == 0 and x & 1 == 1 simultaneously. *)
+  let cs =
+    [ cmp Eq (binop And (var x) (word 1)) (word 0);
+      cmp Eq (binop And (var x) (word 1)) (word 1) ]
+  in
+  check_bool "unsat" true (solve_exprs cs = Solver.Unsat)
+
+let test_solver_mul_div () =
+  let open Expr in
+  let x = fresh_var W32 in
+  (* x * 3 == 21 *)
+  (match solve_exprs [ cmp Eq (binop Mul (var x) (word 3)) (word 21);
+                       cmp Ltu (var x) (word 100) ] with
+   | Solver.Sat m -> check_int "x = 7" 7 (m x)
+   | _ -> Alcotest.fail "mul sat");
+  let y = fresh_var W32 in
+  (* y / 4 == 5 and y % 4 == 2  ->  y = 22 *)
+  (match solve_exprs
+           [ cmp Eq (binop Divu (var y) (word 4)) (word 5);
+             cmp Eq (binop Remu (var y) (word 4)) (word 2) ] with
+   | Solver.Sat m -> check_int "y = 22" 22 (m y)
+   | _ -> Alcotest.fail "div sat")
+
+let test_solver_shift () =
+  let open Expr in
+  let x = fresh_var W32 in
+  match solve_exprs [ cmp Eq (binop Shl (word 1) (var x)) (word 64);
+                      cmp Ltu (var x) (word 32) ] with
+  | Solver.Sat m -> check_int "x = 6" 6 (m x)
+  | _ -> Alcotest.fail "shift sat"
+
+let test_solver_bytes () =
+  let open Expr in
+  let x = fresh_var W8 in
+  match solve_exprs [ cmp Eq (zext (var x)) (word 0xAB) ] with
+  | Solver.Sat m -> check_int "x = 0xAB" 0xAB (m x)
+  | _ -> Alcotest.fail "byte sat"
+
+let test_concretize () =
+  let open Expr in
+  let x = fresh_var W32 in
+  let cs = [ cmp Ltu (var x) (word 10); cmp Ltu (word 5) (var x) ] in
+  (match Solver.concretize cs (binop Mul (var x) (word 2)) with
+   | Some v -> check_bool "in range" true (v >= 12 && v <= 18 && v mod 2 = 0)
+   | None -> Alcotest.fail "feasible");
+  check_bool "unsat concretize" true
+    (Solver.concretize [ fls ] (var x) = None)
+
+(* Property: on random single-variable constraint pairs the solver's
+   verdict matches brute-force evaluation over a sampled domain. *)
+let prop_solver_sound_on_simple =
+  let open Expr in
+  let gen =
+    QCheck.Gen.(
+      let* op1 = int_bound 5 in
+      let* op2 = int_bound 5 in
+      let* c1 = int_bound 300 in
+      let* c2 = int_bound 300 in
+      return (op1, op2, c1, c2))
+  in
+  QCheck.Test.make ~count:200 ~name:"solver sound vs bruteforce (byte domain)"
+    (QCheck.make gen)
+    (fun (op1, op2, c1, c2) ->
+      let ops = [| Eq; Ne; Ltu; Leu; Lts; Les |] in
+      let x = fresh_var W8 in
+      let cs =
+        [ cmp ops.(op1) (zext (var x)) (word c1);
+          cmp ops.(op2) (zext (var x)) (word c2) ]
+      in
+      let brute =
+        let found = ref false in
+        for v = 0 to 255 do
+          let env (u : Expr.var) = if u.Expr.id = x.Expr.id then v else 0 in
+          if List.for_all (fun c -> eval env c = 1) cs then found := true
+        done;
+        !found
+      in
+      match Solver.check cs with
+      | Solver.Sat _ -> brute
+      | Solver.Unsat -> not brute
+      | Solver.Unknown -> true)
+
+(* Property: Divu/Remu agree with brute force over byte domains, through
+   the full solver pipeline (intervals cannot decide these; they exercise
+   the divider circuit). *)
+let prop_divmod_matches_bruteforce =
+  let open Expr in
+  let gen =
+    QCheck.Gen.(
+      let* d = int_range 1 9 in
+      let* q = int_bound 30 in
+      let* r = int_bound 8 in
+      let* use_div = QCheck.Gen.bool in
+      return (d, q, r, use_div))
+  in
+  QCheck.Test.make ~count:60 ~name:"div/rem equations vs bruteforce"
+    (QCheck.make gen)
+    (fun (d, q, r, use_div) ->
+      let x = fresh_var W8 in
+      let cs =
+        if use_div then
+          [ cmp Eq (binop Divu (zext (var x)) (word d)) (word q) ]
+        else [ cmp Eq (binop Remu (zext (var x)) (word d)) (word r) ]
+      in
+      let brute =
+        let found = ref false in
+        for v = 0 to 255 do
+          if (if use_div then v / d = q else v mod d = r) then found := true
+        done;
+        !found
+      in
+      match Solver.check cs with
+      | Solver.Sat m ->
+          let v = m x in
+          brute && (if use_div then v / d = q else v mod d = r)
+      | Solver.Unsat -> not brute
+      | Solver.Unknown -> true)
+
+(* Property: symbolic shift amounts behave like the masked-amount
+   semantics. *)
+let prop_symbolic_shift =
+  let open Expr in
+  QCheck.Test.make ~count:60 ~name:"symbolic shift amount"
+    (QCheck.make QCheck.Gen.(int_bound 31))
+    (fun k ->
+      let s = fresh_var W32 in
+      (* (1 << s) == (1 << k) must force s ≡ k (mod 32) given s < 32. *)
+      let cs =
+        [ cmp Eq (binop Shl (word 1) (var s)) (word (1 lsl k));
+          cmp Ltu (var s) (word 32) ]
+      in
+      match Solver.check cs with
+      | Solver.Sat m -> m s = k
+      | Solver.Unsat -> false
+      | Solver.Unknown -> true)
+
+(* Property: two-variable arithmetic relations round-trip through the SAT
+   layer with verified models. *)
+let prop_two_var_relation =
+  let open Expr in
+  QCheck.Test.make ~count:60 ~name:"two-variable sum relation"
+    (QCheck.make QCheck.Gen.(int_bound 400))
+    (fun target ->
+      let a = fresh_var W8 and b = fresh_var W8 in
+      let cs =
+        [ cmp Eq
+            (binop Add (zext (var a)) (zext (var b)))
+            (word target) ]
+      in
+      let brute = target <= 510 in
+      match Solver.check cs with
+      | Solver.Sat m -> brute && m a + m b = target
+      | Solver.Unsat -> not brute
+      | Solver.Unknown -> true)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "ddt_solver"
+    [ ("expr",
+       [ Alcotest.test_case "constant folding" `Quick test_const_fold;
+         Alcotest.test_case "algebraic identities" `Quick test_identities;
+         Alcotest.test_case "not pushes into cmp" `Quick test_not_pushes_into_cmp;
+         Alcotest.test_case "extract/concat roundtrip" `Quick
+           test_extract_concat_roundtrip;
+         Alcotest.test_case "signed semantics" `Quick test_eval_signed;
+         qtest prop_simplify_preserves_semantics;
+         qtest prop_smart_constructors_preserve;
+         qtest prop_simplify_idempotent ]);
+      ("interval",
+       [ Alcotest.test_case "infeasible" `Quick test_interval_infeasible;
+         Alcotest.test_case "narrowing" `Quick test_interval_narrowing;
+         Alcotest.test_case "range_of" `Quick test_interval_range_of;
+         qtest prop_interval_sound ]);
+      ("dpll",
+       [ Alcotest.test_case "simple sat" `Quick test_dpll_simple_sat;
+         Alcotest.test_case "unsat" `Quick test_dpll_unsat;
+         Alcotest.test_case "pigeonhole" `Quick test_dpll_pigeonhole;
+         qtest prop_dpll_matches_bruteforce ]);
+      ("solver",
+       [ Alcotest.test_case "linear equation" `Quick test_solver_simple;
+         Alcotest.test_case "parity contradiction" `Quick
+           test_solver_unsat_via_bits;
+         Alcotest.test_case "mul and div" `Quick test_solver_mul_div;
+         Alcotest.test_case "shift" `Quick test_solver_shift;
+         Alcotest.test_case "byte variables" `Quick test_solver_bytes;
+         Alcotest.test_case "concretize" `Quick test_concretize;
+         qtest prop_solver_sound_on_simple;
+         qtest prop_divmod_matches_bruteforce;
+         qtest prop_symbolic_shift;
+         qtest prop_two_var_relation ]) ]

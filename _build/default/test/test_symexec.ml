@@ -1,0 +1,435 @@
+(* Unit tests for ddt_symexec: copy-on-write memory, forking on symbolic
+   branches, symbolic hardware, concretization, interrupt injection. *)
+
+module Expr = Ddt_solver.Expr
+module Mem = Ddt_dvm.Mem
+module Layout = Ddt_dvm.Layout
+module Image = Ddt_dvm.Image
+module Kstate = Ddt_kernel.Kstate
+module Pci = Ddt_kernel.Pci
+module Symdev = Ddt_hw.Symdev
+open Ddt_symexec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let device () =
+  Pci.assign_resources
+    { Pci.vendor_id = 1; device_id = 2; revision = 0; bar_sizes = [ 0x1000 ];
+      irq_line = 9 }
+    ~mmio_base:Layout.mmio_base
+
+(* --- Symmem -------------------------------------------------------------- *)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let test_cow_fork_isolation () =
+  let base = Mem.create () in
+  Mem.write_u32 base 0x1000 0xCAFE;
+  let m1 = Symmem.create ~base ~symdev:None in
+  check_int "reads through to base" 0xCAFE
+    (match Symmem.read_u32 m1 0x1000 with
+     | Expr.Const (_, v) -> v
+     | _ -> -1);
+  Symmem.write_u32 m1 0x1000 (Expr.word 1);
+  let m2 = Symmem.fork m1 in
+  Symmem.write_u32 m2 0x1000 (Expr.word 2);
+  Symmem.write_u32 m1 0x2000 (Expr.word 3);
+  check_bool "parent keeps its value" true
+    (Symmem.read_u32 m1 0x1000 = Expr.word 1);
+  check_bool "child sees its own write" true
+    (Symmem.read_u32 m2 0x1000 = Expr.word 2);
+  check_bool "child misses parent's post-fork write" true
+    (match Symmem.read_u32 m2 0x2000 with Expr.Const (_, 0) -> true | _ -> false);
+  check_bool "chain grew" true (Symmem.chain_depth m2 >= 2)
+
+let test_cow_word_byte_roundtrip () =
+  let base = Mem.create () in
+  let m = Symmem.create ~base ~symdev:None in
+  Symmem.write_u32 m 0x1000 (Expr.word 0x11223344);
+  check_int "byte 0" 0x44
+    (match Symmem.read_u8 m 0x1000 with Expr.Const (_, v) -> v | _ -> -1);
+  check_int "byte 3" 0x11
+    (match Symmem.read_u8 m 0x1003 with Expr.Const (_, v) -> v | _ -> -1);
+  (* A symbolic word decomposes into extracts and recomposes to itself. *)
+  let v = Expr.var (Expr.fresh_var Expr.W32) in
+  Symmem.write_u32 m 0x2000 v;
+  check_bool "symbolic roundtrip" true (Expr.equal (Symmem.read_u32 m 0x2000) v)
+
+let test_symbolic_device_reads () =
+  let base = Mem.create () in
+  let sd = Symdev.create (device ()) in
+  let m = Symmem.create ~base ~symdev:(Some sd) in
+  let r1 = Symmem.read_u8 m Layout.mmio_base in
+  let r2 = Symmem.read_u8 m Layout.mmio_base in
+  check_bool "fresh symbolic per read" true
+    (match r1, r2 with
+     | Expr.Var a, Expr.Var b -> a.Expr.id <> b.Expr.id
+     | _ -> false);
+  (* Writes to the device are discarded. *)
+  Symmem.write_u8 m Layout.mmio_base (Expr.byte 0x55);
+  (match Symmem.read_u8 m Layout.mmio_base with
+   | Expr.Var _ -> ()
+   | _ -> Alcotest.fail "device write must be discarded")
+
+(* Differential property: a random interleaving of byte/word writes,
+   reads and forks on Symmem agrees with a reference model (a plain map
+   per fork lineage). *)
+let prop_cow_matches_reference =
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (oneof
+           [ map2 (fun a v -> `W8 (0x1000 + a, v)) (int_bound 63) (int_bound 255);
+             map2
+               (fun a v -> `W32 (0x1000 + (4 * a), v land 0xFFFFFFFF))
+               (int_bound 15) int;
+             map (fun a -> `R8 (0x1000 + a)) (int_bound 63);
+             map (fun a -> `R32 (0x1000 + (4 * a))) (int_bound 15);
+             return `Fork ]))
+  in
+  QCheck.Test.make ~count:100 ~name:"cow memory matches reference model"
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let base = Mem.create () in
+      (* Active lineage: (symmem, reference byte map). Fork clones both;
+         we keep operating on the newest child and occasionally return to
+         the parent, which must be unaffected. *)
+      let ref_model = Hashtbl.create 64 in
+      let read_ref a = try Hashtbl.find ref_model a with Not_found -> 0 in
+      let m = ref (Symmem.create ~base ~symdev:None) in
+      let parents = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `W8 (a, v) ->
+              Symmem.write_u8 !m a (Expr.byte v);
+              Hashtbl.replace ref_model a v
+          | `W32 (a, v) ->
+              Symmem.write_u32 !m a (Expr.word v);
+              for i = 0 to 3 do
+                Hashtbl.replace ref_model (a + i) ((v lsr (8 * i)) land 0xFF)
+              done
+          | `R8 a -> (
+              match Symmem.read_u8 !m a with
+              | Expr.Const (_, v) -> if v <> read_ref a then ok := false
+              | _ -> ok := false)
+          | `R32 a -> (
+              match Symmem.read_u32 !m a with
+              | Expr.Const (_, v) ->
+                  let expected =
+                    read_ref a
+                    lor (read_ref (a + 1) lsl 8)
+                    lor (read_ref (a + 2) lsl 16)
+                    lor (read_ref (a + 3) lsl 24)
+                  in
+                  if v <> expected then ok := false
+              | _ -> ok := false)
+          | `Fork ->
+              (* Snapshot the reference; continue on the child. *)
+              parents := (!m, Hashtbl.copy ref_model) :: !parents;
+              m := Symmem.fork !m)
+        ops;
+      (* Parents must still agree with their snapshots. *)
+      List.iter
+        (fun (pm, pref) ->
+          for a = 0x1000 to 0x1040 do
+            match Symmem.read_u8 pm a with
+            | Expr.Const (_, v) ->
+                let e = try Hashtbl.find pref a with Not_found -> 0 in
+                if v <> e then ok := false
+            | _ -> ok := false
+          done)
+        !parents;
+      !ok)
+
+(* --- the executor on small driver programs -------------------------------- *)
+
+let build_engine ?config src =
+  let img = Ddt_minicc.Codegen.compile ~name:"unit" src in
+  let base = Mem.create () in
+  let loaded = Image.load img base ~base:Layout.image_base in
+  let dev = device () in
+  let symdev = Symdev.create dev in
+  let eng = Exec.create ?config loaded base symdev in
+  let ks = Kstate.create ~device:dev () in
+  (eng, loaded, ks)
+
+let run_to_completion eng st ~name ~addr ~args =
+  Exec.start_invocation eng st ~name ~addr ~args;
+  Exec.run eng ();
+  Exec.finished eng
+
+let test_fork_on_symbolic_branch () =
+  (* The driver branches on a device register: both sides must be
+     explored and produce different return values. *)
+  let src = {|
+    const MMIO = 0xD0000000;
+    int driver_entry(void) {
+      int status = *(MMIO + 0);
+      if (status & 1) { return 100; }
+      return 200;
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  let finished =
+    run_to_completion eng st ~name:"load"
+      ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+      ~args:[]
+  in
+  let rets =
+    List.filter_map
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Returned r) -> Some r
+        | _ -> None)
+      finished
+    |> List.sort compare
+  in
+  check_bool "both paths explored" true (rets = [ 100; 200 ])
+
+let test_symbolic_args_fork () =
+  let src = {|
+    int driver_entry(int x) {
+      if (x == 1234) { return 1; }
+      if (x < 10) { return 2; }
+      return 3;
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  let x = Exec.fresh_symbolic eng st ~name:"x" ~origin:"test" Expr.W32 in
+  let finished =
+    run_to_completion eng st ~name:"load"
+      ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+      ~args:[ x ]
+  in
+  let rets =
+    List.filter_map
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Returned r) -> Some r
+        | _ -> None)
+      finished
+    |> List.sort_uniq compare
+  in
+  check_bool "three-way dispatch covered" true (rets = [ 1; 2; 3 ])
+
+let test_div_by_zero_forks_crash () =
+  let src = {|
+    const MMIO = 0xD0000000;
+    int driver_entry(void) {
+      int d = *(MMIO + 0);
+      return 1000 / (d & 0xFF);
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  let finished =
+    run_to_completion eng st ~name:"load"
+      ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+      ~args:[]
+  in
+  let crashed =
+    List.exists
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Crashed c) -> c.Symstate.c_msg = "division by zero"
+        | _ -> false)
+      finished
+  in
+  let returned =
+    List.exists
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Returned _) -> true
+        | _ -> false)
+      finished
+  in
+  check_bool "zero divisor path crashes" true crashed;
+  check_bool "nonzero divisor path survives" true returned
+
+let test_path_constraints_consistent () =
+  (* Contradictory conditions must leave only feasible paths. *)
+  let src = {|
+    int driver_entry(int x) {
+      if (x > 100) {
+        if (x < 50) { return 666; }   // infeasible
+        return 1;
+      }
+      return 2;
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  let x = Exec.fresh_symbolic eng st ~name:"x" ~origin:"test" Expr.W32 in
+  let finished =
+    run_to_completion eng st ~name:"load"
+      ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+      ~args:[ x ]
+  in
+  let rets =
+    List.filter_map
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Returned r) -> Some r
+        | _ -> None)
+      finished
+    |> List.sort_uniq compare
+  in
+  check_bool "dead path never returns" true (not (List.mem 666 rets));
+  check_bool "live paths returned" true (rets = [ 1; 2 ])
+
+let test_concretization_constraint_recorded () =
+  let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
+  let st = Exec.new_root_state eng ks in
+  let x = Exec.fresh_symbolic eng st ~name:"x" ~origin:"test" Expr.W32 in
+  let v = Exec.concretize eng st x "test" in
+  (* The concretization must be recorded as a path constraint, so a
+     second concretization yields the same value. *)
+  check_int "stable concretization" v (Exec.concretize eng st x "test")
+
+let test_interrupt_injection_forks () =
+  (* An ISR that crashes on a flag the entry point sets after its kcall:
+     only the injected path sees the crash. *)
+  let src = {|
+    int g_ready;
+    int g_chars[8];
+    int isr(int ctx) {
+      if (g_ready == 0) {
+        int p = 0;
+        *(p + 0) = 1;      // crash when fired in the window
+      }
+      return 1;
+    }
+    int touch(void) {
+      NdisStallExecution(1);
+      return 0;
+    }
+    int initialize(void) {
+      g_ready = 0;
+      touch();             // kcall boundary: injection site
+      g_ready = 1;
+      return 0;
+    }
+    int driver_entry(void) {
+      g_chars[0] = initialize;
+      g_chars[4] = isr;
+      NdisMRegisterMiniport(g_chars);
+      NdisMRegisterInterrupt(9);
+      return 0;
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  ignore
+    (run_to_completion eng st ~name:"load"
+       ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+       ~args:[]);
+  let _ = Exec.drain_finished eng in
+  (* Now run initialize with injection enabled. *)
+  let base =
+    match
+      List.find_opt
+        (fun s -> s.Symstate.status = Some (Symstate.Returned 0))
+        (Exec.finished eng)
+    with
+    | Some s -> s
+    | None -> st
+  in
+  let child = Exec.fork_of eng base in
+  Exec.start_invocation eng child ~name:"initialize"
+    ~addr:(Image.export_addr loaded "initialize")
+    ~args:[];
+  Exec.run eng ();
+  let crashed_in_isr =
+    List.exists
+      (fun s ->
+        match s.Symstate.status with
+        | Some (Symstate.Crashed _) -> s.Symstate.injections > 0
+        | _ -> false)
+      (Exec.finished eng)
+  in
+  let clean_path =
+    List.exists
+      (fun s -> s.Symstate.status = Some (Symstate.Returned 0))
+      (Exec.finished eng)
+  in
+  check_bool "injected interrupt hits the window" true crashed_in_isr;
+  check_bool "uninjected path completes" true clean_path
+
+let test_coverage_accounting () =
+  let src = {|
+    int driver_entry(int x) {
+      if (x == 7) { return 1; }
+      return 0;
+    }
+  |} in
+  let eng, loaded, ks = build_engine src in
+  let st = Exec.new_root_state eng ks in
+  let x = Exec.fresh_symbolic eng st ~name:"x" ~origin:"t" Expr.W32 in
+  ignore
+    (run_to_completion eng st ~name:"load"
+       ~addr:(loaded.Image.base + loaded.Image.image.Image.entry)
+       ~args:[ x ]);
+  check_bool "blocks covered" true (Exec.block_coverage eng >= 3);
+  let stats = Exec.stats eng in
+  check_bool "states created" true (stats.Exec.st_states_created >= 2)
+
+(* --- scheduler strategies ---------------------------------------------------- *)
+
+let mk_states eng ks n =
+  List.init n (fun _ -> Exec.new_root_state eng ks)
+
+let test_sched_strategies () =
+  let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
+  let sts = mk_states eng ks 4 in
+  let ids = List.map (fun s -> s.Symstate.id) sts in
+  (* DFS: first of the list (most recently pushed by convention). *)
+  (match Sched.pick Sched.Dfs ~priority:(fun _ -> 0) sts with
+   | Some (s, rest) ->
+       check_int "dfs picks head" (List.hd ids) s.Symstate.id;
+       check_int "rest size" 3 (List.length rest)
+   | None -> Alcotest.fail "dfs");
+  (* BFS: last of the list. *)
+  (match Sched.pick Sched.Bfs ~priority:(fun _ -> 0) sts with
+   | Some (s, _) ->
+       check_int "bfs picks tail" (List.nth ids 3) s.Symstate.id
+   | None -> Alcotest.fail "bfs");
+  (* Min-touch: the state with the smallest priority wins; FIFO ties. *)
+  let prio s = if s.Symstate.id = List.nth ids 2 then 0 else 5 in
+  (match Sched.pick Sched.Min_touch ~priority:prio sts with
+   | Some (s, _) -> check_int "min wins" (List.nth ids 2) s.Symstate.id
+   | None -> Alcotest.fail "min");
+  (match Sched.pick Sched.Min_touch ~priority:(fun _ -> 1) sts with
+   | Some (s, _) ->
+       check_int "fifo tie-break (oldest = last pushed first run)"
+         (List.nth ids 3) s.Symstate.id
+   | None -> Alcotest.fail "tie");
+  check_bool "empty worklist" true
+    (Sched.pick Sched.Min_touch ~priority:(fun _ -> 0) [] = None)
+
+let () =
+  Alcotest.run "ddt_symexec"
+    [ ("symmem",
+       [ Alcotest.test_case "cow fork isolation" `Quick test_cow_fork_isolation;
+         Alcotest.test_case "word/byte roundtrip" `Quick
+           test_cow_word_byte_roundtrip;
+         Alcotest.test_case "symbolic device" `Quick test_symbolic_device_reads;
+         qtest prop_cow_matches_reference ]);
+      ("executor",
+       [ Alcotest.test_case "fork on device branch" `Quick
+           test_fork_on_symbolic_branch;
+         Alcotest.test_case "symbolic args" `Quick test_symbolic_args_fork;
+         Alcotest.test_case "div by zero" `Quick test_div_by_zero_forks_crash;
+         Alcotest.test_case "path constraints" `Quick
+           test_path_constraints_consistent;
+         Alcotest.test_case "concretization" `Quick
+           test_concretization_constraint_recorded;
+         Alcotest.test_case "interrupt injection" `Quick
+           test_interrupt_injection_forks;
+         Alcotest.test_case "coverage" `Quick test_coverage_accounting ]);
+      ("scheduler",
+       [ Alcotest.test_case "strategies" `Quick test_sched_strategies ]) ]
