@@ -5,9 +5,12 @@
      dune exec bench/main.exe -- table2    # one experiment
 
    Experiments: table1 table2 fig2 fig3 stress sdv synthetic ablation
-   memory micro. Absolute numbers differ from the paper (the substrate is
-   a simulator, not a 2 GHz Xeon running Windows XP); the shapes are what
-   each experiment checks. *)
+   sched parallel memory solver micro. Absolute numbers differ from the
+   paper (the substrate is a simulator, not a 2 GHz Xeon running Windows
+   XP); the shapes are what each experiment checks.
+
+   --json additionally writes BENCH_solver.json from the solver
+   experiment, for tracking the perf trajectory across commits. *)
 
 module Corpus = Ddt_drivers.Corpus
 module Report = Ddt_checkers.Report
@@ -357,6 +360,121 @@ let parallel () =
         (Ddt_core.Parallel.speedup r))
     [ 1; 2; 4 ]
 
+(* --- solver acceleration: slicing + query cache ---------------------------------- *)
+
+(* Set by --json: write the per-driver numbers to BENCH_solver.json so the
+   perf trajectory can be tracked across commits. *)
+let json_mode = ref false
+
+type solver_row = {
+  sr_driver : string;
+  sr_base : Ddt_solver.Solver.stats;
+  sr_base_wall : float;
+  sr_base_bugs : string list;
+  sr_accel : Ddt_solver.Solver.stats;
+  sr_accel_wall : float;
+  sr_accel_bugs : string list;
+}
+
+let write_solver_json rows path =
+  let oc = open_out path in
+  let module Sv = Ddt_solver.Solver in
+  let pr fmt = Printf.fprintf oc fmt in
+  let stats_json (s : Sv.stats) wall bugs =
+    Printf.sprintf
+      "{\"queries\": %d, \"group_solves\": %d, \"cache_exact_hits\": %d, \
+       \"cache_subset_unsat_hits\": %d, \"cache_model_reuse_hits\": %d, \
+       \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
+       \"interval_solves\": %d, \"bitblast_solves\": %d, \
+       \"cache_evictions\": %d, \"wall_s\": %.4f, \"bugs\": %d}"
+      s.Sv.s_queries s.Sv.s_group_solves s.Sv.s_cache_exact_hits
+      s.Sv.s_cache_subset_unsat_hits s.Sv.s_cache_model_reuse_hits
+      s.Sv.s_cache_misses (Sv.cache_hit_rate s) s.Sv.s_interval_solves
+      s.Sv.s_bitblast_solves s.Sv.s_cache_evictions wall (List.length bugs)
+  in
+  pr "{\n  \"experiment\": \"solver\",\n  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S,\n     \"baseline\": %s,\n     \"accelerated\": \
+         %s,\n     \"speedup\": %.3f,\n     \"bugs_match\": %b}%s\n"
+        r.sr_driver
+        (stats_json r.sr_base r.sr_base_wall r.sr_base_bugs)
+        (stats_json r.sr_accel r.sr_accel_wall r.sr_accel_bugs)
+        (if r.sr_accel_wall > 0.0 then r.sr_base_wall /. r.sr_accel_wall
+         else 1.0)
+        (r.sr_base_bugs = r.sr_accel_bugs)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let solver_bench () =
+  section
+    "Solver acceleration: independence slicing + counterexample query cache \
+     (KLEE-style; baseline solves every query from scratch)";
+  let module Sv = Ddt_solver.Solver in
+  let run_with accel e =
+    let cfg = Corpus.config e in
+    let cfg =
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with Exec.solver_accel = accel } }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Ddt_core.Ddt.test_driver cfg in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let bug_keys (r : Session.result) =
+    List.map (fun b -> b.Report.b_key) r.Session.r_bugs
+    |> List.sort_uniq compare
+  in
+  Printf.printf "%-16s %9s %9s %9s %9s %6s %8s %5s\n" "Driver" "queries"
+    "grp-slv" "bb-base" "bb-accel" "hit%" "speedup" "same";
+  let rows =
+    List.map
+      (fun e ->
+        let rb, tb = run_with false e in
+        let ra, ta = run_with true e in
+        let sb = rb.Session.r_stats.Exec.st_solver in
+        let sa = ra.Session.r_stats.Exec.st_solver in
+        let kb = bug_keys rb and ka = bug_keys ra in
+        Printf.printf "%-16s %9d %9d %9d %9d %5.1f%% %7.2fx %5s\n"
+          e.Corpus.short sa.Sv.s_queries sa.Sv.s_group_solves
+          sb.Sv.s_bitblast_solves sa.Sv.s_bitblast_solves
+          (100.0 *. Sv.cache_hit_rate sa)
+          (if ta > 0.0 then tb /. ta else 1.0)
+          (if kb = ka then "yes" else "NO");
+        { sr_driver = e.Corpus.short; sr_base = sb; sr_base_wall = tb;
+          sr_base_bugs = kb; sr_accel = sa; sr_accel_wall = ta;
+          sr_accel_bugs = ka })
+      Corpus.all
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let hits = sum (fun r -> Sv.cache_hits r.sr_accel) in
+  let lookups =
+    hits + sum (fun r -> r.sr_accel.Sv.s_cache_misses)
+  in
+  Printf.printf
+    "\ntotals: bit-blasts %d -> %d | cache hit rate %.1f%% | wall %.2fs -> \
+     %.2fs (%.2fx) | bug reports identical on %d/%d drivers\n"
+    (sum (fun r -> r.sr_base.Sv.s_bitblast_solves))
+    (sum (fun r -> r.sr_accel.Sv.s_bitblast_solves))
+    (if lookups = 0 then 0.0
+     else 100.0 *. float_of_int hits /. float_of_int lookups)
+    (sumf (fun r -> r.sr_base_wall))
+    (sumf (fun r -> r.sr_accel_wall))
+    (let ta = sumf (fun r -> r.sr_accel_wall) in
+     if ta > 0.0 then sumf (fun r -> r.sr_base_wall) /. ta else 1.0)
+    (List.length
+       (List.filter (fun r -> r.sr_base_bugs = r.sr_accel_bugs) rows))
+    (List.length rows);
+  if !json_mode then begin
+    write_solver_json rows "BENCH_solver.json";
+    Printf.printf "wrote BENCH_solver.json\n"
+  end
+
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 let bechamel_run name fn =
@@ -433,13 +551,16 @@ let all_experiments =
   [ ("table1", table1); ("table2", table2); ("fig2", figures);
     ("stress", stress); ("sdv", sdv); ("synthetic", synthetic);
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
-    ("memory", memory); ("micro", micro) ]
+    ("memory", memory); ("solver", solver_bench); ("micro", micro) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
+  json_mode := List.mem "--json" flags;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+    match names with
+    | _ :: _ -> names
+    | [] -> List.map fst all_experiments
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -22,7 +22,13 @@ let pp_report fmt (r : Session.result) =
     (Session.coverage_percent r)
     r.Session.r_invocations
     stats.Ddt_symexec.Exec.st_states_created
-    stats.Ddt_symexec.Exec.st_total_steps r.Session.r_wall_time
+    stats.Ddt_symexec.Exec.st_total_steps r.Session.r_wall_time;
+  let sv = stats.Ddt_symexec.Exec.st_solver in
+  Format.fprintf fmt
+    "solver: %d queries, %d group solves, %.0f%% cache hits, %d bit-blasts@."
+    sv.Ddt_solver.Solver.s_queries sv.Ddt_solver.Solver.s_group_solves
+    (100.0 *. Ddt_solver.Solver.cache_hit_rate sv)
+    sv.Ddt_solver.Solver.s_bitblast_solves
 
 let pp_bug_detail fmt (b : Report.bug) =
   Format.fprintf fmt "%a@.--- execution trace ---@.%s@." Report.pp_bug b

@@ -1,0 +1,74 @@
+(* Union-find over variable ids, with path compression. The structures are
+   rebuilt per call: constraint sets are short (tens of entries) and the
+   dominant cost is solving, not slicing. *)
+
+type uf = (int, int) Hashtbl.t
+
+let rec find (uf : uf) x =
+  match Hashtbl.find_opt uf x with
+  | None ->
+      Hashtbl.replace uf x x;
+      x
+  | Some p when p = x -> x
+  | Some p ->
+      let r = find uf p in
+      Hashtbl.replace uf x r;
+      r
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra <> rb then Hashtbl.replace uf ra rb
+
+(* Build the equivalence classes for one constraint set. Returns the
+   union-find plus each constraint paired with its variables. *)
+let build cs =
+  let uf = Hashtbl.create 32 in
+  let cvars = List.map (fun c -> (c, Expr.vars c)) cs in
+  List.iter
+    (fun (_, vs) ->
+      match vs with
+      | [] -> ()
+      | v0 :: rest ->
+          ignore (find uf v0.Expr.id);
+          List.iter (fun (v : Expr.var) -> union uf v0.Expr.id v.Expr.id) rest)
+    cvars;
+  (uf, cvars)
+
+(* Key used for ground constraints (no variables). Variable ids are
+   positive, so this never collides with a real root. *)
+let ground_key = min_int
+
+let partition cs =
+  let uf, cvars = build cs in
+  let groups : (int, Expr.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let add key c =
+    match Hashtbl.find_opt groups key with
+    | Some r -> r := c :: !r
+    | None ->
+        Hashtbl.replace groups key (ref [ c ]);
+        order := key :: !order
+  in
+  List.iter
+    (fun (c, vs) ->
+      match vs with
+      | [] -> add ground_key c
+      | v :: _ -> add (find uf v.Expr.id) c)
+    cvars;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+
+let relevant cs e =
+  let uf, cvars = build cs in
+  let roots =
+    List.fold_left
+      (fun acc (v : Expr.var) ->
+        let r = find uf v.Expr.id in
+        if List.mem r acc then acc else r :: acc)
+      [] (Expr.vars e)
+  in
+  List.filter_map
+    (fun (c, vs) ->
+      match vs with
+      | [] -> None
+      | v :: _ -> if List.mem (find uf v.Expr.id) roots then Some c else None)
+    cvars

@@ -1,0 +1,202 @@
+type outcome =
+  | Exact_sat of (Expr.var -> int)
+  | Exact_unsat
+  | Subset_unsat
+  | Reuse_sat of (Expr.var -> int)
+  | Miss
+
+module Key = struct
+  type t = Expr.t list
+
+  let equal a b =
+    try List.for_all2 Expr.equal a b with Invalid_argument _ -> false
+
+  (* Hashtbl.hash only samples a prefix of large expressions; collisions
+     are resolved by [equal], so this only affects bucket spread. *)
+  let hash k = List.fold_left (fun acc e -> (acc * 1000003) lxor Hashtbl.hash e) 0 k
+end
+
+module KH = Hashtbl.Make (Key)
+
+module EH = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash = Hashtbl.hash
+end)
+
+type verdict = V_sat of (Expr.var * int) list | V_unsat
+
+type entry = {
+  e_id : int;
+  e_key : Expr.t list;
+  e_verdict : verdict;
+  e_size : int;
+  mutable e_last_use : int;
+}
+
+type t = {
+  capacity : int;
+  model_reuse : int;
+  table : entry KH.t;
+  unsat_index : entry list ref EH.t;
+      (* constraint -> Unsat entries containing it, for subset proofs *)
+  mutable models : (Expr.var * int) list list;  (* newest first *)
+  mutable tick : int;
+  mutable next_id : int;
+  mutable evicted : int;
+}
+
+let create ?(capacity = 4096) ?(model_reuse = 12) () =
+  {
+    capacity = max 1 capacity;
+    model_reuse = max 0 model_reuse;
+    table = KH.create 256;
+    unsat_index = EH.create 256;
+    models = [];
+    tick = 0;
+    next_id = 0;
+    evicted = 0;
+  }
+
+let canon cs = List.sort_uniq Expr.compare cs
+
+let size t = KH.length t.table
+let evictions t = t.evicted
+
+let clear t =
+  KH.reset t.table;
+  EH.reset t.unsat_index;
+  t.models <- []
+
+let env_of pairs =
+  let tbl = Hashtbl.create (max 4 (2 * List.length pairs)) in
+  List.iter (fun ((v : Expr.var), x) -> Hashtbl.replace tbl v.Expr.id x) pairs;
+  fun (v : Expr.var) ->
+    match Hashtbl.find_opt tbl v.Expr.id with Some x -> x | None -> 0
+
+let unindex t e =
+  List.iter
+    (fun c ->
+      match EH.find_opt t.unsat_index c with
+      | None -> ()
+      | Some r ->
+          r := List.filter (fun e' -> e'.e_id <> e.e_id) !r;
+          if !r = [] then EH.remove t.unsat_index c)
+    e.e_key
+
+(* Batch LRU eviction: drop the least recently used entries down to 3/4
+   of capacity, so the O(n log n) sort amortizes over many inserts. *)
+let maybe_evict t =
+  if KH.length t.table > t.capacity then begin
+    let entries = KH.fold (fun _ e acc -> e :: acc) t.table [] in
+    let sorted =
+      List.sort (fun a b -> compare a.e_last_use b.e_last_use) entries
+    in
+    let drop = ref (KH.length t.table - (t.capacity * 3 / 4)) in
+    List.iter
+      (fun e ->
+        if !drop > 0 then begin
+          decr drop;
+          KH.remove t.table e.e_key;
+          (match e.e_verdict with V_unsat -> unindex t e | V_sat _ -> ());
+          t.evicted <- t.evicted + 1
+        end)
+      sorted
+  end
+
+let lookup t cs =
+  let key = canon cs in
+  t.tick <- t.tick + 1;
+  match KH.find_opt t.table key with
+  | Some e -> (
+      e.e_last_use <- t.tick;
+      match e.e_verdict with
+      | V_sat m -> Exact_sat (env_of m)
+      | V_unsat -> Exact_unsat)
+  | None ->
+      (* Subset rule: an Unsat entry all of whose constraints occur in the
+         query proves the query Unsat. Count, per candidate entry, how
+         many of the query's constraints it contains. *)
+      let hits = Hashtbl.create 8 in
+      let subset =
+        List.exists
+          (fun c ->
+            match EH.find_opt t.unsat_index c with
+            | None -> false
+            | Some entries ->
+                List.exists
+                  (fun e ->
+                    let n =
+                      1
+                      + (match Hashtbl.find_opt hits e.e_id with
+                         | Some n -> n
+                         | None -> 0)
+                    in
+                    Hashtbl.replace hits e.e_id n;
+                    if n = e.e_size then begin
+                      e.e_last_use <- t.tick;
+                      true
+                    end
+                    else false)
+                  !entries)
+          key
+      in
+      if subset then Subset_unsat
+      else
+        (* Superset rule: re-check recent models by evaluation. *)
+        let rec try_models = function
+          | [] -> Miss
+          | m :: rest ->
+              let env = env_of m in
+              if List.for_all (fun c -> Expr.eval env c = 1) key then
+                Reuse_sat env
+              else try_models rest
+        in
+        try_models t.models
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let add_entry t key verdict =
+  t.tick <- t.tick + 1;
+  t.next_id <- t.next_id + 1;
+  let e =
+    {
+      e_id = t.next_id;
+      e_key = key;
+      e_verdict = verdict;
+      e_size = List.length key;
+      e_last_use = t.tick;
+    }
+  in
+  KH.replace t.table key e;
+  e
+
+let store_sat t cs m =
+  let key = canon cs in
+  if key <> [] && not (KH.mem t.table key) then begin
+    let vars =
+      List.concat_map Expr.vars key
+      |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
+    in
+    let pairs = List.map (fun v -> (v, m v)) vars in
+    ignore (add_entry t key (V_sat pairs));
+    if t.model_reuse > 0 then
+      t.models <- pairs :: take (t.model_reuse - 1) t.models;
+    maybe_evict t
+  end
+
+let store_unsat t cs =
+  let key = canon cs in
+  if key <> [] && not (KH.mem t.table key) then begin
+    let e = add_entry t key V_unsat in
+    List.iter
+      (fun c ->
+        match EH.find_opt t.unsat_index c with
+        | Some r -> r := e :: !r
+        | None -> EH.replace t.unsat_index c (ref [ e ]))
+      key;
+    maybe_evict t
+  end

@@ -1,0 +1,46 @@
+(** Counterexample-style query cache over canonicalized constraint sets
+    (Klee's second query optimization).
+
+    Keys are constraint sets canonicalized by {!canon} (sorted, deduped).
+    Beyond exact hits, the cache applies the two subset/superset rules of
+    counterexample caching:
+
+    - a cached {e Unsat} set that is a subset of the query proves the
+      query Unsat (adding constraints cannot restore satisfiability);
+    - a cached {e Sat} model (for any earlier query, typically a subset)
+      is re-checked against the query by concrete evaluation — a cheap
+      [Expr.eval] pass instead of a bit-blast — and reused on success.
+
+    The store is bounded: when it exceeds its capacity the least recently
+    used quarter is evicted. One cache instance is {e not} thread-safe;
+    {!Solver} keeps one per domain via [Domain.DLS]. *)
+
+type t
+
+type outcome =
+  | Exact_sat of (Expr.var -> int)  (** same canonical set seen before *)
+  | Exact_unsat
+  | Subset_unsat  (** a cached Unsat set is a subset of the query *)
+  | Reuse_sat of (Expr.var -> int)
+      (** a cached model satisfies the query (verified by evaluation);
+          variables outside the model read as 0 *)
+  | Miss
+
+val create : ?capacity:int -> ?model_reuse:int -> unit -> t
+(** [capacity] bounds the number of entries (default 4096);
+    [model_reuse] bounds how many recent models are tried per lookup
+    (default 12). *)
+
+val canon : Expr.t list -> Expr.t list
+(** Sort by {!Expr.compare} and drop duplicates — the canonical key. *)
+
+val lookup : t -> Expr.t list -> outcome
+
+val store_sat : t -> Expr.t list -> (Expr.var -> int) -> unit
+(** Record a verified model for the set (restricted to its variables). *)
+
+val store_unsat : t -> Expr.t list -> unit
+
+val size : t -> int
+val evictions : t -> int
+val clear : t -> unit

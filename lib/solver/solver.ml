@@ -5,58 +5,231 @@ type result =
   | Unsat
   | Unknown
 
-let queries = Atomic.make 0
-let stats_queries () = Atomic.get queries
-let reset_stats () = Atomic.set queries 0
+(* --- acceleration configuration ----------------------------------------- *)
+
+type accel = {
+  use_slicing : bool;
+  use_cache : bool;
+  cache_capacity : int;
+  model_reuse : int;
+}
+
+let default_accel =
+  { use_slicing = true; use_cache = true; cache_capacity = 4096;
+    model_reuse = 12 }
+
+let no_accel =
+  { use_slicing = false; use_cache = false; cache_capacity = 1;
+    model_reuse = 0 }
+
+(* The accel knobs and the cache are per-domain: each Parallel.test_driver
+   worker domain gets its own instance, so no locking is needed and the
+   workers never contend on cache buckets. *)
+let accel_key = Domain.DLS.new_key (fun () -> default_accel)
+
+let cache_key = Domain.DLS.new_key (fun () -> Qcache.create ())
+
+let current_accel () = Domain.DLS.get accel_key
+
+let clear_cache () =
+  let a = current_accel () in
+  Domain.DLS.set cache_key
+    (Qcache.create ~capacity:a.cache_capacity ~model_reuse:a.model_reuse ())
+
+let set_accel a =
+  Domain.DLS.set accel_key a;
+  clear_cache ()
+
+(* --- statistics ---------------------------------------------------------- *)
+
+type stats = {
+  s_queries : int;
+  s_group_solves : int;
+  s_cache_exact_hits : int;
+  s_cache_subset_unsat_hits : int;
+  s_cache_model_reuse_hits : int;
+  s_cache_misses : int;
+  s_interval_solves : int;
+  s_bitblast_solves : int;
+  s_cache_evictions : int;
+}
+
+type counters = {
+  mutable c_queries : int;
+  mutable c_group_solves : int;
+  mutable c_exact_hits : int;
+  mutable c_subset_unsat_hits : int;
+  mutable c_model_reuse_hits : int;
+  mutable c_misses : int;
+  mutable c_interval_solves : int;
+  mutable c_bitblast_solves : int;
+}
+
+let fresh_counters () =
+  { c_queries = 0; c_group_solves = 0; c_exact_hits = 0;
+    c_subset_unsat_hits = 0; c_model_reuse_hits = 0; c_misses = 0;
+    c_interval_solves = 0; c_bitblast_solves = 0 }
+
+let counters_key = Domain.DLS.new_key fresh_counters
+let counters () = Domain.DLS.get counters_key
+
+let stats () =
+  let c = counters () in
+  {
+    s_queries = c.c_queries;
+    s_group_solves = c.c_group_solves;
+    s_cache_exact_hits = c.c_exact_hits;
+    s_cache_subset_unsat_hits = c.c_subset_unsat_hits;
+    s_cache_model_reuse_hits = c.c_model_reuse_hits;
+    s_cache_misses = c.c_misses;
+    s_interval_solves = c.c_interval_solves;
+    s_bitblast_solves = c.c_bitblast_solves;
+    s_cache_evictions = Qcache.evictions (Domain.DLS.get cache_key);
+  }
+
+let diff_stats (b : stats) (a : stats) =
+  {
+    s_queries = b.s_queries - a.s_queries;
+    s_group_solves = b.s_group_solves - a.s_group_solves;
+    s_cache_exact_hits = b.s_cache_exact_hits - a.s_cache_exact_hits;
+    s_cache_subset_unsat_hits =
+      b.s_cache_subset_unsat_hits - a.s_cache_subset_unsat_hits;
+    s_cache_model_reuse_hits =
+      b.s_cache_model_reuse_hits - a.s_cache_model_reuse_hits;
+    s_cache_misses = b.s_cache_misses - a.s_cache_misses;
+    s_interval_solves = b.s_interval_solves - a.s_interval_solves;
+    s_bitblast_solves = b.s_bitblast_solves - a.s_bitblast_solves;
+    s_cache_evictions = max 0 (b.s_cache_evictions - a.s_cache_evictions);
+  }
+
+let cache_hits s =
+  s.s_cache_exact_hits + s.s_cache_subset_unsat_hits
+  + s.s_cache_model_reuse_hits
+
+let cache_hit_rate s =
+  let hits = cache_hits s in
+  let total = hits + s.s_cache_misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let stats_queries () = (stats ()).s_queries
+
+let reset_stats () = Domain.DLS.set counters_key (fresh_counters ())
+
+(* --- the layered solve of one (simplified, nontrivial) group ------------- *)
 
 let verified constraints env =
   List.for_all (fun c -> Expr.eval env c = 1) constraints
 
+let core_solve cnt constraints =
+  let vars =
+    List.concat_map Expr.vars constraints
+    |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
+  in
+  match Interval.infer constraints with
+  | None ->
+      cnt.c_interval_solves <- cnt.c_interval_solves + 1;
+      Unsat
+  | Some env_ranges -> (
+      (* Cheap verified guesses first. *)
+      let guess =
+        List.find_opt
+          (fun m -> verified constraints m)
+          (Interval.candidates env_ranges vars)
+      in
+      match guess with
+      | Some m ->
+          cnt.c_interval_solves <- cnt.c_interval_solves + 1;
+          Sat m
+      | None -> (
+          cnt.c_bitblast_solves <- cnt.c_bitblast_solves + 1;
+          let ctx = Bitblast.create () in
+          List.iter (Bitblast.assert_true ctx) constraints;
+          match Dpll.solve (Bitblast.cnf ctx) with
+          | Some Dpll.Unsat -> Unsat
+          | None -> Unknown
+          | Some (Dpll.Sat assign) ->
+              let tbl = Hashtbl.create 16 in
+              List.iter
+                (fun v ->
+                  Hashtbl.replace tbl v.Expr.id
+                    (Bitblast.model_of ctx assign v))
+                vars;
+              let m (v : Expr.var) =
+                match Hashtbl.find_opt tbl v.Expr.id with
+                | Some x -> x
+                | None -> 0
+              in
+              (* The model must satisfy the constraints; a failure here
+                 is a bit-blasting bug, so fail loudly. *)
+              assert (verified constraints m);
+              Sat m))
+
+let solve_group cnt a group =
+  cnt.c_group_solves <- cnt.c_group_solves + 1;
+  if not a.use_cache then core_solve cnt group
+  else
+    let cache = Domain.DLS.get cache_key in
+    match Qcache.lookup cache group with
+    | Qcache.Exact_sat m ->
+        cnt.c_exact_hits <- cnt.c_exact_hits + 1;
+        Sat m
+    | Qcache.Exact_unsat ->
+        cnt.c_exact_hits <- cnt.c_exact_hits + 1;
+        Unsat
+    | Qcache.Subset_unsat ->
+        cnt.c_subset_unsat_hits <- cnt.c_subset_unsat_hits + 1;
+        Unsat
+    | Qcache.Reuse_sat m ->
+        cnt.c_model_reuse_hits <- cnt.c_model_reuse_hits + 1;
+        Sat m
+    | Qcache.Miss -> (
+        cnt.c_misses <- cnt.c_misses + 1;
+        let r = core_solve cnt group in
+        (match r with
+         | Sat m -> Qcache.store_sat cache group m
+         | Unsat -> Qcache.store_unsat cache group
+         | Unknown -> ());
+        r)
+
 let check constraints =
-  Atomic.incr queries;
+  let cnt = counters () in
+  cnt.c_queries <- cnt.c_queries + 1;
   let constraints = List.map Simplify.simplify_bool constraints in
   if List.exists (fun c -> c = Expr.fls) constraints then Unsat
   else
     let constraints = List.filter (fun c -> c <> Expr.tru) constraints in
     if constraints = [] then Sat (fun _ -> 0)
     else
-      let vars =
-        List.concat_map Expr.vars constraints
-        |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
+      let a = current_accel () in
+      let groups =
+        if a.use_slicing then Indep.partition constraints else [ constraints ]
       in
-      match Interval.infer constraints with
-      | None -> Unsat
-      | Some env_ranges -> (
-          (* Cheap verified guesses first. *)
-          let guess =
-            List.find_opt
-              (fun m -> verified constraints m)
-              (Interval.candidates env_ranges vars)
-          in
-          match guess with
-          | Some m -> Sat m
-          | None -> (
-              let ctx = Bitblast.create () in
-              List.iter (Bitblast.assert_true ctx) constraints;
-              match Dpll.solve (Bitblast.cnf ctx) with
-              | Some Dpll.Unsat -> Unsat
-              | None -> Unknown
-              | Some (Dpll.Sat assign) ->
-                  let tbl = Hashtbl.create 16 in
-                  List.iter
-                    (fun v ->
-                      Hashtbl.replace tbl v.Expr.id
-                        (Bitblast.model_of ctx assign v))
-                    vars;
-                  let m (v : Expr.var) =
-                    match Hashtbl.find_opt tbl v.Expr.id with
-                    | Some x -> x
-                    | None -> 0
-                  in
-                  (* The model must satisfy the constraints; a failure here
-                     is a bit-blasting bug, so fail loudly. *)
-                  assert (verified constraints m);
-                  Sat m))
+      (* Groups touch disjoint variables, so the union of their models is
+         a model of the conjunction. Any Unsat group sinks the whole set;
+         an Unknown group makes the verdict Unknown unless a later group
+         is Unsat. *)
+      let tbl = Hashtbl.create 16 in
+      let rec go unknown = function
+        | [] ->
+            if unknown then Unknown
+            else
+              Sat
+                (fun (v : Expr.var) ->
+                  match Hashtbl.find_opt tbl v.Expr.id with
+                  | Some x -> x
+                  | None -> 0)
+        | g :: rest -> (
+            match solve_group cnt a g with
+            | Unsat -> Unsat
+            | Unknown -> go true rest
+            | Sat m ->
+                List.iter
+                  (fun (v : Expr.var) -> Hashtbl.replace tbl v.Expr.id (m v))
+                  (List.concat_map Expr.vars g
+                  |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id));
+                go unknown rest)
+      in
+      go false groups
 
 let is_feasible constraints =
   match check constraints with Sat _ | Unknown -> true | Unsat -> false
@@ -66,5 +239,9 @@ let concretize constraints e =
   | Unsat -> None
   | Sat m -> Some (Expr.eval m e)
   | Unknown ->
-      (* Fall back to an unverified guess: evaluate under zeros. *)
-      Some (Expr.eval (fun _ -> 0) e)
+      (* Fall back to the zero valuation, but only if it actually
+         satisfies the constraints: an unverified guess would let the
+         engine continue down a path whose condition the pinned value
+         contradicts. *)
+      let zeros (_ : Expr.var) = 0 in
+      if verified constraints zeros then Some (Expr.eval zeros e) else None

@@ -5,12 +5,22 @@
 
     + algebraic simplification — trivially true constraints are dropped,
       a trivially false one answers Unsat immediately;
+    + constraint-independence slicing ({!Indep}) — the set is split into
+      variable-disjoint groups solved separately, with the per-group
+      models unioned;
+    + per-group query cache ({!Qcache}) — canonicalized groups hit stored
+      Sat models / Unsat verdicts, including counterexample-cache
+      subset/superset reasoning;
     + interval inference — sound contradiction detection and cheap
       candidate models verified by concrete evaluation;
     + bit-blasting to CNF and DPLL search.
 
     Every Sat answer carries a model that has been {e verified} by
-    evaluating all constraints under it. *)
+    evaluating all constraints under it (per variable-disjoint group).
+
+    Slicing and caching are controlled per-domain by {!set_accel}; each
+    OCaml domain owns a private cache ([Domain.DLS]), so parallel
+    exploration workers accelerate independently without locking. *)
 
 type model = Expr.var -> int
 
@@ -28,7 +38,58 @@ val is_feasible : Expr.t list -> bool
 
 val concretize : Expr.t list -> Expr.t -> int option
 (** [concretize constraints e] returns a feasible concrete value of [e]
-    under the constraints, or [None] if they are unsatisfiable. *)
+    under the constraints, or [None] if they are unsatisfiable. On an
+    Unknown verdict the zero valuation is tried and returned only when it
+    {e verifiably} satisfies the constraints. *)
+
+(** {1 Acceleration knobs} *)
+
+type accel = {
+  use_slicing : bool;      (** split queries into variable-disjoint groups *)
+  use_cache : bool;        (** cache per-group verdicts and models *)
+  cache_capacity : int;    (** entry bound before LRU eviction *)
+  model_reuse : int;       (** recent models re-checked per lookup *)
+}
+
+val default_accel : accel
+(** Slicing and caching on (capacity 4096, model reuse 12). This is the
+    initial per-domain setting. *)
+
+val no_accel : accel
+(** The unaccelerated baseline: every query bit-blasts from scratch. *)
+
+val set_accel : accel -> unit
+(** Set the current domain's acceleration mode and clear its cache. *)
+
+val current_accel : unit -> accel
+
+val clear_cache : unit -> unit
+(** Drop the current domain's cache entries (keeps the accel mode). *)
+
+(** {1 Statistics}
+
+    Counters are per-domain, like the cache; a session's statistics are
+    the difference of two {!stats} snapshots (see [Ddt_symexec.Exec]). *)
+
+type stats = {
+  s_queries : int;                  (** [check] calls *)
+  s_group_solves : int;             (** per-group solves after slicing *)
+  s_cache_exact_hits : int;
+  s_cache_subset_unsat_hits : int;  (** Unsat proved by a cached subset *)
+  s_cache_model_reuse_hits : int;   (** Sat via a re-checked cached model *)
+  s_cache_misses : int;
+  s_interval_solves : int;          (** groups settled by interval layer *)
+  s_bitblast_solves : int;          (** groups that reached CNF + DPLL *)
+  s_cache_evictions : int;
+}
+
+val stats : unit -> stats
+val diff_stats : stats -> stats -> stats
+(** [diff_stats after before] — field-wise difference. *)
+
+val cache_hits : stats -> int
+val cache_hit_rate : stats -> float
+(** Hits / (hits + misses), 0 when no cached lookups happened. *)
 
 val stats_queries : unit -> int
 (** Number of [check] calls since start; used by the benchmark harness. *)

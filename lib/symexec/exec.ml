@@ -25,6 +25,9 @@ type config = {
   concrete_hardware : bool;
   (** route device reads to the concrete MMIO hooks instead of minting
       symbolic values — used by the stress baseline *)
+  solver_accel : bool;
+  (** enable constraint-independence slicing and the query cache for this
+      engine's domain (off = bit-blast every query from scratch) *)
   strategy : Sched.strategy;
 }
 
@@ -38,6 +41,7 @@ let default_config =
     respect_cli = true;
     record_exec_pcs = false;
     concrete_hardware = false;
+    solver_accel = true;
     strategy = Sched.Min_touch;
   }
 
@@ -81,6 +85,10 @@ type engine = {
   mutable kcall_enter : St.t -> string -> Mach.t -> unit;
   mutable kcall_leave : St.t -> string -> Mach.t -> unit;
   mutable replay : Replay.script option;
+  solver_base : Solver.stats;
+  (* snapshot at creation; [stats] reports the delta, i.e. the solver
+     work attributable to this engine (engines run sequentially within a
+     domain and the counters are per-domain) *)
 }
 
 exception Discard_state of string
@@ -91,6 +99,8 @@ let create ?(config = default_config) img base_mem symdev =
   Ddt_kernel.Ndis.install ();
   Ddt_kernel.Portcls.install ();
   Ddt_kernel.Usb.install ();
+  Solver.set_accel
+    (if config.solver_accel then Solver.default_accel else Solver.no_accel);
   let block_starts = Hashtbl.create 256 in
   List.iter
     (fun off -> Hashtbl.replace block_starts (img.Image.base + off) ())
@@ -124,6 +134,7 @@ let create ?(config = default_config) img base_mem symdev =
     kcall_enter = (fun _ _ _ -> ());
     kcall_leave = (fun _ _ _ -> ());
     replay = None;
+    solver_base = Solver.stats ();
   }
 
 let config eng = eng.cfg
@@ -921,6 +932,7 @@ type stats = {
   st_blocks_covered : int;
   st_max_cow_depth : int;
   st_live_words : int;
+  st_solver : Solver.stats;
 }
 
 let block_coverage eng = Hashtbl.length eng.block_counts
@@ -941,4 +953,5 @@ let stats eng =
     st_blocks_covered = block_coverage eng;
     st_max_cow_depth = eng.max_cow_depth;
     st_live_words = max live eng.peak_live_words;
+    st_solver = Solver.diff_stats (Solver.stats ()) eng.solver_base;
   }

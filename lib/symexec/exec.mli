@@ -25,6 +25,11 @@ type config = {
   concrete_hardware : bool;
   (** route device reads to the concrete MMIO hooks instead of minting
       symbolic values — used by the stress baseline *)
+  solver_accel : bool;
+  (** enable the solver acceleration layer (constraint-independence
+      slicing + query cache, see [Ddt_solver.Solver.set_accel]) for this
+      engine's domain; on by default, off gives the bit-blast-everything
+      baseline used in benchmarks *)
   strategy : Sched.strategy;
 }
 
@@ -152,6 +157,9 @@ type stats = {
   st_max_cow_depth : int;
   st_live_words : int;
   (** peak copy-on-write entries across all queued states (sampled) *)
+  st_solver : Ddt_solver.Solver.stats;
+  (** solver queries/cache-hit/bit-blast counters attributable to this
+      engine (snapshot delta since [create]) *)
 }
 
 val stats : engine -> stats

@@ -447,6 +447,209 @@ let prop_two_var_relation =
       | Solver.Unsat -> not brute
       | Solver.Unknown -> true)
 
+(* --- Indep: constraint-independence slicing --------------------------- *)
+
+let with_accel a f =
+  Solver.set_accel a;
+  Fun.protect ~finally:(fun () -> Solver.set_accel Solver.default_accel) f
+
+let test_indep_partition () =
+  let open Expr in
+  let x = var (fresh_var W32)
+  and y = var (fresh_var W32)
+  and z = var (fresh_var W32) in
+  let c1 = cmp Ltu x (word 5) in
+  let c2 = cmp Ltu y (word 7) in
+  let c3 = cmp Ltu (word 1) x in
+  (* c4 links y and z, so it must land in c2's group. *)
+  let c4 = cmp Eq (binop Add y z) (word 9) in
+  let groups = Indep.partition [ c1; c2; c3; c4 ] in
+  check_int "two groups" 2 (List.length groups);
+  let has g c = List.exists (Expr.equal c) g in
+  let gx = List.find (fun g -> has g c1) groups in
+  let gy = List.find (fun g -> has g c2) groups in
+  check_bool "c3 with c1" true (has gx c3);
+  check_bool "c4 with c2" true (has gy c4);
+  check_int "no constraint lost" 4 (List.length gx + List.length gy)
+
+let test_indep_relevant () =
+  let open Expr in
+  let x = var (fresh_var W32) and y = var (fresh_var W32) in
+  let c1 = cmp Ltu x (word 5) in
+  let c2 = cmp Ltu y (word 7) in
+  let c3 = cmp Ltu (word 1) x in
+  let slice = Indep.relevant [ c1; c2; c3 ] (binop Add x (word 1)) in
+  check_int "two relevant" 2 (List.length slice);
+  check_bool "keeps c1" true (List.exists (Expr.equal c1) slice);
+  check_bool "keeps c3" true (List.exists (Expr.equal c3) slice);
+  check_bool "drops c2" false (List.exists (Expr.equal c2) slice)
+
+(* Disjoint groups solved separately must give the same verdict (and a
+   genuine combined model) as solving the whole conjunction at once. *)
+let test_indep_equisat () =
+  let open Expr in
+  let x = fresh_var W32 and y = fresh_var W32 in
+  let sat_set =
+    [ cmp Eq (binop Add (var x) (word 5)) (word 12);
+      cmp Eq (binop Mul (var y) (word 3)) (word 21);
+      cmp Ltu (var y) (word 100) ]
+  in
+  let unsat_set =
+    [ cmp Eq (binop And (var x) (word 1)) (word 0);
+      cmp Ltu (var y) (word 7);
+      cmp Eq (binop And (var x) (word 1)) (word 1) ]
+  in
+  let sliced_only =
+    { Solver.default_accel with Solver.use_cache = false }
+  in
+  with_accel sliced_only (fun () ->
+      (match Solver.check sat_set with
+       | Solver.Sat m ->
+           check_int "x from group 1" 7 (m x);
+           check_int "y from group 2" 7 (m y)
+       | _ -> Alcotest.fail "sliced sat");
+      check_bool "sliced unsat" true (Solver.check unsat_set = Solver.Unsat));
+  with_accel Solver.no_accel (fun () ->
+      check_bool "unsliced sat" true
+        (match Solver.check sat_set with Solver.Sat _ -> true | _ -> false);
+      check_bool "unsliced unsat" true
+        (Solver.check unsat_set = Solver.Unsat))
+
+(* --- Qcache: canonicalizing counterexample cache ----------------------- *)
+
+let test_qcache_exact () =
+  let open Expr in
+  let q = Qcache.create () in
+  let x = fresh_var W32 in
+  let c1 = cmp Ltu (var x) (word 5) in
+  let c2 = cmp Ltu (word 1) (var x) in
+  check_bool "miss first" true (Qcache.lookup q [ c1; c2 ] = Qcache.Miss);
+  Qcache.store_sat q [ c1; c2 ] (fun _ -> 3);
+  (* Exact hits are canonical: order must not matter. *)
+  (match Qcache.lookup q [ c2; c1 ] with
+   | Qcache.Exact_sat m -> check_int "model survives" 3 (m x)
+   | _ -> Alcotest.fail "expected exact hit");
+  Qcache.store_unsat q [ c1 ];
+  check_bool "exact unsat" true (Qcache.lookup q [ c1 ] = Qcache.Exact_unsat)
+
+let test_qcache_subset_unsat () =
+  let open Expr in
+  let q = Qcache.create () in
+  let x = fresh_var W32 and y = fresh_var W32 in
+  let c1 = cmp Ltu (var x) (word 5) in
+  let c2 = cmp Ltu (word 10) (var x) in
+  let extra = cmp Eq (var y) (word 0) in
+  Qcache.store_unsat q [ c1; c2 ];
+  (* The cached Unsat core {c1,c2} is a subset of the query. *)
+  check_bool "superset proven unsat" true
+    (Qcache.lookup q [ extra; c2; c1 ] = Qcache.Subset_unsat);
+  (* A query containing only part of the core proves nothing. *)
+  check_bool "partial overlap misses" true
+    (Qcache.lookup q [ extra; c1 ] = Qcache.Miss)
+
+let test_qcache_model_reuse () =
+  let open Expr in
+  let q = Qcache.create () in
+  let x = fresh_var W32 in
+  let c1 = cmp Ltu (word 5) (var x) in
+  Qcache.store_sat q [ c1 ] (fun _ -> 6);
+  (* x=6 also satisfies the tighter superset query: reused after a cheap
+     evaluation, no solve needed. *)
+  (match Qcache.lookup q [ c1; cmp Ltu (var x) (word 10) ] with
+   | Qcache.Reuse_sat m -> check_int "model reused" 6 (m x)
+   | _ -> Alcotest.fail "expected model reuse");
+  (* x=6 violates x < 3: no reuse. *)
+  check_bool "unsatisfying model rejected" true
+    (Qcache.lookup q [ c1; cmp Ltu (var x) (word 3) ] = Qcache.Miss)
+
+let test_qcache_eviction () =
+  let open Expr in
+  let q = Qcache.create ~capacity:4 ~model_reuse:0 () in
+  let cs =
+    List.init 6 (fun i ->
+        [ cmp Eq (var (fresh_var W32)) (word i) ])
+  in
+  List.iter (Qcache.store_unsat q) cs;
+  check_bool "bounded" true (Qcache.size q <= 4);
+  check_bool "evictions counted" true (Qcache.evictions q > 0);
+  (* The oldest entry is gone — from the exact table and the unsat
+     index (no phantom subset proofs). *)
+  check_bool "oldest evicted" true (Qcache.lookup q (List.hd cs) = Qcache.Miss);
+  (* The newest entry survived. *)
+  check_bool "newest kept" true
+    (Qcache.lookup q (List.nth cs 5) = Qcache.Exact_unsat)
+
+(* Property: the accelerated solver (slicing + cache, queries issued
+   twice to force hits) and the from-scratch baseline agree on Sat/Unsat
+   for random multi-variable constraint sets. *)
+let prop_accel_agrees_with_baseline =
+  let open Expr in
+  let gen =
+    QCheck.Gen.(
+      let clause = triple (int_bound 5) (int_bound 2) (int_bound 300) in
+      list_size (int_range 1 6) clause)
+  in
+  QCheck.Test.make ~count:150 ~name:"accelerated solver = baseline"
+    (QCheck.make gen)
+    (fun spec ->
+      let ops = [| Eq; Ne; Ltu; Leu; Lts; Les |] in
+      let vars = [| fresh_var W8; fresh_var W8; fresh_var W8 |] in
+      let cs =
+        List.map
+          (fun (op, v, k) ->
+            cmp ops.(op) (zext (var vars.(v))) (word k))
+          spec
+      in
+      let verdict r =
+        match r with
+        | Solver.Sat _ -> `Sat
+        | Solver.Unsat -> `Unsat
+        | Solver.Unknown -> `Unknown
+      in
+      let base =
+        with_accel Solver.no_accel (fun () -> verdict (Solver.check cs))
+      in
+      let accel =
+        with_accel Solver.default_accel (fun () ->
+            (* First call populates the cache (misses), the second and the
+               growing prefixes exercise exact hits, subset-unsat proofs
+               and model reuse. *)
+            ignore (Solver.check cs);
+            List.iteri
+              (fun i _ ->
+                let prefix = List.filteri (fun j _ -> j <= i) cs in
+                ignore (Solver.check prefix))
+              cs;
+            verdict (Solver.check cs))
+      in
+      base = `Unknown || accel = `Unknown || base = accel)
+
+(* Property: Sat models coming out of the accelerated pipeline (cache
+   hits included) always satisfy the full constraint set. *)
+let prop_accel_models_verified =
+  let open Expr in
+  let gen =
+    QCheck.Gen.(
+      let clause = triple (int_bound 5) (int_bound 2) (int_bound 300) in
+      list_size (int_range 1 5) clause)
+  in
+  QCheck.Test.make ~count:150 ~name:"accelerated models satisfy constraints"
+    (QCheck.make gen)
+    (fun spec ->
+      let ops = [| Eq; Ne; Ltu; Leu; Lts; Les |] in
+      let vars = [| fresh_var W8; fresh_var W8; fresh_var W8 |] in
+      let cs =
+        List.map
+          (fun (op, v, k) ->
+            cmp ops.(op) (zext (var vars.(v))) (word k))
+          spec
+      in
+      with_accel Solver.default_accel (fun () ->
+          ignore (Solver.check cs);
+          match Solver.check cs with
+          | Solver.Sat m -> List.for_all (fun c -> eval m c = 1) cs
+          | Solver.Unsat | Solver.Unknown -> true))
+
 let qtest t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -471,6 +674,17 @@ let () =
          Alcotest.test_case "unsat" `Quick test_dpll_unsat;
          Alcotest.test_case "pigeonhole" `Quick test_dpll_pigeonhole;
          qtest prop_dpll_matches_bruteforce ]);
+      ("indep",
+       [ Alcotest.test_case "partition" `Quick test_indep_partition;
+         Alcotest.test_case "relevant slice" `Quick test_indep_relevant;
+         Alcotest.test_case "sliced equisatisfiable" `Quick test_indep_equisat ]);
+      ("qcache",
+       [ Alcotest.test_case "exact hit" `Quick test_qcache_exact;
+         Alcotest.test_case "subset unsat" `Quick test_qcache_subset_unsat;
+         Alcotest.test_case "model reuse" `Quick test_qcache_model_reuse;
+         Alcotest.test_case "lru eviction" `Quick test_qcache_eviction;
+         qtest prop_accel_agrees_with_baseline;
+         qtest prop_accel_models_verified ]);
       ("solver",
        [ Alcotest.test_case "linear equation" `Quick test_solver_simple;
          Alcotest.test_case "parity contradiction" `Quick
