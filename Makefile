@@ -1,0 +1,21 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 verification plus the parallel-exploration smoke test: a quick
+# shared-frontier run on two drivers that exercises work stealing and the
+# shared query cache end to end.
+check: build test
+	dune exec bench/main.exe -- parallel --quick
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

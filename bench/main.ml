@@ -18,6 +18,11 @@ module Session = Ddt_core.Session
 module Config = Ddt_core.Config
 module Exec = Ddt_symexec.Exec
 
+(* Set by --json: write the per-driver numbers of the solver and parallel
+   experiments to BENCH_*.json so the perf trajectory can be tracked
+   across commits. *)
+let json_mode = ref false
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;
@@ -341,30 +346,165 @@ let sched () =
 
 (* --- parallel exploration (the paper's future-work direction, delivered) --------- *)
 
+(* Set by --quick: a smoke-test subset of the parallel experiment for
+   `make check` — two drivers, tight step budgets, no portfolio leg. *)
+let quick_mode = ref false
+
+type parallel_row = {
+  pr_driver : string;
+  pr_bugs : int;
+  pr_walls : (int * float) list;       (* shared-frontier jobs -> wall s *)
+  pr_portfolio_wall : float option;    (* 4-session portfolio fleet *)
+  pr_steals : int;                     (* at the highest worker count *)
+  pr_hit_rate : float;                 (* solver cache, highest-jobs run *)
+  pr_cross_hits : int;                 (* cross-worker cache hits, ditto *)
+  pr_bugs_match : bool;                (* all worker counts agree with 1 *)
+}
+
+let write_parallel_json rows path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"experiment\": \"parallel\",\n";
+  pr "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  pr
+    "  \"note\": \"shared-frontier: one session, N cooperating domains, \
+     the fork tree explored once; portfolio4: 4 full redundant sessions. \
+     speedup_vs_portfolio4 measures the redundant work the shared \
+     frontier eliminates; on a single-core host same-tree wall times \
+     barely change with the worker count.\",\n";
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      let walls =
+        String.concat ", "
+          (List.map
+             (fun (j, w) -> Printf.sprintf "\"sf%d_wall_s\": %.4f" j w)
+             r.pr_walls)
+      in
+      let seq = try List.assoc 1 r.pr_walls with Not_found -> 0.0 in
+      let hi =
+        List.fold_left (fun _ (_, w) -> w) 0.0 r.pr_walls
+      in
+      pr
+        "    {\"driver\": %S, \"bugs\": %d, %s,%s\n     \"sf_steals\": %d, \
+         \"cache_hit_rate\": %.4f, \"cross_worker_hits\": %d,\n     \
+         \"speedup_sf_vs_seq\": %.3f,%s \"bugs_match\": %b}%s\n"
+        r.pr_driver r.pr_bugs walls
+        (match r.pr_portfolio_wall with
+         | Some w -> Printf.sprintf " \"portfolio4_wall_s\": %.4f," w
+         | None -> "")
+        r.pr_steals r.pr_hit_rate r.pr_cross_hits
+        (if hi > 0.0 then seq /. hi else 1.0)
+        (match r.pr_portfolio_wall with
+         | Some w when hi > 0.0 ->
+             Printf.sprintf " \"speedup_vs_portfolio4\": %.3f," (w /. hi)
+         | _ -> "")
+        r.pr_bugs_match
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
 let parallel () =
+  let module P = Ddt_core.Parallel in
+  let module Sv = Ddt_solver.Solver in
   section
-    "Parallel symbolic execution (par 6.1: running symbolic execution in \
-     parallel) -- a diversified fleet of sessions in OCaml domains";
-  let entry = Corpus.find "rtl8029" in
-  let cfg = Corpus.config entry in
-  List.iter
-    (fun jobs ->
-      let r = Ddt_core.Parallel.test_driver ~jobs cfg in
-      Printf.printf
-        "jobs=%d: %d merged bugs, wall %.2fs, fleet-sequential %.2fs, \
-         speedup %.2fx\n"
-        r.Ddt_core.Parallel.p_jobs
-        (List.length r.Ddt_core.Parallel.p_bugs)
-        r.Ddt_core.Parallel.p_wall_time
-        r.Ddt_core.Parallel.p_sequential_time
-        (Ddt_core.Parallel.speedup r))
-    [ 1; 2; 4 ]
+    (if !quick_mode then
+       "Parallel exploration smoke test (--quick): shared frontier, 2 \
+        drivers, tight budgets"
+     else
+       "Parallel symbolic execution (par 6.1): one session's fork tree \
+        explored by cooperating domains (shared work-stealing frontier + \
+        shared sharded query cache) vs a redundant portfolio fleet");
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pcnet" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let job_counts = if !quick_mode then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let config short =
+    let cfg = Corpus.config (Corpus.find short) in
+    if !quick_mode then
+      { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+    else cfg
+  in
+  let keys (r : P.result) =
+    List.sort compare (List.map (fun b -> b.Report.b_key) r.P.p_bugs)
+  in
+  Printf.printf "%-16s %5s %10s %8s %6s %6s %8s %6s\n" "Driver" "jobs"
+    "wall(s)" "steals" "hit%" "xhits" "mode" "match";
+  let rows =
+    List.map
+      (fun short ->
+        let cfg = config short in
+        let base = ref [] in
+        let walls = ref [] in
+        let last = ref None in
+        List.iter
+          (fun jobs ->
+            let s0 = Sv.stats () in
+            let r = P.test_driver ~jobs ~mode:P.Shared_frontier cfg in
+            let sd = Sv.diff_stats (Sv.stats ()) s0 in
+            if jobs = 1 then base := keys r;
+            walls := (jobs, r.P.p_wall_time) :: !walls;
+            last := Some (r, sd);
+            Printf.printf "%-16s %5d %10.2f %8d %5.1f%% %6d %8s %6s\n" short
+              jobs r.P.p_wall_time r.P.p_steals
+              (100.0 *. Sv.cache_hit_rate sd)
+              r.P.p_cross_hits
+              (P.mode_label r.P.p_mode)
+              (if keys r = !base then "yes" else "NO"))
+          job_counts;
+        let r_last, sd_last = Option.get !last in
+        let portfolio =
+          if !quick_mode then None
+          else begin
+            let r = P.test_driver ~jobs:4 ~mode:P.Portfolio cfg in
+            Printf.printf "%-16s %5d %10.2f %8s %6s %6s %8s %6s\n" short 4
+              r.P.p_wall_time "-" "-" "-" (P.mode_label r.P.p_mode) "-";
+            Some r.P.p_wall_time
+          end
+        in
+        {
+          pr_driver = short;
+          pr_bugs = List.length r_last.P.p_bugs;
+          pr_walls = List.rev !walls;
+          pr_portfolio_wall = portfolio;
+          pr_steals = r_last.P.p_steals;
+          pr_hit_rate = Sv.cache_hit_rate sd_last;
+          pr_cross_hits = r_last.P.p_cross_hits;
+          pr_bugs_match = keys r_last = !base;
+        })
+      drivers
+  in
+  let matches = List.filter (fun r -> r.pr_bugs_match) rows in
+  Printf.printf
+    "\nbug reports identical across worker counts on %d/%d drivers | \
+     total cross-worker cache hits %d\n"
+    (List.length matches) (List.length rows)
+    (List.fold_left (fun acc r -> acc + r.pr_cross_hits) 0 rows);
+  (match
+     List.filter (fun r -> r.pr_portfolio_wall <> None) rows
+   with
+   | [] -> ()
+   | w ->
+       let hi r = List.fold_left (fun _ (_, x) -> x) 0.0 r.pr_walls in
+       let pw =
+         List.fold_left
+           (fun acc r -> acc +. Option.get r.pr_portfolio_wall)
+           0.0 w
+       in
+       let sw = List.fold_left (fun acc r -> acc +. hi r) 0.0 w in
+       Printf.printf
+         "portfolio-4 fleet %.2fs vs shared-frontier-4 %.2fs: %.2fx less \
+          wall time for the same tree (redundancy eliminated)\n"
+         pw sw
+         (if sw > 0.0 then pw /. sw else 1.0));
+  if !json_mode && not !quick_mode then begin
+    write_parallel_json rows "BENCH_parallel.json";
+    Printf.printf "wrote BENCH_parallel.json\n"
+  end
 
 (* --- solver acceleration: slicing + query cache ---------------------------------- *)
-
-(* Set by --json: write the per-driver numbers to BENCH_solver.json so the
-   perf trajectory can be tracked across commits. *)
-let json_mode = ref false
 
 type solver_row = {
   sr_driver : string;
@@ -557,6 +697,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
   json_mode := List.mem "--json" flags;
+  quick_mode := List.mem "--quick" flags;
   let requested =
     match names with
     | _ :: _ -> names

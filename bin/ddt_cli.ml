@@ -29,6 +29,13 @@ let traces_flag =
   let doc = "Print the trace digest and replay script for each bug." in
   Arg.(value & flag & info [ "traces" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Explore the session's fork tree with $(docv) cooperating worker \
+     domains (shared work-stealing frontier)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let find_entry short =
   match Corpus.find short with
   | e -> Ok e
@@ -54,12 +61,18 @@ let list_cmd =
     Term.(const run $ const ())
 
 let test_cmd =
-  let run short fixed no_annot traces =
+  let run short fixed no_annot traces jobs =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
         let cfg =
           Corpus.config ~fixed ~use_annotations:(not no_annot) entry
+        in
+        let cfg =
+          { cfg with
+            Ddt_core.Config.exec_config =
+              { cfg.Ddt_core.Config.exec_config with
+                Ddt_symexec.Exec.jobs = max 1 jobs } }
         in
         let r = Ddt_core.Ddt.test_driver cfg in
         Format.printf "%a" Ddt_core.Ddt.pp_report r;
@@ -75,7 +88,9 @@ let test_cmd =
   in
   Cmd.v
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
-    Term.(const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag)
+    Term.(
+      const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
+      $ jobs_arg)
 
 let static_cmd =
   let run short fixed =

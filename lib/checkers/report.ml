@@ -33,22 +33,40 @@ type bug = {
 type sink = {
   mutable found : bug list;    (* newest first *)
   seen : (string, unit) Hashtbl.t;
+  mu : Mutex.t;
+  (* one sink collects from every checker on every frontier worker; the
+     internal lock makes the check-and-add atomic so a bug key is
+     admitted exactly once no matter which worker reports it first *)
 }
 
-let create_sink () = { found = []; seen = Hashtbl.create 16 }
+let create_sink () =
+  { found = []; seen = Hashtbl.create 16; mu = Mutex.create () }
 
 let report sink bug =
+  Mutex.lock sink.mu;
   if not (Hashtbl.mem sink.seen bug.b_key) then begin
     Hashtbl.add sink.seen bug.b_key ();
     sink.found <- bug :: sink.found
-  end
+  end;
+  Mutex.unlock sink.mu
 
-let bugs sink = List.rev sink.found
-let count sink = List.length sink.found
+let bugs sink =
+  Mutex.lock sink.mu;
+  let r = sink.found in
+  Mutex.unlock sink.mu;
+  List.rev r
+
+let count sink =
+  Mutex.lock sink.mu;
+  let n = List.length sink.found in
+  Mutex.unlock sink.mu;
+  n
 
 let clear sink =
+  Mutex.lock sink.mu;
   sink.found <- [];
-  Hashtbl.reset sink.seen
+  Hashtbl.reset sink.seen;
+  Mutex.unlock sink.mu
 
 let pp_bug fmt b =
   Format.fprintf fmt "[%s] %s in %s (entry %s, pc 0x%x)%s@.    %s"

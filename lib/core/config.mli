@@ -56,6 +56,7 @@ val make :
   ?use_annotations:bool ->
   ?annotations:Ddt_annot.Annot.set ->
   ?exec_config:Ddt_symexec.Exec.config ->
+  ?jobs:int ->
   ?max_total_steps:int ->
   ?plateau_steps:int ->
   ?max_bases_per_phase:int ->

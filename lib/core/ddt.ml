@@ -28,7 +28,14 @@ let pp_report fmt (r : Session.result) =
     "solver: %d queries, %d group solves, %.0f%% cache hits, %d bit-blasts@."
     sv.Ddt_solver.Solver.s_queries sv.Ddt_solver.Solver.s_group_solves
     (100.0 *. Ddt_solver.Solver.cache_hit_rate sv)
-    sv.Ddt_solver.Solver.s_bitblast_solves
+    sv.Ddt_solver.Solver.s_bitblast_solves;
+  if stats.Ddt_symexec.Exec.st_workers > 1 then
+    Format.fprintf fmt
+      "parallel: %d workers | %d steals | %d renamed cache hits | \
+       %d cross-worker cache hits@."
+      stats.Ddt_symexec.Exec.st_workers stats.Ddt_symexec.Exec.st_steals
+      sv.Ddt_solver.Solver.s_cache_renamed_hits
+      sv.Ddt_solver.Solver.s_cache_cross_worker_hits
 
 let pp_bug_detail fmt (b : Report.bug) =
   Format.fprintf fmt "%a@.--- execution trace ---@.%s@." Report.pp_bug b

@@ -1,13 +1,23 @@
 module Report = Ddt_checkers.Report
 module Exec = Ddt_symexec.Exec
 module Sched = Ddt_symexec.Sched
+module Solver = Ddt_solver.Solver
+
+type mode = Portfolio | Shared_frontier
+
+let mode_label = function
+  | Portfolio -> "portfolio"
+  | Shared_frontier -> "shared-frontier"
 
 type result = {
   p_bugs : Report.bug list;
+  p_mode : mode;
   p_jobs : int;
   p_wall_time : float;
   p_sequential_time : float;
   p_per_job : (string * int * float) list;
+  p_steals : int;
+  p_cross_hits : int;
 }
 
 let strategy_label = function
@@ -16,7 +26,7 @@ let strategy_label = function
   | Sched.Bfs -> "bfs"
   | Sched.Random_pick seed -> Printf.sprintf "random-%d" seed
 
-(* Worker i gets a distinct exploration flavor. *)
+(* Portfolio worker i gets a distinct exploration flavor. *)
 let variant (cfg : Config.t) i =
   if i = 0 then cfg
   else
@@ -29,28 +39,41 @@ let variant (cfg : Config.t) i =
     { cfg with
       Config.exec_config = { cfg.Config.exec_config with Exec.strategy } }
 
-let test_driver ?jobs (cfg : Config.t) =
-  let jobs =
-    match jobs with
-    | Some j -> max 1 j
-    | None -> min 4 (Domain.recommended_domain_count ())
+let default_jobs () = min 4 (Domain.recommended_domain_count ())
+
+(* Merge per-worker bug lists in worker-index order with key-based dedup,
+   so the merged report is a deterministic function of what each worker
+   found — independent of which domain happened to finish first. *)
+let merge_bugs outcomes =
+  let outcomes =
+    List.sort (fun (i, _, _) (j, _, _) -> compare i j) outcomes
   in
-  (* Force shared lazies before spawning: the kernel API table is
-     registered once, and the image must already be compiled. *)
-  Ddt_kernel.Ndis.install ();
-  Ddt_kernel.Portcls.install ();
-  Ddt_kernel.Usb.install ();
-  ignore cfg.Config.image;
+  let seen = Hashtbl.create 32 in
+  let merged = ref [] in
+  List.iter
+    (fun (_, _, (r : Session.result)) ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem seen b.Report.b_key) then begin
+            Hashtbl.add seen b.Report.b_key ();
+            merged := b :: !merged
+          end)
+        r.Session.r_bugs)
+    outcomes;
+  (List.rev !merged, outcomes)
+
+let run_portfolio jobs (cfg : Config.t) =
   let t0 = Unix.gettimeofday () in
   let run_one i =
     let c = variant cfg i in
     let t = Unix.gettimeofday () in
     let r = Session.run c in
-    (strategy_label c.Config.exec_config.Exec.strategy,
-     r.Session.r_bugs,
+    (i,
+     strategy_label c.Config.exec_config.Exec.strategy,
+     r,
      Unix.gettimeofday () -. t)
   in
-  let outcomes =
+  let raw =
     match jobs with
     | 1 -> [ run_one 0 ]
     | _ ->
@@ -62,27 +85,63 @@ let test_driver ?jobs (cfg : Config.t) =
         mine :: List.map Domain.join domains
   in
   let wall = Unix.gettimeofday () -. t0 in
-  (* Merge with key-based dedup, first worker first. *)
-  let seen = Hashtbl.create 32 in
-  let merged = ref [] in
-  List.iter
-    (fun (_, bugs, _) ->
-      List.iter
-        (fun b ->
-          if not (Hashtbl.mem seen b.Report.b_key) then begin
-            Hashtbl.add seen b.Report.b_key ();
-            merged := b :: !merged
-          end)
-        bugs)
-    outcomes;
+  let outcomes = List.map (fun (i, l, r, t) -> (i, (l, t), r)) raw in
+  let bugs, outcomes = merge_bugs outcomes in
+  let steals =
+    List.fold_left
+      (fun acc (_, _, r) -> acc + r.Session.r_stats.Exec.st_steals)
+      0 outcomes
+  in
+  (bugs, wall,
+   List.fold_left (fun acc (_, (_, t), _) -> acc +. t) 0.0 outcomes,
+   List.map
+     (fun (_, (label, t), (r : Session.result)) ->
+       (label, List.length r.Session.r_bugs, t))
+     outcomes,
+   steals)
+
+let run_shared jobs (cfg : Config.t) =
+  let cfg =
+    { cfg with
+      Config.exec_config = { cfg.Config.exec_config with Exec.jobs } }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Session.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  let label =
+    Printf.sprintf "%s x%d"
+      (strategy_label cfg.Config.exec_config.Exec.strategy) jobs
+  in
+  (r.Session.r_bugs, wall, wall,
+   [ (label, List.length r.Session.r_bugs, wall) ],
+   r.Session.r_stats.Exec.st_steals)
+
+let test_driver ?jobs ?(mode = Shared_frontier) (cfg : Config.t) =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  (* Force shared lazies before any domain spawns: the kernel API table
+     is registered once, and the image must already be compiled. *)
+  Ddt_kernel.Ndis.install ();
+  Ddt_kernel.Portcls.install ();
+  Ddt_kernel.Usb.install ();
+  ignore cfg.Config.image;
+  let s0 = Solver.stats () in
+  let bugs, wall, seq, per_job, steals =
+    match mode with
+    | Portfolio -> run_portfolio jobs cfg
+    | Shared_frontier -> run_shared jobs cfg
+  in
+  let sd = Solver.diff_stats (Solver.stats ()) s0 in
   {
-    p_bugs = List.rev !merged;
+    p_bugs = bugs;
+    p_mode = mode;
     p_jobs = jobs;
     p_wall_time = wall;
-    p_sequential_time =
-      List.fold_left (fun acc (_, _, t) -> acc +. t) 0.0 outcomes;
-    p_per_job =
-      List.map (fun (label, bugs, t) -> (label, List.length bugs, t)) outcomes;
+    p_sequential_time = seq;
+    p_per_job = per_job;
+    p_steals = steals;
+    p_cross_hits = sd.Solver.s_cache_cross_worker_hits;
   }
 
 let speedup r =

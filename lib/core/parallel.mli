@@ -2,30 +2,58 @@
     ways to mitigate this problem by running symbolic execution in
     parallel").
 
-    Runs several complete test sessions of the same driver concurrently in
-    OCaml 5 domains. The workers are diversified the way a Cloud9-style
-    fleet would be — different search strategies and different random-pick
-    seeds — so they explore different regions of the path space; their bug
-    reports are merged with the usual key-based deduplication.
+    Two modes:
 
-    Sessions are fully independent (each builds its own VM memory, kernel
-    state and engine); the only shared mutable state in the stack is the
-    atomic symbolic-variable counter. *)
+    - {!Shared_frontier} (default) — {e one} test session whose fork
+      tree is explored cooperatively by several OCaml 5 domains. The
+      engine keeps a per-worker deque frontier with work stealing
+      ([Ddt_symexec.Frontier]), and the solver's mutex-sharded query
+      cache is shared, so a path-constraint group solved by any worker
+      is a hit for all of them. The session explores the tree once —
+      this is the mode that eliminates redundant work.
+
+    - {!Portfolio} — several {e complete} sessions of the same driver run
+      concurrently in separate domains, diversified Cloud9-style with
+      different search strategies and random-pick seeds; their bug
+      reports are merged. Sessions are independent apart from the
+      process-wide solver cache (shared since it became sharded) and the
+      atomic symbolic-variable counter.
+
+    In both modes the merged bug list is a deterministic function of
+    what the workers found: per-worker reports are combined in
+    worker-index order with key-based deduplication (and a
+    shared-frontier session already key-sorts its own report). *)
+
+type mode = Portfolio | Shared_frontier
+
+val mode_label : mode -> string
 
 type result = {
   p_bugs : Ddt_checkers.Report.bug list;   (** merged, deduplicated *)
+  p_mode : mode;
   p_jobs : int;
   p_wall_time : float;
   p_sequential_time : float;
-      (** sum of the individual sessions' wall times, i.e. what running
-          the same fleet sequentially would have cost *)
+      (** Portfolio: sum of the individual sessions' wall times, i.e.
+          what running the same fleet sequentially would have cost.
+          Shared_frontier: equals [p_wall_time] (one session ran; compare
+          against a separate 1-job run to measure speedup). *)
   p_per_job : (string * int * float) list;
-      (** (strategy label, bugs found, wall time) per worker *)
+      (** (strategy label, bugs found, wall time) per worker, in worker
+          index order; a single entry for Shared_frontier *)
+  p_steals : int;
+      (** states stolen between frontier workers (0 when every engine ran
+          single-worker) *)
+  p_cross_hits : int;
+      (** solver-cache hits on entries stored by a different domain
+          during this run *)
 }
 
-val test_driver : ?jobs:int -> Config.t -> result
-(** [jobs] defaults to [min 4 (Domain.recommended_domain_count ())]. The
-    first worker always runs the configuration's own strategy, so the
-    merged result finds at least whatever a single session finds. *)
+val test_driver : ?jobs:int -> ?mode:mode -> Config.t -> result
+(** [jobs] defaults to [min 4 (Domain.recommended_domain_count ())];
+    [mode] defaults to [Shared_frontier]. In Portfolio mode the first
+    worker always runs the configuration's own strategy, so the merged
+    result finds at least whatever a single session finds. *)
 
 val speedup : result -> float
+(** [p_sequential_time /. p_wall_time] — meaningful for Portfolio runs. *)

@@ -77,9 +77,15 @@ let run (cfg : Config.t) =
   let crashcheck = Ddt_checkers.Crashcheck.create ~sink ~driver in
   let loopcheck = Ddt_checkers.Loopcheck.create ~sink ~driver in
   Exec.set_on_mem_access eng (Ddt_checkers.Memcheck.on_mem_access memcheck);
+  (* The engine fires these hooks from every frontier worker; the refs
+     below are the session's only hook-shared state, so one small lock
+     covers them (the checkers only touch the state and the sink, which
+     has its own lock). *)
+  let hmu = Mutex.create () in
   let finished_count = ref 0 in
   let crashdumps = ref [] in
   Exec.set_on_state_done eng (fun st ->
+      Mutex.lock hmu;
       incr finished_count;
       (match st.St.status with
        | Some (St.Crashed c) when cfg.Config.collect_crashdumps ->
@@ -89,6 +95,7 @@ let run (cfg : Config.t) =
                 ~note:(Printf.sprintf "%s: %s" c.St.c_code c.St.c_msg))
              :: !crashdumps
        | _ -> ());
+      Mutex.unlock hmu;
       Ddt_checkers.Leakcheck.on_state_done leakcheck st;
       Ddt_checkers.Lockcheck.on_state_done lockcheck st;
       Ddt_checkers.Crashcheck.on_state_done crashcheck st;
@@ -109,13 +116,14 @@ let run (cfg : Config.t) =
   let coverage = ref [] in
   let blocks_seen = ref 0 in
   Exec.set_on_new_block eng (fun _st _pc ->
+      Mutex.lock hmu;
       incr blocks_seen;
-      let stats = Exec.stats eng in
       coverage :=
         { cp_time = Unix.gettimeofday () -. t0;
-          cp_steps = stats.Exec.st_total_steps;
+          cp_steps = Exec.steps_now eng;
           cp_blocks = !blocks_seen }
-        :: !coverage);
+        :: !coverage;
+      Mutex.unlock hmu);
   (* Root state + driver load phase: the kernel invokes the image entry
      point, which registers the miniport. *)
   let ks = Kstate.create ~registry:cfg.Config.registry ~device () in
@@ -151,9 +159,19 @@ let run (cfg : Config.t) =
   let kcalls =
     List.fold_left (fun acc st -> acc + Kstate.kcall_count st.St.ks) 0 !bases
   in
+  (* With several frontier workers the sink's insertion order depends on
+     scheduling; sort by key so a parallel session's report is
+     reproducible. A single-worker run keeps discovery order. *)
+  let bugs =
+    if exec_config.Exec.jobs > 1 then
+      List.sort
+        (fun a b -> compare a.Report.b_key b.Report.b_key)
+        (Report.bugs sink)
+    else Report.bugs sink
+  in
   {
     r_driver = driver;
-    r_bugs = Report.bugs sink;
+    r_bugs = bugs;
     r_coverage = List.rev !coverage;
     r_total_blocks =
       List.length (Ddt_dvm.Disasm.basic_block_starts cfg.Config.image);
@@ -163,7 +181,10 @@ let run (cfg : Config.t) =
     r_finished_states = !finished_count;
     r_kcalls = kcalls;
     r_tree = Exec.execution_tree eng;
-    r_crashdumps = List.rev !crashdumps;
+    r_crashdumps =
+      (if exec_config.Exec.jobs > 1 then
+         List.sort (fun (a, _) (b, _) -> compare a b) !crashdumps
+       else List.rev !crashdumps);
   }
 
 let coverage_percent r =

@@ -3,10 +3,12 @@ module Expr = Ddt_solver.Expr
 
 type t = {
   dev : Pci.assigned;
-  mutable reads : (string * Expr.var) list;
+  reads : (string * Expr.var) list Atomic.t;
+  (* shared by every state of a session — parallel frontier workers cons
+     concurrently, hence the atomic (plain mutation would lose reads) *)
 }
 
-let create dev = { dev; reads = [] }
+let create dev = { dev; reads = Atomic.make [] }
 let device t = t.dev
 
 let bar_of t addr =
@@ -32,10 +34,14 @@ let fresh_read t addr =
     | None -> Printf.sprintf "hw_0x%x" addr
   in
   let v = Expr.fresh_var ~name Expr.W8 in
-  t.reads <- (name, v) :: t.reads;
+  let rec cons () =
+    let old = Atomic.get t.reads in
+    if not (Atomic.compare_and_set t.reads old ((name, v) :: old)) then cons ()
+  in
+  cons ();
   Expr.var v
 
-let reads_made t = t.reads
+let reads_made t = Atomic.get t.reads
 
 type concrete_mode =
   | Zeros

@@ -44,6 +44,13 @@ let fresh_var ?(name = "v") w =
 
 let reset_var_counter () = Atomic.set var_counter 0
 
+(* Canonical variables for cache normalization: ids live in a small dense
+   namespace separate from [fresh_var]'s counter, names are erased (the
+   name participates in structural equality, so two renamings agree only
+   if both normalize it). Expressions built from these must never leak
+   into engine state — they exist to key and store cache entries. *)
+let canon_var id w = { id; name = ""; var_width = w }
+
 let const w v = Const (w, v land mask_of_width w)
 let word v = const W32 v
 let byte v = const W8 v

@@ -40,6 +40,11 @@ val fresh_var : ?name:string -> width -> var
 val reset_var_counter : unit -> unit
 (** For test isolation only. *)
 
+val canon_var : int -> width -> var
+(** A canonical variable for cache normalization up to renaming: the name
+    is erased and the id is the caller's dense index (first-occurrence
+    order). Only for building cache keys — never for engine state. *)
+
 (** {1 Smart constructors} *)
 
 val const : width -> int -> t

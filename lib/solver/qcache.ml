@@ -5,6 +5,13 @@ type outcome =
   | Reuse_sat of (Expr.var -> int)
   | Miss
 
+type info = {
+  i_renamed : bool;
+  i_owner : int;
+}
+
+let no_info = { i_renamed = false; i_owner = -1 }
+
 module Key = struct
   type t = Expr.t list
 
@@ -26,10 +33,13 @@ module EH = Hashtbl.Make (struct
 end)
 
 type verdict = V_sat of (Expr.var * int) list | V_unsat
+(* V_sat pairs are in renamed space. *)
 
 type entry = {
   e_id : int;
-  e_key : Expr.t list;
+  e_key : Expr.t list;       (* renamed canonical key (the table key) *)
+  e_orig : Expr.t list;      (* the first storer's original canonical key *)
+  e_domain : int;            (* domain that stored the entry *)
   e_verdict : verdict;
   e_size : int;
   mutable e_last_use : int;
@@ -40,8 +50,13 @@ type t = {
   model_reuse : int;
   table : entry KH.t;
   unsat_index : entry list ref EH.t;
-      (* constraint -> Unsat entries containing it, for subset proofs *)
-  mutable models : (Expr.var * int) list list;  (* newest first *)
+      (* ORIGINAL constraint -> Unsat entries containing it, for subset
+         proofs. The index stays in original space: a subset of a renamed
+         query is generally renamed differently than the same subset
+         renamed standalone, so indexing renamed constraints would lose
+         the structural-subset hits the old cache had. *)
+  mutable models : (int * (Expr.var * int) list) list;
+      (* (owner domain, renamed-space model), newest first *)
   mutable tick : int;
   mutable next_id : int;
   mutable evicted : int;
@@ -61,6 +76,56 @@ let create ?(capacity = 4096) ?(model_reuse = 12) () =
 
 let canon cs = List.sort_uniq Expr.compare cs
 
+(* --- normalization up to variable renaming ------------------------------ *)
+(* Variables are renumbered 1..n in first-occurrence order over the
+   canonically sorted key (names erased), so two structurally identical
+   queries over different variables — e.g. the same guard re-minted by
+   another state or worker — share one renamed key. The rename is a
+   bijection on the key's variables: [fwd] translates query vars to
+   renamed vars (for reading stored models), [inv] translates back (for
+   storing a model of this query in renamed space). *)
+
+type prepared = {
+  p_key : Expr.t list;              (* canonical original key *)
+  p_rkey : Expr.t list;             (* renamed key *)
+  p_fwd : (int, Expr.var) Hashtbl.t;   (* original id -> renamed var *)
+  p_inv : (int, Expr.var) Hashtbl.t;   (* renamed id -> original var *)
+}
+
+let prepare cs =
+  let key = canon cs in
+  let fwd = Hashtbl.create 16 in
+  let inv = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rec go (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Const _ -> e
+    | Expr.Var v ->
+        let r =
+          match Hashtbl.find_opt fwd v.Expr.id with
+          | Some r -> r
+          | None ->
+              incr next;
+              let r = Expr.canon_var !next v.Expr.var_width in
+              Hashtbl.add fwd v.Expr.id r;
+              Hashtbl.add inv !next v;
+              r
+        in
+        Expr.Var r
+    (* Raw constructors: renaming must preserve structure exactly, or the
+       renamed key's equality would disagree with the original's. *)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
+    | Expr.Ite (c, a, b) -> Expr.Ite (go c, go a, go b)
+    | Expr.Extract (x, i) -> Expr.Extract (go x, i)
+    | Expr.Concat4 (b3, b2, b1, b0) ->
+        Expr.Concat4 (go b3, go b2, go b1, go b0)
+    | Expr.Zext x -> Expr.Zext (go x)
+    | Expr.Not x -> Expr.Not (go x)
+  in
+  let rkey = List.map go key in
+  { p_key = key; p_rkey = rkey; p_fwd = fwd; p_inv = inv }
+
 let size t = KH.length t.table
 let evictions t = t.evicted
 
@@ -75,6 +140,19 @@ let env_of pairs =
   fun (v : Expr.var) ->
     match Hashtbl.find_opt tbl v.Expr.id with Some x -> x | None -> 0
 
+(* Translate a renamed-space model into one over the query's original
+   variables. The value is masked to the variable's width: a reused model
+   may pair a renamed id with a {e wider} variable than this query's
+   (env_of keys by id only), and evaluation masks at the Var node, so an
+   over-wide value verifies — but the model handed back must still be
+   well-formed per variable, or a W8 device read gets pinned above 255. *)
+let orig_env fwd renv (v : Expr.var) =
+  match Hashtbl.find_opt fwd v.Expr.id with
+  | Some r -> renv r land Expr.mask_of_width v.Expr.var_width
+  | None -> 0
+
+let self_domain () = (Domain.self () :> int)
+
 let unindex t e =
   List.iter
     (fun c ->
@@ -83,7 +161,7 @@ let unindex t e =
       | Some r ->
           r := List.filter (fun e' -> e'.e_id <> e.e_id) !r;
           if !r = [] then EH.remove t.unsat_index c)
-    e.e_key
+    e.e_orig
 
 (* Batch LRU eviction: drop the least recently used entries down to 3/4
    of capacity, so the O(n log n) sort amortizes over many inserts. *)
@@ -105,20 +183,23 @@ let maybe_evict t =
       sorted
   end
 
-let lookup t cs =
-  let key = canon cs in
+let lookup_prepared t p =
   t.tick <- t.tick + 1;
-  match KH.find_opt t.table key with
+  match KH.find_opt t.table p.p_rkey with
   | Some e -> (
       e.e_last_use <- t.tick;
+      let info =
+        { i_renamed = not (Key.equal e.e_orig p.p_key); i_owner = e.e_domain }
+      in
       match e.e_verdict with
-      | V_sat m -> Exact_sat (env_of m)
-      | V_unsat -> Exact_unsat)
-  | None ->
-      (* Subset rule: an Unsat entry all of whose constraints occur in the
-         query proves the query Unsat. Count, per candidate entry, how
-         many of the query's constraints it contains. *)
+      | V_sat pairs -> (Exact_sat (orig_env p.p_fwd (env_of pairs)), info)
+      | V_unsat -> (Exact_unsat, info))
+  | None -> (
+      (* Subset rule: an Unsat entry all of whose (original) constraints
+         occur in the query proves the query Unsat. Count, per candidate
+         entry, how many of the query's constraints it contains. *)
       let hits = Hashtbl.create 8 in
+      let winner = ref None in
       let subset =
         List.exists
           (fun c ->
@@ -136,67 +217,185 @@ let lookup t cs =
                     Hashtbl.replace hits e.e_id n;
                     if n = e.e_size then begin
                       e.e_last_use <- t.tick;
+                      winner := Some e;
                       true
                     end
                     else false)
                   !entries)
-          key
+          p.p_key
       in
-      if subset then Subset_unsat
-      else
-        (* Superset rule: re-check recent models by evaluation. *)
-        let rec try_models = function
-          | [] -> Miss
-          | m :: rest ->
-              let env = env_of m in
-              if List.for_all (fun c -> Expr.eval env c = 1) key then
-                Reuse_sat env
-              else try_models rest
-        in
-        try_models t.models
+      match (subset, !winner) with
+      | true, Some e ->
+          (Subset_unsat, { i_renamed = false; i_owner = e.e_domain })
+      | true, None -> (Subset_unsat, no_info)
+      | false, _ ->
+          (* Superset rule: re-check recent models by evaluation — against
+             the renamed query, so a model minted for a differently-named
+             twin still applies; any assignment that verifies is genuine. *)
+          let rec try_models = function
+            | [] -> (Miss, no_info)
+            | (owner, m) :: rest ->
+                let renv = env_of m in
+                if List.for_all (fun c -> Expr.eval renv c = 1) p.p_rkey then
+                  (Reuse_sat (orig_env p.p_fwd renv),
+                   { i_renamed = false; i_owner = owner })
+                else try_models rest
+          in
+          try_models t.models)
+
+let lookup_info t cs = lookup_prepared t (prepare cs)
+let lookup t cs = fst (lookup_info t cs)
 
 let rec take n = function
   | [] -> []
   | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
-let add_entry t key verdict =
+let add_entry t p verdict =
   t.tick <- t.tick + 1;
   t.next_id <- t.next_id + 1;
   let e =
     {
       e_id = t.next_id;
-      e_key = key;
+      e_key = p.p_rkey;
+      e_orig = p.p_key;
+      e_domain = self_domain ();
       e_verdict = verdict;
-      e_size = List.length key;
+      e_size = List.length p.p_key;
       e_last_use = t.tick;
     }
   in
-  KH.replace t.table key e;
+  KH.replace t.table p.p_rkey e;
   e
 
-let store_sat t cs m =
-  let key = canon cs in
-  if key <> [] && not (KH.mem t.table key) then begin
-    let vars =
-      List.concat_map Expr.vars key
+let store_sat_prepared t p m =
+  if p.p_key <> [] && not (KH.mem t.table p.p_rkey) then begin
+    (* Store the model over renamed variables, valued through the inverse
+       rename — [Expr.vars] returns them sorted by (dense) renamed id. *)
+    let rvars =
+      List.concat_map Expr.vars p.p_rkey
       |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
     in
-    let pairs = List.map (fun v -> (v, m v)) vars in
-    ignore (add_entry t key (V_sat pairs));
+    let pairs =
+      List.map (fun (r : Expr.var) -> (r, m (Hashtbl.find p.p_inv r.Expr.id))) rvars
+    in
+    ignore (add_entry t p (V_sat pairs));
     if t.model_reuse > 0 then
-      t.models <- pairs :: take (t.model_reuse - 1) t.models;
+      t.models <- (self_domain (), pairs) :: take (t.model_reuse - 1) t.models;
     maybe_evict t
   end
 
-let store_unsat t cs =
-  let key = canon cs in
-  if key <> [] && not (KH.mem t.table key) then begin
-    let e = add_entry t key V_unsat in
+let store_unsat_prepared t p =
+  if p.p_key <> [] && not (KH.mem t.table p.p_rkey) then begin
+    let e = add_entry t p V_unsat in
     List.iter
       (fun c ->
         match EH.find_opt t.unsat_index c with
         | Some r -> r := e :: !r
         | None -> EH.replace t.unsat_index c (ref [ e ]))
-      key;
+      p.p_key;
     maybe_evict t
   end
+
+let store_sat t cs m = store_sat_prepared t (prepare cs) m
+let store_unsat t cs = store_unsat_prepared t (prepare cs)
+
+(* --- the mutex-sharded shared cache -------------------------------------- *)
+(* One process-wide cache shared by every worker domain: shard by the hash
+   of the renamed canonical key, one mutex per shard, atomics for the
+   cross-shard statistics. Exact and renamed hits always land in the
+   right shard (same renamed key => same shard); subset-Unsat proofs and
+   model reuse only see the query's home shard — a deliberate trade of a
+   little hit rate for lock granularity. *)
+
+module Sharded = struct
+  type shard = { mu : Mutex.t; cache : t }
+
+  type sharded = {
+    shards : shard array;
+    lookups : int Atomic.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    renamed_hits : int Atomic.t;
+    cross_hits : int Atomic.t;
+  }
+
+  let create ?(shards = 8) ?(capacity = 4096) ?(model_reuse = 12) () =
+    let n = max 1 shards in
+    let per_shard_cap = max 1 (capacity / n) in
+    {
+      shards =
+        Array.init n (fun _ ->
+            {
+              mu = Mutex.create ();
+              cache = create ~capacity:per_shard_cap ~model_reuse ();
+            });
+      lookups = Atomic.make 0;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      renamed_hits = Atomic.make 0;
+      cross_hits = Atomic.make 0;
+    }
+
+  let shard_for sc p =
+    sc.shards.(abs (Key.hash p.p_rkey) mod Array.length sc.shards)
+
+  let with_shard s f =
+    Mutex.lock s.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+  let lookup sc cs =
+    let p = prepare cs in
+    let s = shard_for sc p in
+    let outcome, info = with_shard s (fun () -> lookup_prepared s.cache p) in
+    Atomic.incr sc.lookups;
+    (match outcome with
+    | Miss -> Atomic.incr sc.misses
+    | Exact_sat _ | Exact_unsat | Subset_unsat | Reuse_sat _ ->
+        Atomic.incr sc.hits;
+        if info.i_renamed then Atomic.incr sc.renamed_hits;
+        if info.i_owner >= 0 && info.i_owner <> self_domain () then
+          Atomic.incr sc.cross_hits);
+    (outcome, info)
+
+  let store_sat sc cs m =
+    let p = prepare cs in
+    let s = shard_for sc p in
+    with_shard s (fun () -> store_sat_prepared s.cache p m)
+
+  let store_unsat sc cs =
+    let p = prepare cs in
+    let s = shard_for sc p in
+    with_shard s (fun () -> store_unsat_prepared s.cache p)
+
+  let size sc =
+    Array.fold_left
+      (fun acc s -> acc + with_shard s (fun () -> size s.cache))
+      0 sc.shards
+
+  let evictions sc =
+    Array.fold_left
+      (fun acc s -> acc + with_shard s (fun () -> evictions s.cache))
+      0 sc.shards
+
+  let clear sc =
+    Array.iter (fun s -> with_shard s (fun () -> clear s.cache)) sc.shards
+
+  let n_shards sc = Array.length sc.shards
+
+  type counts = {
+    sc_lookups : int;
+    sc_hits : int;
+    sc_misses : int;
+    sc_renamed_hits : int;
+    sc_cross_hits : int;
+  }
+
+  let counts sc =
+    {
+      sc_lookups = Atomic.get sc.lookups;
+      sc_hits = Atomic.get sc.hits;
+      sc_misses = Atomic.get sc.misses;
+      sc_renamed_hits = Atomic.get sc.renamed_hits;
+      sc_cross_hits = Atomic.get sc.cross_hits;
+    }
+end

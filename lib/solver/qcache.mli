@@ -1,30 +1,48 @@
 (** Counterexample-style query cache over canonicalized constraint sets
     (Klee's second query optimization).
 
-    Keys are constraint sets canonicalized by {!canon} (sorted, deduped).
+    Keys are constraint sets canonicalized by {!canon} (sorted, deduped)
+    and then {e normalized up to variable renaming}: variables are
+    renumbered in first-occurrence order with names erased, so
+    structurally identical queries from different states or workers share
+    one entry; stored models are translated back through the rename.
     Beyond exact hits, the cache applies the two subset/superset rules of
     counterexample caching:
 
-    - a cached {e Unsat} set that is a subset of the query proves the
-      query Unsat (adding constraints cannot restore satisfiability);
-    - a cached {e Sat} model (for any earlier query, typically a subset)
-      is re-checked against the query by concrete evaluation — a cheap
-      [Expr.eval] pass instead of a bit-blast — and reused on success.
+    - a cached {e Unsat} set that is a subset of the query (in original,
+      un-renamed space — a renamed subset generally renumbers differently
+      than the same subset inside a larger query) proves the query Unsat;
+    - a cached {e Sat} model is re-checked against the renamed query by
+      concrete evaluation — a cheap [Expr.eval] pass instead of a
+      bit-blast — and reused on success.
 
     The store is bounded: when it exceeds its capacity the least recently
-    used quarter is evicted. One cache instance is {e not} thread-safe;
-    {!Solver} keeps one per domain via [Domain.DLS]. *)
+    used quarter is evicted. One plain cache instance is {e not}
+    thread-safe; the process-wide shared instance is {!Sharded}. *)
 
 type t
 
 type outcome =
-  | Exact_sat of (Expr.var -> int)  (** same canonical set seen before *)
+  | Exact_sat of (Expr.var -> int)
+      (** same canonical set (up to renaming) seen before *)
   | Exact_unsat
   | Subset_unsat  (** a cached Unsat set is a subset of the query *)
   | Reuse_sat of (Expr.var -> int)
       (** a cached model satisfies the query (verified by evaluation);
           variables outside the model read as 0 *)
   | Miss
+
+type info = {
+  i_renamed : bool;
+      (** the hit's stored original key differs from the query's — the
+          entry came from a structurally identical but differently-named
+          twin (only set for exact hits) *)
+  i_owner : int;
+      (** domain id that stored the winning entry or model; [-1] when
+          unknown or on a miss *)
+}
+
+val no_info : info
 
 val create : ?capacity:int -> ?model_reuse:int -> unit -> t
 (** [capacity] bounds the number of entries (default 4096);
@@ -35,6 +53,7 @@ val canon : Expr.t list -> Expr.t list
 (** Sort by {!Expr.compare} and drop duplicates — the canonical key. *)
 
 val lookup : t -> Expr.t list -> outcome
+val lookup_info : t -> Expr.t list -> outcome * info
 
 val store_sat : t -> Expr.t list -> (Expr.var -> int) -> unit
 (** Record a verified model for the set (restricted to its variables). *)
@@ -44,3 +63,39 @@ val store_unsat : t -> Expr.t list -> unit
 val size : t -> int
 val evictions : t -> int
 val clear : t -> unit
+
+(** A process-wide cache shared by all worker domains: shard by the hash
+    of the renamed canonical key, one mutex per shard, atomics for the
+    statistics. Exact/renamed hits always land in the right shard (same
+    renamed key, same shard); subset-Unsat proofs and model reuse only
+    consult the query's home shard — a deliberate trade of a little hit
+    rate for lock granularity. *)
+module Sharded : sig
+  type sharded
+
+  val create :
+    ?shards:int -> ?capacity:int -> ?model_reuse:int -> unit -> sharded
+  (** [capacity] is the total bound, split evenly across [shards]
+      (default 8 shards); [model_reuse] applies per shard. *)
+
+  val lookup : sharded -> Expr.t list -> outcome * info
+  val store_sat : sharded -> Expr.t list -> (Expr.var -> int) -> unit
+  val store_unsat : sharded -> Expr.t list -> unit
+  val size : sharded -> int
+  val evictions : sharded -> int
+  val clear : sharded -> unit
+  val n_shards : sharded -> int
+
+  type counts = {
+    sc_lookups : int;
+    sc_hits : int;
+    sc_misses : int;
+    sc_renamed_hits : int;
+        (** exact hits whose stored original key differed from the query *)
+    sc_cross_hits : int;
+        (** hits on entries or models stored by a different domain *)
+  }
+
+  val counts : sharded -> counts
+  (** Always satisfies [sc_hits + sc_misses = sc_lookups]. *)
+end

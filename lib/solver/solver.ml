@@ -22,22 +22,25 @@ let no_accel =
   { use_slicing = false; use_cache = false; cache_capacity = 1;
     model_reuse = 0 }
 
-(* The accel knobs and the cache are per-domain: each Parallel.test_driver
-   worker domain gets its own instance, so no locking is needed and the
-   workers never contend on cache buckets. *)
-let accel_key = Domain.DLS.new_key (fun () -> default_accel)
+(* The accel knobs and the query cache are process-global: one
+   mutex-sharded cache ({!Qcache.Sharded}) serves every domain, so a
+   group solved by any worker is a hit for all of them — workers no
+   longer re-solve each other's queries. [set_accel]/[clear_cache] swap
+   in a fresh cache atomically; in-flight operations finish against
+   their snapshot. *)
+let accel = Atomic.make default_accel
 
-let cache_key = Domain.DLS.new_key (fun () -> Qcache.create ())
+let fresh_cache a =
+  Qcache.Sharded.create ~capacity:a.cache_capacity ~model_reuse:a.model_reuse ()
 
-let current_accel () = Domain.DLS.get accel_key
+let cache = Atomic.make (fresh_cache default_accel)
 
-let clear_cache () =
-  let a = current_accel () in
-  Domain.DLS.set cache_key
-    (Qcache.create ~capacity:a.cache_capacity ~model_reuse:a.model_reuse ())
+let current_accel () = Atomic.get accel
+
+let clear_cache () = Atomic.set cache (fresh_cache (current_accel ()))
 
 let set_accel a =
-  Domain.DLS.set accel_key a;
+  Atomic.set accel a;
   clear_cache ()
 
 (* --- statistics ---------------------------------------------------------- *)
@@ -49,42 +52,48 @@ type stats = {
   s_cache_subset_unsat_hits : int;
   s_cache_model_reuse_hits : int;
   s_cache_misses : int;
+  s_cache_renamed_hits : int;
+  s_cache_cross_worker_hits : int;
   s_interval_solves : int;
   s_bitblast_solves : int;
   s_cache_evictions : int;
 }
 
+(* Counters are process-global atomics — parallel frontier workers all
+   account into the same totals (the cache they describe is shared too). *)
 type counters = {
-  mutable c_queries : int;
-  mutable c_group_solves : int;
-  mutable c_exact_hits : int;
-  mutable c_subset_unsat_hits : int;
-  mutable c_model_reuse_hits : int;
-  mutable c_misses : int;
-  mutable c_interval_solves : int;
-  mutable c_bitblast_solves : int;
+  c_queries : int Atomic.t;
+  c_group_solves : int Atomic.t;
+  c_exact_hits : int Atomic.t;
+  c_subset_unsat_hits : int Atomic.t;
+  c_model_reuse_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_renamed_hits : int Atomic.t;
+  c_cross_worker_hits : int Atomic.t;
+  c_interval_solves : int Atomic.t;
+  c_bitblast_solves : int Atomic.t;
 }
 
-let fresh_counters () =
-  { c_queries = 0; c_group_solves = 0; c_exact_hits = 0;
-    c_subset_unsat_hits = 0; c_model_reuse_hits = 0; c_misses = 0;
-    c_interval_solves = 0; c_bitblast_solves = 0 }
-
-let counters_key = Domain.DLS.new_key fresh_counters
-let counters () = Domain.DLS.get counters_key
+let cnt =
+  { c_queries = Atomic.make 0; c_group_solves = Atomic.make 0;
+    c_exact_hits = Atomic.make 0; c_subset_unsat_hits = Atomic.make 0;
+    c_model_reuse_hits = Atomic.make 0; c_misses = Atomic.make 0;
+    c_renamed_hits = Atomic.make 0; c_cross_worker_hits = Atomic.make 0;
+    c_interval_solves = Atomic.make 0; c_bitblast_solves = Atomic.make 0 }
 
 let stats () =
-  let c = counters () in
   {
-    s_queries = c.c_queries;
-    s_group_solves = c.c_group_solves;
-    s_cache_exact_hits = c.c_exact_hits;
-    s_cache_subset_unsat_hits = c.c_subset_unsat_hits;
-    s_cache_model_reuse_hits = c.c_model_reuse_hits;
-    s_cache_misses = c.c_misses;
-    s_interval_solves = c.c_interval_solves;
-    s_bitblast_solves = c.c_bitblast_solves;
-    s_cache_evictions = Qcache.evictions (Domain.DLS.get cache_key);
+    s_queries = Atomic.get cnt.c_queries;
+    s_group_solves = Atomic.get cnt.c_group_solves;
+    s_cache_exact_hits = Atomic.get cnt.c_exact_hits;
+    s_cache_subset_unsat_hits = Atomic.get cnt.c_subset_unsat_hits;
+    s_cache_model_reuse_hits = Atomic.get cnt.c_model_reuse_hits;
+    s_cache_misses = Atomic.get cnt.c_misses;
+    s_cache_renamed_hits = Atomic.get cnt.c_renamed_hits;
+    s_cache_cross_worker_hits = Atomic.get cnt.c_cross_worker_hits;
+    s_interval_solves = Atomic.get cnt.c_interval_solves;
+    s_bitblast_solves = Atomic.get cnt.c_bitblast_solves;
+    s_cache_evictions = Qcache.Sharded.evictions (Atomic.get cache);
   }
 
 let diff_stats (b : stats) (a : stats) =
@@ -97,6 +106,9 @@ let diff_stats (b : stats) (a : stats) =
     s_cache_model_reuse_hits =
       b.s_cache_model_reuse_hits - a.s_cache_model_reuse_hits;
     s_cache_misses = b.s_cache_misses - a.s_cache_misses;
+    s_cache_renamed_hits = b.s_cache_renamed_hits - a.s_cache_renamed_hits;
+    s_cache_cross_worker_hits =
+      b.s_cache_cross_worker_hits - a.s_cache_cross_worker_hits;
     s_interval_solves = b.s_interval_solves - a.s_interval_solves;
     s_bitblast_solves = b.s_bitblast_solves - a.s_bitblast_solves;
     s_cache_evictions = max 0 (b.s_cache_evictions - a.s_cache_evictions);
@@ -113,21 +125,31 @@ let cache_hit_rate s =
 
 let stats_queries () = (stats ()).s_queries
 
-let reset_stats () = Domain.DLS.set counters_key (fresh_counters ())
+let reset_stats () =
+  Atomic.set cnt.c_queries 0;
+  Atomic.set cnt.c_group_solves 0;
+  Atomic.set cnt.c_exact_hits 0;
+  Atomic.set cnt.c_subset_unsat_hits 0;
+  Atomic.set cnt.c_model_reuse_hits 0;
+  Atomic.set cnt.c_misses 0;
+  Atomic.set cnt.c_renamed_hits 0;
+  Atomic.set cnt.c_cross_worker_hits 0;
+  Atomic.set cnt.c_interval_solves 0;
+  Atomic.set cnt.c_bitblast_solves 0
 
 (* --- the layered solve of one (simplified, nontrivial) group ------------- *)
 
 let verified constraints env =
   List.for_all (fun c -> Expr.eval env c = 1) constraints
 
-let core_solve cnt constraints =
+let core_solve constraints =
   let vars =
     List.concat_map Expr.vars constraints
     |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
   in
   match Interval.infer constraints with
   | None ->
-      cnt.c_interval_solves <- cnt.c_interval_solves + 1;
+      Atomic.incr cnt.c_interval_solves;
       Unsat
   | Some env_ranges -> (
       (* Cheap verified guesses first. *)
@@ -138,10 +160,10 @@ let core_solve cnt constraints =
       in
       match guess with
       | Some m ->
-          cnt.c_interval_solves <- cnt.c_interval_solves + 1;
+          Atomic.incr cnt.c_interval_solves;
           Sat m
       | None -> (
-          cnt.c_bitblast_solves <- cnt.c_bitblast_solves + 1;
+          Atomic.incr cnt.c_bitblast_solves;
           let ctx = Bitblast.create () in
           List.iter (Bitblast.assert_true ctx) constraints;
           match Dpll.solve (Bitblast.cnf ctx) with
@@ -164,36 +186,44 @@ let core_solve cnt constraints =
               assert (verified constraints m);
               Sat m))
 
-let solve_group cnt a group =
-  cnt.c_group_solves <- cnt.c_group_solves + 1;
-  if not a.use_cache then core_solve cnt group
+let note_hit_info (info : Qcache.info) =
+  if info.Qcache.i_renamed then Atomic.incr cnt.c_renamed_hits;
+  if info.Qcache.i_owner >= 0 && info.Qcache.i_owner <> (Domain.self () :> int)
+  then Atomic.incr cnt.c_cross_worker_hits
+
+let solve_group a group =
+  Atomic.incr cnt.c_group_solves;
+  if not a.use_cache then core_solve group
   else
-    let cache = Domain.DLS.get cache_key in
-    match Qcache.lookup cache group with
-    | Qcache.Exact_sat m ->
-        cnt.c_exact_hits <- cnt.c_exact_hits + 1;
+    let c = Atomic.get cache in
+    match Qcache.Sharded.lookup c group with
+    | Qcache.Exact_sat m, info ->
+        Atomic.incr cnt.c_exact_hits;
+        note_hit_info info;
         Sat m
-    | Qcache.Exact_unsat ->
-        cnt.c_exact_hits <- cnt.c_exact_hits + 1;
+    | Qcache.Exact_unsat, info ->
+        Atomic.incr cnt.c_exact_hits;
+        note_hit_info info;
         Unsat
-    | Qcache.Subset_unsat ->
-        cnt.c_subset_unsat_hits <- cnt.c_subset_unsat_hits + 1;
+    | Qcache.Subset_unsat, info ->
+        Atomic.incr cnt.c_subset_unsat_hits;
+        note_hit_info info;
         Unsat
-    | Qcache.Reuse_sat m ->
-        cnt.c_model_reuse_hits <- cnt.c_model_reuse_hits + 1;
+    | Qcache.Reuse_sat m, info ->
+        Atomic.incr cnt.c_model_reuse_hits;
+        note_hit_info info;
         Sat m
-    | Qcache.Miss -> (
-        cnt.c_misses <- cnt.c_misses + 1;
-        let r = core_solve cnt group in
+    | Qcache.Miss, _ -> (
+        Atomic.incr cnt.c_misses;
+        let r = core_solve group in
         (match r with
-         | Sat m -> Qcache.store_sat cache group m
-         | Unsat -> Qcache.store_unsat cache group
+         | Sat m -> Qcache.Sharded.store_sat c group m
+         | Unsat -> Qcache.Sharded.store_unsat c group
          | Unknown -> ());
         r)
 
 let check constraints =
-  let cnt = counters () in
-  cnt.c_queries <- cnt.c_queries + 1;
+  Atomic.incr cnt.c_queries;
   let constraints = List.map Simplify.simplify_bool constraints in
   if List.exists (fun c -> c = Expr.fls) constraints then Unsat
   else
@@ -219,7 +249,7 @@ let check constraints =
                   | Some x -> x
                   | None -> 0)
         | g :: rest -> (
-            match solve_group cnt a g with
+            match solve_group a g with
             | Unsat -> Unsat
             | Unknown -> go true rest
             | Sat m ->

@@ -18,9 +18,10 @@
     Every Sat answer carries a model that has been {e verified} by
     evaluating all constraints under it (per variable-disjoint group).
 
-    Slicing and caching are controlled per-domain by {!set_accel}; each
-    OCaml domain owns a private cache ([Domain.DLS]), so parallel
-    exploration workers accelerate independently without locking. *)
+    Slicing and caching are controlled process-wide by {!set_accel}; the
+    query cache is one shared mutex-sharded instance
+    ({!Qcache.Sharded}), normalized up to variable renaming, so a group
+    solved by any parallel exploration worker is a hit for all of them. *)
 
 type model = Expr.var -> int
 
@@ -53,23 +54,26 @@ type accel = {
 
 val default_accel : accel
 (** Slicing and caching on (capacity 4096, model reuse 12). This is the
-    initial per-domain setting. *)
+    initial process-wide setting. *)
 
 val no_accel : accel
 (** The unaccelerated baseline: every query bit-blasts from scratch. *)
 
 val set_accel : accel -> unit
-(** Set the current domain's acceleration mode and clear its cache. *)
+(** Set the process-wide acceleration mode and swap in a fresh shared
+    cache (in-flight lookups finish against the old snapshot). *)
 
 val current_accel : unit -> accel
 
 val clear_cache : unit -> unit
-(** Drop the current domain's cache entries (keeps the accel mode). *)
+(** Drop the shared cache's entries (keeps the accel mode). *)
 
 (** {1 Statistics}
 
-    Counters are per-domain, like the cache; a session's statistics are
-    the difference of two {!stats} snapshots (see [Ddt_symexec.Exec]). *)
+    Counters are process-global atomics, like the cache; a session's
+    statistics are the difference of two {!stats} snapshots (see
+    [Ddt_symexec.Exec]) — exact only while no other session runs
+    concurrently. *)
 
 type stats = {
   s_queries : int;                  (** [check] calls *)
@@ -78,6 +82,12 @@ type stats = {
   s_cache_subset_unsat_hits : int;  (** Unsat proved by a cached subset *)
   s_cache_model_reuse_hits : int;   (** Sat via a re-checked cached model *)
   s_cache_misses : int;
+  s_cache_renamed_hits : int;
+  (** exact hits on an entry stored under a different original key — the
+      win from normalization up to variable renaming *)
+  s_cache_cross_worker_hits : int;
+  (** hits on entries/models stored by a different domain — the win from
+      sharing the cache across workers *)
   s_interval_solves : int;          (** groups settled by interval layer *)
   s_bitblast_solves : int;          (** groups that reached CNF + DPLL *)
   s_cache_evictions : int;

@@ -29,6 +29,9 @@ type config = {
   (** enable constraint-independence slicing and the query cache for this
       engine's domain (off = bit-blast every query from scratch) *)
   strategy : Sched.strategy;
+  jobs : int;
+  (** worker domains exploring this engine's frontier cooperatively
+      (1 = the classic sequential loop) *)
 }
 
 let default_config =
@@ -43,6 +46,7 @@ let default_config =
     concrete_hardware = false;
     solver_accel = true;
     strategy = Sched.Min_touch;
+    jobs = 1;
   }
 
 type mem_access = {
@@ -61,22 +65,25 @@ type engine = {
   base_mem : Mem.t;
   img : Image.loaded;
   symdev : Ddt_hw.Symdev.t;
-  block_starts : (int, unit) Hashtbl.t;     (* absolute addresses *)
-  decode_cache : (int, Isa.instr) Hashtbl.t;
+  stamp : int;
+  (* process-unique id keying the per-domain decode caches *)
+  block_starts : (int, unit) Hashtbl.t;     (* read-only after create *)
+  glock : Mutex.t;
+  (* protects the tables and lists below; hooks are invoked OUTSIDE it so
+     callbacks may call back into the engine (e.g. [stats]) *)
   injected_sites_global : (int, unit) Hashtbl.t;
   block_counts : (int, int) Hashtbl.t;
   last_block : (int, int) Hashtbl.t;        (* state id -> block addr *)
-  mutable worklist : St.t list;
   mutable done_states : St.t list;
-  mutable next_id : int;
-  mutable total_steps : int;
-  mutable states_created : int;
-  mutable states_dropped : int;
-  mutable max_cow_depth : int;
-  mutable peak_live_words : int;
-  mutable picks : int;
   mutable lineage : (int * int * string * int) list;
-  mutable last_new_block_step : int;
+  frontier : Frontier.t;
+  next_id : int Atomic.t;
+  total_steps : int Atomic.t;
+  states_created : int Atomic.t;
+  max_cow_depth : int Atomic.t;
+  peak_live_words : int Atomic.t;
+  picks : int Atomic.t;
+  last_new_block_step : int Atomic.t;
   mutable on_mem_access : mem_access -> unit;
   mutable on_state_done : St.t -> unit;
   mutable on_new_block : St.t -> int -> unit;
@@ -87,9 +94,41 @@ type engine = {
   mutable replay : Replay.script option;
   solver_base : Solver.stats;
   (* snapshot at creation; [stats] reports the delta, i.e. the solver
-     work attributable to this engine (engines run sequentially within a
-     domain and the counters are per-domain) *)
+     work attributable to this engine. The counters are process-global,
+     so the delta is only exact while no other engine runs concurrently
+     (Portfolio mode overlaps engines; its per-job solver stats are
+     indicative, not exact). *)
 }
+
+(* Atomic max for report-only high-water marks. *)
+let rec amax a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then amax a v
+
+(* Which frontier worker the current domain is: the spawning main domain
+   is worker 0, spawned explorers set their slot at startup. Threading an
+   explicit worker context through every fork/retire call site would
+   touch the whole interpreter; domain-local state is equivalent because
+   a domain serves exactly one worker slot per [run]. *)
+let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let eng_stamp = Atomic.make 0
+
+(* Decode caches are per-domain (hot per-instruction path; sharing one
+   table would serialize every fetch) and keyed by engine stamp so
+   successive engines in one domain don't see each other's code. *)
+let decode_dls : (int * (int, Isa.instr) Hashtbl.t) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (-1, Hashtbl.create 1))
+
+let decode_cache_for eng =
+  let slot = Domain.DLS.get decode_dls in
+  let stamp, tbl = !slot in
+  if stamp = eng.stamp then tbl
+  else begin
+    let tbl = Hashtbl.create 1024 in
+    slot := (eng.stamp, tbl);
+    tbl
+  end
 
 exception Discard_state of string
 exception Fork_alts of (string * (Mach.t -> unit)) list
@@ -105,27 +144,47 @@ let create ?(config = default_config) img base_mem symdev =
   List.iter
     (fun off -> Hashtbl.replace block_starts (img.Image.base + off) ())
     (Ddt_dvm.Disasm.basic_block_starts img.Image.image);
+  let glock = Mutex.create () in
+  let block_counts = Hashtbl.create 256 in
+  let last_block = Hashtbl.create 64 in
+  (* The Min_touch priority of a state: how often its current block has
+     run. Reads the shared tables under [glock] (the frontier calls this
+     from inside its queue locks; queue lock -> glock is the one lock
+     order used everywhere). *)
+  let priority st =
+    Mutex.lock glock;
+    let block =
+      try Hashtbl.find last_block st.St.id with Not_found -> st.St.pc
+    in
+    let p = try Hashtbl.find block_counts block with Not_found -> 0 in
+    Mutex.unlock glock;
+    p
+  in
+  let frontier =
+    Frontier.create ~workers:(max 1 config.jobs) ~max_states:config.max_states
+      ~strategy:config.strategy ~priority
+  in
   {
     cfg = config;
     base_mem;
     img;
     symdev;
+    stamp = Atomic.fetch_and_add eng_stamp 1;
     block_starts;
-    decode_cache = Hashtbl.create 1024;
+    glock;
     injected_sites_global = Hashtbl.create 64;
-    block_counts = Hashtbl.create 256;
-    last_block = Hashtbl.create 64;
-    worklist = [];
+    block_counts;
+    last_block;
     done_states = [];
-    next_id = 0;
-    total_steps = 0;
-    states_created = 0;
-    states_dropped = 0;
-    max_cow_depth = 0;
-    peak_live_words = 0;
-    picks = 0;
     lineage = [];
-    last_new_block_step = 0;
+    frontier;
+    next_id = Atomic.make 0;
+    total_steps = Atomic.make 0;
+    states_created = Atomic.make 0;
+    max_cow_depth = Atomic.make 0;
+    peak_live_words = Atomic.make 0;
+    picks = Atomic.make 0;
+    last_new_block_step = Atomic.make 0;
     on_mem_access = (fun _ -> ());
     on_state_done = (fun _ -> ());
     on_new_block = (fun _ _ -> ());
@@ -170,13 +229,13 @@ let install_sym_hook eng st =
           | _ -> ()))
 
 let new_root_state eng ks =
-  eng.next_id <- eng.next_id + 1;
-  eng.states_created <- eng.states_created + 1;
+  let id = Atomic.fetch_and_add eng.next_id 1 + 1 in
+  Atomic.incr eng.states_created;
   let mem =
     Symmem.create ~base:eng.base_mem
       ~symdev:(if eng.cfg.concrete_hardware then None else Some eng.symdev)
   in
-  let st = St.create ~id:eng.next_id ~mem ~ks in
+  let st = St.create ~id ~mem ~ks in
   (match eng.replay with
    | Some script ->
        st.St.replay_inputs <- script.Replay.rs_inputs;
@@ -186,27 +245,26 @@ let new_root_state eng ks =
   st
 
 let add_state eng st =
-  if List.length eng.worklist >= eng.cfg.max_states then
-    eng.states_dropped <- eng.states_dropped + 1
-  else eng.worklist <- st :: eng.worklist
+  (* Cap rejections are counted by the frontier. *)
+  ignore (Frontier.push eng.frontier ~worker:(Domain.DLS.get worker_key) st)
 
 let fork_state eng st =
-  eng.next_id <- eng.next_id + 1;
-  eng.states_created <- eng.states_created + 1;
-  let child = St.fork st ~id:eng.next_id in
+  let id = Atomic.fetch_and_add eng.next_id 1 + 1 in
+  Atomic.incr eng.states_created;
+  let child = St.fork st ~id in
   install_sym_hook eng child;
   install_sym_hook eng st;
   (* Forking moved the parent to a fresh COW leaf too; re-binding the hook
      keeps symbolic-read events attributed to the right state. *)
-  let d = Symmem.chain_depth child.St.mem in
-  if d > eng.max_cow_depth then eng.max_cow_depth <- d;
+  amax eng.max_cow_depth (Symmem.chain_depth child.St.mem);
+  Mutex.lock eng.glock;
   Hashtbl.replace eng.last_block child.St.id
     (try Hashtbl.find eng.last_block st.St.id with Not_found -> 0);
+  Mutex.unlock eng.glock;
   child
 
 let retire eng st status ~report =
   st.St.status <- Some status;
-  Hashtbl.remove eng.last_block st.St.id;
   let forks =
     List.fold_left
       (fun acc ev ->
@@ -215,14 +273,17 @@ let retire eng st status ~report =
         | _ -> acc)
       0 st.St.trace
   in
+  Mutex.lock eng.glock;
+  Hashtbl.remove eng.last_block st.St.id;
   eng.lineage <-
     (st.St.id, st.St.parent_id,
      Format.asprintf "%s: %a" st.St.entry_name St.pp_status status, forks)
     :: eng.lineage;
-  if report then begin
-    eng.done_states <- st :: eng.done_states;
-    eng.on_state_done st
-  end
+  if report then eng.done_states <- st :: eng.done_states;
+  Mutex.unlock eng.glock;
+  (* The hook runs outside the lock so checkers may call [stats] etc.;
+     Session serializes its own accounting. *)
+  if report then eng.on_state_done st
 
 (* --- expression helpers ------------------------------------------------ *)
 
@@ -380,6 +441,18 @@ let maybe_inject eng st ~site ~phase =
     | None -> true
     | Some script -> List.mem site script.Replay.rs_inject_sites
   in
+  (* Interrupt arrival times at the same boundary site form one
+     equivalence class (§3.3): deliver once per site, across all paths, to
+     keep the state count linear in the number of crossings. The claim is
+     check-and-set under the engine lock so two workers reaching the same
+     site concurrently inject exactly once. *)
+  let claim_site () =
+    Mutex.lock eng.glock;
+    let fresh = not (Hashtbl.mem eng.injected_sites_global site) in
+    if fresh then Hashtbl.replace eng.injected_sites_global site ();
+    Mutex.unlock eng.glock;
+    fresh
+  in
   if
     site_allowed
     && eng.cfg.inject_interrupts
@@ -389,12 +462,8 @@ let maybe_inject eng st ~site ~phase =
     && Kstate.irql st.St.ks < Kstate.device_level
     && st.St.injections < eng.cfg.max_injections
     && (not (List.mem site st.St.injected_sites))
-    && not (Hashtbl.mem eng.injected_sites_global site)
+    && claim_site ()
   then begin
-    (* Interrupt arrival times at the same boundary site form one
-       equivalence class (§3.3): deliver once per site, across all paths,
-       to keep the state count linear in the number of crossings. *)
-    Hashtbl.replace eng.injected_sites_global site ();
     st.St.injected_sites <- site :: st.St.injected_sites;
     let child = fork_state eng st in
     child.St.injections <- child.St.injections + 1;
@@ -493,14 +562,17 @@ let cmp_to_cmpop = function
 
 let fetch eng pc =
   (* Driver text is immutable once loaded, so decoding is memoizable —
-     the analog of QEMU's translation cache (§4.1.2). *)
-  match Hashtbl.find_opt eng.decode_cache pc with
+     the analog of QEMU's translation cache (§4.1.2). The cache is
+     per-domain (see [decode_cache_for]): lock-free on the hottest path
+     at the cost of each worker decoding independently. *)
+  let cache = decode_cache_for eng in
+  match Hashtbl.find_opt cache pc with
   | Some i -> i
   | None -> (
       let b = Mem.read_bytes eng.base_mem pc Isa.instr_size in
       try
         let i = Isa.decode b 0 in
-        Hashtbl.replace eng.decode_cache pc i;
+        Hashtbl.replace cache pc i;
         i
       with Isa.Invalid_opcode _ ->
         raise
@@ -508,13 +580,14 @@ let fetch eng pc =
 
 let note_block eng st pc =
   if Hashtbl.mem eng.block_starts pc then begin
+    Mutex.lock eng.glock;
     let c = try Hashtbl.find eng.block_counts pc with Not_found -> 0 in
     Hashtbl.replace eng.block_counts pc (c + 1);
     Hashtbl.replace eng.last_block st.St.id pc;
-    if c = 0 then begin
-      eng.last_new_block_step <- eng.total_steps;
-      eng.on_new_block st pc
-    end
+    if c = 0 then
+      Atomic.set eng.last_new_block_step (Atomic.get eng.total_steps);
+    Mutex.unlock eng.glock;
+    if c = 0 then eng.on_new_block st pc
   end
 
 (* Handle reaching the return sentinel: either an interrupt continuation
@@ -569,7 +642,7 @@ let step eng st =
     note_block eng st pc;
     if eng.cfg.record_exec_pcs then St.record st (Event.E_exec pc);
     st.St.steps <- st.St.steps + 1;
-    eng.total_steps <- eng.total_steps + 1;
+    Atomic.incr eng.total_steps;
     let instr = fetch eng pc in
     let next = pc + Isa.instr_size in
     let g r = St.reg_get st r in
@@ -785,7 +858,8 @@ let step_quantum eng st =
      if St.terminated st then ()
      else if st.St.steps >= eng.cfg.max_steps_per_state then
        retire eng st St.Exhausted ~report:true
-     else eng.worklist <- eng.worklist @ [ st ]
+     else
+       Frontier.requeue eng.frontier ~worker:(Domain.DLS.get worker_key) st
    with
    | Discard_state why | Mach.Path_terminated why ->
        retire eng st (St.Discarded why) ~report:false
@@ -800,51 +874,79 @@ let step_quantum eng st =
               c_pc = st.St.pc })
          ~report:true)
 
-let priority eng st =
-  let block =
-    try Hashtbl.find eng.last_block st.St.id with Not_found -> st.St.pc
+type stop_reason = Stop_budget | Stop_plateau
+
+(* Sample the copy-on-write footprint for the E5 accounting. *)
+let sample_live eng st =
+  let live = ref (Symmem.live_words st.St.mem) in
+  Frontier.iter eng.frontier (fun s -> live := !live + Symmem.live_words s.St.mem);
+  amax eng.peak_live_words !live
+
+(* One explorer. Workers pull from their own deque, steal when it runs
+   dry, and park (briefly sleeping, so co-scheduled domains on few cores
+   get the CPU) until the frontier is quiescent — the idle-worker
+   barrier: [Frontier.quiescent] can only hold once no state is queued or
+   in motion anywhere, at which point every worker agrees exploration is
+   complete. Any worker noticing the budget or plateau limit publishes
+   the stop reason; the others exit at their next pick. *)
+let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
+  Domain.DLS.set worker_key wid;
+  let rec loop () =
+    if Atomic.get stop = None then
+      if Atomic.get eng.total_steps - start >= max_total_steps then
+        ignore (Atomic.compare_and_set stop None (Some Stop_budget))
+      else if
+        Atomic.get eng.total_steps - Atomic.get eng.last_new_block_step
+        >= plateau_steps
+      then ignore (Atomic.compare_and_set stop None (Some Stop_plateau))
+      else
+        match Frontier.pick eng.frontier ~worker:wid with
+        | Some st ->
+            let picks = Atomic.fetch_and_add eng.picks 1 + 1 in
+            if picks land 63 = 0 then sample_live eng st;
+            step_quantum eng st;
+            Frontier.task_done eng.frontier;
+            loop ()
+        | None ->
+            if not (Frontier.quiescent eng.frontier) then begin
+              Unix.sleepf 2e-4;
+              loop ()
+            end
   in
-  try Hashtbl.find eng.block_counts block with Not_found -> 0
+  loop ()
 
 let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
-  let start = eng.total_steps in
-  eng.last_new_block_step <- eng.total_steps;
-  let rec loop () =
-    if eng.total_steps - start >= max_total_steps then
+  let start = Atomic.get eng.total_steps in
+  Atomic.set eng.last_new_block_step start;
+  let stop : stop_reason option Atomic.t = Atomic.make None in
+  let jobs = max 1 eng.cfg.jobs in
+  let worker = worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps in
+  if jobs = 1 then worker 0
+  else begin
+    let doms =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
+    List.iter Domain.join doms;
+    (* The caller's domain goes back to being worker 0 for the seeding of
+       the next phase. *)
+    Domain.DLS.set worker_key 0
+  end;
+  match Atomic.get stop with
+  | None -> ()
+  | Some Stop_budget ->
       (* Budget exhausted: remaining states end as Exhausted. *)
       List.iter
         (fun st -> retire eng st St.Exhausted ~report:true)
-        eng.worklist
-      |> fun () -> eng.worklist <- []
-    else if eng.total_steps - eng.last_new_block_step >= plateau_steps then
+        (Frontier.drain_all eng.frontier)
+  | Some Stop_plateau ->
       (* The paper's stopping rule: run until no new basic blocks are
          discovered for some amount of time (§5.2). Remaining states are
          redundant path siblings; drop them quietly. *)
       List.iter
         (fun st ->
           retire eng st (St.Discarded "coverage plateau") ~report:false)
-        eng.worklist
-      |> fun () -> eng.worklist <- []
-    else
-      match Sched.pick eng.cfg.strategy ~priority:(priority eng) eng.worklist with
-      | None -> ()
-      | Some (st, rest) ->
-          eng.worklist <- rest;
-          eng.picks <- eng.picks + 1;
-          if eng.picks land 63 = 0 then begin
-            (* Sample the copy-on-write footprint for the E5 accounting. *)
-            let live =
-              List.fold_left
-                (fun acc s -> acc + Symmem.live_words s.St.mem)
-                (Symmem.live_words st.St.mem)
-                eng.worklist
-            in
-            if live > eng.peak_live_words then eng.peak_live_words <- live
-          end;
-          step_quantum eng st;
-          loop ()
-  in
-  loop ()
+        (Frontier.drain_all eng.frontier)
 
 let replay_script ?(extra = []) ?constraints (st : St.t) =
   let base_constraints =
@@ -868,7 +970,11 @@ let replay_script ?(extra = []) ?constraints (st : St.t) =
     rs_entry = st.St.entry_name;
   }
 
-let execution_tree eng = Ddt_trace.Tree.build eng.lineage
+let execution_tree eng =
+  Mutex.lock eng.glock;
+  let lineage = eng.lineage in
+  Mutex.unlock eng.glock;
+  Ddt_trace.Tree.build lineage
 
 (* A crash-dump of a state: concretized registers plus the pages its
    copy-on-write store touched, valued under the path condition's model
@@ -918,11 +1024,17 @@ let crashdump eng (st : St.t) ~note =
     d_pages = List.sort compare dump_pages;
   }
 
-let finished eng = eng.done_states
+let finished eng =
+  Mutex.lock eng.glock;
+  let r = eng.done_states in
+  Mutex.unlock eng.glock;
+  r
 
 let drain_finished eng =
+  Mutex.lock eng.glock;
   let r = eng.done_states in
   eng.done_states <- [];
+  Mutex.unlock eng.glock;
   r
 
 type stats = {
@@ -932,26 +1044,37 @@ type stats = {
   st_blocks_covered : int;
   st_max_cow_depth : int;
   st_live_words : int;
+  st_steals : int;
+  st_workers : int;
   st_solver : Solver.stats;
 }
 
-let block_coverage eng = Hashtbl.length eng.block_counts
+let steps_now eng = Atomic.get eng.total_steps
+let steals eng = Frontier.steals eng.frontier
+
+let block_coverage eng =
+  Mutex.lock eng.glock;
+  let n = Hashtbl.length eng.block_counts in
+  Mutex.unlock eng.glock;
+  n
 
 let covered_blocks eng =
-  Hashtbl.fold (fun k _ acc -> k :: acc) eng.block_counts []
-  |> List.sort compare
+  Mutex.lock eng.glock;
+  let r = Hashtbl.fold (fun k _ acc -> k :: acc) eng.block_counts [] in
+  Mutex.unlock eng.glock;
+  List.sort compare r
 
 let stats eng =
-  let live =
-    List.fold_left (fun acc st -> acc + Symmem.live_words st.St.mem) 0
-      eng.worklist
-  in
+  let live = ref 0 in
+  Frontier.iter eng.frontier (fun st -> live := !live + Symmem.live_words st.St.mem);
   {
-    st_total_steps = eng.total_steps;
-    st_states_created = eng.states_created;
-    st_states_dropped = eng.states_dropped;
+    st_total_steps = Atomic.get eng.total_steps;
+    st_states_created = Atomic.get eng.states_created;
+    st_states_dropped = Frontier.dropped eng.frontier;
     st_blocks_covered = block_coverage eng;
-    st_max_cow_depth = eng.max_cow_depth;
-    st_live_words = max live eng.peak_live_words;
+    st_max_cow_depth = Atomic.get eng.max_cow_depth;
+    st_live_words = max !live (Atomic.get eng.peak_live_words);
+    st_steals = Frontier.steals eng.frontier;
+    st_workers = Frontier.n_workers eng.frontier;
     st_solver = Solver.diff_stats (Solver.stats ()) eng.solver_base;
   }

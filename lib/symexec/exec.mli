@@ -31,6 +31,13 @@ type config = {
       engine's domain; on by default, off gives the bit-blast-everything
       baseline used in benchmarks *)
   strategy : Sched.strategy;
+  jobs : int;
+  (** number of worker domains cooperatively exploring this engine's
+      shared frontier ({!Frontier}); 1 (the default) is the classic
+      sequential loop with no domain spawns. Workers keep per-domain
+      local queues and steal from each other when idle; bug reports stay
+      deterministic because keys are path-position-based and the report
+      sink dedups by key. *)
 }
 
 val default_config : config
@@ -157,12 +164,23 @@ type stats = {
   st_max_cow_depth : int;
   st_live_words : int;
   (** peak copy-on-write entries across all queued states (sampled) *)
+  st_steals : int;
+  (** successful cross-worker frontier steals (0 when [jobs = 1]) *)
+  st_workers : int;            (** frontier worker slots ([config.jobs]) *)
   st_solver : Ddt_solver.Solver.stats;
   (** solver queries/cache-hit/bit-blast counters attributable to this
-      engine (snapshot delta since [create]) *)
+      engine (snapshot delta since [create]; exact only while no other
+      engine runs concurrently — the counters are process-global) *)
 }
 
 val stats : engine -> stats
+
+val steps_now : engine -> int
+(** Instructions executed so far — a cheap accessor for hot hooks that
+    only need the step counter, not the whole {!stats} record. *)
+
+val steals : engine -> int
+(** Successful cross-worker frontier steals so far. *)
 val block_coverage : engine -> int
 (** Number of distinct basic blocks executed so far. *)
 

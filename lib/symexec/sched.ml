@@ -4,41 +4,259 @@ type strategy =
   | Bfs
   | Random_pick of int
 
-let remove_first p xs =
-  let rec go acc = function
-    | [] -> None
-    | x :: rest ->
-        if p x then Some (x, List.rev_append acc rest) else go (x :: acc) rest
-  in
-  go [] xs
+(* --- growable ring-buffer deque ----------------------------------------- *)
+(* Slots hold options so no dummy element is needed; the buffer doubles on
+   overflow. [front] is where add_state inserts (newest), [back] is where
+   quantum-expired states are requeued (oldest side). *)
 
-let pick strategy ~priority worklist =
-  match worklist with
-  | [] -> None
-  | first :: rest -> (
-      match strategy with
-      | Dfs -> Some (first, rest)     (* worklist is push-front *)
-      | Bfs -> (
-          match List.rev worklist with
-          | last :: before -> Some (last, List.rev before)
-          | [] -> None)
+type deque = {
+  mutable buf : Symstate.t option array;
+  mutable head : int;    (* index of the front element *)
+  mutable len : int;
+}
+
+let dq_create () = { buf = Array.make 16 None; head = 0; len = 0 }
+
+let dq_grow d =
+  let cap = Array.length d.buf in
+  let buf' = Array.make (2 * cap) None in
+  for i = 0 to d.len - 1 do
+    buf'.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf';
+  d.head <- 0
+
+let dq_push_front d st =
+  if d.len = Array.length d.buf then dq_grow d;
+  let cap = Array.length d.buf in
+  d.head <- (d.head + cap - 1) mod cap;
+  d.buf.(d.head) <- Some st;
+  d.len <- d.len + 1
+
+let dq_push_back d st =
+  if d.len = Array.length d.buf then dq_grow d;
+  let cap = Array.length d.buf in
+  d.buf.((d.head + d.len) mod cap) <- Some st;
+  d.len <- d.len + 1
+
+let dq_pop_front d =
+  if d.len = 0 then None
+  else begin
+    let st = d.buf.(d.head) in
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    st
+  end
+
+let dq_pop_back d =
+  if d.len = 0 then None
+  else begin
+    let i = (d.head + d.len - 1) mod Array.length d.buf in
+    let st = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.len <- d.len - 1;
+    st
+  end
+
+let dq_get d i = Option.get d.buf.((d.head + i) mod Array.length d.buf)
+
+(* Remove the element at logical index [i], shifting the shorter side. *)
+let dq_remove_at d i =
+  let st = dq_get d i in
+  let cap = Array.length d.buf in
+  if i < d.len - i then begin
+    (* shift the front segment right *)
+    for j = i downto 1 do
+      d.buf.((d.head + j) mod cap) <- d.buf.((d.head + j - 1) mod cap)
+    done;
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod cap
+  end
+  else begin
+    for j = i to d.len - 2 do
+      d.buf.((d.head + j) mod cap) <- d.buf.((d.head + j + 1) mod cap)
+    done;
+    d.buf.((d.head + d.len - 1) mod cap) <- None
+  end;
+  d.len <- d.len - 1;
+  st
+
+(* --- binary min-heap keyed by (priority, fifo sequence) ------------------ *)
+(* Block-execution counts only grow, so a stored priority is a lower bound
+   on the current one; [hp_pop] re-checks the minimum against the live
+   [priority] function and re-inserts stale entries (lazy re-evaluation),
+   which reproduces the exact semantics of recomputing every priority per
+   pick without the O(n) scan. Ties break FIFO via [h_seq]. *)
+
+type hentry = { mutable h_prio : int; h_seq : int; h_st : Symstate.t }
+
+type heap = {
+  mutable harr : hentry option array;
+  mutable hlen : int;
+  mutable hseq : int;
+}
+
+let hp_create () = { harr = Array.make 16 None; hlen = 0; hseq = 0 }
+
+let he_lt a b = a.h_prio < b.h_prio || (a.h_prio = b.h_prio && a.h_seq < b.h_seq)
+
+let hp_swap h i j =
+  let t = h.harr.(i) in
+  h.harr.(i) <- h.harr.(j);
+  h.harr.(j) <- t
+
+let rec hp_sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if he_lt (Option.get h.harr.(i)) (Option.get h.harr.(p)) then begin
+      hp_swap h i p;
+      hp_sift_up h p
+    end
+  end
+
+let rec hp_sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.hlen && he_lt (Option.get h.harr.(l)) (Option.get h.harr.(!smallest))
+  then smallest := l;
+  if r < h.hlen && he_lt (Option.get h.harr.(r)) (Option.get h.harr.(!smallest))
+  then smallest := r;
+  if !smallest <> i then begin
+    hp_swap h i !smallest;
+    hp_sift_down h !smallest
+  end
+
+let hp_insert_entry h e =
+  if h.hlen = Array.length h.harr then begin
+    let arr' = Array.make (2 * h.hlen) None in
+    Array.blit h.harr 0 arr' 0 h.hlen;
+    h.harr <- arr'
+  end;
+  h.harr.(h.hlen) <- Some e;
+  h.hlen <- h.hlen + 1;
+  hp_sift_up h (h.hlen - 1)
+
+let hp_push h ~prio st =
+  h.hseq <- h.hseq + 1;
+  hp_insert_entry h { h_prio = prio; h_seq = h.hseq; h_st = st }
+
+let hp_take_min h =
+  if h.hlen = 0 then None
+  else begin
+    let e = Option.get h.harr.(0) in
+    h.hlen <- h.hlen - 1;
+    h.harr.(0) <- h.harr.(h.hlen);
+    h.harr.(h.hlen) <- None;
+    if h.hlen > 0 then hp_sift_down h 0;
+    Some e
+  end
+
+let rec hp_pop h ~priority =
+  match hp_take_min h with
+  | None -> None
+  | Some e ->
+      let cur = priority e.h_st in
+      if cur = e.h_prio then Some e.h_st
+      else begin
+        (* Stale key: re-insert with the fresh priority and retry. Each
+           retry stores the recomputed value, so the loop terminates. *)
+        e.h_prio <- cur;
+        hp_insert_entry h e;
+        hp_pop h ~priority
+      end
+
+(* Remove the last array slot: always a leaf, so the heap shape is intact
+   with no sifting. It carries a large key — exactly what the owner values
+   least and a thief should take. *)
+let hp_steal_leaf h =
+  if h.hlen = 0 then None
+  else begin
+    h.hlen <- h.hlen - 1;
+    let e = Option.get h.harr.(h.hlen) in
+    h.harr.(h.hlen) <- None;
+    Some e.h_st
+  end
+
+(* --- the strategy-dispatched queue --------------------------------------- *)
+
+type store = S_deque of deque | S_heap of heap
+
+type queue = {
+  q_strategy : strategy;
+  q_priority : Symstate.t -> int;
+  q_store : store;
+}
+
+let create strategy ~priority =
+  let store =
+    match strategy with
+    | Min_touch -> S_heap (hp_create ())
+    | Dfs | Bfs | Random_pick _ -> S_deque (dq_create ())
+  in
+  { q_strategy = strategy; q_priority = priority; q_store = store }
+
+let strategy q = q.q_strategy
+
+let length q =
+  match q.q_store with S_deque d -> d.len | S_heap h -> h.hlen
+
+let is_empty q = length q = 0
+
+let push q st =
+  match q.q_store with
+  | S_deque d -> dq_push_front d st
+  | S_heap h -> hp_push h ~prio:(q.q_priority st) st
+
+let requeue q st =
+  match q.q_store with
+  | S_deque d -> dq_push_back d st
+  | S_heap h -> hp_push h ~prio:(q.q_priority st) st
+
+let pop q =
+  match q.q_store with
+  | S_heap h -> hp_pop h ~priority:q.q_priority
+  | S_deque d -> (
+      match q.q_strategy with
+      | Dfs -> dq_pop_front d
+      | Bfs -> dq_pop_back d
       | Random_pick seed ->
-          let n = List.length worklist in
-          let idx = abs (Hashtbl.hash (seed, n, first.Symstate.id)) mod n in
-          let chosen = List.nth worklist idx in
-          remove_first (fun s -> s == chosen) worklist
-      | Min_touch ->
-          (* Ties break toward the oldest queued state (the worklist is
-             push-front): without FIFO tie-breaking the search herds on
-             the newest fork siblings and behaves like DFS. *)
-          let best =
-            List.fold_left
-              (fun acc s ->
-                match acc with
-                | None -> Some s
-                | Some b -> if priority s <= priority b then Some s else acc)
-              None worklist
-          in
-          (match best with
-           | None -> None
-           | Some b -> remove_first (fun s -> s == b) worklist))
+          if d.len = 0 then None
+          else
+            let newest = dq_get d 0 in
+            let idx =
+              abs (Hashtbl.hash (seed, d.len, newest.Symstate.id)) mod d.len
+            in
+            Some (dq_remove_at d idx)
+      | Min_touch -> assert false)
+
+let steal q =
+  match q.q_store with
+  | S_heap h -> hp_steal_leaf h
+  | S_deque d -> (
+      match q.q_strategy with
+      | Dfs -> dq_pop_back d       (* oldest: near the root, big subtree *)
+      | Bfs | Random_pick _ -> dq_pop_front d
+      | Min_touch -> assert false)
+
+let iter q f =
+  match q.q_store with
+  | S_deque d ->
+      for i = 0 to d.len - 1 do
+        f (dq_get d i)
+      done
+  | S_heap h ->
+      for i = 0 to h.hlen - 1 do
+        f (Option.get h.harr.(i)).h_st
+      done
+
+let drain q =
+  let rec go acc =
+    let next =
+      match q.q_store with
+      | S_heap h -> hp_pop h ~priority:q.q_priority
+      | S_deque d -> dq_pop_front d
+    in
+    match next with None -> List.rev acc | Some st -> go (st :: acc)
+  in
+  go []

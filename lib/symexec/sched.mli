@@ -1,18 +1,61 @@
-(** State-selection strategies for the exploration worklist.
+(** Path-selection strategies over a mutable per-worker queue.
 
     The default, {!Min_touch}, is the coverage heuristic of the paper
     (§4.3, after EXE): keep a counter per basic block and always pick the
     state whose current block was executed least, which starves states
-    stuck in polling loops. *)
+    stuck in polling loops.
+
+    The queue replaces the old immutable list worklist: the list cost O(n)
+    per pick ([Bfs] reversed it, [Min_touch] folded it, [Random_pick] did
+    [List.length] + [List.nth]); the queue is a ring-buffer deque for
+    DFS/BFS/random and a lazy binary heap for [Min_touch], giving O(1) /
+    O(log n) picks. It is also the unit the work-stealing frontier
+    ({!Frontier}) steals from: [steal] removes from the end the owner
+    values least.
+
+    Queues are NOT thread-safe on their own; {!Frontier} wraps each one in
+    a mutex. *)
 
 type strategy =
   | Min_touch
-  | Dfs
-  | Bfs
-  | Random_pick of int    (** seed *)
+      (** Prefer the state whose next block has been executed least. Ties
+          break FIFO toward the state queued earliest. *)
+  | Dfs  (** Newest-first: dive to path ends quickly (LIFO). *)
+  | Bfs  (** Oldest-first: breadth over the fork tree (FIFO). *)
+  | Random_pick of int  (** Deterministic pseudo-random pick from a seed. *)
 
-val pick :
-  strategy -> priority:(Symstate.t -> int) -> Symstate.t list ->
-  (Symstate.t * Symstate.t list) option
-(** Remove and return the next state to run. [priority] is the current
-    block's execution count (lower runs first); only {!Min_touch} uses it. *)
+type queue
+
+val create : strategy -> priority:(Symstate.t -> int) -> queue
+(** [create strategy ~priority] makes an empty queue. [priority] is
+    consulted by [Min_touch] (it may grow over time for a given state —
+    the heap re-evaluates lazily — but must never shrink). *)
+
+val strategy : queue -> strategy
+val length : queue -> int
+val is_empty : queue -> bool
+
+val push : queue -> Symstate.t -> unit
+(** Add a freshly created (forked/seeded) state. *)
+
+val requeue : queue -> Symstate.t -> unit
+(** Re-add a state whose execution quantum expired. For [Dfs] it goes to
+    the cold end (the state already had its turn); for [Min_touch] it is
+    re-keyed with its current priority. *)
+
+val pop : queue -> Symstate.t option
+(** Remove the state the strategy values most, if any. *)
+
+val steal : queue -> Symstate.t option
+(** Remove a state from the end the owner values {e least} — what a
+    work-stealing thief should take: for [Dfs] the oldest state (near the
+    fork-tree root, likely a big unexplored subtree), for [Min_touch] a
+    heap leaf (guaranteed not the minimum). *)
+
+val iter : queue -> (Symstate.t -> unit) -> unit
+(** Visit every queued state in unspecified order (read-only walks, e.g.
+    memory-footprint sampling). *)
+
+val drain : queue -> Symstate.t list
+(** Remove and return everything (used to retire leftovers on budget or
+    plateau stops). *)

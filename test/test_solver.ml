@@ -562,6 +562,93 @@ let test_qcache_model_reuse () =
   check_bool "unsatisfying model rejected" true
     (Qcache.lookup q [ c1; cmp Ltu (var x) (word 3) ] = Qcache.Miss)
 
+let test_qcache_renaming () =
+  let open Expr in
+  let q = Qcache.create () in
+  let x = fresh_var W32 in
+  Qcache.store_sat q [ cmp Ltu (var x) (word 5) ] (fun _ -> 3);
+  (* A structurally identical query over a different variable is an exact
+     hit — keys are normalized up to renaming — with the stored model
+     translated onto this query's variable. *)
+  let z = fresh_var W32 in
+  (match Qcache.lookup_info q [ cmp Ltu (var z) (word 5) ] with
+   | Qcache.Exact_sat m, info ->
+       check_int "translated model" 3 (m z);
+       check_bool "flagged as renamed" true info.Qcache.i_renamed
+   | _ -> Alcotest.fail "expected renamed exact hit");
+  (* The original query itself is an exact hit but not a renamed one. *)
+  (match Qcache.lookup_info q [ cmp Ltu (var x) (word 5) ] with
+   | Qcache.Exact_sat _, info ->
+       check_bool "same-key hit not flagged" false info.Qcache.i_renamed
+   | _ -> Alcotest.fail "expected exact hit");
+  (* The same shape at a different width is a different renamed key. *)
+  let b = fresh_var W8 in
+  check_bool "width is part of the key" true
+    (match Qcache.lookup q [ cmp Ltu (var b) (byte 5) ] with
+     | Qcache.Exact_sat _ -> false
+     | _ -> true)
+
+let test_qcache_reuse_masks_width () =
+  let open Expr in
+  let q = Qcache.create () in
+  let x = fresh_var W32 in
+  Qcache.store_sat q [ cmp Ltu (word 5) (var x) ] (fun _ -> 511);
+  (* The stored 32-bit model value can reach an 8-bit twin through model
+     reuse (the renamed keys differ in width, so it is not an exact hit,
+     but evaluation masks at the Var node and verifies). The model handed
+     back must be masked to the query variable's width. *)
+  let b = fresh_var W8 in
+  (match Qcache.lookup q [ cmp Ltu (byte 5) (var b) ] with
+   | Qcache.Reuse_sat m -> check_int "masked to W8" 255 (m b)
+   | Qcache.Exact_sat _ -> Alcotest.fail "widths must not collapse"
+   | _ -> Alcotest.fail "expected model reuse")
+
+let test_qcache_sharded_concurrent () =
+  let open Expr in
+  let sc = Qcache.Sharded.create ~shards:4 ~capacity:1024 () in
+  let rounds = 200 in
+  let work () =
+    for i = 0 to rounds - 1 do
+      (* Every domain mints its own variables, but the shapes repeat, so
+         renaming collapses them onto shared entries: the first domain to
+         store owns the entry and everyone else hits it. *)
+      let x = fresh_var W32 in
+      let c = [ cmp Ltu (var x) (word (i mod 10)) ] in
+      (match fst (Qcache.Sharded.lookup sc c) with
+       | Qcache.Miss -> Qcache.Sharded.store_sat sc c (fun _ -> 0)
+       | _ -> ());
+      let y = fresh_var W32 in
+      let u =
+        [ cmp Ltu (var y) (word (i mod 7));
+          cmp Ltu (word (7 + (i mod 7))) (var y) ]
+      in
+      match fst (Qcache.Sharded.lookup sc u) with
+      | Qcache.Miss -> Qcache.Sharded.store_unsat sc u
+      | _ -> ()
+    done
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join domains;
+  let c = Qcache.Sharded.counts sc in
+  check_int "every lookup is a hit or a miss"
+    c.Qcache.Sharded.sc_lookups
+    (c.Qcache.Sharded.sc_hits + c.Qcache.Sharded.sc_misses);
+  check_int "4 domains x 2 lookups per round"
+    (4 * 2 * rounds) c.Qcache.Sharded.sc_lookups;
+  check_bool "shared entries produce hits" true
+    (c.Qcache.Sharded.sc_hits > 0);
+  check_bool "renamed twins collapse" true
+    (c.Qcache.Sharded.sc_renamed_hits > 0);
+  check_bool "cross-domain hits observed" true
+    (c.Qcache.Sharded.sc_cross_hits > 0);
+  (* A shape any domain answered is an answer for all (exact entry or a
+     reusable model — either way, not a miss). *)
+  let z = fresh_var W32 in
+  check_bool "post-join hit" true
+    (fst (Qcache.Sharded.lookup sc [ cmp Ltu (var z) (word 3) ])
+     <> Qcache.Miss)
+
 let test_qcache_eviction () =
   let open Expr in
   let q = Qcache.create ~capacity:4 ~model_reuse:0 () in
@@ -682,6 +769,12 @@ let () =
        [ Alcotest.test_case "exact hit" `Quick test_qcache_exact;
          Alcotest.test_case "subset unsat" `Quick test_qcache_subset_unsat;
          Alcotest.test_case "model reuse" `Quick test_qcache_model_reuse;
+         Alcotest.test_case "renaming normalization" `Quick
+           test_qcache_renaming;
+         Alcotest.test_case "reuse masks width" `Quick
+           test_qcache_reuse_masks_width;
+         Alcotest.test_case "sharded concurrent" `Quick
+           test_qcache_sharded_concurrent;
          Alcotest.test_case "lru eviction" `Quick test_qcache_eviction;
          qtest prop_accel_agrees_with_baseline;
          qtest prop_accel_models_verified ]);

@@ -383,33 +383,122 @@ let test_coverage_accounting () =
 let mk_states eng ks n =
   List.init n (fun _ -> Exec.new_root_state eng ks)
 
+let sid = function
+  | Some s -> s.Symstate.id
+  | None -> Alcotest.fail "expected a state"
+
 let test_sched_strategies () =
   let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
   let sts = mk_states eng ks 4 in
   let ids = List.map (fun s -> s.Symstate.id) sts in
-  (* DFS: first of the list (most recently pushed by convention). *)
-  (match Sched.pick Sched.Dfs ~priority:(fun _ -> 0) sts with
-   | Some (s, rest) ->
-       check_int "dfs picks head" (List.hd ids) s.Symstate.id;
-       check_int "rest size" 3 (List.length rest)
-   | None -> Alcotest.fail "dfs");
-  (* BFS: last of the list. *)
-  (match Sched.pick Sched.Bfs ~priority:(fun _ -> 0) sts with
-   | Some (s, _) ->
-       check_int "bfs picks tail" (List.nth ids 3) s.Symstate.id
-   | None -> Alcotest.fail "bfs");
-  (* Min-touch: the state with the smallest priority wins; FIFO ties. *)
+  let zero _ = 0 in
+  let fill strategy priority =
+    let q = Sched.create strategy ~priority in
+    List.iter (Sched.push q) sts;
+    q
+  in
+  (* DFS pops the newest push (LIFO); a thief steals the oldest. *)
+  let q = fill Sched.Dfs zero in
+  check_int "dfs pops newest" (List.nth ids 3) (sid (Sched.pop q));
+  check_int "dfs length after pop" 3 (Sched.length q);
+  check_int "dfs steal takes oldest" (List.hd ids) (sid (Sched.steal q));
+  (* BFS pops the oldest push (FIFO). *)
+  let q = fill Sched.Bfs zero in
+  check_int "bfs pops oldest" (List.hd ids) (sid (Sched.pop q));
+  (* Min-touch: smallest priority wins; ties break FIFO. *)
   let prio s = if s.Symstate.id = List.nth ids 2 then 0 else 5 in
-  (match Sched.pick Sched.Min_touch ~priority:prio sts with
-   | Some (s, _) -> check_int "min wins" (List.nth ids 2) s.Symstate.id
-   | None -> Alcotest.fail "min");
-  (match Sched.pick Sched.Min_touch ~priority:(fun _ -> 1) sts with
-   | Some (s, _) ->
-       check_int "fifo tie-break (oldest = last pushed first run)"
-         (List.nth ids 3) s.Symstate.id
-   | None -> Alcotest.fail "tie");
-  check_bool "empty worklist" true
-    (Sched.pick Sched.Min_touch ~priority:(fun _ -> 0) [] = None)
+  let q = fill Sched.Min_touch prio in
+  check_int "min wins" (List.nth ids 2) (sid (Sched.pop q));
+  let q = fill Sched.Min_touch zero in
+  check_int "fifo tie-break" (List.hd ids) (sid (Sched.pop q));
+  check_int "fifo tie-break (2nd)" (List.nth ids 1) (sid (Sched.pop q));
+  (* Random pick is deterministic for a given seed and queue. *)
+  let q = fill (Sched.Random_pick 42) zero in
+  let picked = sid (Sched.pop q) in
+  check_bool "random picks a member" true (List.mem picked ids);
+  check_int "random length after pop" 3 (Sched.length q);
+  (* Empty queues answer None. *)
+  let q = Sched.create Sched.Min_touch ~priority:zero in
+  check_bool "empty pop" true (Sched.pop q = None);
+  check_bool "empty steal" true (Sched.steal q = None)
+
+let test_sched_lazy_heap () =
+  let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
+  let sts = mk_states eng ks 4 in
+  let ids = List.map (fun s -> s.Symstate.id) sts in
+  (* A state's live priority may grow after insertion (its block gets
+     executed more); the heap re-checks lazily and must not return a
+     state whose stored key went stale. *)
+  let tbl = Hashtbl.create 4 in
+  let prio s = try Hashtbl.find tbl s.Symstate.id with Not_found -> 0 in
+  let q = Sched.create Sched.Min_touch ~priority:prio in
+  List.iter (Sched.push q) sts;
+  Hashtbl.replace tbl (List.hd ids) 100;
+  check_int "stale min skipped" (List.nth ids 1) (sid (Sched.pop q));
+  check_int "still skipped" (List.nth ids 2) (sid (Sched.pop q));
+  check_int "hot state comes last" 100 (prio (List.hd sts));
+  check_int "third pop" (List.nth ids 3) (sid (Sched.pop q));
+  check_int "hot state eventually pops" (List.hd ids) (sid (Sched.pop q));
+  check_bool "drained" true (Sched.is_empty q);
+  (* A heap steal never takes the current minimum (with >= 2 entries). *)
+  Hashtbl.reset tbl;
+  List.iteri (fun i s -> Hashtbl.replace tbl s.Symstate.id i) sts;
+  let q = Sched.create Sched.Min_touch ~priority:prio in
+  List.iter (Sched.push q) sts;
+  let stolen = sid (Sched.steal q) in
+  check_bool "steal avoids the min" true (stolen <> List.hd ids)
+
+let test_frontier_steal_and_quiesce () =
+  let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
+  let sts = mk_states eng ks 6 in
+  let f =
+    Frontier.create ~workers:2 ~max_states:64 ~strategy:Sched.Dfs
+      ~priority:(fun _ -> 0)
+  in
+  List.iter (fun s -> ignore (Frontier.push f ~worker:0 s)) sts;
+  check_int "size" 6 (Frontier.size f);
+  check_bool "not quiescent with queued work" false (Frontier.quiescent f);
+  (* Worker 1's own queue is empty, so its pick must steal from worker 0. *)
+  (match Frontier.pick f ~worker:1 with
+   | Some _ -> Frontier.task_done f
+   | None -> Alcotest.fail "steal pick");
+  check_bool "steal counted" true (Frontier.steals f >= 1);
+  check_int "size after pick" 5 (Frontier.size f);
+  let rec drain n =
+    match Frontier.pick f ~worker:0 with
+    | Some _ ->
+        Frontier.task_done f;
+        drain (n + 1)
+    | None -> n
+  in
+  check_int "worker 0 drains the rest" 5 (drain 0);
+  check_bool "quiescent when empty and nothing inflight" true
+    (Frontier.quiescent f)
+
+let test_frontier_cap_and_requeue () =
+  let eng, _, ks = build_engine "int driver_entry(void) { return 0; }" in
+  let sts = mk_states eng ks 4 in
+  let f =
+    Frontier.create ~workers:1 ~max_states:2 ~strategy:Sched.Bfs
+      ~priority:(fun _ -> 0)
+  in
+  let admitted =
+    List.filter (fun s -> Frontier.push f ~worker:0 s) sts
+  in
+  check_int "cap admits max_states" 2 (List.length admitted);
+  check_int "cap drops the rest" 2 (Frontier.dropped f);
+  (* A quantum-expired state bypasses the cap: it was already admitted
+     once and dropping it would silently lose a live path. *)
+  (match Frontier.pick f ~worker:0 with
+   | Some s ->
+       Frontier.requeue f ~worker:0 s;
+       Frontier.task_done f
+   | None -> Alcotest.fail "pick");
+  check_int "requeue kept the state" 2 (Frontier.size f);
+  check_int "requeue did not drop" 2 (Frontier.dropped f);
+  check_int "drain_all returns everything" 2
+    (List.length (Frontier.drain_all f));
+  check_int "drain_all empties" 0 (Frontier.size f)
 
 let () =
   Alcotest.run "ddt_symexec"
@@ -432,4 +521,10 @@ let () =
            test_interrupt_injection_forks;
          Alcotest.test_case "coverage" `Quick test_coverage_accounting ]);
       ("scheduler",
-       [ Alcotest.test_case "strategies" `Quick test_sched_strategies ]) ]
+       [ Alcotest.test_case "strategies" `Quick test_sched_strategies;
+         Alcotest.test_case "lazy heap" `Quick test_sched_lazy_heap ]);
+      ("frontier",
+       [ Alcotest.test_case "steal + quiescence" `Quick
+           test_frontier_steal_and_quiesce;
+         Alcotest.test_case "cap + requeue" `Quick
+           test_frontier_cap_and_requeue ]) ]
