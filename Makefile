@@ -8,11 +8,15 @@ build:
 test:
 	dune runtest
 
-# Tier-1 verification plus the parallel-exploration smoke test: a quick
-# shared-frontier run on two drivers that exercises work stealing and the
-# shared query cache end to end.
+# Tier-1 verification plus smoke tests: a quick shared-frontier run on
+# two drivers (work stealing + shared query cache end to end), the static
+# pre-analysis on two known-clean drivers (nonzero universe, zero
+# findings), and a warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
+	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean > /dev/null
+	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
+	dune build @doc
 
 bench:
 	dune exec bench/main.exe

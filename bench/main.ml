@@ -615,6 +615,129 @@ let solver_bench () =
     Printf.printf "wrote BENCH_solver.json\n"
   end
 
+(* --- static pre-analysis guidance ------------------------------------------------ *)
+
+type static_row = {
+  xr_driver : string;
+  xr_reachable : int;
+  xr_linear : int;
+  xr_findings : int;
+  xr_bugs_match : bool;
+  xr_paths_base : int option;
+  xr_paths_guided : int option;
+  xr_cov_base : int;          (* covered reachable blocks, full budget *)
+  xr_cov_guided : int;
+  xr_budget_cov_base : int;   (* covered reachable blocks, tight budget *)
+  xr_budget_cov_guided : int;
+}
+
+let write_static_json rows path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let opt = function None -> "null" | Some n -> string_of_int n in
+  pr "{\n  \"experiment\": \"static\",\n  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S, \"reachable_blocks\": %d, \
+         \"linear_sweep_blocks\": %d, \"static_findings\": %d, \
+         \"bugs_match\": %b, \"paths_to_first_bug_min_touch\": %s, \
+         \"paths_to_first_bug_min_dist\": %s, \
+         \"covered_reachable_min_touch\": %d, \
+         \"covered_reachable_min_dist\": %d, \
+         \"budget_covered_min_touch\": %d, \
+         \"budget_covered_min_dist\": %d}%s\n"
+        r.xr_driver r.xr_reachable r.xr_linear r.xr_findings r.xr_bugs_match
+        (opt r.xr_paths_base) (opt r.xr_paths_guided) r.xr_cov_base
+        r.xr_cov_guided r.xr_budget_cov_base r.xr_budget_cov_guided
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let static_bench () =
+  section
+    "Static pre-analysis guidance: ICFG distance-to-uncovered (min-dist) vs \
+     the coverage counter alone (min-touch)";
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pcnet" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let run short ~guided ~budget =
+    let cfg = Corpus.config (Corpus.find short) in
+    let cfg =
+      match budget with
+      | Some b -> { cfg with Config.max_total_steps = b; plateau_steps = b }
+      | None ->
+          if !quick_mode then
+            { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+          else cfg
+    in
+    if guided then
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with
+            Exec.static_guidance = true;
+            strategy = Ddt_symexec.Sched.Min_dist } }
+    else cfg
+  in
+  let bug_keys (r : Session.result) =
+    List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+  in
+  let budget = if !quick_mode then 15_000 else 40_000 in
+  Printf.printf "%-16s %6s %6s %6s %5s %9s %9s %8s %8s\n" "Driver" "reach"
+    "linear" "static" "same" "fb-touch" "fb-dist" "cov@B" "covD@B";
+  let rows =
+    List.map
+      (fun short ->
+        let rb = Ddt_core.Ddt.test_driver (run short ~guided:false ~budget:None) in
+        let rg = Ddt_core.Ddt.test_driver (run short ~guided:true ~budget:None) in
+        let tb = Ddt_core.Ddt.test_driver (run short ~guided:false ~budget:(Some budget)) in
+        let tg = Ddt_core.Ddt.test_driver (run short ~guided:true ~budget:(Some budget)) in
+        let same = bug_keys rb = bug_keys rg in
+        let popt = function None -> "-" | Some n -> string_of_int n in
+        Printf.printf "%-16s %6d %6d %6d %5s %9s %9s %8d %8d\n" short
+          rb.Session.r_reachable_blocks rb.Session.r_total_blocks
+          (List.length rb.Session.r_static)
+          (if same then "yes" else "NO")
+          (popt rb.Session.r_paths_to_first_bug)
+          (popt rg.Session.r_paths_to_first_bug)
+          tb.Session.r_covered_reachable tg.Session.r_covered_reachable;
+        {
+          xr_driver = short;
+          xr_reachable = rb.Session.r_reachable_blocks;
+          xr_linear = rb.Session.r_total_blocks;
+          xr_findings = List.length rb.Session.r_static;
+          xr_bugs_match = same;
+          xr_paths_base = rb.Session.r_paths_to_first_bug;
+          xr_paths_guided = rg.Session.r_paths_to_first_bug;
+          xr_cov_base = rb.Session.r_covered_reachable;
+          xr_cov_guided = rg.Session.r_covered_reachable;
+          xr_budget_cov_base = tb.Session.r_covered_reachable;
+          xr_budget_cov_guided = tg.Session.r_covered_reachable;
+        })
+      drivers
+  in
+  let wins =
+    List.filter
+      (fun r ->
+        match (r.xr_paths_base, r.xr_paths_guided) with
+        | Some b, Some g -> g <= b
+        | None, None -> true
+        | None, Some _ -> true  (* guided found a bug the baseline missed *)
+        | Some _, None -> false)
+      rows
+  in
+  Printf.printf
+    "\nbug reports identical with guidance on/off on %d/%d drivers | \
+     min-dist finds the first bug in <= the baseline's paths on %d/%d\n"
+    (List.length (List.filter (fun r -> r.xr_bugs_match) rows))
+    (List.length rows) (List.length wins) (List.length rows);
+  if !json_mode then begin
+    write_static_json rows "BENCH_static.json";
+    Printf.printf "wrote BENCH_static.json\n"
+  end
+
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 let bechamel_run name fn =
@@ -691,7 +814,8 @@ let all_experiments =
   [ ("table1", table1); ("table2", table2); ("fig2", figures);
     ("stress", stress); ("sdv", sdv); ("synthetic", synthetic);
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
-    ("memory", memory); ("solver", solver_bench); ("micro", micro) ]
+    ("memory", memory); ("solver", solver_bench); ("static", static_bench);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

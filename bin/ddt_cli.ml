@@ -5,6 +5,7 @@
      test <driver>             run DDT on a corpus driver (buggy variant)
      test --fixed <driver>     ... on the repaired variant
      static <driver>           run the static-analysis baseline
+     analyze <driver>          run the DXE static pre-analysis (ICFG)
      stress <driver>           run the concrete stress baseline
      disasm <driver>           print the driver binary's disassembly
      info <driver>             Table 1 style image statistics *)
@@ -60,8 +61,15 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled driver corpus")
     Term.(const run $ const ())
 
+let guided_flag =
+  let doc =
+    "Steer exploration with the static pre-analysis: distance-to-uncovered \
+     oracle plus the min-dist scheduling strategy."
+  in
+  Arg.(value & flag & info [ "guided" ] ~doc)
+
 let test_cmd =
-  let run short fixed no_annot traces jobs =
+  let run short fixed no_annot traces jobs guided =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -73,6 +81,15 @@ let test_cmd =
             Ddt_core.Config.exec_config =
               { cfg.Ddt_core.Config.exec_config with
                 Ddt_symexec.Exec.jobs = max 1 jobs } }
+        in
+        let cfg =
+          if guided then
+            { cfg with
+              Ddt_core.Config.exec_config =
+                { cfg.Ddt_core.Config.exec_config with
+                  Ddt_symexec.Exec.static_guidance = true;
+                  strategy = Ddt_symexec.Sched.Min_dist } }
+          else cfg
         in
         let r = Ddt_core.Ddt.test_driver cfg in
         Format.printf "%a" Ddt_core.Ddt.pp_report r;
@@ -90,7 +107,7 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
-      $ jobs_arg)
+      $ jobs_arg $ guided_flag)
 
 let static_cmd =
   let run short fixed =
@@ -107,6 +124,53 @@ let static_cmd =
   Cmd.v
     (Cmd.info "static" ~doc:"Run the static-analysis baseline on a driver")
     Term.(const run $ driver_arg $ fixed_flag)
+
+let analyze_cmd =
+  let expect_clean_flag =
+    let doc =
+      "Exit nonzero unless the analysis finds a nonempty block universe \
+       and zero static findings (CI smoke for known-clean drivers)."
+    in
+    Arg.(value & flag & info [ "expect-clean" ] ~doc)
+  in
+  let run short fixed expect_clean =
+    match find_entry short with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+        let image =
+          if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+        in
+        let icfg = Ddt_staticx.Icfg.build image in
+        let contracts =
+          match entry.Corpus.driver_class with
+          | Ddt_core.Config.Network -> Ddt_annot.Ndis_annotations.contracts
+          | Ddt_core.Config.Audio -> Ddt_annot.Portcls_annotations.contracts
+        in
+        let findings = Ddt_staticx.Sfind.analyze ~contracts icfg in
+        Format.printf "%a" Ddt_staticx.Icfg.pp icfg;
+        if findings = [] then Format.printf "no static findings@."
+        else begin
+          Format.printf "%d static finding(s):@." (List.length findings);
+          List.iter
+            (fun f -> Format.printf "  %a@." Ddt_staticx.Sfind.pp f)
+            findings
+        end;
+        if expect_clean then
+          if icfg.Ddt_staticx.Icfg.universe = [] then begin
+            prerr_endline "expect-clean: empty block universe";
+            3
+          end
+          else if findings <> [] then begin
+            prerr_endline "expect-clean: static findings present";
+            3
+          end
+          else 0
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the interprocedural static pre-analysis on a driver")
+    Term.(const run $ driver_arg $ fixed_flag $ expect_clean_flag)
 
 let stress_cmd =
   let runs_arg =
@@ -248,5 +312,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ddt_cli" ~doc)
-          [ list_cmd; test_cmd; static_cmd; stress_cmd; disasm_cmd; info_cmd;
-            evidence_cmd; replay_cmd ]))
+          [ list_cmd; test_cmd; static_cmd; analyze_cmd; stress_cmd;
+            disasm_cmd; info_cmd; evidence_cmd; replay_cmd ]))

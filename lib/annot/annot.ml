@@ -30,6 +30,16 @@ let run_post set api ks mach =
 let make ~api ?pre ?post ~doc () =
   { a_api = api; a_pre = pre; a_post = post; a_doc = doc }
 
+type arg_contract = {
+  c_api : string;
+  c_arg : int;
+  c_check : int -> bool;
+  c_doc : string;
+}
+
+let contract ~api ~arg ~check ~doc =
+  { c_api = api; c_arg = arg; c_check = check; c_doc = doc }
+
 (* Undo a successful allocation on the forked failure path. The out value
    is a heap address for pool memory but an opaque handle for pools and
    sync objects. *)

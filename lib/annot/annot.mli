@@ -51,3 +51,21 @@ val fork_alloc_failure :
 val fork_ret_null : api:string -> doc:string -> t
 (** Same for APIs returning the pointer directly ([ExAllocatePoolWithTag]):
     the failure path returns NULL. *)
+
+(** {1 Static argument contracts}
+
+    A declarative sibling of the dynamic hooks: a predicate over one
+    positional argument of a kernel API that any call must satisfy. The
+    static pre-analysis ({!Ddt_staticx.Sfind}) checks these at call sites
+    whose argument is a statically-evident constant; the check is purely
+    static and never fires at run time. *)
+
+type arg_contract = {
+  c_api : string;          (** kernel API the contract attaches to *)
+  c_arg : int;             (** positional argument index (0-based) *)
+  c_check : int -> bool;   (** must hold for every call *)
+  c_doc : string;
+}
+
+val contract :
+  api:string -> arg:int -> check:(int -> bool) -> doc:string -> arg_contract

@@ -43,3 +43,22 @@ let allocate_buffer =
 let set : Annot.set =
   [ read_configuration; allocate_memory; allocate_packet_pool;
     allocate_buffer_pool; allocate_packet; allocate_buffer ]
+
+(* Static argument contracts: checked by the pre-analysis at call sites
+   whose argument is a statically-evident constant. *)
+let contracts : Annot.arg_contract list =
+  [ Annot.contract ~api:"NdisAllocateMemoryWithTag" ~arg:1
+      ~check:(fun size -> size > 0)
+      ~doc:"allocation length must be a positive byte count";
+    Annot.contract ~api:"NdisAllocateMemoryWithTag" ~arg:2
+      ~check:(fun tag -> tag <> 0)
+      ~doc:"pool tag must be non-zero (verifier convention)";
+    Annot.contract ~api:"NdisMAllocateSharedMemory" ~arg:2
+      ~check:(fun size -> size > 0)
+      ~doc:"shared-memory length must be a positive byte count";
+    Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:1
+      ~check:(fun size -> size > 0)
+      ~doc:"pool allocation length must be a positive byte count";
+    Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:2
+      ~check:(fun tag -> tag <> 0)
+      ~doc:"pool tag must be non-zero (verifier convention)" ]

@@ -9,3 +9,7 @@
     [MaximumMulticastList] parameter. *)
 
 val set : Annot.set
+
+val contracts : Annot.arg_contract list
+(** Static argument contracts over the same API surface, consumed by the
+    pre-analysis ({!Ddt_staticx.Sfind}). *)

@@ -26,3 +26,11 @@ let pc_new_interrupt_sync =
     ()
 
 let set : Annot.set = [ ex_allocate_pool; pc_new_interrupt_sync ]
+
+let contracts : Annot.arg_contract list =
+  [ Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:1
+      ~check:(fun size -> size > 0)
+      ~doc:"pool allocation length must be a positive byte count";
+    Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:2
+      ~check:(fun tag -> tag <> 0)
+      ~doc:"pool tag must be non-zero (verifier convention)" ]

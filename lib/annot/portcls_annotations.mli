@@ -4,3 +4,7 @@
     [PcNewInterruptSync] failure (its second crash in Table 2). *)
 
 val set : Annot.set
+
+val contracts : Annot.arg_contract list
+(** Static argument contracts over the same API surface, consumed by the
+    pre-analysis ({!Ddt_staticx.Sfind}). *)

@@ -16,6 +16,21 @@ let string_of_kind = function
   | Kernel_crash -> "Kernel crash"
   | Infinite_loop -> "Infinite loop"
 
+type severity = Dynamic | Static
+
+let string_of_severity = function
+  | Dynamic -> "dynamic"
+  | Static -> "static"
+
+type static_finding = {
+  sf_rule : string;
+  sf_func : string;
+  sf_pos : int;
+  sf_message : string;
+}
+
+let static_key f = Printf.sprintf "%s@%x:%s" f.sf_rule f.sf_pos f.sf_func
+
 type bug = {
   b_kind : kind;
   b_driver : string;
@@ -33,6 +48,11 @@ type bug = {
 type sink = {
   mutable found : bug list;    (* newest first *)
   seen : (string, unit) Hashtbl.t;
+  mutable statics : static_finding list;   (* newest first *)
+  statics_seen : (string, unit) Hashtbl.t;
+  (* static findings live in their own list under the same lock: they
+     carry the [Static] severity and never mix with the dynamic bug list,
+     so their presence cannot perturb dynamic bug keys or ordering *)
   mu : Mutex.t;
   (* one sink collects from every checker on every frontier worker; the
      internal lock makes the check-and-add atomic so a bug key is
@@ -40,7 +60,8 @@ type sink = {
 }
 
 let create_sink () =
-  { found = []; seen = Hashtbl.create 16; mu = Mutex.create () }
+  { found = []; seen = Hashtbl.create 16; statics = [];
+    statics_seen = Hashtbl.create 16; mu = Mutex.create () }
 
 let report sink bug =
   Mutex.lock sink.mu;
@@ -62,10 +83,27 @@ let count sink =
   Mutex.unlock sink.mu;
   n
 
+let report_static sink f =
+  Mutex.lock sink.mu;
+  let k = static_key f in
+  if not (Hashtbl.mem sink.statics_seen k) then begin
+    Hashtbl.add sink.statics_seen k ();
+    sink.statics <- f :: sink.statics
+  end;
+  Mutex.unlock sink.mu
+
+let static_findings sink =
+  Mutex.lock sink.mu;
+  let r = sink.statics in
+  Mutex.unlock sink.mu;
+  List.rev r
+
 let clear sink =
   Mutex.lock sink.mu;
   sink.found <- [];
   Hashtbl.reset sink.seen;
+  sink.statics <- [];
+  Hashtbl.reset sink.statics_seen;
   Mutex.unlock sink.mu
 
 let pp_bug fmt b =
@@ -78,6 +116,12 @@ let pp_bug fmt b =
     b.b_entry b.b_pc
     (if b.b_with_interrupt then " [under symbolic interrupt]" else "")
     b.b_message
+
+let pp_static_finding fmt f =
+  Format.fprintf fmt "[static:%s] %s%s@.    %s" f.sf_rule
+    (if f.sf_func = "" then "" else f.sf_func ^ " ")
+    (Printf.sprintf "at 0x%x" f.sf_pos)
+    f.sf_message
 
 let pp_summary fmt sink =
   Format.fprintf fmt "%-18s %-18s %s@." "Tested Driver" "Bug Type" "Description";

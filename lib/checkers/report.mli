@@ -15,6 +15,24 @@ type kind =
 
 val string_of_kind : kind -> string
 
+type severity = Dynamic | Static
+(** [Dynamic] findings come from executing the driver (the bug list);
+    [Static] findings come from the pre-analysis ([Ddt_staticx]) and are
+    kept in a separate list so they can never perturb dynamic bug keys,
+    deduplication or ordering. *)
+
+val string_of_severity : severity -> string
+
+type static_finding = {
+  sf_rule : string;     (** e.g. "unreachable-code", "stack-imbalance" *)
+  sf_func : string;     (** enclosing function name, or "" *)
+  sf_pos : int;         (** image-relative text offset *)
+  sf_message : string;
+}
+
+val static_key : static_finding -> string
+(** Deduplication key: rule + position + function. *)
+
 type bug = {
   b_kind : kind;
   b_driver : string;
@@ -38,8 +56,17 @@ val bugs : sink -> bug list
 (** In first-reported order. *)
 
 val count : sink -> int
+
+val report_static : sink -> static_finding -> unit
+(** Deposit a static-analysis finding; deduplicated by {!static_key},
+    stored apart from the dynamic bug list. *)
+
+val static_findings : sink -> static_finding list
+(** In first-reported order. *)
+
 val clear : sink -> unit
 
 val pp_bug : Format.formatter -> bug -> unit
+val pp_static_finding : Format.formatter -> static_finding -> unit
 val pp_summary : Format.formatter -> sink -> unit
 (** The Table 2 style listing: driver, bug type, description. *)

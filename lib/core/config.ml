@@ -43,7 +43,7 @@ let default_descriptor =
 let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     ?(registry = []) ?workload ?(use_annotations = true)
     ?annotations ?(exec_config = Ddt_symexec.Exec.default_config)
-    ?jobs
+    ?jobs ?static_guidance
     ?(max_total_steps = 3_000_000) ?(plateau_steps = 250_000)
     ?(max_bases_per_phase = 3) ?concrete_device ?replay
     ?(collect_crashdumps = false) () =
@@ -51,6 +51,11 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     match jobs with
     | None -> exec_config
     | Some j -> { exec_config with Ddt_symexec.Exec.jobs = max 1 j }
+  in
+  let exec_config =
+    match static_guidance with
+    | None -> exec_config
+    | Some g -> { exec_config with Ddt_symexec.Exec.static_guidance = g }
   in
   let workload =
     match workload with

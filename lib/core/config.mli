@@ -57,6 +57,7 @@ val make :
   ?annotations:Ddt_annot.Annot.set ->
   ?exec_config:Ddt_symexec.Exec.config ->
   ?jobs:int ->
+  ?static_guidance:bool ->
   ?max_total_steps:int ->
   ?plateau_steps:int ->
   ?max_bases_per_phase:int ->

@@ -11,18 +11,38 @@ let pp_report fmt (r : Session.result) =
       (fun i b -> Format.fprintf fmt "%2d. %a@." (i + 1) Report.pp_bug b)
       r.Session.r_bugs
   end;
+  (match r.Session.r_static with
+   | [] -> ()
+   | fs ->
+       Format.fprintf fmt "%d static finding(s):@." (List.length fs);
+       List.iteri
+         (fun i f ->
+           Format.fprintf fmt "%2d. %a@." (i + 1) Report.pp_static_finding f)
+         fs);
   let stats = r.Session.r_stats in
   Format.fprintf fmt
-    "coverage: %d/%d basic blocks (%.1f%%) | %d invocations | %d states | \
-     %d instructions | %.2fs@."
+    "coverage: %d/%d reachable blocks (%.1f%%), %d/%d by linear sweep | \
+     %d invocations | %d states | %d instructions | %.2fs@."
+    r.Session.r_covered_reachable r.Session.r_reachable_blocks
+    (Session.reachable_coverage_percent r)
     (match List.rev r.Session.r_coverage with
      | [] -> 0
      | p :: _ -> p.Session.cp_blocks)
     r.Session.r_total_blocks
-    (Session.coverage_percent r)
     r.Session.r_invocations
     stats.Ddt_symexec.Exec.st_states_created
     stats.Ddt_symexec.Exec.st_total_steps r.Session.r_wall_time;
+  (match r.Session.r_never_reached with
+   | [] -> ()
+   | nr ->
+       Format.fprintf fmt "never reached: %d reachable block(s): %s@."
+         (List.length nr)
+         (String.concat " "
+            (List.map (Printf.sprintf "0x%x")
+               (if List.length nr > 12 then
+                  List.filteri (fun i _ -> i < 12) nr
+                else nr)
+             @ (if List.length nr > 12 then [ "..." ] else []))));
   let sv = stats.Ddt_symexec.Exec.st_solver in
   Format.fprintf fmt
     "solver: %d queries, %d group solves, %.0f%% cache hits, %d bit-blasts@."

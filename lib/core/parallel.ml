@@ -22,6 +22,7 @@ type result = {
 
 let strategy_label = function
   | Sched.Min_touch -> "min-touch"
+  | Sched.Min_dist -> "min-dist"
   | Sched.Dfs -> "dfs"
   | Sched.Bfs -> "bfs"
   | Sched.Random_pick seed -> Printf.sprintf "random-%d" seed

@@ -1,0 +1,48 @@
+(** Versioned machine-readable session reports.
+
+    The summary record carries only ints and strings (percentages are
+    derived at print time), so emitting and re-parsing a report yields a
+    structurally equal value — the round-trip property the schema test
+    pins. Consumers check {!schema_version}; {!of_string} rejects
+    documents from any other version rather than guessing. *)
+
+val schema_version : int
+
+type bug_row = {
+  jb_kind : string;
+  jb_key : string;
+  jb_entry : string;
+  jb_pc : int;
+  jb_message : string;
+}
+
+type static_row = {
+  js_rule : string;
+  js_func : string;
+  js_pos : int;
+  js_message : string;
+}
+
+type summary = {
+  j_schema : int;
+  j_driver : string;
+  j_bugs : bug_row list;
+  j_static : static_row list;
+  j_total_blocks : int;        (** linear-sweep block count *)
+  j_reachable_blocks : int;    (** ICFG universe size *)
+  j_covered_blocks : int;
+  j_covered_reachable : int;
+  j_never_reached : int list;  (** sorted image-relative leaders *)
+  j_invocations : int;
+  j_finished_states : int;
+  j_paths_to_first_bug : int option;
+}
+
+val of_result : Session.result -> summary
+
+val to_string : summary -> string
+(** One-line JSON document. *)
+
+val of_string : string -> summary option
+(** Parse a document emitted by {!to_string}. [None] on malformed input
+    or a schema-version mismatch. *)

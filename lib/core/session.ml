@@ -6,6 +6,9 @@ module Pci = Ddt_kernel.Pci
 module Exec = Ddt_symexec.Exec
 module St = Ddt_symexec.Symstate
 module Report = Ddt_checkers.Report
+module Icfg = Ddt_staticx.Icfg
+module Distmap = Ddt_staticx.Distmap
+module Sfind = Ddt_staticx.Sfind
 
 type coverage_point = {
   cp_time : float;
@@ -26,6 +29,15 @@ type result = {
   r_tree : Ddt_trace.Tree.t;
   r_crashdumps : (int * Ddt_trace.Crashdump.t) list;
   (** state id -> dump, for crashed states (when enabled) *)
+  r_reachable_blocks : int;
+  (** statically reachable block universe (ICFG), the sound denominator *)
+  r_covered_reachable : int;
+  (** covered blocks that lie inside the reachable universe *)
+  r_never_reached : int list;
+  (** sorted image-relative leaders of reachable blocks never executed *)
+  r_static : Report.static_finding list;
+  r_paths_to_first_bug : int option;
+  (** completed paths when the first bug surfaced; [None] if bug-free *)
 }
 
 (* Returned states that can seed the next workload phase: prefer clean
@@ -67,6 +79,33 @@ let run (cfg : Config.t) =
   Option.iter (Exec.set_replay eng) cfg.Config.replay;
   let sink = Report.create_sink () in
   let driver = cfg.Config.driver_name in
+  (* Static pre-analysis: always built (it is cheap and pure) for the
+     reachable-universe coverage denominator and the static findings;
+     when [static_guidance] is on it additionally feeds the scheduler a
+     distance-to-uncovered oracle. *)
+  let icfg = Icfg.build cfg.Config.image in
+  let contracts =
+    match cfg.Config.driver_class with
+    | Config.Network -> Ddt_annot.Ndis_annotations.contracts
+    | Config.Audio -> Ddt_annot.Portcls_annotations.contracts
+  in
+  let statics =
+    List.map
+      (fun (f : Sfind.finding) ->
+        { Report.sf_rule = f.Sfind.f_rule; sf_func = f.Sfind.f_func;
+          sf_pos = f.Sfind.f_pos; sf_message = f.Sfind.f_msg })
+      (Sfind.analyze ~contracts icfg)
+  in
+  List.iter (Report.report_static sink) statics;
+  let distmap =
+    if exec_config.Exec.static_guidance then begin
+      let dm = Distmap.create icfg in
+      Exec.set_distance_fn eng (fun pc ->
+          Distmap.dist dm (pc - loaded.Image.base));
+      Some dm
+    end
+    else None
+  in
   (* Wire the checkers. *)
   let memcheck =
     Ddt_checkers.Memcheck.create ~sink ~driver ~loaded ~symdev
@@ -84,6 +123,7 @@ let run (cfg : Config.t) =
   let hmu = Mutex.create () in
   let finished_count = ref 0 in
   let crashdumps = ref [] in
+  let first_bug_paths = ref None in
   Exec.set_on_state_done eng (fun st ->
       Mutex.lock hmu;
       incr finished_count;
@@ -99,7 +139,11 @@ let run (cfg : Config.t) =
       Ddt_checkers.Leakcheck.on_state_done leakcheck st;
       Ddt_checkers.Lockcheck.on_state_done lockcheck st;
       Ddt_checkers.Crashcheck.on_state_done crashcheck st;
-      Ddt_checkers.Loopcheck.on_state_done loopcheck st);
+      Ddt_checkers.Loopcheck.on_state_done loopcheck st;
+      Mutex.lock hmu;
+      if !first_bug_paths = None && Report.count sink > 0 then
+        first_bug_paths := Some !finished_count;
+      Mutex.unlock hmu);
   Exec.set_kcall_hooks eng
     ~enter:(fun st name mach ->
       Ddt_checkers.Lockcheck.on_kcall_enter lockcheck st name mach;
@@ -115,7 +159,10 @@ let run (cfg : Config.t) =
   (* Coverage sampling. *)
   let coverage = ref [] in
   let blocks_seen = ref 0 in
-  Exec.set_on_new_block eng (fun _st _pc ->
+  Exec.set_on_new_block eng (fun _st pc ->
+      (match distmap with
+       | Some dm -> Distmap.note_covered dm (pc - loaded.Image.base)
+       | None -> ());
       Mutex.lock hmu;
       incr blocks_seen;
       coverage :=
@@ -169,6 +216,18 @@ let run (cfg : Config.t) =
         (Report.bugs sink)
     else Report.bugs sink
   in
+  (* Reachable-universe coverage: intersect the covered block set with the
+     static universe (both image-relative leaders). *)
+  let covered_rel = Hashtbl.create 256 in
+  List.iter
+    (fun pc -> Hashtbl.replace covered_rel (pc - loaded.Image.base) ())
+    (Exec.covered_blocks eng);
+  let never_reached =
+    List.filter (fun b -> not (Hashtbl.mem covered_rel b)) icfg.Icfg.universe
+  in
+  let covered_reachable =
+    List.length icfg.Icfg.universe - List.length never_reached
+  in
   {
     r_driver = driver;
     r_bugs = bugs;
@@ -185,6 +244,11 @@ let run (cfg : Config.t) =
       (if exec_config.Exec.jobs > 1 then
          List.sort (fun (a, _) (b, _) -> compare a b) !crashdumps
        else List.rev !crashdumps);
+    r_reachable_blocks = List.length icfg.Icfg.universe;
+    r_covered_reachable = covered_reachable;
+    r_never_reached = never_reached;
+    r_static = statics;
+    r_paths_to_first_bug = !first_bug_paths;
   }
 
 let coverage_percent r =
@@ -194,3 +258,9 @@ let coverage_percent r =
     | [] -> 0.0
     | last :: _ ->
         100.0 *. float_of_int last.cp_blocks /. float_of_int r.r_total_blocks
+
+let reachable_coverage_percent r =
+  if r.r_reachable_blocks = 0 then 0.0
+  else
+    100.0 *. float_of_int r.r_covered_reachable
+    /. float_of_int r.r_reachable_blocks

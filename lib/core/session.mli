@@ -25,8 +25,26 @@ type result = {
   (** the reconstructed execution tree of all explored paths (§3.5) *)
   r_crashdumps : (int * Ddt_trace.Crashdump.t) list;
   (** crashed-state id -> crash dump (when [collect_crashdumps]) *)
+  r_reachable_blocks : int;
+  (** size of the statically reachable block universe
+      ([Ddt_staticx.Icfg]) — the sound coverage denominator, as opposed to
+      [r_total_blocks], the linear-sweep over-approximation *)
+  r_covered_reachable : int;
+  (** executed blocks inside the reachable universe *)
+  r_never_reached : int list;
+  (** sorted image-relative leaders of reachable blocks never executed *)
+  r_static : Ddt_checkers.Report.static_finding list;
+  (** pre-analysis findings ([Ddt_staticx.Sfind]); kept apart from
+      [r_bugs], never influencing dynamic bug keys *)
+  r_paths_to_first_bug : int option;
+  (** completed paths when the first dynamic bug surfaced *)
 }
 
 val run : Config.t -> result
 
 val coverage_percent : result -> float
+(** Final dynamic coverage against the linear-sweep block count. *)
+
+val reachable_coverage_percent : result -> float
+(** Final dynamic coverage against the statically reachable universe —
+    the honest number a session report should lead with. *)

@@ -1,26 +1,66 @@
-let disassemble (img : Image.t) =
+(* Linear sweep: decode every instruction slot in the text section. Slots
+   whose opcode byte does not decode are data-in-text (jump tables, string
+   constants the toolchain placed in .text) — they are returned as
+   explicit gap runs instead of being silently skipped, so clients can
+   tell "code" from "bytes that happen to sit in the text section". *)
+let linear_sweep (img : Image.t) =
   let n = Bytes.length img.Image.text in
-  let rec go pos acc =
-    if pos + Isa.instr_size > n then List.rev acc
+  let rec go pos acc gaps =
+    if pos + Isa.instr_size > n then
+      let gaps = if pos < n then (pos, n - pos) :: gaps else gaps in
+      (List.rev acc, gaps)
     else
-      let acc =
-        match Isa.decode img.Image.text pos with
-        | i -> (pos, i) :: acc
-        | exception Isa.Invalid_opcode _ -> acc
+      match Isa.decode img.Image.text pos with
+      | i -> go (pos + Isa.instr_size) ((pos, i) :: acc) gaps
+      | exception Isa.Invalid_opcode _ ->
+          let gaps =
+            match gaps with
+            | (s, l) :: rest when s + l = pos ->
+                (s, l + Isa.instr_size) :: rest
+            | _ -> (pos, Isa.instr_size) :: gaps
+          in
+          go (pos + Isa.instr_size) acc gaps
+  in
+  let decoded, gaps = go 0 [] [] in
+  (decoded, List.rev gaps)
+
+let disassemble img = fst (linear_sweep img)
+
+let unreached_gaps (img : Image.t) ~reached =
+  let n = Bytes.length img.Image.text in
+  let rec go pos gaps =
+    if pos >= n then List.rev gaps
+    else if pos + Isa.instr_size > n then
+      (* trailing partial slot: can never hold an instruction *)
+      List.rev
+        (match gaps with
+         | (s, l) :: rest when s + l = pos -> (s, l + (n - pos)) :: rest
+         | _ -> (pos, n - pos) :: gaps)
+    else if reached pos then go (pos + Isa.instr_size) gaps
+    else
+      let gaps =
+        match gaps with
+        | (s, l) :: rest when s + l = pos -> (s, l + Isa.instr_size) :: rest
+        | _ -> (pos, Isa.instr_size) :: gaps
       in
-      go (pos + Isa.instr_size) acc
+      go (pos + Isa.instr_size) gaps
   in
   go 0 []
 
 let pp_listing fmt (img : Image.t) =
   let funcs = List.map (fun (n, a) -> (a, n)) img.Image.funcs in
+  let decoded, gaps = linear_sweep img in
   List.iter
     (fun (off, instr) ->
       (match List.assoc_opt off funcs with
        | Some name -> Format.fprintf fmt "%s:@." name
        | None -> ());
       Format.fprintf fmt "  %06x: %a@." off Isa.pp instr)
-    (disassemble img)
+    decoded;
+  List.iter
+    (fun (off, len) ->
+      Format.fprintf fmt "  %06x: <%d byte(s) of non-code>@." off len)
+    gaps
 
 let basic_block_starts (img : Image.t) =
   let leaders = Hashtbl.create 64 in

@@ -1,0 +1,99 @@
+let infinity_dist = 1_000_000
+
+type t = {
+  icfg : Icfg.t;
+  ids : (int, int) Hashtbl.t;          (* leader -> dense id *)
+  addrs : int array;                   (* dense id -> leader *)
+  radj : (int * int) list array;       (* id -> (pred id, weight) list *)
+  covered : bool array;
+  dist_tbl : int array;                (* by dense id *)
+  mutable dirty : bool;
+  mu : Mutex.t;
+}
+
+let create icfg =
+  let addrs = Array.of_list icfg.Icfg.universe in
+  let n = Array.length addrs in
+  let ids = Hashtbl.create (2 * n) in
+  Array.iteri (fun i a -> Hashtbl.replace ids a i) addrs;
+  let radj = Array.make (max 1 n) [] in
+  List.iter
+    (fun (src, dst, w) ->
+      match (Hashtbl.find_opt ids src, Hashtbl.find_opt ids dst) with
+      | Some s, Some d -> radj.(d) <- (s, w) :: radj.(d)
+      | _ -> ())
+    (Icfg.edges icfg);
+  {
+    icfg;
+    ids;
+    addrs;
+    radj;
+    covered = Array.make (max 1 n) false;
+    dist_tbl = Array.make (max 1 n) 0;
+    dirty = true;
+    mu = Mutex.create ();
+  }
+
+(* Multi-source Dijkstra from the uncovered blocks over the reversed
+   graph. Universes are a few hundred blocks, so the O(n^2) pick-min scan
+   beats maintaining a heap. *)
+let recompute t =
+  let n = Array.length t.addrs in
+  let d = t.dist_tbl in
+  for i = 0 to n - 1 do
+    d.(i) <- (if t.covered.(i) then infinity_dist else 0)
+  done;
+  let settled = Array.make (max 1 n) false in
+  let continue_ = ref true in
+  while !continue_ do
+    (* pick the unsettled node with the smallest tentative distance *)
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not settled.(i)) && d.(i) < infinity_dist
+         && (!best < 0 || d.(i) < d.(!best))
+      then best := i
+    done;
+    match !best with
+    | -1 -> continue_ := false
+    | u ->
+        settled.(u) <- true;
+        List.iter
+          (fun (p, w) ->
+            if (not settled.(p)) && d.(u) + w < d.(p) then d.(p) <- d.(u) + w)
+          t.radj.(u)
+  done;
+  t.dirty <- false
+
+let note_covered t off =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.ids off with
+   | Some i when not t.covered.(i) ->
+       t.covered.(i) <- true;
+       t.dirty <- true
+   | _ -> ());
+  Mutex.unlock t.mu
+
+let dist t off =
+  Mutex.lock t.mu;
+  if t.dirty then recompute t;
+  let r =
+    match Hashtbl.find_opt t.ids off with
+    | Some i -> t.dist_tbl.(i)
+    | None -> (
+        (* mid-block offset: resolve through its leader *)
+        match Hashtbl.find_opt t.icfg.Icfg.leader_of off with
+        | Some l -> (
+            match Hashtbl.find_opt t.ids l with
+            | Some i -> t.dist_tbl.(i)
+            | None -> 0)
+        | None -> 0)
+  in
+  Mutex.unlock t.mu;
+  r
+
+let uncovered t =
+  Mutex.lock t.mu;
+  let acc = ref [] in
+  Array.iteri (fun i a -> if not t.covered.(i) then acc := a :: !acc) t.addrs;
+  Mutex.unlock t.mu;
+  List.sort compare !acc

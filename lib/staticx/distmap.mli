@@ -1,0 +1,36 @@
+(** Distance-to-uncovered over the weighted interprocedural CFG.
+
+    [dist pc] is the least total edge weight of any ICFG path from the
+    block containing [pc] to a not-yet-covered block (0 when [pc]'s own
+    block is uncovered). Distances are recomputed lazily — marking a block
+    covered only sets a dirty flag; the next [dist] query runs one
+    multi-source shortest-path pass from the uncovered set over the
+    reversed graph.
+
+    Covering blocks can only remove sources, so [dist] is monotone
+    non-decreasing over a session — the property the scheduler's lazy
+    min-heap requires of its priority components.
+
+    Thread-safe: all operations take an internal lock (they are called
+    from every frontier worker). *)
+
+type t
+
+val create : Icfg.t -> t
+(** Every block starts uncovered. *)
+
+val infinity_dist : int
+(** Returned when no uncovered block is reachable from [pc] (or when
+    everything is covered). *)
+
+val note_covered : t -> int -> unit
+(** Mark the block whose leader is this image-relative offset covered.
+    Offsets outside the universe are ignored. *)
+
+val dist : t -> int -> int
+(** Distance from the block containing this image-relative offset.
+    Offsets outside the analyzed code return 0 (neutral: such states are
+    about to leave the image and cost nothing to finish). *)
+
+val uncovered : t -> int list
+(** Sorted leaders still uncovered. *)

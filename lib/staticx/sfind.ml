@@ -1,0 +1,302 @@
+module Isa = Ddt_dvm.Isa
+module Annot = Ddt_annot.Annot
+
+type finding = {
+  f_rule : string;
+  f_func : string;
+  f_pos : int;
+  f_msg : string;
+}
+
+let mask32 v = v land 0xFFFFFFFF
+
+(* Immediates are stored as u32; stack adjustments may encode negative
+   displacements as wrapped values. *)
+let signed32 v = if v > 0x7FFFFFFF then v - 0x100000000 else v
+
+(* --- unreachable code ---------------------------------------------------- *)
+
+(* The Mini-C compiler closes every function with an unconditional
+   default-return fallback (movi r0, 0 flowing into the epilogue); when
+   every source path returns explicitly, that single slot is dead. It is
+   genuinely unreachable (and stays out of the block universe and in
+   {!Icfg.t.gaps}), but flagging it would mark every clean driver dirty,
+   so the finding is suppressed for exactly that shape: one instruction
+   slot, decodable, non-terminator, falling through into reached code. *)
+let is_compiler_fallback (icfg : Icfg.t) off len =
+  len = Isa.instr_size
+  && Hashtbl.mem icfg.Icfg.leader_of (off + Isa.instr_size)
+  &&
+  match Isa.decode icfg.Icfg.image.Ddt_dvm.Image.text off with
+  | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Ret | Isa.Hlt -> false
+  | _ -> true
+  | exception Isa.Invalid_opcode _ -> false
+
+let gap_findings (icfg : Icfg.t) =
+  List.filter_map
+    (fun (off, len) ->
+      if is_compiler_fallback icfg off len then None
+      else
+        Some
+          { f_rule = "unreachable-code";
+            f_func = "";
+            f_pos = off;
+            f_msg =
+              Printf.sprintf
+                "%d byte(s) of text no control-flow path reaches (dead code \
+                 or data-in-text)" len })
+    icfg.Icfg.gaps
+
+(* --- stack-depth imbalance ----------------------------------------------- *)
+
+(* Track sp and fp as known displacements from the function-entry sp
+   (where mem[sp] holds the return address), or Unknown. A [ret] with a
+   known nonzero displacement reads a wrong return address on that path.
+   Unknown displacements are never reported — the rule stays
+   false-positive-free at the cost of missing imbalances behind
+   indirect sp arithmetic. *)
+
+type disp = Known of int | Unknown
+
+let step_disp (sp, fp) instr =
+  let wr r v (sp, fp) =
+    if r = Isa.sp then (v, fp) else if r = Isa.fp then (sp, v) else (sp, fp)
+  in
+  let adjust v k = match v with Known d -> Known (d + k) | Unknown -> Unknown in
+  match instr with
+  | Isa.Push _ -> (adjust sp (-4), fp)
+  | Isa.Pop r ->
+      let sp', fp' = wr r Unknown (sp, fp) in
+      if r = Isa.sp then (sp', fp') else (adjust sp' 4, fp')
+  | Isa.Mov (rd, rs) when rd = Isa.sp && rs = Isa.fp -> (fp, fp)
+  | Isa.Mov (rd, rs) when rd = Isa.fp && rs = Isa.sp -> (sp, sp)
+  | Isa.Mov (rd, _) | Isa.Movi (rd, _) | Isa.Lea (rd, _) ->
+      wr rd Unknown (sp, fp)
+  | Isa.Alui (Isa.Add, rd, rs, k) when rd = rs && (rd = Isa.sp || rd = Isa.fp) ->
+      if rd = Isa.sp then (adjust sp (signed32 k), fp)
+      else (sp, adjust fp (signed32 k))
+  | Isa.Alui (Isa.Sub, rd, rs, k) when rd = rs && (rd = Isa.sp || rd = Isa.fp) ->
+      if rd = Isa.sp then (adjust sp (- signed32 k), fp)
+      else (sp, adjust fp (- signed32 k))
+  | Isa.Alui (_, rd, _, _) | Isa.Alu (_, rd, _, _)
+  | Isa.Cmp (_, rd, _, _) | Isa.Cmpi (_, rd, _, _)
+  | Isa.Ldw (rd, _, _) | Isa.Ldb (rd, _, _) ->
+      wr rd Unknown (sp, fp)
+  (* Call/Callr push a return address the callee's ret pops; kcall leaves
+     the stack alone. Net zero under the callee-balanced assumption. *)
+  | _ -> (sp, fp)
+
+let stack_findings (icfg : Icfg.t) =
+  let findings = ref [] in
+  let report fn off d =
+    findings :=
+      { f_rule = "stack-imbalance";
+        f_func = fn.Icfg.fn_name;
+        f_pos = off;
+        f_msg =
+          Printf.sprintf
+            "a path reaches this ret with the stack displaced by %d byte(s); \
+             the return address read misses" d }
+      :: !findings
+  in
+  List.iter
+    (fun fn ->
+      let visited = Hashtbl.create 64 in
+      let visits_per_block = Hashtbl.create 16 in
+      let reported = Hashtbl.create 4 in
+      let rec go l sp fp =
+        let key = (l, sp, fp) in
+        let nvisits =
+          match Hashtbl.find_opt visits_per_block l with Some n -> n | None -> 0
+        in
+        if (not (Hashtbl.mem visited key)) && nvisits < 64 then begin
+          Hashtbl.replace visited key ();
+          Hashtbl.replace visits_per_block l (nvisits + 1);
+          match Hashtbl.find_opt icfg.Icfg.blocks l with
+          | None -> ()
+          | Some b ->
+              let sp, fp =
+                List.fold_left
+                  (fun acc (_, i) -> step_disp acc i)
+                  (sp, fp) b.Icfg.bb_instrs
+              in
+              (match b.Icfg.bb_term with
+               | Icfg.T_ret -> (
+                   match sp with
+                   | Known d when d <> 0 && not (Hashtbl.mem reported l) ->
+                       Hashtbl.replace reported l ();
+                       let last_off =
+                         match List.rev b.Icfg.bb_instrs with
+                         | (off, _) :: _ -> off
+                         | [] -> l
+                       in
+                       report fn last_off d
+                   | _ -> ())
+               | _ -> ());
+              (* stay inside the function: interprocedural balance is the
+                 callee's own obligation *)
+              List.iter
+                (fun s -> if List.mem s fn.Icfg.fn_blocks then go s sp fp)
+                b.Icfg.bb_succs
+        end
+      in
+      go fn.Icfg.fn_entry (Known 0) Unknown)
+    icfg.Icfg.funcs;
+  !findings
+
+(* --- statically-constant out-of-contract arguments ----------------------- *)
+
+type av = Const of int | Top
+
+let eval_alu op a b =
+  match op with
+  | Isa.Add -> Some (mask32 (a + b))
+  | Isa.Sub -> Some (mask32 (a - b))
+  | Isa.Mul -> Some (mask32 (a * b))
+  | Isa.Divu -> if b = 0 then None else Some (a / b)
+  | Isa.Remu -> if b = 0 then None else Some (a mod b)
+  | Isa.And -> Some (a land b)
+  | Isa.Or -> Some (a lor b)
+  | Isa.Xor -> Some (a lxor b)
+  | Isa.Shl -> Some (mask32 (a lsl (b land 31)))
+  | Isa.Shru -> Some (a lsr (b land 31))
+  | Isa.Shrs ->
+      let sa = if a > 0x7FFFFFFF then a - 0x100000000 else a in
+      Some (mask32 (sa asr (b land 31)))
+
+(* Forward constant propagation within one basic block, with a model of
+   the words pushed in that block (newest first) so [kcall] argument
+   slots can be read back. Anything not proven constant is Top; the block
+   starts from Top everywhere, so a finding only fires when the violating
+   value is materialized in the same block as the call — the
+   statically-evident case. *)
+let contract_findings ?(contracts = []) (icfg : Icfg.t) =
+  if contracts = [] then []
+  else begin
+    let findings = ref [] in
+    List.iter
+      (fun fn ->
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt icfg.Icfg.blocks l with
+            | None -> ()
+            | Some b ->
+                let regs = Array.make Isa.num_regs Top in
+                let stack = ref [] in
+                let stack_valid = ref true in
+                let rd r = regs.(r) in
+                let wr r v = regs.(r) <- v in
+                let sp_adjust words =
+                  if words >= 0 then begin
+                    (* freeing stack: drop modeled slots *)
+                    let rec drop n xs =
+                      if n = 0 then xs
+                      else
+                        match xs with
+                        | _ :: rest -> drop (n - 1) rest
+                        | [] -> stack_valid := false; []
+                    in
+                    stack := drop words !stack
+                  end
+                  else
+                    for _ = 1 to -words do
+                      stack := Top :: !stack
+                    done
+                in
+                List.iter
+                  (fun (off, instr) ->
+                    match instr with
+                    | Isa.Movi (r, imm) -> wr r (Const (mask32 imm))
+                    | Isa.Lea (r, _) -> wr r Top
+                    | Isa.Mov (rd_, rs) -> wr rd_ (rd rs)
+                    | Isa.Alui (op, rd_, rs, imm) ->
+                        (match rd rs with
+                         | Const a -> (
+                             match eval_alu op a (mask32 imm) with
+                             | Some v -> wr rd_ (Const v)
+                             | None -> wr rd_ Top)
+                         | Top -> wr rd_ Top);
+                        if rd_ = Isa.sp && rs = Isa.sp then
+                          (match op with
+                           | Isa.Add -> sp_adjust (signed32 imm / 4)
+                           | Isa.Sub -> sp_adjust (- (signed32 imm / 4))
+                           | _ -> stack_valid := false)
+                        else if rd_ = Isa.sp then stack_valid := false
+                    | Isa.Alu (op, rd_, rs1, rs2) ->
+                        (match (rd rs1, rd rs2) with
+                         | Const a, Const b -> (
+                             match eval_alu op a b with
+                             | Some v -> wr rd_ (Const v)
+                             | None -> wr rd_ Top)
+                         | _ -> wr rd_ Top);
+                        if rd_ = Isa.sp then stack_valid := false
+                    | Isa.Cmp (_, rd_, _, _) | Isa.Cmpi (_, rd_, _, _) ->
+                        wr rd_ Top
+                    | Isa.Ldw (rd_, _, _) | Isa.Ldb (rd_, _, _) ->
+                        wr rd_ Top;
+                        if rd_ = Isa.sp then stack_valid := false
+                    | Isa.Push r -> stack := rd r :: !stack
+                    | Isa.Pop r ->
+                        (match !stack with
+                         | top :: rest ->
+                             wr r top;
+                             stack := rest
+                         | [] ->
+                             wr r Top;
+                             stack_valid := false);
+                        if r = Isa.sp then stack_valid := false
+                    | Isa.Stw _ | Isa.Stb _ | Isa.Nop | Isa.Cli | Isa.Sti ->
+                        ()
+                    | Isa.Kcall n ->
+                        let name =
+                          let imports = icfg.Icfg.image.Ddt_dvm.Image.imports in
+                          if n >= 0 && n < Array.length imports then imports.(n)
+                          else ""
+                        in
+                        List.iter
+                          (fun (c : Annot.arg_contract) ->
+                            if c.Annot.c_api = name && !stack_valid then
+                              match List.nth_opt !stack c.Annot.c_arg with
+                              | Some (Const v) when not (c.Annot.c_check v) ->
+                                  findings :=
+                                    { f_rule = "const-arg-contract";
+                                      f_func = fn.Icfg.fn_name;
+                                      f_pos = off;
+                                      f_msg =
+                                        Printf.sprintf
+                                          "%s argument %d is always %d: %s"
+                                          name c.Annot.c_arg v c.Annot.c_doc }
+                                    :: !findings
+                              | _ -> ())
+                          contracts;
+                        (* the kernel call clobbers the return register *)
+                        wr 0 Top
+                    | Isa.Call _ | Isa.Callr _ ->
+                        (* callee may clobber any register; stack is
+                           balanced across the call *)
+                        Array.fill regs 0 Isa.num_regs Top
+                    | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Ret | Isa.Hlt ->
+                        ())
+                  b.Icfg.bb_instrs)
+          fn.Icfg.fn_blocks)
+      icfg.Icfg.funcs;
+    !findings
+  end
+
+let analyze ?contracts icfg =
+  let all =
+    gap_findings icfg
+    @ stack_findings icfg
+    @ contract_findings ?contracts icfg
+  in
+  List.sort_uniq
+    (fun a b ->
+      compare (a.f_pos, a.f_rule, a.f_func, a.f_msg)
+        (b.f_pos, b.f_rule, b.f_func, b.f_msg))
+    all
+
+let pp fmt f =
+  Format.fprintf fmt "[static:%s] %s%s: %s" f.f_rule
+    (if f.f_func = "" then "" else f.f_func ^ " ")
+    (Printf.sprintf "at %06x" f.f_pos)
+    f.f_msg

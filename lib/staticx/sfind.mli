@@ -1,0 +1,30 @@
+(** Purely static findings over the {!Icfg}.
+
+    Three rule families, all conservative enough to be false-positive-free
+    on clean drivers (asserted by the CI smoke):
+
+    - [unreachable-code]: text byte runs no recursive-descent path reaches
+      (decodable dead code as well as data-in-text; the finding reports
+      both, the block universe excludes both);
+    - [stack-imbalance]: a path through a function on which the net
+      stack-pointer displacement at a [ret] is nonzero while still
+      statically known — the return address read will miss;
+    - [const-arg-contract]: a kernel-API call site whose argument is a
+      statically-evident constant violating an {!Ddt_annot.Annot.arg_contract}.
+
+    Findings are deterministic: a pure function of the image and contract
+    list, sorted by (position, rule). *)
+
+type finding = {
+  f_rule : string;
+  f_func : string;      (** enclosing function name, or [""] *)
+  f_pos : int;          (** image-relative offset *)
+  f_msg : string;
+}
+
+val analyze :
+  ?contracts:Ddt_annot.Annot.arg_contract list ->
+  Icfg.t ->
+  finding list
+
+val pp : Format.formatter -> finding -> unit

@@ -1,0 +1,63 @@
+module Image = Ddt_dvm.Image
+module Isa = Ddt_dvm.Isa
+
+type t = {
+  code_targets : int list;
+  control_flow_relocs : int list;
+  data_code_refs : (int * int) list;
+}
+
+(* Read the 32-bit little-endian value stored at image-relative offset
+   [off] (pre-load, so relocation slots still hold image-relative
+   addresses). Offsets cover text then data, matching [Image.load]. *)
+let read_slot (img : Image.t) off =
+  let text_len = Bytes.length img.Image.text in
+  let data_len = Bytes.length img.Image.data in
+  let get b i = Int32.to_int (Bytes.get_int32_le b i) land 0xFFFFFFFF in
+  if off >= 0 && off + 4 <= text_len then Some (get img.Image.text off)
+  else if off >= text_len && off - text_len + 4 <= data_len then
+    Some (get img.Image.data (off - text_len))
+  else None
+
+(* A text relocation slot is the immediate field of some instruction;
+   classify by that instruction's opcode. Branch/call immediates are
+   consumed by the instruction and never escape into a register, so they
+   are not address-taken. Everything else ([lea], relocated data words)
+   conservatively is. *)
+let is_control_flow_imm (img : Image.t) off =
+  let instr_off = off - Isa.imm_field_offset in
+  instr_off >= 0
+  && instr_off mod Isa.instr_size = 0
+  && instr_off + Isa.instr_size <= Bytes.length img.Image.text
+  &&
+  match Isa.decode img.Image.text instr_off with
+  | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Call _ -> true
+  | _ -> false
+  | exception Isa.Invalid_opcode _ -> false
+
+let analyze (img : Image.t) =
+  let text_len = Bytes.length img.Image.text in
+  let is_code v = v >= 0 && v < text_len && v mod Isa.instr_size = 0 in
+  let taken = Hashtbl.create 16 in
+  let cf = ref [] in
+  let data_refs = ref [] in
+  List.iter
+    (fun off ->
+      match read_slot img off with
+      | None -> ()
+      | Some v ->
+          if off < text_len && is_control_flow_imm img off then
+            cf := off :: !cf
+          else if is_code v then begin
+            Hashtbl.replace taken v ();
+            if off >= text_len then data_refs := (off, v) :: !data_refs
+          end)
+    img.Image.relocs;
+  {
+    code_targets =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) taken []);
+    control_flow_relocs = List.sort compare !cf;
+    data_code_refs = List.sort compare !data_refs;
+  }
+
+let code_targets img = (analyze img).code_targets

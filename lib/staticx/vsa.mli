@@ -1,0 +1,33 @@
+(** Conservative value-set analysis over a DXE image's relocation and
+    import tables.
+
+    The loader patches every relocation slot by adding the image base, so
+    before loading each slot holds an image-relative address. Any such
+    address that lands on an instruction boundary inside the text section
+    is a {e potential} indirect control-flow target: it is a code address
+    the program can materialize in a register or store in a handler table
+    (the only ways a DXE driver takes a code address are [lea] immediates
+    and relocated data words — both relocation slots).
+
+    Control-flow immediates ([jmp]/[jz]/[jnz]/[call] targets) are also
+    relocation slots but are {e not} address-taken: they are consumed by
+    the instruction itself and cannot flow into a [callr]. Separating the
+    two classes keeps the indirect-target set small without giving up
+    soundness. *)
+
+type t = {
+  code_targets : int list;
+  (** address-taken code targets: sorted, deduplicated image-relative
+      offsets — the conservative target set of every [callr] and every
+      handler-table dispatch *)
+  control_flow_relocs : int list;
+  (** relocation slots that are direct branch/call immediates (sorted) *)
+  data_code_refs : (int * int) list;
+  (** [(slot offset, code target)] for relocation slots in the data
+      section that point into text — handler tables (sorted by slot) *)
+}
+
+val analyze : Ddt_dvm.Image.t -> t
+
+val code_targets : Ddt_dvm.Image.t -> int list
+(** Shorthand for [(analyze img).code_targets]. *)

@@ -32,6 +32,11 @@ type config = {
   jobs : int;
   (** worker domains exploring this engine's frontier cooperatively
       (1 = the classic sequential loop) *)
+  static_guidance : bool;
+  (** let the static pre-analysis steer scheduling: the session installs
+      a distance-to-uncovered function ({!set_distance_fn}) that keys the
+      [Min_dist] strategy and tiebreaks [Min_touch]. Off by default — the
+      engine then behaves exactly as before. *)
 }
 
 let default_config =
@@ -47,6 +52,7 @@ let default_config =
     solver_accel = true;
     strategy = Sched.Min_touch;
     jobs = 1;
+    static_guidance = false;
   }
 
 type mem_access = {
@@ -67,13 +73,27 @@ type engine = {
   symdev : Ddt_hw.Symdev.t;
   stamp : int;
   (* process-unique id keying the per-domain decode caches *)
-  block_starts : (int, unit) Hashtbl.t;     (* read-only after create *)
+  block_index : (int, int) Hashtbl.t;       (* abs leader -> dense id;
+                                               read-only after create *)
+  block_addrs : int array;                  (* dense id -> abs leader, sorted *)
+  covered : int Atomic.t array;
+  (* first-cover claim flags by dense id: compare-and-set 0->1 decides,
+     engine-wide and lock-free, which worker covered a block first *)
+  shard_counts : (int, int) Hashtbl.t array;
+  (* per-worker block-execution counts, merged into [block_counts] every
+     [merge_period] notes — [note_block] is the hottest path in the
+     engine and no longer takes the global lock per block *)
+  shard_pending : int array;
+  merge_period : int;
+  dist_fn : (int -> int) ref;
+  (* distance-to-uncovered oracle (absolute pc); the default returns 0
+     everywhere, which makes the priority formulas collapse to the
+     classic Min_touch ordering *)
   glock : Mutex.t;
   (* protects the tables and lists below; hooks are invoked OUTSIDE it so
      callbacks may call back into the engine (e.g. [stats]) *)
   injected_sites_global : (int, unit) Hashtbl.t;
-  block_counts : (int, int) Hashtbl.t;
-  last_block : (int, int) Hashtbl.t;        (* state id -> block addr *)
+  block_counts : (int, int) Hashtbl.t;      (* merged view of the shards *)
   mutable done_states : St.t list;
   mutable lineage : (int * int * string * int) list;
   frontier : Frontier.t;
@@ -140,25 +160,38 @@ let create ?(config = default_config) img base_mem symdev =
   Ddt_kernel.Usb.install ();
   Solver.set_accel
     (if config.solver_accel then Solver.default_accel else Solver.no_accel);
-  let block_starts = Hashtbl.create 256 in
-  List.iter
-    (fun off -> Hashtbl.replace block_starts (img.Image.base + off) ())
-    (Ddt_dvm.Disasm.basic_block_starts img.Image.image);
+  let block_addrs =
+    Array.of_list
+      (List.map
+         (fun off -> img.Image.base + off)
+         (Ddt_dvm.Disasm.basic_block_starts img.Image.image))
+  in
+  let block_index = Hashtbl.create 256 in
+  Array.iteri (fun i a -> Hashtbl.replace block_index a i) block_addrs;
+  let nblocks = max 1 (Array.length block_addrs) in
+  let covered = Array.init nblocks (fun _ -> Atomic.make 0) in
+  let nworkers = max 1 config.jobs in
+  let shard_counts = Array.init nworkers (fun _ -> Hashtbl.create 64) in
+  let shard_pending = Array.make nworkers 0 in
   let glock = Mutex.create () in
   let block_counts = Hashtbl.create 256 in
-  let last_block = Hashtbl.create 64 in
-  (* The Min_touch priority of a state: how often its current block has
-     run. Reads the shared tables under [glock] (the frontier calls this
+  let dist_fn = ref (fun (_ : int) -> 0) in
+  (* The priority of a state combines how often its current block has run
+     (the EXE-style Min_touch count) with the static distance from that
+     block to uncovered code. Both components are monotone non-decreasing
+     over a session — counts only grow, and covering blocks only removes
+     shortest-path sources — which is what the lazy min-heap requires.
+     The merged counts are read under [glock] (the frontier calls this
      from inside its queue locks; queue lock -> glock is the one lock
      order used everywhere). *)
   let priority st =
+    let block = if st.St.last_block <> 0 then st.St.last_block else st.St.pc in
     Mutex.lock glock;
-    let block =
-      try Hashtbl.find last_block st.St.id with Not_found -> st.St.pc
-    in
-    let p = try Hashtbl.find block_counts block with Not_found -> 0 in
+    let c = try Hashtbl.find block_counts block with Not_found -> 0 in
     Mutex.unlock glock;
-    p
+    match config.strategy with
+    | Sched.Min_dist -> (min (!dist_fn block) 0x3FFFFF * 4096) + min c 4095
+    | _ -> (c * 4096) + min (!dist_fn block) 4095
   in
   let frontier =
     Frontier.create ~workers:(max 1 config.jobs) ~max_states:config.max_states
@@ -170,11 +203,16 @@ let create ?(config = default_config) img base_mem symdev =
     img;
     symdev;
     stamp = Atomic.fetch_and_add eng_stamp 1;
-    block_starts;
+    block_index;
+    block_addrs;
+    covered;
+    shard_counts;
+    shard_pending;
+    merge_period = (if config.jobs <= 1 then 1 else 64);
+    dist_fn;
     glock;
     injected_sites_global = Hashtbl.create 64;
     block_counts;
-    last_block;
     done_states = [];
     lineage = [];
     frontier;
@@ -211,6 +249,7 @@ let set_kcall_hooks eng ~enter ~leave =
   eng.kcall_leave <- leave
 
 let set_replay eng script = eng.replay <- Some script
+let set_distance_fn eng f = eng.dist_fn := f
 
 (* --- state management -------------------------------------------------- *)
 
@@ -257,10 +296,8 @@ let fork_state eng st =
   (* Forking moved the parent to a fresh COW leaf too; re-binding the hook
      keeps symbolic-read events attributed to the right state. *)
   amax eng.max_cow_depth (Symmem.chain_depth child.St.mem);
-  Mutex.lock eng.glock;
-  Hashtbl.replace eng.last_block child.St.id
-    (try Hashtbl.find eng.last_block st.St.id with Not_found -> 0);
-  Mutex.unlock eng.glock;
+  (* [St.fork] copied the parent's [last_block], so the child's scheduling
+     priority starts from the fork point without any shared table. *)
   child
 
 let retire eng st status ~report =
@@ -274,7 +311,6 @@ let retire eng st status ~report =
       0 st.St.trace
   in
   Mutex.lock eng.glock;
-  Hashtbl.remove eng.last_block st.St.id;
   eng.lineage <-
     (st.St.id, st.St.parent_id,
      Format.asprintf "%s: %a" st.St.entry_name St.pp_status status, forks)
@@ -578,17 +614,47 @@ let fetch eng pc =
         raise
           (Vm_crash ("DRIVER_FAULT", Printf.sprintf "invalid opcode at 0x%x" pc)))
 
-let note_block eng st pc =
-  if Hashtbl.mem eng.block_starts pc then begin
+(* Merge one worker's count shard into the shared table. The only
+   [glock] acquisition on the block-counting path, amortized over
+   [merge_period] notes. *)
+let flush_shard eng wid =
+  let sh = eng.shard_counts.(wid) in
+  if Hashtbl.length sh > 0 then begin
     Mutex.lock eng.glock;
-    let c = try Hashtbl.find eng.block_counts pc with Not_found -> 0 in
-    Hashtbl.replace eng.block_counts pc (c + 1);
-    Hashtbl.replace eng.last_block st.St.id pc;
-    if c = 0 then
-      Atomic.set eng.last_new_block_step (Atomic.get eng.total_steps);
+    Hashtbl.iter
+      (fun pc c ->
+        let cur = try Hashtbl.find eng.block_counts pc with Not_found -> 0 in
+        Hashtbl.replace eng.block_counts pc (cur + c))
+      sh;
     Mutex.unlock eng.glock;
-    if c = 0 then eng.on_new_block st pc
-  end
+    Hashtbl.reset sh
+  end;
+  eng.shard_pending.(wid) <- 0
+
+(* Count a basic-block execution. Sharded per worker: the count goes to
+   the worker's private table (merged periodically), the state's last
+   block is a plain field write, and the did-anyone-run-this-before test
+   is a lock-free compare-and-set on the block's claim flag — exactly one
+   worker wins it, so the plateau clock and the on_new_block hook see
+   each block exactly once. At [jobs = 1] the merge period is 1, making
+   the sequential engine's observable behavior identical to the old
+   globally-locked implementation. *)
+let note_block eng st pc =
+  match Hashtbl.find_opt eng.block_index pc with
+  | None -> ()
+  | Some idx ->
+      st.St.last_block <- pc;
+      let wid = Domain.DLS.get worker_key in
+      let sh = eng.shard_counts.(wid) in
+      let c = try Hashtbl.find sh pc with Not_found -> 0 in
+      Hashtbl.replace sh pc (c + 1);
+      eng.shard_pending.(wid) <- eng.shard_pending.(wid) + 1;
+      if eng.shard_pending.(wid) >= eng.merge_period then flush_shard eng wid;
+      let flag = eng.covered.(idx) in
+      if Atomic.get flag = 0 && Atomic.compare_and_set flag 0 1 then begin
+        Atomic.set eng.last_new_block_step (Atomic.get eng.total_steps);
+        eng.on_new_block st pc
+      end
 
 (* Handle reaching the return sentinel: either an interrupt continuation
    finishes, or the whole entry-point invocation is complete. *)
@@ -846,6 +912,7 @@ let start_invocation eng st ~name ~addr ~args =
 
 let step_quantum eng st =
   let budget = ref eng.cfg.quantum in
+  let wid = Domain.DLS.get worker_key in
   (try
      while
        (not (St.terminated st))
@@ -858,8 +925,12 @@ let step_quantum eng st =
      if St.terminated st then ()
      else if st.St.steps >= eng.cfg.max_steps_per_state then
        retire eng st St.Exhausted ~report:true
-     else
-       Frontier.requeue eng.frontier ~worker:(Domain.DLS.get worker_key) st
+     else begin
+       (* Publish this quantum's counts before the state is re-keyed so
+          its own blocks price into the priority. *)
+       flush_shard eng wid;
+       Frontier.requeue eng.frontier ~worker:wid st
+     end
    with
    | Discard_state why | Mach.Path_terminated why ->
        retire eng st (St.Discarded why) ~report:false
@@ -872,7 +943,8 @@ let step_quantum eng st =
          (St.Crashed
             { c_code = Bugcheck.string_of_code code; c_msg = msg;
               c_pc = st.St.pc })
-         ~report:true)
+         ~report:true);
+  if eng.shard_pending.(wid) > 0 then flush_shard eng wid
 
 type stop_reason = Stop_budget | Stop_plateau
 
@@ -1053,16 +1125,16 @@ let steps_now eng = Atomic.get eng.total_steps
 let steals eng = Frontier.steals eng.frontier
 
 let block_coverage eng =
-  Mutex.lock eng.glock;
-  let n = Hashtbl.length eng.block_counts in
-  Mutex.unlock eng.glock;
-  n
+  let n = ref 0 in
+  Array.iter (fun f -> if Atomic.get f <> 0 then incr n) eng.covered;
+  !n
 
 let covered_blocks eng =
-  Mutex.lock eng.glock;
-  let r = Hashtbl.fold (fun k _ acc -> k :: acc) eng.block_counts [] in
-  Mutex.unlock eng.glock;
-  List.sort compare r
+  let acc = ref [] in
+  for i = Array.length eng.block_addrs - 1 downto 0 do
+    if Atomic.get eng.covered.(i) <> 0 then acc := eng.block_addrs.(i) :: !acc
+  done;
+  !acc
 
 let stats eng =
   let live = ref 0 in

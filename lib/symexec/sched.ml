@@ -1,5 +1,6 @@
 type strategy =
   | Min_touch
+  | Min_dist
   | Dfs
   | Bfs
   | Random_pick of int
@@ -191,7 +192,7 @@ type queue = {
 let create strategy ~priority =
   let store =
     match strategy with
-    | Min_touch -> S_heap (hp_create ())
+    | Min_touch | Min_dist -> S_heap (hp_create ())
     | Dfs | Bfs | Random_pick _ -> S_deque (dq_create ())
   in
   { q_strategy = strategy; q_priority = priority; q_store = store }
@@ -228,7 +229,7 @@ let pop q =
               abs (Hashtbl.hash (seed, d.len, newest.Symstate.id)) mod d.len
             in
             Some (dq_remove_at d idx)
-      | Min_touch -> assert false)
+      | Min_touch | Min_dist -> assert false)
 
 let steal q =
   match q.q_store with
@@ -237,7 +238,7 @@ let steal q =
       match q.q_strategy with
       | Dfs -> dq_pop_back d       (* oldest: near the root, big subtree *)
       | Bfs | Random_pick _ -> dq_pop_front d
-      | Min_touch -> assert false)
+      | Min_touch | Min_dist -> assert false)
 
 let iter q f =
   match q.q_store with

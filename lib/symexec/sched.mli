@@ -20,6 +20,13 @@ type strategy =
   | Min_touch
       (** Prefer the state whose next block has been executed least. Ties
           break FIFO toward the state queued earliest. *)
+  | Min_dist
+      (** Prefer the state statically closest to uncovered code: the
+          engine keys the heap on the ICFG distance-to-uncovered of the
+          state's current block (from [Ddt_staticx.Distmap], supplied via
+          [Exec.set_distance_fn]), with the block's execution count as
+          tiebreaker. Falls back to [Min_touch] ordering when no distance
+          function is installed. *)
   | Dfs  (** Newest-first: dive to path ends quickly (LIFO). *)
   | Bfs  (** Oldest-first: breadth over the fork tree (FIFO). *)
   | Random_pick of int  (** Deterministic pseudo-random pick from a seed. *)

@@ -39,6 +39,7 @@ type t = {
   mutable injections : int;
   mutable injected_sites : int list;
   mutable steps : int;
+  mutable last_block : int;
   mutable status : status option;
   mutable entry_name : string;
   mutable depth : int;
@@ -63,6 +64,7 @@ let create ~id ~mem ~ks =
     injections = 0;
     injected_sites = [];
     steps = 0;
+    last_block = 0;
     status = None;
     entry_name = "";
     depth = 0;

@@ -45,6 +45,11 @@ type t = {
   mutable injections : int;
   mutable injected_sites : int list;
   mutable steps : int;
+  mutable last_block : int;
+  (** absolute address of the last basic-block leader this state executed
+      (0 before the first); copied to children on fork. The scheduler's
+      priority functions read it lock-free — a plain int field the owning
+      worker writes. *)
   mutable status : status option;
   mutable entry_name : string;
   mutable depth : int;                          (** fork depth *)

@@ -41,6 +41,72 @@ let test_cfg_functions_and_tokens () =
         (kc.Cfg.kc_arg0 = Cfg.Tok_offset 8))
     kcalls
 
+(* The baseline is deliberately blind to indirect calls: [callr] is
+   treated as a plain instruction — fall-through successor, no callee
+   edge, no recovered target set. This is the strawman behavior the paper
+   leans on; the staticx ICFG resolves the same site conservatively. *)
+let test_cfg_indirect_branch_blindness () =
+  let img =
+    Ddt_dvm.Asm.assemble ~name:"t" {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          lea r1, helper
+          callr r1
+          mov sp, fp
+          pop fp
+          ret
+      .func helper
+      helper:
+          movi r0, 7
+          ret
+    |}
+  in
+  let funcs = Cfg.build img in
+  let de = List.find (fun f -> f.Cfg.f_name = "driver_entry") funcs in
+  let helper = List.find (fun f -> f.Cfg.f_name = "helper") funcs in
+  let callr_block =
+    Hashtbl.fold
+      (fun _ b acc ->
+        if
+          List.exists
+            (fun (_, i) -> match i with Ddt_dvm.Isa.Callr _ -> true | _ -> false)
+            b.Cfg.b_instrs
+        then Some b
+        else acc)
+      de.Cfg.f_blocks None
+  in
+  match callr_block with
+  | None -> Alcotest.fail "no block contains the callr"
+  | Some b ->
+      check_bool "no edge to the indirect callee" true
+        (not (List.mem helper.Cfg.f_start b.Cfg.b_succs));
+      check_bool "callr is not an exit" true (not b.Cfg.b_is_exit)
+
+(* A block that runs off the end of its function into the next one is
+   treated as an exit (succs cut at the function extent) — the baseline
+   never follows execution across a function boundary. *)
+let test_cfg_fallthrough_into_next_function () =
+  let img =
+    Ddt_dvm.Asm.assemble ~name:"t" {|
+      .entry driver_entry
+      .func driver_entry
+          movi r0, 1
+          movi r1, 2
+      .func next_fn
+      next_fn:
+          movi r0, 3
+          ret
+    |}
+  in
+  let funcs = Cfg.build img in
+  let de = List.find (fun f -> f.Cfg.f_name = "driver_entry") funcs in
+  let entry_block = Hashtbl.find de.Cfg.f_blocks de.Cfg.f_entry in
+  check_int "fall-through cut at function extent" 0
+    (List.length entry_block.Cfg.b_succs);
+  check_bool "treated as exit" true entry_block.Cfg.b_is_exit
+
 let test_cfg_branch_successors () =
   let img = compile {|
     int driver_entry(int x) {
@@ -200,7 +266,11 @@ let () =
        [ Alcotest.test_case "functions and tokens" `Quick
            test_cfg_functions_and_tokens;
          Alcotest.test_case "branch successors" `Quick
-           test_cfg_branch_successors ]);
+           test_cfg_branch_successors;
+         Alcotest.test_case "indirect-call blindness (by design)" `Quick
+           test_cfg_indirect_branch_blindness;
+         Alcotest.test_case "fall-through into next function (by design)"
+           `Quick test_cfg_fallthrough_into_next_function ]);
       ("absint",
        [ Alcotest.test_case "double acquire" `Quick test_absint_double_acquire;
          Alcotest.test_case "wrong variant" `Quick test_absint_wrong_variant;

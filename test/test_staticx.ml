@@ -1,0 +1,429 @@
+(* Tests for ddt_staticx: VSA target classification, ICFG construction
+   (recursive descent, dead-code exclusion, indirect-call resolution),
+   the static finding rules, the distance-to-uncovered map, the versioned
+   JSON report schema, and the guidance-changes-nothing property of the
+   min-dist strategy. *)
+
+module Isa = Ddt_dvm.Isa
+module Asm = Ddt_dvm.Asm
+module Disasm = Ddt_dvm.Disasm
+module Vsa = Ddt_staticx.Vsa
+module Icfg = Ddt_staticx.Icfg
+module Distmap = Ddt_staticx.Distmap
+module Sfind = Ddt_staticx.Sfind
+module Corpus = Ddt_drivers.Corpus
+module Session = Ddt_core.Session
+module Config = Ddt_core.Config
+module Report = Ddt_checkers.Report
+module Exec = Ddt_symexec.Exec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile src = Ddt_minicc.Codegen.compile ~name:"t" src
+let assemble src = Asm.assemble ~name:"t" src
+
+(* --- VSA ------------------------------------------------------------------- *)
+
+let test_vsa_classification () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          lea r1, taken        ; address-taken via lea
+          jmp skip             ; control-flow reloc, not address-taken
+      taken:
+          movi r0, 1
+      skip:
+          ret
+      .func handler
+      handler:
+          movi r0, 2
+          ret
+      .data
+      tbl: .word handler       ; address-taken via data word
+    |}
+  in
+  let v = Vsa.analyze img in
+  let de = Disasm.disassemble img in
+  let off_of_label target =
+    (* find the instruction offsets by shape *)
+    List.filter_map
+      (fun (pos, i) -> if i = target then Some pos else None)
+      de
+  in
+  let taken = off_of_label (Isa.Movi (0, 1)) in
+  let handler = off_of_label (Isa.Movi (0, 2)) in
+  check_int "one lea target" 1 (List.length taken);
+  check_int "one handler entry" 1 (List.length handler);
+  check_bool "lea target is address-taken" true
+    (List.mem (List.hd taken) v.Vsa.code_targets);
+  check_bool "data word target is address-taken" true
+    (List.mem (List.hd handler) v.Vsa.code_targets);
+  check_int "one handler-table slot" 1 (List.length v.Vsa.data_code_refs);
+  (* the jmp's immediate is a reloc but must not be address-taken *)
+  check_bool "jmp target not address-taken" true
+    (not
+       (List.exists
+          (fun t -> List.mem t v.Vsa.code_targets)
+          (List.filter_map
+             (fun (pos, i) ->
+               match i with Isa.Jmp t -> Some t | _ -> ignore pos; None)
+             de)))
+
+(* --- ICFG ------------------------------------------------------------------ *)
+
+let test_universe_subset_of_linear_sweep () =
+  let img = compile {|
+    int helper(int x) { if (x) { return x + 1; } return 0; }
+    int driver_entry(int a) {
+      int i;
+      int acc = 0;
+      for (i = 0; i < 4; i = i + 1) { acc = acc + helper(i); }
+      return acc;
+    }
+  |}
+  in
+  let icfg = Icfg.build img in
+  let sweep = Disasm.basic_block_starts img in
+  check_bool "nonzero universe" true (icfg.Icfg.universe <> []);
+  List.iter
+    (fun b ->
+      check_bool "universe leader is a linear-sweep leader" true
+        (List.mem b sweep))
+    icfg.Icfg.universe
+
+let test_dead_code_excluded_and_reported () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          jmp live
+          movi r0, 1           ; dead: two slots, skipped by every path
+          movi r0, 2
+      live:
+          ret
+    |}
+  in
+  let icfg = Icfg.build img in
+  (* the two dead slots are at offsets 8 and 16 *)
+  check_bool "dead slot not in universe" true
+    (not (List.mem 8 icfg.Icfg.universe));
+  check_bool "gap covers both dead slots" true
+    (List.mem (8, 16) icfg.Icfg.gaps);
+  let fs = Sfind.analyze icfg in
+  check_bool "unreachable-code finding reported" true
+    (List.exists
+       (fun f -> f.Sfind.f_rule = "unreachable-code" && f.Sfind.f_pos = 8)
+       fs)
+
+let test_compiler_fallback_not_flagged () =
+  (* one dead slot falling into reached code: the Mini-C default-return
+     idiom — excluded from the universe but not reported as a finding *)
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          jmp live
+          movi r0, 1
+      live:
+          ret
+    |}
+  in
+  let icfg = Icfg.build img in
+  check_bool "dead slot not in universe" true
+    (not (List.mem 8 icfg.Icfg.universe));
+  check_bool "gap still recorded" true (List.mem (8, 8) icfg.Icfg.gaps);
+  check_int "no findings" 0 (List.length (Sfind.analyze icfg))
+
+let test_indirect_call_resolved () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          lea r1, helper
+          callr r1
+          mov sp, fp
+          pop fp
+          ret
+      helper:
+          movi r0, 7
+          ret
+    |}
+  in
+  let icfg = Icfg.build img in
+  let helper_entry =
+    (* the lea's target: the only address-taken code offset *)
+    match icfg.Icfg.vsa.Vsa.code_targets with
+    | [ t ] -> t
+    | l -> Alcotest.failf "expected 1 code target, got %d" (List.length l)
+  in
+  (* the callr block must list helper in its conservative target set *)
+  let found =
+    Hashtbl.fold
+      (fun _ b acc ->
+        acc
+        || match b.Icfg.bb_term with
+           | Icfg.T_callr targets -> List.mem helper_entry targets
+           | _ -> false)
+      icfg.Icfg.blocks false
+  in
+  check_bool "callr resolved to the address-taken helper" true found;
+  (* helper's blocks are in the universe even though nothing names them *)
+  check_bool "helper body reachable" true
+    (List.mem helper_entry icfg.Icfg.universe)
+
+let test_icfg_deterministic () =
+  let entry = Corpus.find "rtl8029" in
+  let img = entry.Corpus.image () in
+  let a = Icfg.build img and b = Icfg.build img in
+  check_bool "universe equal" true (a.Icfg.universe = b.Icfg.universe);
+  check_bool "gaps equal" true (a.Icfg.gaps = b.Icfg.gaps);
+  check_bool "seeds equal" true (a.Icfg.seeds = b.Icfg.seeds);
+  check_bool "call graph equal" true (a.Icfg.call_graph = b.Icfg.call_graph);
+  check_bool "edges equal" true (Icfg.edges a = Icfg.edges b);
+  check_bool "findings equal" true (Sfind.analyze a = Sfind.analyze b);
+  let render t =
+    Format.asprintf "%a" Icfg.pp t
+  in
+  check_bool "pp byte-identical" true (render a = render b)
+
+(* --- static findings ------------------------------------------------------- *)
+
+let test_stack_imbalance () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push r1              ; never popped
+          ret
+    |}
+  in
+  let fs = Sfind.analyze (Icfg.build img) in
+  check_bool "imbalance reported" true
+    (List.exists (fun f -> f.Sfind.f_rule = "stack-imbalance") fs)
+
+let test_balanced_function_clean () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          sub sp, sp, 8
+          mov sp, fp
+          pop fp
+          ret
+    |}
+  in
+  let fs = Sfind.analyze (Icfg.build img) in
+  check_int "no findings on balanced code" 0 (List.length fs)
+
+let test_const_arg_contract () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          movi r1, 0
+          push r1              ; arg2: tag = 0 (violates tag != 0)
+          movi r2, 0
+          push r2              ; arg1: size = 0 (violates size > 0)
+          push r0              ; arg0: out pointer
+          kcall NdisAllocateMemoryWithTag
+          add sp, sp, 12
+          mov sp, fp
+          pop fp
+          ret
+    |}
+  in
+  let contracts = Ddt_annot.Ndis_annotations.contracts in
+  let fs = Sfind.analyze ~contracts (Icfg.build img) in
+  let hits =
+    List.filter (fun f -> f.Sfind.f_rule = "const-arg-contract") fs
+  in
+  check_int "both violations caught" 2 (List.length hits)
+
+let test_const_arg_clean_when_ok () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          movi r1, 0x4464
+          push r1              ; tag nonzero
+          movi r2, 64
+          push r2              ; size positive
+          push r0
+          kcall NdisAllocateMemoryWithTag
+          add sp, sp, 12
+          mov sp, fp
+          pop fp
+          ret
+    |}
+  in
+  let contracts = Ddt_annot.Ndis_annotations.contracts in
+  let fs = Sfind.analyze ~contracts (Icfg.build img) in
+  check_int "no findings" 0
+    (List.length (List.filter (fun f -> f.Sfind.f_rule = "const-arg-contract") fs))
+
+let test_corpus_statically_clean () =
+  List.iter
+    (fun e ->
+      let icfg = Icfg.build (e.Corpus.image ()) in
+      let contracts =
+        match e.Corpus.driver_class with
+        | Config.Network -> Ddt_annot.Ndis_annotations.contracts
+        | Config.Audio -> Ddt_annot.Portcls_annotations.contracts
+      in
+      check_bool (e.Corpus.short ^ " nonzero universe") true
+        (icfg.Icfg.universe <> []);
+      check_int (e.Corpus.short ^ " clean") 0
+        (List.length (Sfind.analyze ~contracts icfg)))
+    Corpus.all
+
+(* --- distance map ---------------------------------------------------------- *)
+
+let test_distmap_monotone () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          jmp b1
+      b1: jmp b2
+      b2: ret
+    |}
+  in
+  let icfg = Icfg.build img in
+  check_int "three blocks" 3 (List.length icfg.Icfg.universe);
+  let dm = Distmap.create icfg in
+  check_int "uncovered block is at distance 0" 0 (Distmap.dist dm 0);
+  Distmap.note_covered dm 0;
+  let d1 = Distmap.dist dm 0 in
+  check_bool "distance grows once covered" true (d1 > 0);
+  Distmap.note_covered dm 8;
+  let d2 = Distmap.dist dm 0 in
+  check_bool "monotone" true (d2 >= d1);
+  Distmap.note_covered dm 16;
+  check_int "all covered -> infinity" Distmap.infinity_dist
+    (Distmap.dist dm 0);
+  check_int "nothing uncovered left" 0 (List.length (Distmap.uncovered dm))
+
+(* --- JSON report schema ---------------------------------------------------- *)
+
+let test_report_json_roundtrip () =
+  let module J = Ddt_core.Report_json in
+  let s =
+    {
+      J.j_schema = J.schema_version;
+      j_driver = "odd \"name\"\nwith\tescapes\\";
+      j_bugs =
+        [ { J.jb_kind = "Memory corruption"; jb_key = "k1";
+            jb_entry = "send"; jb_pc = 0x1234; jb_message = "oob \"write\"" } ];
+      j_static =
+        [ { J.js_rule = "stack-imbalance"; js_func = "f"; js_pos = 8;
+            js_message = "displaced" } ];
+      j_total_blocks = 97;
+      j_reachable_blocks = 88;
+      j_covered_blocks = 80;
+      j_covered_reachable = 78;
+      j_never_reached = [ 8; 64; 1024 ];
+      j_invocations = 12;
+      j_finished_states = 40;
+      j_paths_to_first_bug = Some 3;
+    }
+  in
+  (match J.of_string (J.to_string s) with
+   | Some s' -> check_bool "round-trip equal" true (s = s')
+   | None -> Alcotest.fail "parse failed");
+  let none = { s with J.j_paths_to_first_bug = None } in
+  (match J.of_string (J.to_string none) with
+   | Some s' -> check_bool "null option round-trips" true (none = s')
+   | None -> Alcotest.fail "parse failed (null)");
+  check_bool "schema mismatch rejected" true
+    (J.of_string
+       (J.to_string { s with J.j_schema = J.schema_version + 1 })
+     = None);
+  check_bool "garbage rejected" true (J.of_string "{nope" = None)
+
+(* --- guidance end-to-end --------------------------------------------------- *)
+
+let quick_cfg ?(guided = false) short =
+  let cfg = Corpus.config (Corpus.find short) in
+  let cfg =
+    { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+  in
+  if guided then
+    { cfg with
+      Config.exec_config =
+        { cfg.Config.exec_config with
+          Exec.static_guidance = true;
+          strategy = Ddt_symexec.Sched.Min_dist } }
+  else cfg
+
+let bug_keys (r : Session.result) =
+  List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+
+let test_guidance_changes_no_bugs () =
+  let rb = Session.run (quick_cfg "rtl8029") in
+  let rg = Session.run (quick_cfg ~guided:true "rtl8029") in
+  check_bool "same bug set with guidance on/off" true
+    (bug_keys rb = bug_keys rg);
+  check_bool "reachable <= linear sweep" true
+    (rb.Session.r_reachable_blocks <= rb.Session.r_total_blocks);
+  check_bool "covered_reachable <= reachable" true
+    (rb.Session.r_covered_reachable <= rb.Session.r_reachable_blocks);
+  check_int "never_reached complements covered" rb.Session.r_reachable_blocks
+    (rb.Session.r_covered_reachable + List.length rb.Session.r_never_reached)
+
+let test_session_reports_identical_across_jobs () =
+  let run jobs =
+    let cfg = quick_cfg "rtl8029" in
+    let cfg =
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with Exec.jobs } }
+    in
+    Session.run cfg
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  check_bool "bug keys identical 1 vs 2 jobs" true (bug_keys r1 = bug_keys r2);
+  check_bool "bug keys identical 1 vs 4 jobs" true (bug_keys r1 = bug_keys r4);
+  let statics r =
+    List.map (fun f -> Report.static_key f) r.Session.r_static
+  in
+  check_bool "static findings identical across jobs" true
+    (statics r1 = statics r2 && statics r1 = statics r4);
+  check_bool "universe identical across jobs" true
+    (r1.Session.r_reachable_blocks = r2.Session.r_reachable_blocks
+     && r1.Session.r_reachable_blocks = r4.Session.r_reachable_blocks)
+
+let () =
+  Alcotest.run "ddt_staticx"
+    [ ("vsa",
+       [ Alcotest.test_case "target classification" `Quick
+           test_vsa_classification ]);
+      ("icfg",
+       [ Alcotest.test_case "universe within linear sweep" `Quick
+           test_universe_subset_of_linear_sweep;
+         Alcotest.test_case "dead code excluded + reported" `Quick
+           test_dead_code_excluded_and_reported;
+         Alcotest.test_case "compiler fallback not flagged" `Quick
+           test_compiler_fallback_not_flagged;
+         Alcotest.test_case "indirect call resolved" `Quick
+           test_indirect_call_resolved;
+         Alcotest.test_case "deterministic" `Quick test_icfg_deterministic ]);
+      ("sfind",
+       [ Alcotest.test_case "stack imbalance" `Quick test_stack_imbalance;
+         Alcotest.test_case "balanced is clean" `Quick
+           test_balanced_function_clean;
+         Alcotest.test_case "const-arg contract" `Quick
+           test_const_arg_contract;
+         Alcotest.test_case "in-contract args are clean" `Quick
+           test_const_arg_clean_when_ok;
+         Alcotest.test_case "corpus statically clean" `Quick
+           test_corpus_statically_clean ]);
+      ("distmap",
+       [ Alcotest.test_case "monotone distances" `Quick test_distmap_monotone ]);
+      ("report-json",
+       [ Alcotest.test_case "round-trip" `Quick test_report_json_roundtrip ]);
+      ("guidance",
+       [ Alcotest.test_case "same bugs on/off" `Quick
+           test_guidance_changes_no_bugs;
+         Alcotest.test_case "identical reports at -j 1/2/4" `Quick
+           test_session_reports_identical_across_jobs ]) ]
