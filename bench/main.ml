@@ -738,6 +738,162 @@ let static_bench () =
     Printf.printf "wrote BENCH_static.json\n"
   end
 
+(* --- chaos / resilience ----------------------------------------------------------- *)
+
+type chaos_row = {
+  cr_driver : string;
+  cr_bugs : int;
+  cr_off_wall : float;        (* guard off (historical fail-fast engine) *)
+  cr_on_wall : float;         (* guard on, fault-free *)
+  cr_chaos_wall : float;      (* guard on, all injections enabled *)
+  cr_bugs_match : bool;       (* chaos bug set = fault-free bug set *)
+  cr_incidents : int;
+  cr_restarts : int;
+  cr_retries : int;
+  cr_retry_recovered : int;
+  cr_soft_retired : int;
+  cr_governor_trips : int;
+}
+
+let write_chaos_json rows path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"experiment\": \"chaos\",\n";
+  pr
+    "  \"note\": \"guard_overhead compares the fault-free wall with the \
+     supervision/quarantine layer on vs the historical fail-fast engine; \
+     the chaos leg injects worker crashes, forced solver budget \
+     exhaustions and simulated memory pressure and must reproduce the \
+     fault-free bug set.\",\n";
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S, \"bugs\": %d, \"guard_off_wall_s\": %.4f, \
+         \"guard_on_wall_s\": %.4f, \"guard_overhead\": %.4f,\n     \
+         \"chaos_wall_s\": %.4f, \"bugs_match\": %b, \"incidents\": %d, \
+         \"worker_restarts\": %d,\n     \"solver_retries\": %d, \
+         \"retry_recovered\": %d, \"soft_retired\": %d, \
+         \"governor_trips\": %d}%s\n"
+        r.cr_driver r.cr_bugs r.cr_off_wall r.cr_on_wall
+        (if r.cr_off_wall > 0.0 then
+           (r.cr_on_wall -. r.cr_off_wall) /. r.cr_off_wall
+         else 0.0)
+        r.cr_chaos_wall r.cr_bugs_match r.cr_incidents r.cr_restarts
+        r.cr_retries r.cr_retry_recovered r.cr_soft_retired r.cr_governor_trips
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let chaos_bench () =
+  let module Sv = Ddt_solver.Solver in
+  let module Guard = Ddt_symexec.Guard in
+  section
+    (if !quick_mode then
+       "Chaos smoke test (--quick): fault injection on 2 drivers, tight \
+        budgets"
+     else
+       "Chaos harness: worker crashes + solver budget exhaustion + memory \
+        pressure; the session must survive, quarantine each fault as an \
+        engine incident, and report the fault-free bug set");
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pcnet" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let injections =
+    { Guard.chaos_worker_crash_period = 25; chaos_solver_exhaust_period = 3;
+      chaos_pressure_words = 50_000_000 }
+  in
+  let pressure_limits =
+    { Ddt_core.Governor.soft_states = 0; soft_cow_depth = 0;
+      soft_live_words = 1; min_states = 8; max_retire_per_trip = 1 }
+  in
+  let run short ~guard ~chaos =
+    let cfg = Corpus.config (Corpus.find short) in
+    let cfg =
+      if !quick_mode then
+        { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+      else cfg
+    in
+    let cfg =
+      if chaos then { cfg with Config.governor = Some pressure_limits }
+      else cfg
+    in
+    let cfg =
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with
+            Exec.guard;
+            chaos = (if chaos then Some injections else None) } }
+    in
+    (* cold query cache for every leg, so walls and injection points are
+       comparable *)
+    Sv.clear_cache ();
+    let t0 = Unix.gettimeofday () in
+    let r = Ddt_core.Ddt.test_driver cfg in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let bug_keys (r : Session.result) =
+    List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+  in
+  Printf.printf "%-16s %9s %9s %9s %9s %5s %5s %5s %5s %5s\n" "Driver"
+    "off(s)" "on(s)" "ovhd%" "chaos(s)" "same" "incid" "rst" "retry" "shed";
+  let rows =
+    List.map
+      (fun short ->
+        let roff, toff = run short ~guard:false ~chaos:false in
+        let ron, ton = run short ~guard:true ~chaos:false in
+        let rch, tch = run short ~guard:true ~chaos:true in
+        let same =
+          bug_keys roff = bug_keys ron && bug_keys ron = bug_keys rch
+        in
+        let s = rch.Session.r_stats in
+        let sv = s.Exec.st_solver in
+        Printf.printf "%-16s %9.2f %9.2f %8.1f%% %9.2f %5s %5d %5d %5d %5d\n"
+          short toff ton
+          (if toff > 0.0 then 100.0 *. (ton -. toff) /. toff else 0.0)
+          tch
+          (if same then "yes" else "NO")
+          s.Exec.st_incidents s.Exec.st_worker_restarts sv.Sv.s_retries
+          s.Exec.st_soft_retired;
+        {
+          cr_driver = short;
+          cr_bugs = List.length rch.Session.r_bugs;
+          cr_off_wall = toff;
+          cr_on_wall = ton;
+          cr_chaos_wall = tch;
+          cr_bugs_match = same;
+          cr_incidents = s.Exec.st_incidents;
+          cr_restarts = s.Exec.st_worker_restarts;
+          cr_retries = sv.Sv.s_retries;
+          cr_retry_recovered = sv.Sv.s_retry_recovered;
+          cr_soft_retired = s.Exec.st_soft_retired;
+          cr_governor_trips = rch.Session.r_governor_trips;
+        })
+      drivers
+  in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let off = sumf (fun r -> r.cr_off_wall) in
+  let on_ = sumf (fun r -> r.cr_on_wall) in
+  Printf.printf
+    "\nbug sets identical (off/on/chaos) on %d/%d drivers | guard overhead \
+     %.1f%% fault-free | %d incidents quarantined, %d restarts, %d \
+     escalated retries (%d recovered), %d states shed\n"
+    (List.length (List.filter (fun r -> r.cr_bugs_match) rows))
+    (List.length rows)
+    (if off > 0.0 then 100.0 *. (on_ -. off) /. off else 0.0)
+    (sum (fun r -> r.cr_incidents))
+    (sum (fun r -> r.cr_restarts))
+    (sum (fun r -> r.cr_retries))
+    (sum (fun r -> r.cr_retry_recovered))
+    (sum (fun r -> r.cr_soft_retired));
+  if !json_mode then begin
+    write_chaos_json rows "BENCH_chaos.json";
+    Printf.printf "wrote BENCH_chaos.json\n"
+  end
+
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 let bechamel_run name fn =
@@ -815,7 +971,7 @@ let all_experiments =
     ("stress", stress); ("sdv", sdv); ("synthetic", synthetic);
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
     ("memory", memory); ("solver", solver_bench); ("static", static_bench);
-    ("micro", micro) ]
+    ("chaos", chaos_bench); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

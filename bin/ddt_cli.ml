@@ -68,8 +68,18 @@ let guided_flag =
   in
   Arg.(value & flag & info [ "guided" ] ~doc)
 
+let chaos_flag =
+  let doc =
+    "Run under deterministic fault injection (worker crashes every 25th \
+     pick, every 3rd uncached solve budget-exhausted, simulated memory \
+     pressure with the resource governor). The session must survive and \
+     report the same bugs; the injected faults appear as quarantined \
+     engine incidents."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
 let test_cmd =
-  let run short fixed no_annot traces jobs guided =
+  let run short fixed no_annot traces jobs guided chaos =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -91,6 +101,23 @@ let test_cmd =
                   strategy = Ddt_symexec.Sched.Min_dist } }
           else cfg
         in
+        let cfg =
+          if chaos then
+            { cfg with
+              Ddt_core.Config.governor =
+                Some
+                  { Ddt_core.Governor.default_limits with
+                    Ddt_core.Governor.soft_live_words = 1;
+                    min_states = 8; max_retire_per_trip = 1 };
+              exec_config =
+                { cfg.Ddt_core.Config.exec_config with
+                  Ddt_symexec.Exec.chaos =
+                    Some
+                      { Ddt_symexec.Guard.chaos_worker_crash_period = 25;
+                        chaos_solver_exhaust_period = 3;
+                        chaos_pressure_words = 50_000_000 } } }
+          else cfg
+        in
         let r = Ddt_core.Ddt.test_driver cfg in
         Format.printf "%a" Ddt_core.Ddt.pp_report r;
         if traces then
@@ -107,7 +134,7 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
-      $ jobs_arg $ guided_flag)
+      $ jobs_arg $ guided_flag $ chaos_flag)
 
 let static_cmd =
   let run short fixed =

@@ -45,6 +45,18 @@ type bug = {
   b_replay : Ddt_trace.Replay.script;
 }
 
+(* Engine incidents: faults of the testing engine itself (worker
+   crashes, quarantined states, solver budget exhaustions), quarantined
+   by [Ddt_symexec.Guard] instead of killing the session. They are not
+   driver findings — like static findings they live apart from the bug
+   list so they can never perturb dynamic bug keys or ordering — but
+   each carries a replayable script, extending the paper's
+   "every finding comes with a trace" contract to engine faults. *)
+type incident = Ddt_symexec.Guard.incident
+
+let incident_kind_label (i : incident) =
+  Ddt_symexec.Guard.kind_label i.Ddt_symexec.Guard.inc_kind
+
 type sink = {
   mutable found : bug list;    (* newest first *)
   seen : (string, unit) Hashtbl.t;
@@ -122,6 +134,20 @@ let pp_static_finding fmt f =
     (if f.sf_func = "" then "" else f.sf_func ^ " ")
     (Printf.sprintf "at 0x%x" f.sf_pos)
     f.sf_message
+
+let pp_incident fmt (i : incident) =
+  let open Ddt_symexec.Guard in
+  if i.inc_state_id = 0 then
+    Format.fprintf fmt "[engine:%s] worker %d@.    %s" (kind_label i.inc_kind)
+      i.inc_worker i.inc_message
+  else
+    Format.fprintf fmt
+      "[engine:%s] state %d (entry %s, pc 0x%x, worker %d)@.    %s@.    \
+       replay: %d input(s), %d choice(s)"
+      (kind_label i.inc_kind) i.inc_state_id i.inc_entry i.inc_pc i.inc_worker
+      i.inc_message
+      (List.length i.inc_replay.Ddt_trace.Replay.rs_inputs)
+      (List.length i.inc_replay.Ddt_trace.Replay.rs_choices)
 
 let pp_summary fmt sink =
   Format.fprintf fmt "%-18s %-18s %s@." "Tested Driver" "Bug Type" "Description";

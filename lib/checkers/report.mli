@@ -48,6 +48,16 @@ type bug = {
   (** concrete inputs + system events that reproduce this path (§3.5) *)
 }
 
+type incident = Ddt_symexec.Guard.incident
+(** A fault of the testing engine itself (worker crash, quarantined
+    state, solver budget exhaustion), quarantined by
+    [Ddt_symexec.Guard]. Engine incidents are not driver findings: like
+    static findings they are kept apart from the dynamic bug list, so
+    they can never perturb bug keys, deduplication or ordering — but
+    each carries a replayable script (§3.5 evidence for engine faults). *)
+
+val incident_kind_label : incident -> string
+
 type sink
 
 val create_sink : unit -> sink
@@ -68,5 +78,6 @@ val clear : sink -> unit
 
 val pp_bug : Format.formatter -> bug -> unit
 val pp_static_finding : Format.formatter -> static_finding -> unit
+val pp_incident : Format.formatter -> incident -> unit
 val pp_summary : Format.formatter -> sink -> unit
 (** The Table 2 style listing: driver, bug type, description. *)

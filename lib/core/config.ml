@@ -28,6 +28,7 @@ type t = {
   concrete_device : int option;
   replay : Ddt_trace.Replay.script option;
   collect_crashdumps : bool;
+  governor : Governor.limits option;
 }
 
 let default_network_workload =
@@ -46,7 +47,7 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     ?jobs ?static_guidance
     ?(max_total_steps = 3_000_000) ?(plateau_steps = 250_000)
     ?(max_bases_per_phase = 3) ?concrete_device ?replay
-    ?(collect_crashdumps = false) () =
+    ?(collect_crashdumps = false) ?governor () =
   let exec_config =
     match jobs with
     | None -> exec_config
@@ -77,7 +78,7 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     driver_name; image; driver_class; descriptor; registry; workload;
     use_annotations; annotations; exec_config; max_total_steps;
     plateau_steps; max_bases_per_phase; concrete_device; replay;
-    collect_crashdumps;
+    collect_crashdumps; governor;
   }
 
 let workload_name = function

@@ -41,6 +41,9 @@ type t = {
   (** re-execute a recorded failing path deterministically (§3.5) *)
   collect_crashdumps : bool;
   (** snapshot every crashed state as a WinDbg-style crash dump *)
+  governor : Governor.limits option;
+  (** resource-governor soft caps ({!Governor}); [None] (the default)
+      leaves only the engine's hard [max_states] cap *)
 }
 
 val default_network_workload : workload_item list
@@ -64,6 +67,7 @@ val make :
   ?concrete_device:int ->
   ?replay:Ddt_trace.Replay.script ->
   ?collect_crashdumps:bool ->
+  ?governor:Governor.limits ->
   unit -> t
 
 val workload_name : workload_item -> string

@@ -43,19 +43,49 @@ let pp_report fmt (r : Session.result) =
                   List.filteri (fun i _ -> i < 12) nr
                 else nr)
              @ (if List.length nr > 12 then [ "..." ] else []))));
+  (* States shed at the hard cap mean lost (unexplored) forks: a report
+     that hides this overstates its own completeness. *)
+  if stats.Ddt_symexec.Exec.st_states_dropped > 0 then
+    Format.fprintf fmt
+      "warning: %d state(s) dropped at the max_states cap — results may \
+       be incomplete (raise max_states or configure the governor)@."
+      stats.Ddt_symexec.Exec.st_states_dropped;
+  if stats.Ddt_symexec.Exec.st_soft_retired > 0 then
+    Format.fprintf fmt
+      "governor: %d state(s) concretized and retired under resource \
+       pressure (%d trip(s))@."
+      stats.Ddt_symexec.Exec.st_soft_retired r.Session.r_governor_trips;
   let sv = stats.Ddt_symexec.Exec.st_solver in
   Format.fprintf fmt
     "solver: %d queries, %d group solves, %.0f%% cache hits, %d bit-blasts@."
     sv.Ddt_solver.Solver.s_queries sv.Ddt_solver.Solver.s_group_solves
     (100.0 *. Ddt_solver.Solver.cache_hit_rate sv)
     sv.Ddt_solver.Solver.s_bitblast_solves;
+  if sv.Ddt_solver.Solver.s_exhaustions > 0 then
+    Format.fprintf fmt
+      "solver retries: %d budget exhaustion(s), %d escalated retries, %d \
+       recovered@."
+      sv.Ddt_solver.Solver.s_exhaustions sv.Ddt_solver.Solver.s_retries
+      sv.Ddt_solver.Solver.s_retry_recovered;
   if stats.Ddt_symexec.Exec.st_workers > 1 then
     Format.fprintf fmt
       "parallel: %d workers | %d steals | %d renamed cache hits | \
        %d cross-worker cache hits@."
       stats.Ddt_symexec.Exec.st_workers stats.Ddt_symexec.Exec.st_steals
       sv.Ddt_solver.Solver.s_cache_renamed_hits
-      sv.Ddt_solver.Solver.s_cache_cross_worker_hits
+      sv.Ddt_solver.Solver.s_cache_cross_worker_hits;
+  (* Engine incidents: faults of the testing engine itself, quarantined
+     by the guard instead of killing the session. *)
+  (match r.Session.r_incidents with
+  | [] -> ()
+  | incs ->
+      Format.fprintf fmt
+        "%d engine incident(s) quarantined (%d worker restart(s)):@."
+        (List.length incs) stats.Ddt_symexec.Exec.st_worker_restarts;
+      List.iteri
+        (fun i inc ->
+          Format.fprintf fmt "%2d. %a@." (i + 1) Report.pp_incident inc)
+        incs)
 
 let pp_bug_detail fmt (b : Report.bug) =
   Format.fprintf fmt "%a@.--- execution trace ---@.%s@." Report.pp_bug b

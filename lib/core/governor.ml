@@ -1,0 +1,75 @@
+(* Resource governor: soft-cap graceful degradation for the exploration
+   engine.
+
+   The engine's only built-in defense against resource exhaustion is the
+   hard [max_states] cap, which silently drops fresh forks once the
+   frontier is full — the worst possible victims (new, unexplored
+   paths). The governor watches the resource picture the engine samples
+   every 64 picks ([Exec.pressure]: live-state count, copy-on-write
+   chain depth, approximate heap residency) and, when a soft cap is
+   exceeded, tells the engine to concretize-and-retire a few of the
+   *least promising* queued states instead — deterministically, well
+   before the hard cap engages. Policy lives here; the mechanics (victim
+   ranking, witness pinning, retirement) live in [Exec.set_governor]. *)
+
+module Exec = Ddt_symexec.Exec
+
+type limits = {
+  soft_states : int;
+  soft_cow_depth : int;
+  soft_live_words : int;
+  min_states : int;
+  max_retire_per_trip : int;
+}
+
+(* The soft state cap sits below the engine's default hard cap (512), so
+   shedding starts while fresh forks can still be admitted; the words
+   cap corresponds to tens of MB of copy-on-write store. *)
+let default_limits =
+  { soft_states = 448; soft_cow_depth = 0; soft_live_words = 4_000_000;
+    min_states = 4; max_retire_per_trip = 4 }
+
+type t = {
+  limits : limits;
+  trips : int Atomic.t;
+  requested : int Atomic.t;
+}
+
+let create limits =
+  { limits; trips = Atomic.make 0; requested = Atomic.make 0 }
+
+let limits t = t.limits
+let trips t = Atomic.get t.trips
+let requested t = Atomic.get t.requested
+
+let decide t (p : Exec.pressure) =
+  let l = t.limits in
+  (* Never govern below the floor: a handful of states must survive for
+     exploration to continue at all. *)
+  let headroom = max 0 (p.pr_live_states - l.min_states) in
+  if headroom = 0 then 0
+  else begin
+    let over_states =
+      if l.soft_states > 0 && p.pr_live_states > l.soft_states then
+        p.pr_live_states - l.soft_states
+      else 0
+    in
+    (* Depth/heap pressure sheds gently — one state per trip; trips
+       recur every 64 picks, so sustained pressure drains steadily while
+       a transient spike costs almost nothing. *)
+    let over_heap =
+      if
+        (l.soft_live_words > 0 && p.pr_live_words > l.soft_live_words)
+        || (l.soft_cow_depth > 0 && p.pr_cow_depth > l.soft_cow_depth)
+      then 1
+      else 0
+    in
+    let n = min (min (max over_states over_heap) l.max_retire_per_trip)
+              headroom
+    in
+    if n > 0 then begin
+      Atomic.incr t.trips;
+      ignore (Atomic.fetch_and_add t.requested n)
+    end;
+    n
+  end

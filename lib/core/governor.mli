@@ -1,0 +1,43 @@
+(** Resource governor: soft-cap graceful degradation for the
+    exploration engine.
+
+    The engine's hard [max_states] cap silently drops fresh forks — the
+    worst victims, since they are the unexplored paths. The governor
+    instead watches the engine's sampled resource picture
+    ({!Ddt_symexec.Exec.pressure}: live states, copy-on-write chain
+    depth, approximate heap residency) and asks the engine to
+    concretize-and-retire a bounded number of the {e least promising}
+    queued states whenever a soft cap is exceeded — deterministic victim
+    selection, before the hard cap engages. Install via
+    {!Ddt_symexec.Exec.set_governor}[ eng (decide t)]; [Session] does
+    this when {!Config.t} carries limits. *)
+
+type limits = {
+  soft_states : int;       (** shed down toward this queued-state count;
+                               [0] disables the state cap *)
+  soft_cow_depth : int;    (** copy-on-write chain-depth cap; [0] = off *)
+  soft_live_words : int;   (** live-heap words cap; [0] = off *)
+  min_states : int;        (** never shed below this many queued states *)
+  max_retire_per_trip : int;  (** retirement bound per governor trip *)
+}
+
+val default_limits : limits
+(** [soft_states = 448] (below the engine's default hard cap of 512),
+    heap cap 4M words, depth cap off, floor 4, at most 4 retirements per
+    trip. *)
+
+type t
+
+val create : limits -> t
+val limits : t -> limits
+
+val decide : t -> Ddt_symexec.Exec.pressure -> int
+(** The policy: how many states the engine should retire now. Thread-safe
+    (the engine calls it from whichever worker samples pressure). *)
+
+val trips : t -> int
+(** Times the governor asked for at least one retirement. *)
+
+val requested : t -> int
+(** Total retirements requested (the engine may retire fewer if states
+    were picked before removal). *)

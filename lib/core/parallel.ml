@@ -74,6 +74,18 @@ let run_portfolio jobs (cfg : Config.t) =
      r,
      Unix.gettimeofday () -. t)
   in
+  (* A portfolio job is an independent session: if one dies, the others'
+     findings are still valid, so a crashed job is logged and skipped
+     rather than re-raised into the caller. With every job dead there is
+     nothing to merge, and the original exception propagates. *)
+  let join_safe i join =
+    match join () with
+    | r -> Some r
+    | exception exn ->
+        Printf.eprintf "ddt: portfolio job %d died: %s (skipped)\n%!" i
+          (Printexc.to_string exn);
+        None
+  in
   let raw =
     match jobs with
     | 1 -> [ run_one 0 ]
@@ -82,8 +94,14 @@ let run_portfolio jobs (cfg : Config.t) =
           List.init (jobs - 1) (fun i ->
               Domain.spawn (fun () -> run_one (i + 1)))
         in
-        let mine = run_one 0 in
-        mine :: List.map Domain.join domains
+        let mine = join_safe 0 (fun () -> run_one 0) in
+        let rest =
+          List.mapi (fun i d -> join_safe (i + 1) (fun () -> Domain.join d))
+            domains
+        in
+        (match List.filter_map Fun.id (mine :: rest) with
+         | [] -> failwith "ddt: every portfolio job died"
+         | ok -> ok)
   in
   let wall = Unix.gettimeofday () -. t0 in
   let outcomes = List.map (fun (i, l, r, t) -> (i, (l, t), r)) raw in

@@ -5,7 +5,7 @@
 
 module Report = Ddt_checkers.Report
 
-let schema_version = 1
+let schema_version = 2
 
 type bug_row = {
   jb_kind : string;
@@ -22,6 +22,18 @@ type static_row = {
   js_message : string;
 }
 
+type incident_row = {
+  ji_kind : string;
+  ji_worker : int;
+  ji_state_id : int;
+  ji_entry : string;
+  ji_pc : int;
+  ji_message : string;
+  ji_replay : string;
+  (* the incident's [Replay.script], serialized with [Replay.to_string]
+     so a consumer can re-run the quarantined path verbatim *)
+}
+
 type summary = {
   j_schema : int;
   j_driver : string;
@@ -35,6 +47,9 @@ type summary = {
   j_invocations : int;
   j_finished_states : int;
   j_paths_to_first_bug : int option;
+  j_states_dropped : int;
+  j_soft_retired : int;
+  j_incidents : incident_row list;
 }
 
 let of_result (r : Session.result) =
@@ -67,6 +82,20 @@ let of_result (r : Session.result) =
     j_invocations = r.Session.r_invocations;
     j_finished_states = r.Session.r_finished_states;
     j_paths_to_first_bug = r.Session.r_paths_to_first_bug;
+    j_states_dropped = r.Session.r_stats.Ddt_symexec.Exec.st_states_dropped;
+    j_soft_retired = r.Session.r_stats.Ddt_symexec.Exec.st_soft_retired;
+    j_incidents =
+      List.map
+        (fun (i : Report.incident) ->
+          let open Ddt_symexec.Guard in
+          { ji_kind = kind_label i.inc_kind;
+            ji_worker = i.inc_worker;
+            ji_state_id = i.inc_state_id;
+            ji_entry = i.inc_entry;
+            ji_pc = i.inc_pc;
+            ji_message = i.inc_message;
+            ji_replay = Ddt_trace.Replay.to_string i.inc_replay })
+        r.Session.r_incidents;
   }
 
 (* --- emission --- *)
@@ -105,6 +134,13 @@ let static_row_json s =
     [ ("rule", jstr s.js_rule); ("func", jstr s.js_func);
       ("pos", string_of_int s.js_pos); ("message", jstr s.js_message) ]
 
+let incident_row_json i =
+  jobj
+    [ ("kind", jstr i.ji_kind); ("worker", string_of_int i.ji_worker);
+      ("state_id", string_of_int i.ji_state_id);
+      ("entry", jstr i.ji_entry); ("pc", string_of_int i.ji_pc);
+      ("message", jstr i.ji_message); ("replay", jstr i.ji_replay) ]
+
 let to_string s =
   jobj
     [ ("schema", string_of_int s.j_schema);
@@ -119,9 +155,12 @@ let to_string s =
       ("invocations", string_of_int s.j_invocations);
       ("finished_states", string_of_int s.j_finished_states);
       ("paths_to_first_bug",
-       match s.j_paths_to_first_bug with
-       | None -> "null"
-       | Some n -> string_of_int n) ]
+       (match s.j_paths_to_first_bug with
+        | None -> "null"
+        | Some n -> string_of_int n));
+      ("states_dropped", string_of_int s.j_states_dropped);
+      ("soft_retired", string_of_int s.j_soft_retired);
+      ("incidents", jlist incident_row_json s.j_incidents) ]
 
 (* --- parsing: a minimal JSON reader covering what [to_string] emits
    (objects, arrays, strings with the escapes above, integers, null) --- *)
@@ -259,6 +298,13 @@ let static_row_of j =
   { js_rule = as_str (field "rule" j); js_func = as_str (field "func" j);
     js_pos = as_int (field "pos" j); js_message = as_str (field "message" j) }
 
+let incident_row_of j =
+  { ji_kind = as_str (field "kind" j); ji_worker = as_int (field "worker" j);
+    ji_state_id = as_int (field "state_id" j);
+    ji_entry = as_str (field "entry" j); ji_pc = as_int (field "pc" j);
+    ji_message = as_str (field "message" j);
+    ji_replay = as_str (field "replay" j) }
+
 let of_string str =
   match parse_json str with
   | exception Bad _ -> None
@@ -286,5 +332,9 @@ let of_string str =
                 (match field "paths_to_first_bug" j with
                  | J_null -> None
                  | v -> Some (as_int v));
+              j_states_dropped = as_int (field "states_dropped" j);
+              j_soft_retired = as_int (field "soft_retired" j);
+              j_incidents =
+                List.map incident_row_of (as_arr (field "incidents" j));
             }
       with Bad _ -> None)

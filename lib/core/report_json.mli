@@ -23,6 +23,18 @@ type static_row = {
   js_message : string;
 }
 
+type incident_row = {
+  ji_kind : string;     (** "worker-crash" | "state-fault" | "solver-exhaustion" *)
+  ji_worker : int;      (** worker id, or -1 for a dead domain *)
+  ji_state_id : int;    (** 0 when no state was in flight *)
+  ji_entry : string;
+  ji_pc : int;
+  ji_message : string;
+  ji_replay : string;
+  (** the quarantined state's replay script, serialized with
+      [Ddt_trace.Replay.to_string] *)
+}
+
 type summary = {
   j_schema : int;
   j_driver : string;
@@ -36,6 +48,9 @@ type summary = {
   j_invocations : int;
   j_finished_states : int;
   j_paths_to_first_bug : int option;
+  j_states_dropped : int;      (** states shed at the hard max_states cap *)
+  j_soft_retired : int;        (** states the governor concretized and retired *)
+  j_incidents : incident_row list;
 }
 
 val of_result : Session.result -> summary

@@ -38,6 +38,12 @@ type result = {
   r_static : Report.static_finding list;
   r_paths_to_first_bug : int option;
   (** completed paths when the first bug surfaced; [None] if bug-free *)
+  r_incidents : Report.incident list;
+  (** quarantined engine incidents (worker crashes, state faults, solver
+      exhaustions), each with a replayable script *)
+  r_governor_trips : int;
+  (** times the resource governor asked for retirements (0 with no
+      governor configured) *)
 }
 
 (* Returned states that can seed the next workload phase: prefer clean
@@ -77,6 +83,16 @@ let run (cfg : Config.t) =
   in
   let eng = Exec.create ~config:exec_config loaded base_mem symdev in
   Option.iter (Exec.set_replay eng) cfg.Config.replay;
+  (* Resource governance: policy from the config's soft limits, enforced
+     by the engine's deterministic concretize-and-retire path. *)
+  let governor =
+    match cfg.Config.governor with
+    | None -> None
+    | Some limits ->
+        let gov = Governor.create limits in
+        Exec.set_governor eng (Governor.decide gov);
+        Some gov
+  in
   let sink = Report.create_sink () in
   let driver = cfg.Config.driver_name in
   (* Static pre-analysis: always built (it is cheap and pure) for the
@@ -249,6 +265,9 @@ let run (cfg : Config.t) =
     r_never_reached = never_reached;
     r_static = statics;
     r_paths_to_first_bug = !first_bug_paths;
+    r_incidents = Exec.incidents eng;
+    r_governor_trips =
+      (match governor with Some g -> Governor.trips g | None -> 0);
   }
 
 let coverage_percent r =

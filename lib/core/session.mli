@@ -38,6 +38,13 @@ type result = {
       [r_bugs], never influencing dynamic bug keys *)
   r_paths_to_first_bug : int option;
   (** completed paths when the first dynamic bug surfaced *)
+  r_incidents : Ddt_checkers.Report.incident list;
+  (** quarantined engine incidents ([Ddt_symexec.Guard]): worker
+      crashes, state faults, solver budget exhaustions — each with a
+      replayable script, kept apart from [r_bugs] *)
+  r_governor_trips : int;
+  (** times the resource governor ({!Governor}) requested retirements;
+      0 when [Config.governor] is [None] *)
 }
 
 val run : Config.t -> result

@@ -94,7 +94,7 @@ let erase_from_level st lvl =
   st.trail_len <- keep;
   st.decision_level <- lvl - 1
 
-let solve ?(max_conflicts = 2_000_000) cnf =
+let solve ?(max_conflicts = 2_000_000) ?deadline cnf =
   let nvars = Cnf.num_vars cnf in
   let cls = Cnf.clauses cnf in
   (* Separate unit clauses; dedupe literals inside clauses; drop tautologies. *)
@@ -185,6 +185,14 @@ let solve ?(max_conflicts = 2_000_000) cnf =
         else begin
           decr conflict_budget;
           if !conflict_budget <= 0 then raise (Answer None);
+          (* The wall-clock deadline is polled every 256 conflicts: often
+             enough to bound a stalled query to milliseconds past its
+             budget, rarely enough that gettimeofday stays off the hot
+             propagation path. *)
+          (match deadline with
+          | Some t when !conflict_budget land 255 = 0 ->
+              if Unix.gettimeofday () > t then raise (Answer None)
+          | _ -> ());
           resolve_conflict ()
         end
       and resolve_conflict () =

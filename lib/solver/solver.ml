@@ -43,6 +43,53 @@ let set_accel a =
   Atomic.set accel a;
   clear_cache ()
 
+(* --- retry policy -------------------------------------------------------- *)
+
+type retry = {
+  base_conflicts : int;
+  escalated_conflicts : int;
+  deadline_s : float;
+}
+
+(* 200k conflicts settles every corpus query on the first attempt; the
+   escalated retry restores the historical 2M ceiling for the rare group
+   that needs it, so final verdicts are unchanged from the single-budget
+   era — the retry only re-spends work that would previously have been
+   spent up front on every hard query. *)
+let default_retry =
+  { base_conflicts = 200_000; escalated_conflicts = 2_000_000;
+    deadline_s = 5.0 }
+
+let no_retry =
+  { base_conflicts = 2_000_000; escalated_conflicts = 0; deadline_s = 0. }
+
+let retry_policy = Atomic.make default_retry
+let set_retry r = Atomic.set retry_policy r
+let current_retry () = Atomic.get retry_policy
+
+let attempt_deadline r =
+  if r.deadline_s > 0. then Some (Unix.gettimeofday () +. r.deadline_s)
+  else None
+
+(* Fault injection for the chaos harness: when set, the hook is asked
+   once per uncached group solve and [true] forces the first attempt to
+   report budget exhaustion without running, exercising the retry path
+   deterministically. *)
+let chaos_exhaust : (unit -> bool) option Atomic.t = Atomic.make None
+let set_chaos_exhaust f = Atomic.set chaos_exhaust f
+
+(* Per-domain exhaustion counters let the engine attribute a budget
+   exhaustion to the state whose quantum was executing on this domain
+   (the process-global counters can't tell workers apart). *)
+let dls_exhaustions : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let dls_unrecovered : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let domain_exhaustions () = !(Domain.DLS.get dls_exhaustions)
+let domain_unrecovered () = !(Domain.DLS.get dls_unrecovered)
+
 (* --- statistics ---------------------------------------------------------- *)
 
 type stats = {
@@ -57,6 +104,9 @@ type stats = {
   s_interval_solves : int;
   s_bitblast_solves : int;
   s_cache_evictions : int;
+  s_exhaustions : int;
+  s_retries : int;
+  s_retry_recovered : int;
 }
 
 (* Counters are process-global atomics — parallel frontier workers all
@@ -72,6 +122,9 @@ type counters = {
   c_cross_worker_hits : int Atomic.t;
   c_interval_solves : int Atomic.t;
   c_bitblast_solves : int Atomic.t;
+  c_exhaustions : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_retry_recovered : int Atomic.t;
 }
 
 let cnt =
@@ -79,7 +132,9 @@ let cnt =
     c_exact_hits = Atomic.make 0; c_subset_unsat_hits = Atomic.make 0;
     c_model_reuse_hits = Atomic.make 0; c_misses = Atomic.make 0;
     c_renamed_hits = Atomic.make 0; c_cross_worker_hits = Atomic.make 0;
-    c_interval_solves = Atomic.make 0; c_bitblast_solves = Atomic.make 0 }
+    c_interval_solves = Atomic.make 0; c_bitblast_solves = Atomic.make 0;
+    c_exhaustions = Atomic.make 0; c_retries = Atomic.make 0;
+    c_retry_recovered = Atomic.make 0 }
 
 let stats () =
   {
@@ -94,6 +149,9 @@ let stats () =
     s_interval_solves = Atomic.get cnt.c_interval_solves;
     s_bitblast_solves = Atomic.get cnt.c_bitblast_solves;
     s_cache_evictions = Qcache.Sharded.evictions (Atomic.get cache);
+    s_exhaustions = Atomic.get cnt.c_exhaustions;
+    s_retries = Atomic.get cnt.c_retries;
+    s_retry_recovered = Atomic.get cnt.c_retry_recovered;
   }
 
 let diff_stats (b : stats) (a : stats) =
@@ -112,6 +170,9 @@ let diff_stats (b : stats) (a : stats) =
     s_interval_solves = b.s_interval_solves - a.s_interval_solves;
     s_bitblast_solves = b.s_bitblast_solves - a.s_bitblast_solves;
     s_cache_evictions = max 0 (b.s_cache_evictions - a.s_cache_evictions);
+    s_exhaustions = b.s_exhaustions - a.s_exhaustions;
+    s_retries = b.s_retries - a.s_retries;
+    s_retry_recovered = b.s_retry_recovered - a.s_retry_recovered;
   }
 
 let cache_hits s =
@@ -135,14 +196,17 @@ let reset_stats () =
   Atomic.set cnt.c_renamed_hits 0;
   Atomic.set cnt.c_cross_worker_hits 0;
   Atomic.set cnt.c_interval_solves 0;
-  Atomic.set cnt.c_bitblast_solves 0
+  Atomic.set cnt.c_bitblast_solves 0;
+  Atomic.set cnt.c_exhaustions 0;
+  Atomic.set cnt.c_retries 0;
+  Atomic.set cnt.c_retry_recovered 0
 
 (* --- the layered solve of one (simplified, nontrivial) group ------------- *)
 
 let verified constraints env =
   List.for_all (fun c -> Expr.eval env c = 1) constraints
 
-let core_solve constraints =
+let core_solve ~budget ~deadline constraints =
   let vars =
     List.concat_map Expr.vars constraints
     |> List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id)
@@ -166,7 +230,7 @@ let core_solve constraints =
           Atomic.incr cnt.c_bitblast_solves;
           let ctx = Bitblast.create () in
           List.iter (Bitblast.assert_true ctx) constraints;
-          match Dpll.solve (Bitblast.cnf ctx) with
+          match Dpll.solve ~max_conflicts:budget ?deadline (Bitblast.cnf ctx) with
           | Some Dpll.Unsat -> Unsat
           | None -> Unknown
           | Some (Dpll.Sat assign) ->
@@ -191,9 +255,59 @@ let note_hit_info (info : Qcache.info) =
   if info.Qcache.i_owner >= 0 && info.Qcache.i_owner <> (Domain.self () :> int)
   then Atomic.incr cnt.c_cross_worker_hits
 
+(* One uncached group solve under the retry policy: a bounded first
+   attempt; on budget exhaustion the group is re-submitted once through
+   the qcache (another worker may have answered it meanwhile) and then
+   re-solved with the escalated budget before the Unknown is final. *)
+let solve_with_retry ~cached group =
+  let r = Atomic.get retry_policy in
+  let forced =
+    match Atomic.get chaos_exhaust with Some f -> f () | None -> false
+  in
+  let first =
+    if forced then Unknown
+    else core_solve ~budget:r.base_conflicts ~deadline:(attempt_deadline r)
+           group
+  in
+  match first with
+  | (Sat _ | Unsat) as v -> v
+  | Unknown ->
+      Atomic.incr cnt.c_exhaustions;
+      incr (Domain.DLS.get dls_exhaustions);
+      if r.escalated_conflicts <= 0 then begin
+        incr (Domain.DLS.get dls_unrecovered);
+        Unknown
+      end
+      else begin
+        Atomic.incr cnt.c_retries;
+        (* Counters for the re-lookup are intentionally not bumped: the
+           group already accounted a miss, and a recovered verdict is
+           reported as s_retry_recovered instead. *)
+        let rehit =
+          match cached with
+          | None -> None
+          | Some c -> (
+              match Qcache.Sharded.lookup c group with
+              | Qcache.Exact_sat m, _ | Qcache.Reuse_sat m, _ -> Some (Sat m)
+              | Qcache.Exact_unsat, _ | Qcache.Subset_unsat, _ -> Some Unsat
+              | Qcache.Miss, _ -> None)
+        in
+        let v =
+          match rehit with
+          | Some v -> v
+          | None ->
+              core_solve ~budget:r.escalated_conflicts
+                ~deadline:(attempt_deadline r) group
+        in
+        (match v with
+        | Sat _ | Unsat -> Atomic.incr cnt.c_retry_recovered
+        | Unknown -> incr (Domain.DLS.get dls_unrecovered));
+        v
+      end
+
 let solve_group a group =
   Atomic.incr cnt.c_group_solves;
-  if not a.use_cache then core_solve group
+  if not a.use_cache then solve_with_retry ~cached:None group
   else
     let c = Atomic.get cache in
     match Qcache.Sharded.lookup c group with
@@ -215,7 +329,7 @@ let solve_group a group =
         Sat m
     | Qcache.Miss, _ -> (
         Atomic.incr cnt.c_misses;
-        let r = core_solve group in
+        let r = solve_with_retry ~cached:(Some c) group in
         (match r with
          | Sat m -> Qcache.Sharded.store_sat c group m
          | Unsat -> Qcache.Sharded.store_unsat c group

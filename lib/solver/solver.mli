@@ -68,6 +68,50 @@ val current_accel : unit -> accel
 val clear_cache : unit -> unit
 (** Drop the shared cache's entries (keeps the accel mode). *)
 
+(** {1 Retry policy}
+
+    An [Unknown] from DPLL means a resource budget ran out, not that the
+    query is undecidable — so before any Unknown verdict is final, the
+    group is re-submitted once through the query cache and re-solved
+    with an escalated conflict budget. Each attempt also carries a
+    wall-clock deadline so one adversarial query cannot stall a worker. *)
+
+type retry = {
+  base_conflicts : int;       (** DPLL conflict budget of the first attempt *)
+  escalated_conflicts : int;  (** budget of the single retry; [<= 0] disables
+                                  retrying (one attempt, historical behavior) *)
+  deadline_s : float;         (** per-attempt wall-clock bound in seconds;
+                                  [<= 0.] means none *)
+}
+
+val default_retry : retry
+(** 200k conflicts then one 2M-conflict retry, 5s per attempt. The final
+    verdicts equal the historical single 2M-conflict attempt on any query
+    that fits those budgets; only the work schedule differs. *)
+
+val no_retry : retry
+(** Single attempt with the historical 2M-conflict budget, no deadline. *)
+
+val set_retry : retry -> unit
+(** Set the process-wide retry policy. *)
+
+val current_retry : unit -> retry
+
+val set_chaos_exhaust : (unit -> bool) option -> unit
+(** Fault-injection hook for the chaos harness: when set, the hook is
+    consulted once per uncached group solve, and [true] forces the first
+    attempt to report budget exhaustion without running — the escalated
+    retry then recovers the real verdict. [None] (the default) disables
+    injection. *)
+
+val domain_exhaustions : unit -> int
+(** First-attempt budget exhaustions observed on the calling domain —
+    lets the engine attribute exhaustions to the state being stepped. *)
+
+val domain_unrecovered : unit -> int
+(** Exhaustions on the calling domain whose verdict stayed [Unknown]
+    after the retry (or with retrying disabled). *)
+
 (** {1 Statistics}
 
     Counters are process-global atomics, like the cache; a session's
@@ -91,6 +135,12 @@ type stats = {
   s_interval_solves : int;          (** groups settled by interval layer *)
   s_bitblast_solves : int;          (** groups that reached CNF + DPLL *)
   s_cache_evictions : int;
+  s_exhaustions : int;
+  (** first-attempt conflict-budget / deadline exhaustions (includes
+      chaos-injected ones) *)
+  s_retries : int;                  (** escalated re-submissions issued *)
+  s_retry_recovered : int;
+  (** retries that settled to a definite Sat/Unsat verdict *)
 }
 
 val stats : unit -> stats

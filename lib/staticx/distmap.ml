@@ -34,33 +34,94 @@ let create icfg =
     mu = Mutex.create ();
   }
 
+(* Binary min-heap of (dist, id) pairs for the Dijkstra frontier, stored
+   as two parallel int arrays. Stale entries (a node pushed again with a
+   better distance before its old entry surfaced) are skipped on pop by
+   comparing against the current distance table. *)
+module Heap = struct
+  type h = {
+    mutable keys : int array;    (* tentative distance *)
+    mutable vals : int array;    (* dense node id *)
+    mutable len : int;
+  }
+
+  let make cap = { keys = Array.make (max 1 cap) 0;
+                   vals = Array.make (max 1 cap) 0; len = 0 }
+
+  let swap h i j =
+    let k = h.keys.(i) and v = h.vals.(i) in
+    h.keys.(i) <- h.keys.(j); h.vals.(i) <- h.vals.(j);
+    h.keys.(j) <- k; h.vals.(j) <- v
+
+  let push h key v =
+    if h.len = Array.length h.keys then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      h.keys <- grow h.keys;
+      h.vals <- grow h.vals
+    end;
+    h.keys.(h.len) <- key;
+    h.vals.(h.len) <- v;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  (* [pop h] returns (key, v) for the smallest key, or (-1, -1) when empty. *)
+  let pop h =
+    if h.len = 0 then (-1, -1)
+    else begin
+      let key = h.keys.(0) and v = h.vals.(0) in
+      h.len <- h.len - 1;
+      h.keys.(0) <- h.keys.(h.len);
+      h.vals.(0) <- h.vals.(h.len);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && h.keys.(l) < h.keys.(!m) then m := l;
+        if r < h.len && h.keys.(r) < h.keys.(!m) then m := r;
+        if !m = !i then continue_ := false
+        else begin
+          swap h !i !m;
+          i := !m
+        end
+      done;
+      (key, v)
+    end
+end
+
 (* Multi-source Dijkstra from the uncovered blocks over the reversed
-   graph. Universes are a few hundred blocks, so the O(n^2) pick-min scan
-   beats maintaining a heap. *)
+   graph, with a binary-heap frontier: O((V + E) log V) instead of the
+   former O(V^2) pick-min scan — the difference is felt on every dirty
+   [dist] query once universes reach a few thousand blocks. *)
 let recompute t =
   let n = Array.length t.addrs in
   let d = t.dist_tbl in
+  let heap = Heap.make (max 1 n) in
   for i = 0 to n - 1 do
-    d.(i) <- (if t.covered.(i) then infinity_dist else 0)
+    if t.covered.(i) then d.(i) <- infinity_dist
+    else begin
+      d.(i) <- 0;
+      Heap.push heap 0 i
+    end
   done;
-  let settled = Array.make (max 1 n) false in
   let continue_ = ref true in
   while !continue_ do
-    (* pick the unsettled node with the smallest tentative distance *)
-    let best = ref (-1) in
-    for i = 0 to n - 1 do
-      if (not settled.(i)) && d.(i) < infinity_dist
-         && (!best < 0 || d.(i) < d.(!best))
-      then best := i
-    done;
-    match !best with
-    | -1 -> continue_ := false
-    | u ->
-        settled.(u) <- true;
-        List.iter
-          (fun (p, w) ->
-            if (not settled.(p)) && d.(u) + w < d.(p) then d.(p) <- d.(u) + w)
-          t.radj.(u)
+    match Heap.pop heap with
+    | -1, _ -> continue_ := false
+    | du, u ->
+        (* skip stale entries superseded by a better relaxation *)
+        if du = d.(u) then
+          List.iter
+            (fun (p, w) ->
+              if du + w < d.(p) then begin
+                d.(p) <- du + w;
+                Heap.push heap d.(p) p
+              end)
+            t.radj.(u)
   done;
   t.dirty <- false
 

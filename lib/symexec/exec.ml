@@ -37,6 +37,19 @@ type config = {
       a distance-to-uncovered function ({!set_distance_fn}) that keys the
       [Min_dist] strategy and tiebreaks [Min_touch]. Off by default — the
       engine then behaves exactly as before. *)
+  guard : bool;
+  (** fault-tolerant exploration ({!Guard}): every state's step loop runs
+      inside a fault boundary that quarantines the state on an escaped
+      exception, crashed worker loops are restarted (bounded, with
+      backoff), and solver budget exhaustions during a state's quantum
+      are recorded as incidents. Off = the historical fail-fast engine
+      (one escaped exception kills the session). *)
+  max_worker_restarts : int;
+  (** restarts granted to a worker that keeps crashing without making
+      progress (the counter resets once the worker completes a pick) *)
+  chaos : Guard.chaos option;
+  (** deterministic fault injection for the chaos harness; [None] (the
+      default) injects nothing *)
 }
 
 let default_config =
@@ -53,6 +66,9 @@ let default_config =
     strategy = Sched.Min_touch;
     jobs = 1;
     static_guidance = false;
+    guard = true;
+    max_worker_restarts = 3;
+    chaos = None;
   }
 
 type mem_access = {
@@ -64,6 +80,15 @@ type mem_access = {
   ma_width : int;
   ma_constraints : Expr.t list;
   ma_sp : int;
+}
+
+(* The resource picture the governor is shown (see [set_governor]): the
+   engine samples it every 64 picks alongside the existing live-words
+   accounting, so governance costs nothing measurable on the hot path. *)
+type pressure = {
+  pr_live_states : int;
+  pr_cow_depth : int;
+  pr_live_words : int;
 }
 
 type engine = {
@@ -112,6 +137,12 @@ type engine = {
   mutable kcall_enter : St.t -> string -> Mach.t -> unit;
   mutable kcall_leave : St.t -> string -> Mach.t -> unit;
   mutable replay : Replay.script option;
+  guard_st : Guard.t;
+  soft_retired : int Atomic.t;
+  mutable governor : (pressure -> int) option;
+  (* returns how many queued states to concretize-and-retire now *)
+  priority_fn : St.t -> int;
+  (* the frontier's priority function, kept for governor victim ranking *)
   solver_base : Solver.stats;
   (* snapshot at creation; [stats] reports the delta, i.e. the solver
      work attributable to this engine. The counters are process-global,
@@ -197,6 +228,10 @@ let create ?(config = default_config) img base_mem symdev =
     Frontier.create ~workers:(max 1 config.jobs) ~max_states:config.max_states
       ~strategy:config.strategy ~priority
   in
+  let guard_st = Guard.create () in
+  (* Install (or clear) the solver-side chaos injection for this engine;
+     like [set_accel] above this is a process-wide switch. *)
+  Solver.set_chaos_exhaust (Guard.solver_chaos_fn guard_st config.chaos);
   {
     cfg = config;
     base_mem;
@@ -231,6 +266,10 @@ let create ?(config = default_config) img base_mem symdev =
     kcall_enter = (fun _ _ _ -> ());
     kcall_leave = (fun _ _ _ -> ());
     replay = None;
+    guard_st;
+    soft_retired = Atomic.make 0;
+    governor = None;
+    priority_fn = priority;
     solver_base = Solver.stats ();
   }
 
@@ -250,6 +289,10 @@ let set_kcall_hooks eng ~enter ~leave =
 
 let set_replay eng script = eng.replay <- Some script
 let set_distance_fn eng f = eng.dist_fn := f
+let set_governor eng f = eng.governor <- Some f
+let incidents eng = Guard.incidents eng.guard_st
+let worker_restarts eng = Guard.restarts eng.guard_st
+let soft_retired eng = Atomic.get eng.soft_retired
 
 (* --- state management -------------------------------------------------- *)
 
@@ -300,6 +343,36 @@ let fork_state eng st =
      priority starts from the fork point without any shared table. *)
   child
 
+let replay_script ?(extra = []) ?constraints (st : St.t) =
+  let base_constraints =
+    match constraints with Some cs -> cs | None -> st.St.constraints
+  in
+  let model =
+    match Solver.check (extra @ base_constraints) with
+    | Solver.Sat m -> m
+    | Solver.Unsat | Solver.Unknown -> (
+        (* The extra witness constraints may be unsatisfiable together
+           with the path; fall back to the plain path condition. *)
+        match Solver.check st.St.constraints with
+        | Solver.Sat m -> m
+        | Solver.Unsat | Solver.Unknown -> fun _ -> 0)
+  in
+  {
+    Replay.rs_inputs =
+      List.rev_map (fun (var, _) -> (var.Expr.name, model var)) st.St.sym_inputs;
+    rs_choices = List.rev st.St.choices;
+    rs_inject_sites = List.rev st.St.injected_sites;
+    rs_entry = st.St.entry_name;
+  }
+
+(* A quarantined state's script must never raise — the guard paths call
+   this while already handling a fault. *)
+let safe_replay_script st =
+  try replay_script st
+  with _ ->
+    { Replay.rs_inputs = []; rs_choices = []; rs_inject_sites = [];
+      rs_entry = st.St.entry_name }
+
 let retire eng st status ~report =
   st.St.status <- Some status;
   let forks =
@@ -318,8 +391,24 @@ let retire eng st status ~report =
   if report then eng.done_states <- st :: eng.done_states;
   Mutex.unlock eng.glock;
   (* The hook runs outside the lock so checkers may call [stats] etc.;
-     Session serializes its own accounting. *)
-  if report then eng.on_state_done st
+     Session serializes its own accounting. A checker exception is an
+     engine fault, not a driver finding: under the guard it is
+     quarantined as an incident (with the state's script) instead of
+     unwinding the worker. *)
+  if report then begin
+    try eng.on_state_done st
+    with exn when eng.cfg.guard && Guard.absorbable exn ->
+      Guard.record eng.guard_st
+        {
+          Guard.inc_kind = Guard.State_fault;
+          inc_worker = Domain.DLS.get worker_key;
+          inc_state_id = st.St.id;
+          inc_entry = st.St.entry_name;
+          inc_pc = st.St.pc;
+          inc_message = "checker exception: " ^ Guard.describe exn;
+          inc_replay = safe_replay_script st;
+        }
+  end
 
 (* --- expression helpers ------------------------------------------------ *)
 
@@ -913,6 +1002,10 @@ let start_invocation eng st ~name ~addr ~args =
 let step_quantum eng st =
   let budget = ref eng.cfg.quantum in
   let wid = Domain.DLS.get worker_key in
+  (* Snapshot this domain's solver exhaustion counters so a budget that
+     runs dry during this quantum can be attributed to [st]. *)
+  let exh0 = if eng.cfg.guard then Solver.domain_exhaustions () else 0 in
+  let unrec0 = if eng.cfg.guard then Solver.domain_unrecovered () else 0 in
   (try
      while
        (not (St.terminated st))
@@ -943,16 +1036,118 @@ let step_quantum eng st =
          (St.Crashed
             { c_code = Bugcheck.string_of_code code; c_msg = msg;
               c_pc = st.St.pc })
-         ~report:true);
+         ~report:true
+   | exn when eng.cfg.guard && Guard.absorbable exn ->
+       (* The fault boundary: an interpreter fault, stack overflow,
+          out-of-memory, or any other exception escaping this state's
+          execution quarantines the state — replayable script and all —
+          instead of unwinding the worker and killing the session. *)
+       Guard.record eng.guard_st
+         {
+           Guard.inc_kind = Guard.State_fault;
+           inc_worker = wid;
+           inc_state_id = st.St.id;
+           inc_entry = st.St.entry_name;
+           inc_pc = st.St.pc;
+           inc_message = Guard.describe exn;
+           inc_replay = safe_replay_script st;
+         };
+       retire eng st
+         (St.Discarded ("quarantined: " ^ Guard.describe exn))
+         ~report:false);
+  if eng.cfg.guard then begin
+    let d_exh = Solver.domain_exhaustions () - exh0 in
+    if d_exh > 0 && Guard.claim_solver_flag eng.guard_st st.St.id then begin
+      let d_unrec = Solver.domain_unrecovered () - unrec0 in
+      Guard.record eng.guard_st
+        {
+          Guard.inc_kind = Guard.Solver_exhaustion;
+          inc_worker = wid;
+          inc_state_id = st.St.id;
+          inc_entry = st.St.entry_name;
+          inc_pc = st.St.pc;
+          inc_message =
+            Printf.sprintf
+              "%d solver budget exhaustion(s) during quantum (%d recovered \
+               by escalated retry, %d left Unknown)"
+              d_exh (d_exh - d_unrec) d_unrec;
+          inc_replay = safe_replay_script st;
+        }
+    end
+  end;
   if eng.shard_pending.(wid) > 0 then flush_shard eng wid
 
 type stop_reason = Stop_budget | Stop_plateau
 
-(* Sample the copy-on-write footprint for the E5 accounting. *)
+(* Graceful degradation under resource pressure: deterministically pick
+   the [n] least-promising queued states (worst scheduler priority, then
+   largest copy-on-write footprint, then highest id — youngest fork),
+   concretize each one's pending symbolic inputs to its cached model so
+   the discard reason records a concrete witness of the retired path,
+   and retire them — well before the hard [max_states] cap would start
+   dropping fresh forks silently. *)
+let soft_retire eng n =
+  let cands = ref [] in
+  Frontier.iter eng.frontier (fun s ->
+      cands :=
+        (eng.priority_fn s, Symmem.live_words s.St.mem, s.St.id) :: !cands);
+  let ranked =
+    List.sort
+      (fun (p1, w1, i1) (p2, w2, i2) ->
+        match compare p2 p1 with
+        | 0 -> ( match compare w2 w1 with 0 -> compare i2 i1 | c -> c)
+        | c -> c)
+      !cands
+  in
+  let vset = Hashtbl.create 8 in
+  List.iteri
+    (fun i (_, _, id) -> if i < n then Hashtbl.replace vset id ())
+    ranked;
+  let removed =
+    Frontier.remove eng.frontier (fun s -> Hashtbl.mem vset s.St.id)
+  in
+  List.iter
+    (fun s ->
+      let witness =
+        match Solver.check s.St.constraints with
+        | Solver.Sat m ->
+            s.St.sym_inputs
+            |> List.filteri (fun i _ -> i < 4)
+            |> List.map (fun ((v : Expr.var), _) ->
+                   Printf.sprintf "%s=%d" v.Expr.name (m v))
+            |> String.concat ","
+        | Solver.Unsat | Solver.Unknown -> "-"
+      in
+      Atomic.incr eng.soft_retired;
+      retire eng s
+        (St.Discarded
+           (Printf.sprintf "resource governor: soft cap (witness %s)" witness))
+        ~report:false)
+    removed
+
+(* Sample the copy-on-write footprint for the E5 accounting, and show the
+   resource governor (when installed) the same reading — one frontier
+   sweep serves both, so governance adds nothing to the hot path. *)
 let sample_live eng st =
   let live = ref (Symmem.live_words st.St.mem) in
-  Frontier.iter eng.frontier (fun s -> live := !live + Symmem.live_words s.St.mem);
-  amax eng.peak_live_words !live
+  let depth = ref (Symmem.chain_depth st.St.mem) in
+  Frontier.iter eng.frontier (fun s ->
+      live := !live + Symmem.live_words s.St.mem;
+      depth := max !depth (Symmem.chain_depth s.St.mem));
+  amax eng.peak_live_words !live;
+  match eng.governor with
+  | None -> ()
+  | Some gov ->
+      let words = !live + Guard.pressure_boost eng.cfg.chaos in
+      let n =
+        gov
+          {
+            pr_live_states = Frontier.size eng.frontier;
+            pr_cow_depth = !depth;
+            pr_live_words = words;
+          }
+      in
+      if n > 0 then soft_retire eng n
 
 (* One explorer. Workers pull from their own deque, steal when it runs
    dry, and park (briefly sleeping, so co-scheduled domains on few cores
@@ -961,8 +1156,11 @@ let sample_live eng st =
    in motion anywhere, at which point every worker agrees exploration is
    complete. Any worker noticing the budget or plateau limit publishes
    the stop reason; the others exit at their next pick. *)
+(* A worker-level fault was already quarantined against its in-flight
+   state; the wrapper tells the supervisor not to record it twice. *)
+exception Quarantined of exn
+
 let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
-  Domain.DLS.set worker_key wid;
   let rec loop () =
     if Atomic.get stop = None then
       if Atomic.get eng.total_steps - start >= max_total_steps then
@@ -975,8 +1173,30 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
         match Frontier.pick eng.frontier ~worker:wid with
         | Some st ->
             let picks = Atomic.fetch_and_add eng.picks 1 + 1 in
-            if picks land 63 = 0 then sample_live eng st;
-            step_quantum eng st;
+            (try
+               Guard.maybe_crash eng.guard_st eng.cfg.chaos;
+               if picks land 63 = 0 then sample_live eng st;
+               step_quantum eng st
+             with exn when eng.cfg.guard ->
+               (* A fault that escaped the state-level boundary hit the
+                  worker itself ([step_quantum] absorbs the state's own
+                  faults), so [st] was not mid-execution and is intact:
+                  quarantine a replayable snapshot, requeue the state so
+                  no path is lost, fix the inflight accounting, and hand
+                  the fault to the supervisor below. *)
+               Frontier.task_done eng.frontier;
+               Guard.record eng.guard_st
+                 {
+                   Guard.inc_kind = Guard.Worker_crash;
+                   inc_worker = wid;
+                   inc_state_id = st.St.id;
+                   inc_entry = st.St.entry_name;
+                   inc_pc = st.St.pc;
+                   inc_message = Guard.describe exn;
+                   inc_replay = safe_replay_script st;
+                 };
+               Frontier.requeue eng.frontier ~worker:wid st;
+               raise (Quarantined exn));
             Frontier.task_done eng.frontier;
             loop ()
         | None ->
@@ -985,7 +1205,47 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
               loop ()
             end
   in
-  loop ()
+  (* Worker supervision: a crashed loop is relaunched on a fresh stack
+     after a short exponential backoff. The restart budget only burns
+     when the worker wedges — crashing again before completing a single
+     pick; any progress resets the counter, so sporadic faults never
+     exhaust it. A worker that gives up leaves the frontier to the
+     surviving workers (and [run]'s final drain). *)
+  let rec supervised attempts last_picks =
+    Domain.DLS.set worker_key wid;
+    try loop () with
+    | Stdlib.Exit -> ()
+    | exn when eng.cfg.guard ->
+        (match exn with
+        | Quarantined _ -> ()
+        | exn ->
+            (* Fault outside any pick (scheduler, sampler): no state to
+               attribute, but the crash itself is still an incident. *)
+            Guard.record eng.guard_st
+              {
+                Guard.inc_kind = Guard.Worker_crash;
+                inc_worker = wid;
+                inc_state_id = 0;
+                inc_entry = "";
+                inc_pc = 0;
+                inc_message = Guard.describe exn;
+                inc_replay =
+                  { Replay.rs_inputs = []; rs_choices = [];
+                    rs_inject_sites = []; rs_entry = "" };
+              });
+        let picks_now = Atomic.get eng.picks in
+        let attempts = if picks_now > last_picks then 0 else attempts in
+        if attempts < eng.cfg.max_worker_restarts then begin
+          Guard.note_restart eng.guard_st;
+          Guard.backoff attempts;
+          supervised (attempts + 1) picks_now
+        end
+  in
+  if eng.cfg.guard then supervised 0 (Atomic.get eng.picks)
+  else begin
+    Domain.DLS.set worker_key wid;
+    loop ()
+  end
 
 let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
   let start = Atomic.get eng.total_steps in
@@ -999,13 +1259,43 @@ let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
       List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
     in
     worker 0;
-    List.iter Domain.join doms;
+    (* Under the guard the supervisor absorbs every fault, so these joins
+       cannot re-raise; the belt-and-suspenders handler still prevents a
+       dead domain from taking the session down through the join. *)
+    List.iter
+      (fun d ->
+        try Domain.join d
+        with exn when eng.cfg.guard ->
+          Guard.record eng.guard_st
+            {
+              Guard.inc_kind = Guard.Worker_crash;
+              inc_worker = -1;
+              inc_state_id = 0;
+              inc_entry = "";
+              inc_pc = 0;
+              inc_message = "worker domain died: " ^ Guard.describe exn;
+              inc_replay =
+                { Replay.rs_inputs = []; rs_choices = [];
+                  rs_inject_sites = []; rs_entry = "" };
+            })
+      doms;
     (* The caller's domain goes back to being worker 0 for the seeding of
        the next phase. *)
     Domain.DLS.set worker_key 0
   end;
   match Atomic.get stop with
-  | None -> ()
+  | None ->
+      (* Every worker exhausted its restart budget with work remaining —
+         only reachable under the guard after repeated wedges. Drain the
+         leftovers quietly so the session still terminates cleanly and
+         reports what was explored. *)
+      if eng.cfg.guard && not (Frontier.quiescent eng.frontier) then
+        List.iter
+          (fun st ->
+            retire eng st
+              (St.Discarded "workers exhausted restart budget")
+              ~report:false)
+          (Frontier.drain_all eng.frontier)
   | Some Stop_budget ->
       (* Budget exhausted: remaining states end as Exhausted. *)
       List.iter
@@ -1019,28 +1309,6 @@ let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
         (fun st ->
           retire eng st (St.Discarded "coverage plateau") ~report:false)
         (Frontier.drain_all eng.frontier)
-
-let replay_script ?(extra = []) ?constraints (st : St.t) =
-  let base_constraints =
-    match constraints with Some cs -> cs | None -> st.St.constraints
-  in
-  let model =
-    match Solver.check (extra @ base_constraints) with
-    | Solver.Sat m -> m
-    | Solver.Unsat | Solver.Unknown -> (
-        (* The extra witness constraints may be unsatisfiable together
-           with the path; fall back to the plain path condition. *)
-        match Solver.check st.St.constraints with
-        | Solver.Sat m -> m
-        | Solver.Unsat | Solver.Unknown -> fun _ -> 0)
-  in
-  {
-    Replay.rs_inputs =
-      List.rev_map (fun (var, _) -> (var.Expr.name, model var)) st.St.sym_inputs;
-    rs_choices = List.rev st.St.choices;
-    rs_inject_sites = List.rev st.St.injected_sites;
-    rs_entry = st.St.entry_name;
-  }
 
 let execution_tree eng =
   Mutex.lock eng.glock;
@@ -1118,6 +1386,9 @@ type stats = {
   st_live_words : int;
   st_steals : int;
   st_workers : int;
+  st_incidents : int;
+  st_worker_restarts : int;
+  st_soft_retired : int;
   st_solver : Solver.stats;
 }
 
@@ -1148,5 +1419,8 @@ let stats eng =
     st_live_words = max !live (Atomic.get eng.peak_live_words);
     st_steals = Frontier.steals eng.frontier;
     st_workers = Frontier.n_workers eng.frontier;
+    st_incidents = Guard.incident_count eng.guard_st;
+    st_worker_restarts = Guard.restarts eng.guard_st;
+    st_soft_retired = Atomic.get eng.soft_retired;
     st_solver = Solver.diff_stats (Solver.stats ()) eng.solver_base;
   }

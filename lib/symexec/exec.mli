@@ -44,6 +44,22 @@ type config = {
       which keys the {!Sched.Min_dist} strategy and tiebreaks
       [Min_touch]. Off by default; with no oracle installed every
       strategy orders states exactly as before this knob existed. *)
+  guard : bool;
+  (** fault-tolerant exploration ({!Guard}), on by default: every
+      state's step loop runs inside a fault boundary that quarantines
+      the state (with its replayable script) when an exception escapes —
+      interpreter faults, [Stack_overflow], [Out_of_memory], checker
+      exceptions — a crashed worker loop is restarted with backoff, and
+      solver budget exhaustions during a state's quantum are recorded as
+      incidents ({!incidents}). Off restores the historical fail-fast
+      engine, where one escaped exception kills the whole session. *)
+  max_worker_restarts : int;
+  (** restarts granted to a worker that crashes repeatedly {e without
+      completing a pick} (progress resets the counter); a worker that
+      gives up leaves the frontier to the survivors. Default 3. *)
+  chaos : Guard.chaos option;
+  (** deterministic fault injection for the chaos harness ({!Guard.chaos});
+      [None] (the default) injects nothing and costs nothing *)
 }
 
 val default_config : config
@@ -104,6 +120,32 @@ val set_distance_fn : engine -> (int -> int) -> unit
     (covering code only raises distances) — the scheduler's lazy heap
     relies on priorities never shrinking. The default oracle is
     [fun _ -> 0]. *)
+
+(** {1 Resilience} *)
+
+type pressure = {
+  pr_live_states : int;   (** states currently queued in the frontier *)
+  pr_cow_depth : int;     (** deepest copy-on-write chain seen in the sweep *)
+  pr_live_words : int;    (** live copy-on-write words across the frontier *)
+}
+(** The resource picture shown to the governor, sampled every 64 picks
+    alongside the existing live-words accounting. *)
+
+val set_governor : engine -> (pressure -> int) -> unit
+(** Install a resource governor (policy lives in [Ddt_core.Governor]).
+    The callback returns how many queued states the engine should
+    concretize-and-retire right now: victims are chosen
+    deterministically — worst scheduler priority first, then largest
+    footprint, then youngest — their pending inputs are pinned to the
+    cached model (the discard reason records the witness), and they are
+    retired quietly, well before the hard [max_states] cap would drop
+    fresh forks. *)
+
+val incidents : engine -> Guard.incident list
+(** Quarantined engine incidents so far, in deterministic order. *)
+
+val worker_restarts : engine -> int
+val soft_retired : engine -> int
 
 val replay_script :
   ?extra:Expr.t list -> ?constraints:Expr.t list -> Symstate.t ->
@@ -180,6 +222,9 @@ type stats = {
   st_steals : int;
   (** successful cross-worker frontier steals (0 when [jobs = 1]) *)
   st_workers : int;            (** frontier worker slots ([config.jobs]) *)
+  st_incidents : int;          (** quarantined engine incidents *)
+  st_worker_restarts : int;    (** supervisor worker-loop restarts *)
+  st_soft_retired : int;       (** states retired by the resource governor *)
   st_solver : Ddt_solver.Solver.stats;
   (** solver queries/cache-hit/bit-blast counters attributable to this
       engine (snapshot delta since [create]; exact only while no other

@@ -80,15 +80,13 @@ let push_any t st =
    most unexplored work sits (and for Dfs/Min_touch, Sched.steal hands
    over the root-most / highest-key state — the biggest subtree). Lengths
    are read without the victim's lock; staleness only costs ordering. *)
-let pick t ~worker =
-  Atomic.incr t.inflight;
+let pick_locked t ~worker =
   let n = Array.length t.workers in
   let me = worker mod n in
   let own =
     with_wq t.workers.(me) (fun () -> Sched.pop t.workers.(me).wq_q)
   in
-  let got =
-    match own with
+  match own with
     | Some _ -> own
     | None ->
         let victims =
@@ -111,6 +109,19 @@ let pick t ~worker =
                     Some st
                 | None -> None))
           None victims
+
+let pick t ~worker =
+  Atomic.incr t.inflight;
+  (* Exception safety: the priority function runs under the queue locks
+     inside [pick_locked], and a fault escaping between the inflight
+     raise and the return would leak the counter and wedge termination
+     detection for every other worker — so the raise is undone before
+     re-raising. *)
+  let got =
+    try pick_locked t ~worker
+    with exn ->
+      Atomic.decr t.inflight;
+      raise exn
   in
   (match got with
   | Some _ -> Atomic.decr t.size
@@ -118,6 +129,26 @@ let pick t ~worker =
   got
 
 let task_done t = Atomic.decr t.inflight
+
+(* Governor support: pull out every queued state matching [pred]
+   (inflight states are not candidates). Survivors are re-admitted in
+   drain order, which preserves deque ordering exactly and re-keys heap
+   entries to an equivalent heap. *)
+let remove t pred =
+  let removed = ref [] in
+  Array.iter
+    (fun wq ->
+      with_wq wq (fun () ->
+          let all = Sched.drain wq.wq_q in
+          List.iter
+            (fun st ->
+              if pred st then removed := st :: !removed
+              else Sched.requeue wq.wq_q st)
+            all))
+    t.workers;
+  let n = List.length !removed in
+  if n > 0 then ignore (Atomic.fetch_and_add t.size (-n));
+  List.rev !removed
 
 let iter t f =
   Array.iter (fun wq -> with_wq wq (fun () -> Sched.iter wq.wq_q f)) t.workers

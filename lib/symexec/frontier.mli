@@ -45,7 +45,15 @@ val pick : t -> worker:int -> Symstate.t option
 (** Pop from the own queue or steal; [Some] means the caller now holds an
     inflight state and {b must} call {!task_done} after executing it (and
     after pushing any children). [None] means no work was available at
-    this instant — not necessarily termination; check {!quiescent}. *)
+    this instant — not necessarily termination; check {!quiescent}. A
+    fault raised by the priority function propagates with the inflight
+    counter restored, so a crashing worker cannot wedge termination
+    detection. *)
+
+val remove : t -> (Symstate.t -> bool) -> Symstate.t list
+(** Remove every queued state matching the predicate (inflight states
+    are not candidates); survivors keep their order. Used by the
+    resource governor to retire states under memory pressure. *)
 
 val task_done : t -> unit
 val quiescent : t -> bool

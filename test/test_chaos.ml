@@ -1,0 +1,201 @@
+(* Chaos harness: deterministic fault injection against full sessions.
+
+   Each test runs every corpus driver twice — fault-free, then with one
+   chaos injection enabled — and pins the resilience contract: the
+   session completes, the faults surface as quarantined engine incidents
+   (never as session death), and the dynamic bug report is identical to
+   the fault-free run. Injection points are counted on engine-owned
+   atomics, so at jobs = 1 every run injects at exactly the same
+   places. *)
+
+module Config = Ddt_core.Config
+module Session = Ddt_core.Session
+module Governor = Ddt_core.Governor
+module Exec = Ddt_symexec.Exec
+module Guard = Ddt_symexec.Guard
+module Solver = Ddt_solver.Solver
+module Report = Ddt_checkers.Report
+module Corpus = Ddt_drivers.Corpus
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let quick_cfg (e : Corpus.entry) =
+  let cfg = Corpus.config e in
+  { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+
+let run_with ?governor chaos e =
+  let cfg = quick_cfg e in
+  let cfg = { cfg with Config.governor = governor } in
+  let cfg =
+    { cfg with
+      Config.exec_config =
+        { cfg.Config.exec_config with Exec.jobs = 1; chaos } }
+  in
+  (* Start every run from a cold query cache so the fault-free and the
+     chaos run issue the same uncached solves (injections fire on
+     uncached group solves). *)
+  Solver.clear_cache ();
+  Session.run cfg
+
+let bug_keys (r : Session.result) =
+  List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+
+(* One fault-free reference run per driver, shared by every test. *)
+let baseline_tbl : (string, Session.result) Hashtbl.t = Hashtbl.create 8
+
+let baseline (e : Corpus.entry) =
+  match Hashtbl.find_opt baseline_tbl e.Corpus.short with
+  | Some r -> r
+  | None ->
+      let r = run_with None e in
+      Hashtbl.replace baseline_tbl e.Corpus.short r;
+      r
+
+let count_kind k (r : Session.result) =
+  List.length
+    (List.filter
+       (fun (i : Report.incident) -> i.Guard.inc_kind = k)
+       r.Session.r_incidents)
+
+(* --- injected worker crashes ----------------------------------------------- *)
+
+let test_worker_crashes () =
+  let total_crashes = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let chaos =
+        run_with
+          (Some
+             { Guard.chaos_worker_crash_period = 25;
+               chaos_solver_exhaust_period = 0; chaos_pressure_words = 0 })
+          e
+      in
+      check_bool (e.Corpus.short ^ " bug set unchanged by worker crashes")
+        true
+        (bug_keys base = bug_keys chaos);
+      let crashes = count_kind Guard.Worker_crash chaos in
+      total_crashes := !total_crashes + crashes;
+      (* every injected crash is absorbed by the supervisor: one restart
+         per crash incident, and the session still produced a report *)
+      check_int (e.Corpus.short ^ " one restart per crash") crashes
+        chaos.Session.r_stats.Exec.st_worker_restarts;
+      check_bool (e.Corpus.short ^ " finished states nonzero") true
+        (chaos.Session.r_finished_states > 0))
+    Corpus.all;
+  check_bool "crashes were actually injected somewhere" true
+    (!total_crashes > 0)
+
+let test_crash_incident_has_replay () =
+  let e = Corpus.find "rtl8029" in
+  let chaos =
+    run_with
+      (Some
+         { Guard.chaos_worker_crash_period = 25;
+           chaos_solver_exhaust_period = 0; chaos_pressure_words = 0 })
+      e
+  in
+  let crashes =
+    List.filter
+      (fun (i : Report.incident) -> i.Guard.inc_kind = Guard.Worker_crash)
+      chaos.Session.r_incidents
+  in
+  check_bool "at least one crash incident" true (crashes <> []);
+  List.iter
+    (fun (i : Report.incident) ->
+      check_bool "incident names its entry point" true
+        (i.Guard.inc_replay.Ddt_trace.Replay.rs_entry <> ""))
+    crashes
+
+(* --- injected solver budget exhaustion ------------------------------------- *)
+
+let test_solver_exhaustion () =
+  let total_retries = ref 0 in
+  let total_incidents = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let chaos =
+        run_with
+          (Some
+             { Guard.chaos_worker_crash_period = 0;
+               chaos_solver_exhaust_period = 3; chaos_pressure_words = 0 })
+          e
+      in
+      check_bool (e.Corpus.short ^ " bug set unchanged by solver exhaustion")
+        true
+        (bug_keys base = bug_keys chaos);
+      let sv = chaos.Session.r_stats.Exec.st_solver in
+      (* a forced first-attempt Unknown must never become a final verdict:
+         every exhaustion is retried *)
+      check_bool (e.Corpus.short ^ " every exhaustion retried") true
+        (sv.Solver.s_retries >= sv.Solver.s_exhaustions
+         || sv.Solver.s_retry_recovered > 0);
+      total_retries := !total_retries + sv.Solver.s_retries;
+      total_incidents := !total_incidents + count_kind Guard.Solver_exhaustion chaos)
+    Corpus.all;
+  check_bool "escalated retries were issued" true (!total_retries > 0);
+  check_bool "exhaustions surfaced as incidents" true (!total_incidents > 0)
+
+(* --- simulated memory pressure --------------------------------------------- *)
+
+let pressure_limits =
+  { Governor.soft_states = 0; soft_cow_depth = 0; soft_live_words = 1;
+    min_states = 8; max_retire_per_trip = 1 }
+
+let test_memory_pressure () =
+  let total_trips = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let chaos =
+        run_with ~governor:pressure_limits
+          (Some
+             { Guard.chaos_worker_crash_period = 0;
+               chaos_solver_exhaust_period = 0;
+               chaos_pressure_words = 50_000_000 })
+          e
+      in
+      check_bool (e.Corpus.short ^ " bug set unchanged under pressure") true
+        (bug_keys base = bug_keys chaos);
+      total_trips := !total_trips + chaos.Session.r_governor_trips)
+    Corpus.all;
+  check_bool "governor tripped somewhere" true (!total_trips > 0)
+
+(* --- everything at once ---------------------------------------------------- *)
+
+let test_combined () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let chaos =
+        run_with ~governor:pressure_limits
+          (Some
+             { Guard.chaos_worker_crash_period = 25;
+               chaos_solver_exhaust_period = 3;
+               chaos_pressure_words = 50_000_000 })
+          e
+      in
+      check_bool (e.Corpus.short ^ " bug set unchanged under combined chaos")
+        true
+        (bug_keys base = bug_keys chaos);
+      check_bool (e.Corpus.short ^ " session produced a report") true
+        (chaos.Session.r_finished_states > 0))
+    Corpus.all
+
+let () =
+  Alcotest.run "ddt_chaos"
+    [ ("worker-crash",
+       [ Alcotest.test_case "bug sets identical, crashes absorbed" `Quick
+           test_worker_crashes;
+         Alcotest.test_case "crash incidents carry a replay" `Quick
+           test_crash_incident_has_replay ]);
+      ("solver-exhaustion",
+       [ Alcotest.test_case "bug sets identical, retries recover" `Quick
+           test_solver_exhaustion ]);
+      ("memory-pressure",
+       [ Alcotest.test_case "bug sets identical, governor trips" `Quick
+           test_memory_pressure ]);
+      ("combined",
+       [ Alcotest.test_case "all injections at once" `Quick test_combined ]) ]

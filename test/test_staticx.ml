@@ -304,6 +304,70 @@ let test_distmap_monotone () =
     (Distmap.dist dm 0);
   check_int "nothing uncovered left" 0 (List.length (Distmap.uncovered dm))
 
+(* Naive O(n^2) pick-min multi-source Dijkstra over the reversed graph:
+   the reference the heap-based [Distmap.recompute] must agree with on
+   every corpus driver, at every coverage stage. *)
+let reference_dists icfg covered =
+  let addrs = Array.of_list icfg.Icfg.universe in
+  let n = Array.length addrs in
+  let ids = Hashtbl.create (2 * n) in
+  Array.iteri (fun i a -> Hashtbl.replace ids a i) addrs;
+  let cov = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace cov a ()) covered;
+  let radj = Array.make (max 1 n) [] in
+  List.iter
+    (fun (src, dst, w) ->
+      match (Hashtbl.find_opt ids src, Hashtbl.find_opt ids dst) with
+      | Some s, Some d -> radj.(d) <- (s, w) :: radj.(d)
+      | _ -> ())
+    (Icfg.edges icfg);
+  let d = Array.make (max 1 n) 0 in
+  for i = 0 to n - 1 do
+    d.(i) <-
+      (if Hashtbl.mem cov addrs.(i) then Distmap.infinity_dist else 0)
+  done;
+  let settled = Array.make (max 1 n) false in
+  let continue_ = ref true in
+  while !continue_ do
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not settled.(i)) && d.(i) < Distmap.infinity_dist
+         && (!best < 0 || d.(i) < d.(!best))
+      then best := i
+    done;
+    match !best with
+    | -1 -> continue_ := false
+    | u ->
+        settled.(u) <- true;
+        List.iter
+          (fun (p, w) ->
+            if (not settled.(p)) && d.(u) + w < d.(p) then d.(p) <- d.(u) + w)
+          radj.(u)
+  done;
+  (addrs, d)
+
+let test_distmap_matches_reference () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let icfg = Icfg.build (e.Corpus.image ()) in
+      let leaders = icfg.Icfg.universe in
+      let check_stage stage covered =
+        let dm = Distmap.create icfg in
+        List.iter (Distmap.note_covered dm) covered;
+        let addrs, ref_d = reference_dists icfg covered in
+        Array.iteri
+          (fun i a ->
+            check_int
+              (Printf.sprintf "%s %s dist 0x%x" e.Corpus.short stage a)
+              ref_d.(i) (Distmap.dist dm a))
+          addrs
+      in
+      check_stage "fresh" [];
+      check_stage "half"
+        (List.filteri (fun i _ -> i mod 2 = 0) leaders);
+      check_stage "full" leaders)
+    Corpus.all
+
 (* --- JSON report schema ---------------------------------------------------- *)
 
 let test_report_json_roundtrip () =
@@ -326,6 +390,16 @@ let test_report_json_roundtrip () =
       j_invocations = 12;
       j_finished_states = 40;
       j_paths_to_first_bug = Some 3;
+      j_states_dropped = 2;
+      j_soft_retired = 1;
+      j_incidents =
+        [ { J.ji_kind = "worker-crash"; ji_worker = 1; ji_state_id = 7;
+            ji_entry = "send"; ji_pc = 0x1240;
+            ji_message = "chaos: injected crash";
+            ji_replay = "input mmio 0x0 0xff\nchoice irq \"late\"\n" };
+          { J.ji_kind = "solver-exhaustion"; ji_worker = 0; ji_state_id = 0;
+            ji_entry = ""; ji_pc = 0;
+            ji_message = "1 solver budget exhaustion(s)"; ji_replay = "" } ];
     }
   in
   (match J.of_string (J.to_string s) with
@@ -419,7 +493,9 @@ let () =
          Alcotest.test_case "corpus statically clean" `Quick
            test_corpus_statically_clean ]);
       ("distmap",
-       [ Alcotest.test_case "monotone distances" `Quick test_distmap_monotone ]);
+       [ Alcotest.test_case "monotone distances" `Quick test_distmap_monotone;
+         Alcotest.test_case "heap matches naive reference on corpus" `Quick
+           test_distmap_matches_reference ]);
       ("report-json",
        [ Alcotest.test_case "round-trip" `Quick test_report_json_roundtrip ]);
       ("guidance",
