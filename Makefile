@@ -11,12 +11,15 @@ test:
 # Tier-1 verification plus smoke tests: a quick shared-frontier run on
 # two drivers (work stealing + shared query cache end to end), a quick
 # chaos run (injected worker crashes / solver exhaustions / memory
-# pressure must leave the bug sets unchanged), the static pre-analysis
-# on two known-clean drivers (nonzero universe, zero findings), and a
+# pressure must leave the bug sets unchanged), a quick incremental-
+# session run (bug sets must match the from-scratch pipeline, plus the
+# clause-retention microbench), the static pre-analysis on two
+# known-clean drivers (nonzero universe, zero findings), and a
 # warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
 	dune exec bench/main.exe -- chaos --quick
+	dune exec bench/main.exe -- incr --quick
 	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean > /dev/null
 	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
 	dune build @doc

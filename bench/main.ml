@@ -894,6 +894,219 @@ let chaos_bench () =
     Printf.printf "wrote BENCH_chaos.json\n"
   end
 
+(* --- incremental solver sessions -------------------------------------------------- *)
+
+type incr_row = {
+  ir_driver : string;
+  ir_off : Ddt_solver.Solver.stats;
+  ir_off_wall : float;
+  ir_off_bugs : string list;
+  ir_on : Ddt_solver.Solver.stats;
+  ir_on_wall : float;
+  ir_on_bugs : string list;
+}
+
+let write_incr_json rows ~micro_wall_scratch ~micro_wall_incr ~micro_retained
+    ~micro_verdicts_agree path =
+  let module Sv = Ddt_solver.Solver in
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let leg (s : Sv.stats) wall bugs =
+    Printf.sprintf
+      "{\"queries\": %d, \"group_solves\": %d, \"bitblast_solves\": %d, \
+       \"incr_queries\": %d, \"incr_model_hits\": %d, \
+       \"incr_sat_solves\": %d, \"incr_learned_retained\": %d, \
+       \"incr_frames_reused\": %d, \"incr_pushes\": %d, \"incr_pops\": %d, \
+       \"incr_rebuilds\": %d, \"wall_s\": %.4f, \"bugs\": %d}"
+      s.Sv.s_queries s.Sv.s_group_solves s.Sv.s_bitblast_solves
+      s.Sv.s_incr_queries s.Sv.s_incr_model_hits s.Sv.s_incr_sat_solves
+      s.Sv.s_incr_learned_retained s.Sv.s_incr_skipped_recanon
+      s.Sv.s_incr_pushes s.Sv.s_incr_pops s.Sv.s_incr_rebuilds wall
+      (List.length bugs)
+  in
+  pr "{\n  \"experiment\": \"incr\",\n";
+  pr
+    "  \"note\": \"per-state incremental solver sessions (push/pop + \
+     activation literals + retained learned clauses) vs the from-scratch \
+     pipeline; pr1 baseline for the same corpus was 15743 bit-blasts / \
+     ~26.1s solver wall\",\n";
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S,\n     \"scratch\": %s,\n     \"incremental\": \
+         %s,\n     \"speedup\": %.3f,\n     \"bugs_match\": %b}%s\n"
+        r.ir_driver
+        (leg r.ir_off r.ir_off_wall r.ir_off_bugs)
+        (leg r.ir_on r.ir_on_wall r.ir_on_bugs)
+        (if r.ir_on_wall > 0.0 then r.ir_off_wall /. r.ir_on_wall else 1.0)
+        (r.ir_off_bugs = r.ir_on_bugs)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ],\n";
+  pr
+    "  \"session_microbench\": {\"scratch_wall_s\": %.4f, \
+     \"incremental_wall_s\": %.4f, \"learned_clauses_retained\": %d, \
+     \"verdicts_agree\": %b}\n"
+    micro_wall_scratch micro_wall_incr micro_retained micro_verdicts_agree;
+  pr "}\n";
+  close_out oc
+
+(* Repeated queries down one deepening path whose constraints only yield
+   to bit-blasting (multiplication circuits): the worst case for the
+   from-scratch pipeline and the best case for a session, which re-blasts
+   nothing and carries its learned clauses from query to query. Returns
+   (scratch wall, incremental wall, learned clauses retained, verdict
+   parity). *)
+let incr_session_micro () =
+  let open Ddt_solver in
+  let module Sv = Solver in
+  let x = Expr.fresh_var Expr.W32 and y = Expr.fresh_var Expr.W32 in
+  let product = Expr.binop Expr.Mul (Expr.var x) (Expr.var y) in
+  (* Bounded factoring: x * y = c with 1 < x, y < 256 — opaque to the
+     interval layer, and each query is a genuine conflict-driven search
+     through the same multiplier circuit, so the session's retained
+     clauses pay off query after query. Products are composites with no
+     small pattern; each answered query excludes its product from the
+     path (a concretize-then-negate loop, as the engine would). *)
+  let composites =
+    [ 143; 187; 209; 221; 247; 253; 299; 323; 391; 437; 493; 527;
+      551; 589; 667; 713; 779; 817; 851; 899; 943; 989; 1003; 1073 ]
+  in
+  let bounds =
+    [ Expr.cmp Expr.Ltu (Expr.var y) (Expr.word 256);
+      Expr.cmp Expr.Ltu (Expr.var x) (Expr.word 256);
+      Expr.cmp Expr.Ltu (Expr.word 1) (Expr.var x);
+      Expr.cmp Expr.Ltu (Expr.word 1) (Expr.var y) ]
+  in
+  (* newest-first prefixes sharing tails physically, like a real path
+     condition deepening one branch at a time *)
+  let prefixes =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (cs, acc) c ->
+              let cs' =
+                Expr.not_ (Expr.cmp Expr.Eq product (Expr.word c)) :: cs
+              in
+              (cs', cs :: acc))
+            (bounds, []) composites))
+  in
+  (* Odd queries probe a prime instead: x * y = p with 1 < x, y < 256 has
+     no model, and refuting it is exactly the conflict-rich search where
+     clauses retained from earlier queries prune the most. *)
+  let primes =
+    [ 149; 191; 211; 223; 251; 257; 307; 331; 397; 439; 499; 521;
+      557; 587; 661; 719; 773; 811; 853; 907; 941; 991; 1009; 1069 ]
+  in
+  let probe k =
+    let v =
+      if k land 1 = 0 then List.nth composites k else List.nth primes k
+    in
+    Expr.cmp Expr.Eq product (Expr.word v)
+  in
+  (* scratch leg: every query re-blasts its whole constraint set *)
+  Sv.clear_cache ();
+  let t0 = Unix.gettimeofday () in
+  let scratch_verdicts =
+    List.mapi (fun k cs -> Sv.is_feasible (probe k :: cs)) prefixes
+  in
+  let scratch_wall = Unix.gettimeofday () -. t0 in
+  (* incremental leg: one session follows the same deepening path *)
+  Sv.clear_cache ();
+  let s0 = Sv.stats () in
+  let sess = Incr.create () in
+  let t0 = Unix.gettimeofday () in
+  let incr_verdicts =
+    List.mapi (fun k cs -> Incr.feasible sess cs (probe k)) prefixes
+  in
+  let incr_wall = Unix.gettimeofday () -. t0 in
+  let d = Sv.diff_stats (Sv.stats ()) s0 in
+  (scratch_wall, incr_wall, d.Sv.s_incr_learned_retained,
+   scratch_verdicts = incr_verdicts)
+
+let incr_bench () =
+  section
+    (if !quick_mode then
+       "Incremental solver sessions smoke test (--quick): 2 drivers, tight \
+        budgets, session microbench"
+     else
+       "Incremental solver sessions: per-state push/pop + retained learned \
+        clauses vs the from-scratch pipeline (identical bug reports \
+        required)");
+  let module Sv = Ddt_solver.Solver in
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pcnet" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let bug_keys (r : Session.result) =
+    List.map (fun b -> b.Report.b_key) r.Session.r_bugs
+    |> List.sort_uniq compare
+  in
+  let run_with incr short =
+    let cfg = Corpus.config (Corpus.find short) in
+    let cfg =
+      if !quick_mode then
+        { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+      else cfg
+    in
+    let cfg =
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with Exec.solver_incr = incr } }
+    in
+    Sv.clear_cache ();
+    let s0 = Sv.stats () in
+    let t0 = Unix.gettimeofday () in
+    let r = Ddt_core.Ddt.test_driver cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    (Sv.diff_stats (Sv.stats ()) s0, wall, bug_keys r)
+  in
+  Printf.printf "%-16s %8s %8s %9s %9s %8s %8s %8s %5s\n" "Driver" "bb-off"
+    "bb-on" "sess-q" "reused" "wall-off" "wall-on" "rebuilds" "same";
+  let rows =
+    List.map
+      (fun short ->
+        let off, toff, koff = run_with false short in
+        let on, ton, kon = run_with true short in
+        Printf.printf "%-16s %8d %8d %9d %9d %7.2fs %7.2fs %8d %5s\n" short
+          off.Sv.s_bitblast_solves on.Sv.s_bitblast_solves
+          on.Sv.s_incr_queries on.Sv.s_incr_skipped_recanon toff ton
+          on.Sv.s_incr_rebuilds
+          (if koff = kon then "yes" else "NO");
+        { ir_driver = short; ir_off = off; ir_off_wall = toff;
+          ir_off_bugs = koff; ir_on = on; ir_on_wall = ton;
+          ir_on_bugs = kon })
+      drivers
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let mw_scratch, mw_incr, m_retained, m_agree = incr_session_micro () in
+  Printf.printf
+    "\ntotals: bit-blasts %d -> %d | session queries %d (%d model hits) | \
+     frames reused %d | wall %.2fs -> %.2fs | bug reports identical on \
+     %d/%d drivers\n"
+    (sum (fun r -> r.ir_off.Sv.s_bitblast_solves))
+    (sum (fun r -> r.ir_on.Sv.s_bitblast_solves))
+    (sum (fun r -> r.ir_on.Sv.s_incr_queries))
+    (sum (fun r -> r.ir_on.Sv.s_incr_model_hits))
+    (sum (fun r -> r.ir_on.Sv.s_incr_skipped_recanon))
+    (sumf (fun r -> r.ir_off_wall))
+    (sumf (fun r -> r.ir_on_wall))
+    (List.length (List.filter (fun r -> r.ir_off_bugs = r.ir_on_bugs) rows))
+    (List.length rows);
+  Printf.printf
+    "session microbench (24 deepening bounded-factoring queries): scratch \
+     %.3fs -> session %.3fs | %d learned clauses retained | verdicts %s\n"
+    mw_scratch mw_incr m_retained
+    (if m_agree then "agree" else "DISAGREE");
+  if !json_mode then begin
+    write_incr_json rows ~micro_wall_scratch:mw_scratch
+      ~micro_wall_incr:mw_incr ~micro_retained:m_retained
+      ~micro_verdicts_agree:m_agree "BENCH_incr.json";
+    Printf.printf "wrote BENCH_incr.json\n"
+  end
+
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 let bechamel_run name fn =
@@ -971,7 +1184,7 @@ let all_experiments =
     ("stress", stress); ("sdv", sdv); ("synthetic", synthetic);
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
     ("memory", memory); ("solver", solver_bench); ("static", static_bench);
-    ("chaos", chaos_bench); ("micro", micro) ]
+    ("chaos", chaos_bench); ("incr", incr_bench); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -78,8 +78,16 @@ let chaos_flag =
   in
   Arg.(value & flag & info [ "chaos" ] ~doc)
 
+let no_incr_flag =
+  let doc =
+    "Disable the per-state incremental solver sessions and answer every \
+     feasibility/concretization query from scratch (the differential \
+     oracle the incremental path is validated against)."
+  in
+  Arg.(value & flag & info [ "no-solver-incr" ] ~doc)
+
 let test_cmd =
-  let run short fixed no_annot traces jobs guided chaos =
+  let run short fixed no_annot traces jobs guided chaos no_incr =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -90,7 +98,8 @@ let test_cmd =
           { cfg with
             Ddt_core.Config.exec_config =
               { cfg.Ddt_core.Config.exec_config with
-                Ddt_symexec.Exec.jobs = max 1 jobs } }
+                Ddt_symexec.Exec.jobs = max 1 jobs;
+                solver_incr = not no_incr } }
         in
         let cfg =
           if guided then
@@ -134,7 +143,7 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
-      $ jobs_arg $ guided_flag $ chaos_flag)
+      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag)
 
 let static_cmd =
   let run short fixed =

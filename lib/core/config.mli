@@ -61,6 +61,9 @@ val make :
   ?exec_config:Ddt_symexec.Exec.config ->
   ?jobs:int ->
   ?static_guidance:bool ->
+  ?solver_incr:bool ->
+  (** override [exec_config.solver_incr]: per-state incremental solver
+      sessions (see {!Ddt_symexec.Exec.config}) *)
   ?max_total_steps:int ->
   ?plateau_steps:int ->
   ?max_bases_per_phase:int ->

@@ -22,6 +22,21 @@ let fresh t =
 
 let num_vars t = t.next_var
 let clauses t = List.rev t.cls
+let clause_count t = t.n_clauses
+
+(* [cls] is newest-first, so the clauses added after a [clause_count]
+   snapshot are exactly its first [n_clauses - mark] cells. Used by the
+   incremental session to drain freshly blasted clauses into its
+   persistent solver without rescanning the whole formula. *)
+let clauses_since t mark =
+  let rec grab n acc cls =
+    if n <= 0 then acc
+    else
+      match cls with
+      | [] -> acc
+      | c :: rest -> grab (n - 1) (c :: acc) rest
+  in
+  grab (t.n_clauses - mark) [] t.cls
 
 let g_and t a b =
   if a = lit_false || b = lit_false then lit_false

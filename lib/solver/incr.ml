@@ -1,0 +1,465 @@
+(* Incremental path-condition solving sessions.
+
+   A session mirrors one state's path condition as a stack of frames
+   over a persistent bit-blasting context and an incremental SAT engine
+   ({!Dpll.Inc}). Each frame is simplified, canonicalized and blasted
+   exactly once: the frame's circuit is asserted behind an activation
+   literal (the guarded clause [-sel \/ circuit]) and thereafter enabled
+   per query by assuming [sel], so pushes after a fork and pops on
+   divergence move only activation literals, never clauses.
+
+   Synchronization with the engine is by physical identity: frames
+   remember the cons cell of the state's constraint list they mirror,
+   and states forked under the engine's COW discipline share list tails
+   physically — so re-syncing after a fork costs only the divergent
+   prefix. A session is single-domain: queries from the domain that
+   built it reuse it, a stolen or re-homed state rebuilds a fresh one
+   (the shared {!Qcache} remains the cross-worker safety net).
+
+   Queries answer through escalating layers: a cached verified model
+   (concrete evaluation only), a full-stack incremental solve that also
+   repairs that model, and finally the probe's independence component
+   routed through {!Solver}'s shared cache + retry pipeline with the
+   incremental engine as the decision procedure. Learned clauses are
+   retained across all of these (see {!Dpll.Inc}). *)
+
+module S = Solver.For_incr
+
+type frame = {
+  f_simp : Expr.t;          (* simplified constraint *)
+  f_vars : Expr.var list;   (* variables of [f_simp], deduped *)
+  f_sel : int;              (* activation literal; 0 = constant frame *)
+  f_false : bool;           (* simplified to constant false *)
+  f_cell : Expr.t list;     (* cons cell of the state's constraint list
+                               this frame mirrors (sync key) *)
+}
+
+type session = {
+  owner : int;                         (* building domain's id *)
+  mutable sat : Dpll.Inc.t;
+  mutable bb : Bitblast.ctx;
+  mutable cnf_mark : int;              (* clauses already fed to [sat] *)
+  mutable stack : frame list;          (* newest first *)
+  mutable nframes : int;
+  mutable nfalse : int;                (* frames with [f_false] *)
+  sel_memo : (Expr.t, int) Hashtbl.t;  (* simplified expr -> selector *)
+  mutable sels : int list;             (* every selector ever allocated *)
+  mutable nsels : int;
+  env : (int, int) Hashtbl.t;          (* cached model, var id -> value *)
+  mutable env_ok : bool;               (* env satisfies the whole stack *)
+}
+
+let create () =
+  S.note_rebuild ();
+  {
+    owner = (Domain.self () :> int);
+    sat = Dpll.Inc.create ();
+    bb = Bitblast.create ();
+    cnf_mark = 0;
+    stack = [];
+    nframes = 0;
+    nfalse = 0;
+    sel_memo = Hashtbl.create 64;
+    sels = [];
+    nsels = 0;
+    env = Hashtbl.create 64;
+    env_ok = true;                     (* empty stack: zeros suffice *)
+  }
+
+let owned s = s.owner = (Domain.self () :> int)
+
+let env_model s : Solver.model =
+ fun v ->
+  match Hashtbl.find_opt s.env v.Expr.id with Some x -> x | None -> 0
+
+(* --- frame maintenance ---------------------------------------------------- *)
+
+let drain s =
+  let cnf = Bitblast.cnf s.bb in
+  List.iter
+    (fun c -> Dpll.Inc.add_clause s.sat (Array.to_list c))
+    (Cnf.clauses_since cnf s.cnf_mark);
+  s.cnf_mark <- Cnf.clause_count cnf
+
+let selector s simp =
+  match Hashtbl.find_opt s.sel_memo simp with
+  | Some sel -> sel
+  | None ->
+      let cnf = Bitblast.cnf s.bb in
+      let sel = Cnf.fresh cnf in
+      let out = (Bitblast.blast s.bb simp).(0) in
+      Cnf.add_clause cnf [ -sel; out ];
+      drain s;
+      Hashtbl.replace s.sel_memo simp sel;
+      s.sels <- sel :: s.sels;
+      s.nsels <- s.nsels + 1;
+      sel
+
+let dedup_vars e =
+  List.sort_uniq (fun a b -> compare a.Expr.id b.Expr.id) (Expr.vars e)
+
+let push s cell raw =
+  let simp = Simplify.simplify_bool raw in
+  let f =
+    if simp = Expr.tru then
+      { f_simp = simp; f_vars = []; f_sel = 0; f_false = false; f_cell = cell }
+    else if simp = Expr.fls then begin
+      s.nfalse <- s.nfalse + 1;
+      { f_simp = simp; f_vars = []; f_sel = 0; f_false = true; f_cell = cell }
+    end
+    else
+      { f_simp = simp; f_vars = dedup_vars simp; f_sel = selector s simp;
+        f_false = false; f_cell = cell }
+  in
+  s.stack <- f :: s.stack;
+  s.nframes <- s.nframes + 1;
+  if s.env_ok && Expr.eval (env_model s) simp <> 1 then s.env_ok <- false
+
+let pop s =
+  match s.stack with
+  | [] -> ()
+  | f :: rest ->
+      if f.f_false then s.nfalse <- s.nfalse - 1;
+      s.stack <- rest;
+      s.nframes <- s.nframes - 1
+(* Popping only removes constraints, so a valid env stays valid; an
+   invalid one may have become valid again, but we let the next repair
+   solve discover that rather than re-verify the stack eagerly. *)
+
+(* A session shared down a fork tree accumulates the circuits of every
+   sibling branch it ever mirrored; the dead ones stay in the CNF as
+   deactivated clutter that the SAT engine must still walk through. Once
+   that clutter dwarfs the live stack, rebuild the engine from the live
+   frames alone — one bounded re-blast that keeps every later solve
+   proportional to the actual path condition. *)
+let compact s =
+  let live = List.rev s.stack in
+  s.sat <- Dpll.Inc.create ();
+  s.bb <- Bitblast.create ();
+  s.cnf_mark <- 0;
+  Hashtbl.reset s.sel_memo;
+  s.sels <- [];
+  s.nsels <- 0;
+  s.stack <- [];
+  s.nframes <- 0;
+  s.nfalse <- 0;
+  S.note_rebuild ();
+  List.iter (fun f -> push s f.f_cell f.f_simp) live
+
+(* Line the stack up with a state's constraint list: pop frames past the
+   list's length, then keep popping until the physical cells match (fork
+   divergence), then push the new prefix oldest-first. Reused frames are
+   precisely the simplification + canonicalization + bit-blast work not
+   repeated. *)
+let sync s cs =
+  let len = List.length cs in
+  let pops = ref 0 in
+  while s.nframes > len do
+    pop s;
+    incr pops
+  done;
+  let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+  let tail = ref (drop (len - s.nframes) cs) in
+  while
+    match s.stack with f :: _ -> not (f.f_cell == !tail) | [] -> false
+  do
+    pop s;
+    incr pops;
+    tail := List.tl !tail
+  done;
+  let reused = s.nframes in
+  let rec prefix acc l =
+    if l == !tail then acc
+    else
+      match l with cell :: rest -> ignore cell; prefix (l :: acc) rest | [] -> acc
+  in
+  let to_push = prefix [] cs in
+  List.iter (fun cell -> push s cell (List.hd cell)) to_push;
+  S.note_pops !pops;
+  S.note_pushes (List.length to_push);
+  S.note_skipped_recanon reused;
+  if s.nsels > (2 * s.nframes) + 64 then compact s
+
+(* --- incremental SAT plumbing --------------------------------------------- *)
+
+(* [Dpll.Inc] sizes its model to the variables it has integrated, which
+   can lag the blasting context's; pad so [Bitblast.model_of] can read
+   any blasted literal (unconstrained bits default to false). *)
+let padded_model s a =
+  let n = Cnf.num_vars (Bitblast.cnf s.bb) + 1 in
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make n false in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let inc_solve s ~budget ~deadline ~positive =
+  S.note_sat_solve ();
+  S.note_learned_retained (Dpll.Inc.learned s.sat);
+  let neg = List.filter (fun l -> not (List.mem l positive)) s.sels in
+  let assumptions = List.rev_append positive (List.map (fun l -> -l) neg) in
+  Dpll.Inc.solve ~max_conflicts:budget ?deadline s.sat ~assumptions
+
+(* One bounded incremental solve of the entire stack plus the probe.
+   Sat rebuilds the cached model (repairing the fast path for subsequent
+   queries) and answers the query; Unsat/Unknown say nothing about the
+   probe alone (the stack itself could be the unsatisfiable part), so
+   the caller falls through to the component solve. *)
+let full_repair s se =
+  let r = Solver.current_retry () in
+  let deadline =
+    if r.Solver.deadline_s > 0. then
+      Some (Unix.gettimeofday () +. r.Solver.deadline_s)
+    else None
+  in
+  let psels = if se = Expr.tru then [] else [ selector s se ] in
+  let positive =
+    List.fold_left
+      (fun acc f -> if f.f_sel <> 0 then f.f_sel :: acc else acc)
+      psels s.stack
+  in
+  match
+    inc_solve s ~budget:r.Solver.base_conflicts ~deadline ~positive
+  with
+  | None | Some Dpll.Unsat -> false
+  | Some (Dpll.Sat a) ->
+      let a = padded_model s a in
+      Hashtbl.reset s.env;
+      let put v = Hashtbl.replace s.env v.Expr.id (Bitblast.model_of s.bb a v) in
+      List.iter (fun f -> List.iter put f.f_vars) s.stack;
+      List.iter put (dedup_vars se);
+      let m = env_model s in
+      if
+        List.for_all (fun f -> f.f_sel = 0 || Expr.eval m f.f_simp = 1) s.stack
+        && (se = Expr.tru || Expr.eval m se = 1)
+      then begin
+        s.env_ok <- true;
+        true
+      end
+      else begin
+        (* A verification failure here would be a blasting bug; answer
+           conservatively and let the component path decide. *)
+        s.env_ok <- false;
+        false
+      end
+
+(* Frames transitively variable-connected to the probe — exactly the
+   independence group {!Indep.partition} would put the probe in, so the
+   shared cache keys line up with the from-scratch pipeline's. *)
+let component s se =
+  let seen = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace seen v.Expr.id ()) (Expr.vars se);
+  let frames =
+    Array.of_list (List.filter (fun f -> f.f_sel <> 0) s.stack)
+  in
+  let in_comp = Array.make (Array.length frames) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i f ->
+        if
+          (not in_comp.(i))
+          && List.exists (fun v -> Hashtbl.mem seen v.Expr.id) f.f_vars
+        then begin
+          in_comp.(i) <- true;
+          changed := true;
+          List.iter (fun v -> Hashtbl.replace seen v.Expr.id ()) f.f_vars
+        end)
+      frames
+  done;
+  let comp = ref [] in
+  for i = Array.length frames - 1 downto 0 do
+    if in_comp.(i) then comp := frames.(i) :: !comp
+  done;
+  !comp
+
+(* Solve the probe's component through the shared cache + retry pipeline
+   with the incremental engine as the decision procedure. *)
+let decide s se =
+  let comp = component s se in
+  let group = se :: List.map (fun f -> f.f_simp) comp in
+  let gvars =
+    List.sort_uniq
+      (fun a b -> compare a.Expr.id b.Expr.id)
+      (dedup_vars se @ List.concat_map (fun f -> f.f_vars) comp)
+  in
+  let positive = selector s se :: List.map (fun f -> f.f_sel) comp in
+  (* When the incremental engine gives up (its CNF carries the whole
+     session, not just this group), re-blast the group alone from
+     scratch — exactly the oracle's final layer — so a session is never
+     weaker than the from-scratch pipeline on a hard query. *)
+  let scratch_blast ~budget ~deadline =
+    S.note_bitblast_solve ();
+    let ctx = Bitblast.create () in
+    List.iter (Bitblast.assert_true ctx) group;
+    match Dpll.solve ~max_conflicts:budget ?deadline (Bitblast.cnf ctx) with
+    | Some Dpll.Unsat -> Solver.Unsat
+    | None -> Solver.Unknown
+    | Some (Dpll.Sat a) ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun v -> Hashtbl.replace tbl v.Expr.id (Bitblast.model_of ctx a v))
+          gvars;
+        let m (v : Expr.var) =
+          match Hashtbl.find_opt tbl v.Expr.id with
+          | Some x -> x
+          | None -> 0
+        in
+        assert (S.verified group m);
+        Solver.Sat m
+  in
+  let attempt ~budget ~deadline g =
+    ignore g;
+    match Interval.infer group with
+    | None ->
+        S.note_interval_solve ();
+        Solver.Unsat
+    | Some ranges -> (
+        (* Cheap verified guesses first, exactly like the from-scratch
+           pipeline — almost every query in practice dies here, so the
+           incremental engine only sees the hard residue. *)
+        match
+          List.find_opt
+            (fun m -> S.verified group m)
+            (Interval.candidates ranges gvars)
+        with
+        | Some m ->
+            S.note_interval_solve ();
+            Solver.Sat m
+        | None -> (
+        (* Leave the incremental engine half the deadline and a fraction
+           of the conflict budget: its CNF carries the whole session, so
+           a query it cannot settle quickly is cheaper to re-blast alone
+           than to grind on, and the scratch fallback inside this same
+           attempt keeps the verdict as strong as the oracle's. *)
+        let inc_deadline =
+          match deadline with
+          | None -> None
+          | Some d ->
+              let now = Unix.gettimeofday () in
+              Some (now +. ((d -. now) /. 2.))
+        in
+        let inc_budget = max 4_096 (budget / 8) in
+        match inc_solve s ~budget:inc_budget ~deadline:inc_deadline ~positive with
+        | None -> scratch_blast ~budget ~deadline
+        | Some Dpll.Unsat -> Solver.Unsat
+        | Some (Dpll.Sat a) ->
+            let a = padded_model s a in
+            let tbl = Hashtbl.create 16 in
+            List.iter
+              (fun v ->
+                Hashtbl.replace tbl v.Expr.id (Bitblast.model_of s.bb a v))
+              gvars;
+            let m (v : Expr.var) =
+              match Hashtbl.find_opt tbl v.Expr.id with
+              | Some x -> x
+              | None -> 0
+            in
+            (* Like the from-scratch pipeline, a model that fails
+               verification is a blasting bug — fail loudly. *)
+            assert (S.verified group m);
+            Solver.Sat m))
+  in
+  let r = S.solve_group_with ~attempt (S.current_accel ()) group in
+  (match r with
+  | Solver.Sat m ->
+      (* Component variables are disjoint from every other frame's, so
+         merging the component model into the cached model preserves its
+         validity for the rest of the stack. When the cached model was
+         stale, the merge may even have completed it — re-check by
+         evaluation (cheap) so the fast path comes back without ever
+         solving the full stack. *)
+      List.iter (fun v -> Hashtbl.replace s.env v.Expr.id (m v)) gvars;
+      if not s.env_ok then begin
+        let em = env_model s in
+        s.env_ok <-
+          List.for_all
+            (fun f -> f.f_sel = 0 || Expr.eval em f.f_simp = 1)
+            s.stack
+      end
+  | Solver.Unsat | Solver.Unknown -> ());
+  r
+
+(* --- queries --------------------------------------------------------------- *)
+
+(* Feasibility of the stack itself. The cached model settles it for
+   free; otherwise the stack goes through the shared pipeline
+   (independence groups + query cache, so repeated stack checks are
+   cache hits), whose Sat model also repairs the cached model for later
+   queries. *)
+let stack_feasible s =
+  s.env_ok
+  ||
+  (match Solver.check (List.map (fun f -> f.f_simp) s.stack) with
+   | Solver.Sat m ->
+       List.iter
+         (fun f ->
+           List.iter (fun v -> Hashtbl.replace s.env v.Expr.id (m v)) f.f_vars)
+         s.stack;
+       let em = env_model s in
+       s.env_ok <-
+         List.for_all
+           (fun f -> f.f_sel = 0 || Expr.eval em f.f_simp = 1)
+           s.stack;
+       true
+   | Solver.Unknown -> true
+   | Solver.Unsat -> false)
+
+let feasible s cs extra =
+  S.note_query ();
+  S.note_incr_query ();
+  sync s cs;
+  let se = Simplify.simplify_bool extra in
+  if s.nfalse > 0 || se = Expr.fls then false
+  else if se = Expr.tru then stack_feasible s
+  else if s.env_ok && Expr.eval (env_model s) se = 1 then begin
+    S.note_model_hit ();
+    true
+  end
+  else
+    match decide s se with
+    | Solver.Sat _ ->
+        (* The probe's component is satisfiable, but — exactly like the
+           from-scratch pipeline, which solves every independence group
+           of [probe :: cs] — the verdict is only "feasible" if the rest
+           of the stack is too. [decide] merged its model into the
+           cached one and revalidated, so this is almost always the
+           [env_ok] fast path. *)
+        stack_feasible s
+    | Solver.Unknown -> true (* like [Solver.is_feasible]: never drop a
+                                path that might be real *)
+    | Solver.Unsat -> false
+
+let concretize cs ~pinned e =
+  S.note_incr_query ();
+  let slice = Indep.relevant cs e in
+  (* Replay-pinned constraints are audited into the slice even when not
+     variable-connected to [e]: a pin contradiction must surface as
+     None here, exactly as it would from the full constraint set. *)
+  let forced = List.filter (fun p -> not (List.memq p slice)) pinned in
+  Solver.concretize (List.rev_append forced slice) e
+
+let witness s cs =
+  S.note_incr_query ();
+  sync s cs;
+  if s.nfalse > 0 then None
+  else if s.env_ok then begin
+    S.note_model_hit ();
+    (* Snapshot: the session's table mutates on later queries. *)
+    let snap = Hashtbl.copy s.env in
+    Some
+      (fun (v : Expr.var) ->
+        match Hashtbl.find_opt snap v.Expr.id with Some x -> x | None -> 0)
+  end
+  else if full_repair s Expr.tru then begin
+    let snap = Hashtbl.copy s.env in
+    Some
+      (fun (v : Expr.var) ->
+        match Hashtbl.find_opt snap v.Expr.id with Some x -> x | None -> 0)
+  end
+  else
+    match Solver.check cs with
+    | Solver.Sat m -> Some m
+    | Solver.Unsat | Solver.Unknown -> None

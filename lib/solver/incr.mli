@@ -1,0 +1,59 @@
+(** Incremental path-condition solving sessions.
+
+    A session mirrors one symbolic state's path condition as a stack of
+    frames over a persistent bit-blasting context and the incremental
+    SAT engine {!Dpll.Inc}. Every constraint is simplified, canonicalized
+    and bit-blasted at most once per session: its circuit is asserted
+    behind an activation literal and enabled per query by assumption, so
+    pushing new constraints and popping on fork divergence never
+    re-blasts anything, and clauses learned by the SAT engine survive
+    across queries (a pop merely deactivates the clauses learned under
+    the popped frame's selector — see {!Dpll.Inc}).
+
+    Sessions synchronize with the engine's constraint lists by physical
+    identity: states forked under the copy-on-write discipline share
+    list tails, so re-syncing costs only the divergent prefix, and one
+    session can serve a whole family of sibling states on its domain.
+    Sessions are single-domain by construction — a state stolen or
+    re-homed to another domain fails {!owned} and gets a fresh session
+    there, with the shared {!Qcache} as the cross-worker safety net.
+
+    Queries answer through escalating layers: the session's cached
+    verified model (concrete evaluation only), a full-stack incremental
+    solve that doubles as model repair, and finally the probe's
+    independence component routed through {!Solver}'s shared cache and
+    retry/chaos machinery with the incremental engine as the decision
+    procedure — so verdicts, cache entries and fault injection line up
+    with the from-scratch pipeline. *)
+
+type session
+
+val create : unit -> session
+(** A fresh empty session owned by the calling domain. *)
+
+val owned : session -> bool
+(** Whether the calling domain built this session. Foreign sessions must
+    not be queried (they may be in concurrent use by their owner) —
+    rebuild instead. *)
+
+val feasible : session -> Expr.t list -> Expr.t -> bool
+(** [feasible s constraints extra] decides whether [extra] is
+    satisfiable together with the constraint list, syncing the session
+    to the list first. Unknown verdicts count as feasible, exactly like
+    {!Solver.is_feasible}. *)
+
+val concretize : Expr.t list -> pinned:Expr.t list -> Expr.t -> int option
+(** [concretize constraints ~pinned e] picks a feasible concrete value
+    of [e] by querying only the {!Indep.relevant} slice of the
+    constraints, with the replay-pinned constraints force-included so a
+    pin contradiction still answers [None]. Values agree with
+    {!Solver.concretize} on the full set: the slice contains every
+    independence group that can influence [e], and groups resolve
+    through the same shared cache. Stateless — no session needed. *)
+
+val witness : session -> Expr.t list -> Solver.model option
+(** [witness s constraints] returns a verified model of the whole
+    constraint list — the cached session model when still valid, else
+    one bounded incremental solve, else the from-scratch pipeline.
+    [None] when infeasible or undecided. The returned model is a
+    snapshot, stable across later session queries. *)

@@ -183,6 +183,40 @@ let maybe_evict t =
       sorted
   end
 
+(* Subset rule: an Unsat entry all of whose (original) constraints occur
+   in the query proves the query Unsat. Count, per candidate entry, how
+   many of the query's constraints it contains. Factored out so the
+   sharded cache's cross-shard Bloom probe can run it against a foreign
+   shard's index under that shard's lock. *)
+let subset_winner t p_key =
+  let hits = Hashtbl.create 8 in
+  let winner = ref None in
+  let found =
+    List.exists
+      (fun c ->
+        match EH.find_opt t.unsat_index c with
+        | None -> false
+        | Some entries ->
+            List.exists
+              (fun e ->
+                let n =
+                  1
+                  + (match Hashtbl.find_opt hits e.e_id with
+                     | Some n -> n
+                     | None -> 0)
+                in
+                Hashtbl.replace hits e.e_id n;
+                if n = e.e_size then begin
+                  e.e_last_use <- t.tick;
+                  winner := Some e;
+                  true
+                end
+                else false)
+              !entries)
+      p_key
+  in
+  if found then !winner else None
+
 let lookup_prepared t p =
   t.tick <- t.tick + 1;
   match KH.find_opt t.table p.p_rkey with
@@ -195,40 +229,10 @@ let lookup_prepared t p =
       | V_sat pairs -> (Exact_sat (orig_env p.p_fwd (env_of pairs)), info)
       | V_unsat -> (Exact_unsat, info))
   | None -> (
-      (* Subset rule: an Unsat entry all of whose (original) constraints
-         occur in the query proves the query Unsat. Count, per candidate
-         entry, how many of the query's constraints it contains. *)
-      let hits = Hashtbl.create 8 in
-      let winner = ref None in
-      let subset =
-        List.exists
-          (fun c ->
-            match EH.find_opt t.unsat_index c with
-            | None -> false
-            | Some entries ->
-                List.exists
-                  (fun e ->
-                    let n =
-                      1
-                      + (match Hashtbl.find_opt hits e.e_id with
-                         | Some n -> n
-                         | None -> 0)
-                    in
-                    Hashtbl.replace hits e.e_id n;
-                    if n = e.e_size then begin
-                      e.e_last_use <- t.tick;
-                      winner := Some e;
-                      true
-                    end
-                    else false)
-                  !entries)
-          p.p_key
-      in
-      match (subset, !winner) with
-      | true, Some e ->
+      match subset_winner t p.p_key with
+      | Some e ->
           (Subset_unsat, { i_renamed = false; i_owner = e.e_domain })
-      | true, None -> (Subset_unsat, no_info)
-      | false, _ ->
+      | None ->
           (* Superset rule: re-check recent models by evaluation — against
              the renamed query, so a model minted for a differently-named
              twin still applies; any assignment that verifies is genuine. *)
@@ -310,13 +314,26 @@ let store_unsat t cs = store_unsat_prepared t (prepare cs)
 module Sharded = struct
   type shard = { mu : Mutex.t; cache : t }
 
+  (* A small shared Bloom filter over the constraints of every stored
+     Unsat core, process-wide across shards. The subset rule only ever
+     fires when at least one of the query's constraints appears in some
+     stored core, so a query none of whose constraints is in the filter
+     cannot have a subset hit in ANY shard — which makes the filter a
+     sound gate for probing the other shards' per-shard Unsat indexes on
+     a home-shard miss. Bits are set with a CAS loop (a lost race only
+     re-runs the loop) and never cleared except by [clear]; stale bits
+     cost an extra probe, never a wrong answer. *)
+  let bloom_words = 1024 (* 1024 * 32 bits *)
+
   type sharded = {
     shards : shard array;
+    bloom : int Atomic.t array;
     lookups : int Atomic.t;
     hits : int Atomic.t;
     misses : int Atomic.t;
     renamed_hits : int Atomic.t;
     cross_hits : int Atomic.t;
+    bloom_hits : int Atomic.t;
   }
 
   let create ?(shards = 8) ?(capacity = 4096) ?(model_reuse = 12) () =
@@ -329,12 +346,40 @@ module Sharded = struct
               mu = Mutex.create ();
               cache = create ~capacity:per_shard_cap ~model_reuse ();
             });
+      bloom = Array.init bloom_words (fun _ -> Atomic.make 0);
       lookups = Atomic.make 0;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       renamed_hits = Atomic.make 0;
       cross_hits = Atomic.make 0;
+      bloom_hits = Atomic.make 0;
     }
+
+  (* Two derived bit positions per constraint (classic double hashing). *)
+  let bloom_positions c =
+    let h1 = Hashtbl.hash c in
+    let h2 = (h1 * 0x9E3779B1) lxor (h1 lsr 16) in
+    let pos h =
+      let b = abs h mod (bloom_words * 32) in
+      (b lsr 5, 1 lsl (b land 31))
+    in
+    (pos h1, pos h2)
+
+  let rec bloom_set a i mask =
+    let cur = Atomic.get a.(i) in
+    if cur land mask = 0 then
+      if not (Atomic.compare_and_set a.(i) cur (cur lor mask)) then
+        bloom_set a i mask
+
+  let bloom_add sc c =
+    let (i1, m1), (i2, m2) = bloom_positions c in
+    bloom_set sc.bloom i1 m1;
+    bloom_set sc.bloom i2 m2
+
+  let bloom_maybe sc c =
+    let (i1, m1), (i2, m2) = bloom_positions c in
+    Atomic.get sc.bloom.(i1) land m1 <> 0
+    && Atomic.get sc.bloom.(i2) land m2 <> 0
 
   let shard_for sc p =
     sc.shards.(abs (Key.hash p.p_rkey) mod Array.length sc.shards)
@@ -343,10 +388,44 @@ module Sharded = struct
     Mutex.lock s.mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
 
+  (* Cross-shard subset-Unsat recovery: on a home-shard miss, if the
+     Bloom filter says some query constraint occurs in a stored Unsat
+     core, probe the remaining shards' subset indexes one at a time
+     (each under its own lock — the locks are never widened). *)
+  let cross_shard_subset sc home p =
+    if Array.length sc.shards <= 1
+       || not (List.exists (bloom_maybe sc) p.p_key)
+    then None
+    else begin
+      let found = ref None in
+      Array.iter
+        (fun s ->
+          if !found = None && s != home then
+            match
+              with_shard s (fun () ->
+                  s.cache.tick <- s.cache.tick + 1;
+                  subset_winner s.cache p.p_key)
+            with
+            | Some e -> found := Some e
+            | None -> ())
+        sc.shards;
+      !found
+    end
+
   let lookup sc cs =
     let p = prepare cs in
     let s = shard_for sc p in
     let outcome, info = with_shard s (fun () -> lookup_prepared s.cache p) in
+    let outcome, info =
+      match outcome with
+      | Miss -> (
+          match cross_shard_subset sc s p with
+          | Some e ->
+              Atomic.incr sc.bloom_hits;
+              (Subset_unsat, { i_renamed = false; i_owner = e.e_domain })
+          | None -> (outcome, info))
+      | _ -> (outcome, info)
+    in
     Atomic.incr sc.lookups;
     (match outcome with
     | Miss -> Atomic.incr sc.misses
@@ -365,7 +444,8 @@ module Sharded = struct
   let store_unsat sc cs =
     let p = prepare cs in
     let s = shard_for sc p in
-    with_shard s (fun () -> store_unsat_prepared s.cache p)
+    with_shard s (fun () -> store_unsat_prepared s.cache p);
+    List.iter (bloom_add sc) p.p_key
 
   let size sc =
     Array.fold_left
@@ -378,7 +458,8 @@ module Sharded = struct
       0 sc.shards
 
   let clear sc =
-    Array.iter (fun s -> with_shard s (fun () -> clear s.cache)) sc.shards
+    Array.iter (fun s -> with_shard s (fun () -> clear s.cache)) sc.shards;
+    Array.iter (fun w -> Atomic.set w 0) sc.bloom
 
   let n_shards sc = Array.length sc.shards
 
@@ -388,6 +469,7 @@ module Sharded = struct
     sc_misses : int;
     sc_renamed_hits : int;
     sc_cross_hits : int;
+    sc_bloom_hits : int;
   }
 
   let counts sc =
@@ -397,5 +479,8 @@ module Sharded = struct
       sc_misses = Atomic.get sc.misses;
       sc_renamed_hits = Atomic.get sc.renamed_hits;
       sc_cross_hits = Atomic.get sc.cross_hits;
+      sc_bloom_hits = Atomic.get sc.bloom_hits;
     }
+
+  let bloom_recoveries sc = Atomic.get sc.bloom_hits
 end

@@ -67,9 +67,11 @@ val clear : t -> unit
 (** A process-wide cache shared by all worker domains: shard by the hash
     of the renamed canonical key, one mutex per shard, atomics for the
     statistics. Exact/renamed hits always land in the right shard (same
-    renamed key, same shard); subset-Unsat proofs and model reuse only
-    consult the query's home shard — a deliberate trade of a little hit
-    rate for lock granularity. *)
+    renamed key, same shard); model reuse only consults the query's home
+    shard. Subset-Unsat proofs are recovered cross-shard: a shared Bloom
+    filter over the constraints of every stored Unsat core gates, on a
+    home-shard miss, a probe of the remaining shards' subset indexes (one
+    shard lock at a time — the locks are never widened). *)
 module Sharded : sig
   type sharded
 
@@ -94,8 +96,13 @@ module Sharded : sig
         (** exact hits whose stored original key differed from the query *)
     sc_cross_hits : int;
         (** hits on entries or models stored by a different domain *)
+    sc_bloom_hits : int;
+        (** subset-Unsat hits recovered from a non-home shard via the
+            Bloom-gated cross-shard probe *)
   }
 
   val counts : sharded -> counts
   (** Always satisfies [sc_hits + sc_misses = sc_lookups]. *)
+
+  val bloom_recoveries : sharded -> int
 end

@@ -1,6 +1,7 @@
 module Expr = Ddt_solver.Expr
 module Simplify = Ddt_solver.Simplify
 module Solver = Ddt_solver.Solver
+module Incr = Ddt_solver.Incr
 module Isa = Ddt_dvm.Isa
 module Layout = Ddt_dvm.Layout
 module Image = Ddt_dvm.Image
@@ -28,6 +29,12 @@ type config = {
   solver_accel : bool;
   (** enable constraint-independence slicing and the query cache for this
       engine's domain (off = bit-blast every query from scratch) *)
+  solver_incr : bool;
+  (** route feasibility and concretization queries through per-state
+      incremental solver sessions ({!Ddt_solver.Incr}): push/pop of
+      path-condition deltas, retained learned clauses, relevant-slice
+      concretization. Off = every query rebuilds from scratch through
+      {!Ddt_solver.Solver} (the differential oracle) *)
   strategy : Sched.strategy;
   jobs : int;
   (** worker domains exploring this engine's frontier cooperatively
@@ -63,6 +70,7 @@ let default_config =
     record_exec_pcs = false;
     concrete_hardware = false;
     solver_accel = true;
+    solver_incr = true;
     strategy = Sched.Min_touch;
     jobs = 1;
     static_guidance = false;
@@ -139,6 +147,8 @@ type engine = {
   mutable replay : Replay.script option;
   guard_st : Guard.t;
   soft_retired : int Atomic.t;
+  rehomed : int Atomic.t;
+  (* states rescued from a dead worker's queue by the reaper *)
   mutable governor : (pressure -> int) option;
   (* returns how many queued states to concretize-and-retire now *)
   priority_fn : St.t -> int;
@@ -268,6 +278,7 @@ let create ?(config = default_config) img base_mem symdev =
     replay = None;
     guard_st;
     soft_retired = Atomic.make 0;
+    rehomed = Atomic.make 0;
     governor = None;
     priority_fn = priority;
     solver_base = Solver.stats ();
@@ -293,6 +304,7 @@ let set_governor eng f = eng.governor <- Some f
 let incidents eng = Guard.incidents eng.guard_st
 let worker_restarts eng = Guard.restarts eng.guard_st
 let soft_retired eng = Atomic.get eng.soft_retired
+let rehomed_states eng = Atomic.get eng.rehomed
 
 (* --- state management -------------------------------------------------- *)
 
@@ -306,8 +318,9 @@ let install_sym_hook eng st =
           match st.St.replay_inputs with
           | (n, v) :: rest when n = name ->
               st.St.replay_inputs <- rest;
-              St.add_constraint st
-                (Expr.cmp Expr.Eq (Expr.var var) (Expr.byte v))
+              let pin = Expr.cmp Expr.Eq (Expr.var var) (Expr.byte v) in
+              st.St.pinned <- pin :: st.St.pinned;
+              St.add_constraint st pin
           | _ -> ()))
 
 let new_root_state eng ks =
@@ -413,12 +426,18 @@ let retire eng st status ~report =
 (* --- expression helpers ------------------------------------------------ *)
 
 let concretize eng st e reason =
-  ignore eng;
   let e = Simplify.simplify e in
   match Expr.to_const e with
   | Some v -> v
   | None -> (
-      match Solver.concretize st.St.constraints e with
+      let answer =
+        if eng.cfg.solver_incr then
+          (* Only the relevant slice (plus audited replay pins) can
+             influence the value — see {!Ddt_solver.Incr.concretize}. *)
+          Incr.concretize st.St.constraints ~pinned:st.St.pinned e
+        else Solver.concretize st.St.constraints e
+      in
+      match answer with
       | None -> raise (Discard_state "infeasible path condition")
       | Some v ->
           St.add_constraint st
@@ -427,7 +446,21 @@ let concretize eng st e reason =
             (Event.E_concretize { pc = st.St.pc; expr = e; value = v; reason });
           v)
 
-let feasible st extra = Solver.is_feasible (extra :: st.St.constraints)
+(* The state's incremental session: reuse when this domain built it,
+   rebuild otherwise (a stolen state's old session may be in concurrent
+   use by sibling states back on the domain that built it). *)
+let session_for st =
+  match st.St.session with
+  | Some s when Incr.owned s -> s
+  | _ ->
+      let s = Incr.create () in
+      st.St.session <- Some s;
+      s
+
+let feasible eng st extra =
+  if eng.cfg.solver_incr then
+    Incr.feasible (session_for st) st.St.constraints extra
+  else Solver.is_feasible (extra :: st.St.constraints)
 
 (* Split on a boolean condition. Returns the live successors, each paired
    with the condition's value on that path. The input state is reused for
@@ -438,8 +471,8 @@ let fork_bool eng st cond =
   | Some v -> [ (st, v = 1) ]
   | None ->
       let not_cond = Expr.not_ cond in
-      let f_true = feasible st cond in
-      let f_false = feasible st not_cond in
+      let f_true = feasible eng st cond in
+      let f_false = feasible eng st not_cond in
       if f_true && f_false then begin
         let child = fork_state eng st in
         St.add_constraint child cond;
@@ -465,8 +498,9 @@ let replay_pin eng st name e =
       match st.St.replay_inputs with
       | (n, v) :: rest when n = name ->
           st.St.replay_inputs <- rest;
-          St.add_constraint st
-            (Expr.cmp Expr.Eq e (Expr.const (Expr.width_of e) v))
+          let pin = Expr.cmp Expr.Eq e (Expr.const (Expr.width_of e) v) in
+          st.St.pinned <- pin :: st.St.pinned;
+          St.add_constraint st pin
       | _ -> ())
 
 let fresh_symbolic eng st ~name ~origin width =
@@ -527,7 +561,7 @@ let make_mach eng st =
       (fun name w -> fresh_symbolic eng st ~name ~origin:"annotation" w);
     assume =
       (fun c ->
-        if feasible st c then St.add_constraint st c
+        if feasible eng st c then St.add_constraint st c
         else raise (Mach.Path_terminated "assumption infeasible"));
     fork = (fun alts -> raise (Fork_alts alts));
     discard = (fun why -> raise (Mach.Path_terminated why));
@@ -1106,17 +1140,30 @@ let soft_retire eng n =
   let removed =
     Frontier.remove eng.frontier (fun s -> Hashtbl.mem vset s.St.id)
   in
+  (* The whole batch shares one incremental session: victims are forks
+     of each other, so their constraint lists share long physical tails
+     and each witness after the first is a few-frame sync plus (usually)
+     a cached-model hit — instead of a from-scratch solve per victim. *)
+  let sess = if eng.cfg.solver_incr then Some (Incr.create ()) else None in
   List.iter
     (fun s ->
+      let model =
+        match sess with
+        | Some sess -> Incr.witness sess s.St.constraints
+        | None -> (
+            match Solver.check s.St.constraints with
+            | Solver.Sat m -> Some m
+            | Solver.Unsat | Solver.Unknown -> None)
+      in
       let witness =
-        match Solver.check s.St.constraints with
-        | Solver.Sat m ->
+        match model with
+        | Some m ->
             s.St.sym_inputs
             |> List.filteri (fun i _ -> i < 4)
             |> List.map (fun ((v : Expr.var), _) ->
                    Printf.sprintf "%s=%d" v.Expr.name (m v))
             |> String.concat ","
-        | Solver.Unsat | Solver.Unknown -> "-"
+        | None -> "-"
       in
       Atomic.incr eng.soft_retired;
       retire eng s
@@ -1160,7 +1207,26 @@ let sample_live eng st =
    state; the wrapper tells the supervisor not to record it twice. *)
 exception Quarantined of exn
 
-let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
+let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive wid =
+  (* Dead-worker reaper: an idle worker that notices a permanently-dead
+     sibling (supervisor gave up, or the domain body unwound) with work
+     still queued re-homes that queue onto itself, so no path is stranded
+     until [run]'s final drain. [alive] flips false only on domain exit;
+     a merely-restarting worker is still alive. *)
+  let reap () =
+    Array.iteri
+      (fun w a ->
+        if
+          w <> wid
+          && (not (Atomic.get a))
+          && Frontier.queue_length eng.frontier ~worker:w > 0
+        then begin
+          let moved = Frontier.rehome eng.frontier ~from_:w ~to_:wid in
+          if moved > 0 then
+            ignore (Atomic.fetch_and_add eng.rehomed moved)
+        end)
+      alive
+  in
   let rec loop () =
     if Atomic.get stop = None then
       if Atomic.get eng.total_steps - start >= max_total_steps then
@@ -1201,6 +1267,7 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps wid =
             loop ()
         | None ->
             if not (Frontier.quiescent eng.frontier) then begin
+              reap ();
               Unix.sleepf 2e-4;
               loop ()
             end
@@ -1252,7 +1319,14 @@ let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
   Atomic.set eng.last_new_block_step start;
   let stop : stop_reason option Atomic.t = Atomic.make None in
   let jobs = max 1 eng.cfg.jobs in
-  let worker = worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps in
+  let alive = Array.init jobs (fun _ -> Atomic.make true) in
+  let worker wid =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set alive.(wid) false)
+      (fun () ->
+        worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive
+          wid)
+  in
   if jobs = 1 then worker 0
   else begin
     let doms =

@@ -30,6 +30,15 @@ type config = {
       slicing + query cache, see [Ddt_solver.Solver.set_accel]) for this
       engine's domain; on by default, off gives the bit-blast-everything
       baseline used in benchmarks *)
+  solver_incr : bool;
+  (** route feasibility and concretization queries through per-state
+      incremental solver sessions ({!Ddt_solver.Incr}): the path
+      condition lives in the session as a push/pop stack of bit-blasted
+      frames behind activation literals, learned clauses persist across
+      queries, and concretization asks only the relevant constraint
+      slice (replay pins force-included). On by default; off makes every
+      query rebuild from scratch through [Ddt_solver.Solver] — the
+      differential oracle the incremental path is validated against. *)
   strategy : Sched.strategy;
   jobs : int;
   (** number of worker domains cooperatively exploring this engine's
@@ -146,6 +155,10 @@ val incidents : engine -> Guard.incident list
 
 val worker_restarts : engine -> int
 val soft_retired : engine -> int
+
+val rehomed_states : engine -> int
+(** States rescued from permanently-dead workers' queues by the reaper
+    (an idle worker re-homes a dead sibling's queue onto itself). *)
 
 val replay_script :
   ?extra:Expr.t list -> ?constraints:Expr.t list -> Symstate.t ->

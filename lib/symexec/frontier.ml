@@ -153,6 +153,24 @@ let remove t pred =
 let iter t f =
   Array.iter (fun wq -> with_wq wq (fun () -> Sched.iter wq.wq_q f)) t.workers
 
+(* Reaper support: move every state queued on [from_] onto [to_]'s queue.
+   [size] is untouched (states only change queues), so termination
+   detection never observes an intermediate dip; the two locks are taken
+   one at a time, drain first, so the usual lock-ordering concerns don't
+   apply. Returns the number of states moved. *)
+let rehome t ~from_ ~to_ =
+  let n = Array.length t.workers in
+  let src = t.workers.(from_ mod n) and dst = t.workers.(to_ mod n) in
+  if src == dst then 0
+  else begin
+    let moved = with_wq src (fun () -> Sched.drain src.wq_q) in
+    with_wq dst (fun () -> List.iter (Sched.requeue dst.wq_q) moved);
+    List.length moved
+  end
+
+let queue_length t ~worker =
+  Sched.length t.workers.(worker mod Array.length t.workers).wq_q
+
 let quiescent t = Atomic.get t.size = 0 && Atomic.get t.inflight = 0
 
 (* Only sound once all workers have stopped; used by the main domain to

@@ -62,6 +62,17 @@ val iter : t -> (Symstate.t -> unit) -> unit
 (** Visit every queued state (each queue under its lock); inflight states
     are not visited. *)
 
+val rehome : t -> from_:int -> to_:int -> int
+(** Move every state queued on [from_]'s queue to [to_]'s queue,
+    preserving them for [to_]'s strategy ({!Sched.requeue} semantics).
+    [size] is unchanged throughout, so termination detection never sees
+    an intermediate dip. Returns the number of states moved. Used by the
+    dead-worker reaper to rescue the queue of a crashed domain. *)
+
+val queue_length : t -> worker:int -> int
+(** Length of one worker's queue, read without its lock (staleness only
+    costs a redundant reaper check). *)
+
 val drain_all : t -> Symstate.t list
 (** Remove every queued state (worker-index order). Only sound once all
     workers have stopped. *)

@@ -45,6 +45,8 @@ type t = {
   mutable depth : int;
   mutable replay_inputs : (string * int) list;
   mutable replay_choices : (string * string) list;
+  mutable session : Ddt_solver.Incr.session option;
+  mutable pinned : Expr.t list;
 }
 
 let create ~id ~mem ~ks =
@@ -70,6 +72,8 @@ let create ~id ~mem ~ks =
     depth = 0;
     replay_inputs = [];
     replay_choices = [];
+    session = None;
+    pinned = [];
   }
 
 let fork t ~id =

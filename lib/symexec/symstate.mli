@@ -57,6 +57,13 @@ type t = {
   (** replay mode: pending (name, value) pins, oldest first *)
   mutable replay_choices : (string * string) list;
   (** replay mode: pending (api, alternative) decisions, oldest first *)
+  mutable session : Ddt_solver.Incr.session option;
+  (** incremental solver session mirroring [constraints]; shared with
+      forked children by reference (sessions re-sync by physical list
+      identity) and rebuilt when the state migrates to another domain *)
+  mutable pinned : Expr.t list;
+  (** replay-mode pin constraints (a subset of [constraints], physically)
+      — force-included when concretizing over a relevant slice *)
 }
 
 val create : id:int -> mem:Symmem.t -> ks:Ddt_kernel.Kstate.t -> t

@@ -1,0 +1,127 @@
+(* Incremental solver sessions: differential pin against the
+   from-scratch pipeline.
+
+   Every corpus driver runs twice — sessions disabled (each query
+   re-blasted from scratch: the oracle) and enabled — and the dynamic
+   bug report must be identical. A further leg re-checks the contract
+   under combined chaos injection (worker crashes, forced solver
+   exhaustions, memory pressure with the governor), where the witness
+   concretization of retired states also routes through a session. At
+   jobs = 1 both legs explore deterministically, so coverage must match
+   too, not just the bug sets. *)
+
+module Config = Ddt_core.Config
+module Session = Ddt_core.Session
+module Governor = Ddt_core.Governor
+module Exec = Ddt_symexec.Exec
+module Guard = Ddt_symexec.Guard
+module Solver = Ddt_solver.Solver
+module Report = Ddt_checkers.Report
+module Corpus = Ddt_drivers.Corpus
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let quick_cfg (e : Corpus.entry) =
+  let cfg = Corpus.config e in
+  { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+
+let run_with ?governor ?(chaos = None) ~incr e =
+  let cfg = quick_cfg e in
+  let cfg = { cfg with Config.governor = governor } in
+  let cfg =
+    { cfg with
+      Config.exec_config =
+        { cfg.Config.exec_config with
+          Exec.jobs = 1; solver_incr = incr; chaos } }
+  in
+  (* Cold query cache per run: neither leg may answer from entries the
+     other one populated. *)
+  Solver.clear_cache ();
+  Session.run cfg
+
+let bug_keys (r : Session.result) =
+  List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+
+(* One from-scratch reference run per driver, shared by every test. *)
+let baseline_tbl : (string, Session.result) Hashtbl.t = Hashtbl.create 8
+
+let baseline (e : Corpus.entry) =
+  match Hashtbl.find_opt baseline_tbl e.Corpus.short with
+  | Some r -> r
+  | None ->
+      let r = run_with ~incr:false e in
+      Hashtbl.replace baseline_tbl e.Corpus.short r;
+      r
+
+(* --- verdict parity on the full corpus ------------------------------------- *)
+
+let test_bug_parity () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let inc = run_with ~incr:true e in
+      check_bool (e.Corpus.short ^ " bug set identical") true
+        (bug_keys base = bug_keys inc);
+      check_int (e.Corpus.short ^ " coverage identical")
+        base.Session.r_covered_reachable inc.Session.r_covered_reachable;
+      (* the parity is meaningless if the sessions never answered *)
+      let sv = inc.Session.r_stats.Exec.st_solver in
+      check_bool (e.Corpus.short ^ " sessions actually used") true
+        (sv.Solver.s_incr_queries > 0);
+      let sv0 = base.Session.r_stats.Exec.st_solver in
+      check_int (e.Corpus.short ^ " oracle leg never builds a session") 0
+        sv0.Solver.s_incr_queries)
+    Corpus.all
+
+let test_session_counters () =
+  let reused = ref 0 and pushes = ref 0 and rebuilds = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let inc = run_with ~incr:true e in
+      let sv = inc.Session.r_stats.Exec.st_solver in
+      reused := !reused + sv.Solver.s_incr_skipped_recanon;
+      pushes := !pushes + sv.Solver.s_incr_pushes;
+      rebuilds := !rebuilds + sv.Solver.s_incr_rebuilds)
+    Corpus.all;
+  check_bool "frames were pushed" true (!pushes > 0);
+  check_bool "frames were reused across queries" true (!reused > 0);
+  check_bool "sessions were (re)built" true (!rebuilds > 0)
+
+(* --- parity under chaos ----------------------------------------------------- *)
+
+let pressure_limits =
+  { Governor.soft_states = 0; soft_cow_depth = 0; soft_live_words = 1;
+    min_states = 8; max_retire_per_trip = 1 }
+
+let test_chaos_parity () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let base = baseline e in
+      let inc =
+        run_with ~governor:pressure_limits
+          ~chaos:
+            (Some
+               { Guard.chaos_worker_crash_period = 25;
+                 chaos_solver_exhaust_period = 3;
+                 chaos_pressure_words = 50_000_000 })
+          ~incr:true e
+      in
+      check_bool
+        (e.Corpus.short ^ " bug set identical under chaos with sessions")
+        true
+        (bug_keys base = bug_keys inc);
+      check_bool (e.Corpus.short ^ " session produced a report") true
+        (inc.Session.r_finished_states > 0))
+    Corpus.all
+
+let () =
+  Alcotest.run "ddt_incr"
+    [ ("parity",
+       [ Alcotest.test_case "bug sets and coverage identical" `Quick
+           test_bug_parity;
+         Alcotest.test_case "session counters alive" `Quick
+           test_session_counters ]);
+      ("chaos",
+       [ Alcotest.test_case "parity survives fault injection" `Quick
+           test_chaos_parity ]) ]
