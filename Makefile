@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-dbt clean
 
 all: build
 
@@ -13,19 +13,26 @@ test:
 # chaos run (injected worker crashes / solver exhaustions / memory
 # pressure must leave the bug sets unchanged), a quick incremental-
 # session run (bug sets must match the from-scratch pipeline, plus the
-# clause-retention microbench), the static pre-analysis on two
-# known-clean drivers (nonzero universe, zero findings), and a
-# warning-clean doc build.
+# clause-retention microbench), a quick DBT parity run (compiled blocks
+# on/off must report identical bug sets, with and without chaos), the
+# static pre-analysis on two known-clean drivers (nonzero universe,
+# zero findings), and a warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
 	dune exec bench/main.exe -- chaos --quick
 	dune exec bench/main.exe -- incr --quick
+	dune exec bench/main.exe -- dbt --quick
 	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean > /dev/null
 	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
 	dune build @doc
 
 bench:
 	dune exec bench/main.exe
+
+# Full DBT experiment: concrete throughput vs the interpreter plus bug-
+# report parity on all six drivers (± chaos); writes BENCH_dbt.json.
+bench-dbt:
+	dune exec bench/main.exe -- dbt --json
 
 clean:
 	dune clean

@@ -1107,6 +1107,225 @@ let incr_bench () =
     Printf.printf "wrote BENCH_incr.json\n"
   end
 
+(* --- DBT block compilation -------------------------------------------------------- *)
+
+type dbt_micro_row = {
+  dm_name : string;
+  dm_interp_sps : float; (* interpreted steps/second *)
+  dm_dbt_sps : float;    (* compiled steps/second *)
+}
+
+type dbt_row = {
+  dr_driver : string;
+  dr_off_wall : float;
+  dr_off_bugs : string list;
+  dr_on_wall : float;
+  dr_on_bugs : string list;
+  dr_chaos_match : bool; (* chaos legs report identical bugs dbt on/off *)
+  dr_stats : Exec.stats; (* from the dbt-on leg *)
+}
+
+(* Concrete-execution throughput: run a program to completion repeatedly
+   for a fixed wall-time slice through the plain interpreter and through
+   compiled superblocks, and report instructions/second for each. *)
+let dbt_measure_concrete name img =
+  let open Ddt_dvm in
+  let execute use_dbt =
+    let mem = Mem.create () in
+    let loaded = Image.load img mem ~base:Layout.image_base in
+    let env = Interp.create ~fuel:50_000_000 ~image:loaded mem in
+    Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
+    let addr = loaded.Image.base + img.Image.entry in
+    (if use_dbt then begin
+       let d = Dbt.create ~threshold:0 loaded in
+       Dbt.compile_all d;
+       ignore (Dbt.call_function d env ~addr ~args:[])
+     end
+     else ignore (Interp.call_function env ~addr ~args:[]));
+    env.Interp.steps
+  in
+  let throughput use_dbt =
+    ignore (execute use_dbt);
+    (* warmup *)
+    let slice = if !quick_mode then 0.2 else 0.6 in
+    let t0 = Unix.gettimeofday () in
+    let steps = ref 0 in
+    while Unix.gettimeofday () -. t0 < slice do
+      steps := !steps + execute use_dbt
+    done;
+    float_of_int !steps /. (Unix.gettimeofday () -. t0)
+  in
+  let interp_sps = throughput false in
+  let dbt_sps = throughput true in
+  Printf.printf "%-34s %12.0f %12.0f %7.1fx\n" name interp_sps dbt_sps
+    (dbt_sps /. interp_sps);
+  { dm_name = name; dm_interp_sps = interp_sps; dm_dbt_sps = dbt_sps }
+
+(* The compiled path's best case and per-instruction dispatch's worst:
+   a long unrolled ALU block in a tight loop, all operands in registers,
+   so the whole loop body chains into one superblock. *)
+let dbt_alu_image () =
+  let unrolled =
+    String.concat "\n        "
+      (List.init 24 (fun i ->
+           let r a = 2 + (a mod 6) in
+           Printf.sprintf "add r%d, r%d, r%d" (r i) (r (i + 1)) (r (i + 2))))
+  in
+  Ddt_dvm.Asm.assemble ~name:"alu-loop"
+    (Printf.sprintf {|
+      .entry main
+      .func main
+      main:
+        movi r1, 2000
+        movi r2, 1
+        movi r3, 2
+        movi r4, 3
+        movi r5, 5
+        movi r6, 7
+        movi r7, 11
+      loop:
+        jz r1, done
+        %s
+        sub r1, r1, 1
+        jmp loop
+      done:
+        ret
+    |} unrolled)
+
+let dbt_minicc_image () =
+  Ddt_minicc.Codegen.compile ~name:"minicc-loop" {|
+    int driver_entry(void) {
+      int acc = 0;
+      int i;
+      for (i = 0; i < 2000; i = i + 1) { acc = acc + i * 3; }
+      return acc;
+    }
+  |}
+
+let write_dbt_json micros rows path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"experiment\": \"dbt\",\n";
+  pr
+    "  \"note\": \"hot-block compilation to OCaml closures: concrete \
+     throughput interpreter vs compiled superblocks, and full-session \
+     bug-report parity with the guarded symbolic fast path on and \
+     off\",\n";
+  pr "  \"concrete_throughput\": [\n";
+  List.iteri
+    (fun i m ->
+      pr
+        "    {\"name\": %S, \"interp_steps_per_s\": %.0f, \
+         \"dbt_steps_per_s\": %.0f, \"speedup\": %.2f}%s\n"
+        m.dm_name m.dm_interp_sps m.dm_dbt_sps
+        (m.dm_dbt_sps /. m.dm_interp_sps)
+        (if i = List.length micros - 1 then "" else ","))
+    micros;
+  pr "  ],\n";
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S, \"wall_off_s\": %.4f, \"wall_on_s\": %.4f, \
+         \"bugs_off\": %d, \"bugs_on\": %d, \"bugs_match\": %b, \
+         \"chaos_bugs_match\": %b, \"blocks_compiled\": %d, \
+         \"superblocks_chained\": %d, \"guard_bails\": %d, \
+         \"decompiled\": %d, \"compiled_steps\": %d, \"total_steps\": %d}%s\n"
+        r.dr_driver r.dr_off_wall r.dr_on_wall
+        (List.length r.dr_off_bugs)
+        (List.length r.dr_on_bugs)
+        (r.dr_off_bugs = r.dr_on_bugs)
+        r.dr_chaos_match r.dr_stats.Exec.st_dbt_blocks
+        r.dr_stats.Exec.st_dbt_superblocks r.dr_stats.Exec.st_dbt_guard_bails
+        r.dr_stats.Exec.st_dbt_decompiled
+        r.dr_stats.Exec.st_dbt_compiled_steps r.dr_stats.Exec.st_total_steps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let dbt_bench () =
+  section
+    (if !quick_mode then
+       "DBT block compilation smoke test (--quick): throughput + parity \
+        on 2 drivers"
+     else
+       "DBT block compilation: hot blocks as OCaml closures — concrete \
+        throughput vs the interpreter, and full-corpus bug-report parity \
+        (plain and under chaos)");
+  Printf.printf "%-34s %12s %12s %8s\n" "Concrete throughput" "interp/s"
+    "dbt/s" "speedup";
+  let micros =
+    [ dbt_measure_concrete "alu loop (24-instr superblock)" (dbt_alu_image ());
+      dbt_measure_concrete "minicc compiled function" (dbt_minicc_image ()) ]
+  in
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pcnet" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let bug_keys (r : Session.result) =
+    List.map (fun b -> b.Report.b_key) r.Session.r_bugs
+    |> List.sort_uniq compare
+  in
+  let run_with ?chaos dbt short =
+    let cfg = Corpus.config (Corpus.find short) in
+    let cfg =
+      if !quick_mode then
+        { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+      else
+        { cfg with Config.max_total_steps = 150_000; plateau_steps = 100_000 }
+    in
+    let cfg =
+      { cfg with
+        Config.exec_config =
+          { cfg.Config.exec_config with Exec.jobs = 1; dbt; chaos } }
+    in
+    Ddt_solver.Solver.clear_cache ();
+    let t0 = Unix.gettimeofday () in
+    let r = Session.run cfg in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "\n%-16s %9s %9s %7s %7s %6s %9s %5s %5s\n" "Driver"
+    "wall-off" "wall-on" "blocks" "chained" "bails" "comp-frac" "same"
+    "chaos";
+  let chaos_spec =
+    { Ddt_symexec.Guard.chaos_worker_crash_period = 25;
+      chaos_solver_exhaust_period = 3; chaos_pressure_words = 50_000_000 }
+  in
+  let rows =
+    List.map
+      (fun short ->
+        let roff, toff = run_with false short in
+        let ron, ton = run_with true short in
+        let coff, _ = run_with ~chaos:chaos_spec false short in
+        let con, _ = run_with ~chaos:chaos_spec true short in
+        let st = ron.Session.r_stats in
+        let frac =
+          float_of_int st.Exec.st_dbt_compiled_steps
+          /. float_of_int (max 1 st.Exec.st_total_steps)
+        in
+        Printf.printf "%-16s %8.2fs %8.2fs %7d %7d %6d %8.0f%% %5s %5s\n"
+          short toff ton st.Exec.st_dbt_blocks st.Exec.st_dbt_superblocks
+          st.Exec.st_dbt_guard_bails (100.0 *. frac)
+          (if bug_keys roff = bug_keys ron then "yes" else "NO")
+          (if bug_keys coff = bug_keys con then "yes" else "NO");
+        { dr_driver = short; dr_off_wall = toff; dr_off_bugs = bug_keys roff;
+          dr_on_wall = ton; dr_on_bugs = bug_keys ron;
+          dr_chaos_match = bug_keys coff = bug_keys con; dr_stats = st })
+      drivers
+  in
+  let same =
+    List.length (List.filter (fun r -> r.dr_off_bugs = r.dr_on_bugs) rows)
+  in
+  let chaos_same = List.length (List.filter (fun r -> r.dr_chaos_match) rows) in
+  Printf.printf
+    "\ntotals: bug reports identical on %d/%d drivers (%d/%d under chaos)\n"
+    same (List.length rows) chaos_same (List.length rows);
+  if !json_mode then begin
+    write_dbt_json micros rows "BENCH_dbt.json";
+    Printf.printf "wrote BENCH_dbt.json\n"
+  end
+
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 let bechamel_run name fn =
@@ -1144,7 +1363,7 @@ let micro () =
   let loaded = Ddt_dvm.Image.load img mem ~base:Ddt_dvm.Layout.image_base in
   let entry = loaded.Ddt_dvm.Image.base + img.Ddt_dvm.Image.entry in
   bechamel_run "concrete interp: 600-instr function" (fun () ->
-      let env = Ddt_dvm.Interp.create mem in
+      let env = Ddt_dvm.Interp.create ~image:loaded mem in
       Ddt_dvm.Cpu.set env.Ddt_dvm.Interp.cpu Ddt_dvm.Isa.sp
         Ddt_dvm.Layout.stack_top;
       ignore (Ddt_dvm.Interp.call_function env ~addr:entry ~args:[]));
@@ -1184,7 +1403,8 @@ let all_experiments =
     ("stress", stress); ("sdv", sdv); ("synthetic", synthetic);
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
     ("memory", memory); ("solver", solver_bench); ("static", static_bench);
-    ("chaos", chaos_bench); ("incr", incr_bench); ("micro", micro) ]
+    ("chaos", chaos_bench); ("incr", incr_bench); ("dbt", dbt_bench);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -86,8 +86,16 @@ let no_incr_flag =
   in
   Arg.(value & flag & info [ "no-solver-incr" ] ~doc)
 
+let no_dbt_flag =
+  let doc =
+    "Disable block compilation and interpret every instruction \
+     individually (the differential oracle the compiled path is \
+     validated against). Bug reports are identical either way."
+  in
+  Arg.(value & flag & info [ "no-dbt" ] ~doc)
+
 let test_cmd =
-  let run short fixed no_annot traces jobs guided chaos no_incr =
+  let run short fixed no_annot traces jobs guided chaos no_incr no_dbt =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -99,7 +107,8 @@ let test_cmd =
             Ddt_core.Config.exec_config =
               { cfg.Ddt_core.Config.exec_config with
                 Ddt_symexec.Exec.jobs = max 1 jobs;
-                solver_incr = not no_incr } }
+                solver_incr = not no_incr;
+                dbt = not no_dbt } }
         in
         let cfg =
           if guided then
@@ -143,7 +152,7 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
-      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag)
+      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag $ no_dbt_flag)
 
 let static_cmd =
   let run short fixed =

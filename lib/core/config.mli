@@ -64,6 +64,9 @@ val make :
   ?solver_incr:bool ->
   (** override [exec_config.solver_incr]: per-state incremental solver
       sessions (see {!Ddt_symexec.Exec.config}) *)
+  ?dbt:bool ->
+  (** override [exec_config.dbt]: guarded block compilation (see
+      {!Ddt_symexec.Exec.config}) *)
   ?max_total_steps:int ->
   ?plateau_steps:int ->
   ?max_bases_per_phase:int ->

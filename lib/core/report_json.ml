@@ -5,7 +5,7 @@
 
 module Report = Ddt_checkers.Report
 
-let schema_version = 2
+let schema_version = 3
 
 type bug_row = {
   jb_kind : string;
@@ -50,6 +50,14 @@ type summary = {
   j_states_dropped : int;
   j_soft_retired : int;
   j_incidents : incident_row list;
+  (* schema 3: block-compilation counters (all 0 when DBT is off) *)
+  j_dbt_blocks : int;
+  j_dbt_superblocks : int;
+  j_dbt_guard_bails : int;
+  j_dbt_decompiled : int;
+  j_dbt_compiled_steps : int;
+  j_total_steps : int;
+  (* denominator for the compiled-vs-interpreted step fraction *)
 }
 
 let of_result (r : Session.result) =
@@ -96,6 +104,13 @@ let of_result (r : Session.result) =
             ji_message = i.inc_message;
             ji_replay = Ddt_trace.Replay.to_string i.inc_replay })
         r.Session.r_incidents;
+    j_dbt_blocks = r.Session.r_stats.Ddt_symexec.Exec.st_dbt_blocks;
+    j_dbt_superblocks = r.Session.r_stats.Ddt_symexec.Exec.st_dbt_superblocks;
+    j_dbt_guard_bails = r.Session.r_stats.Ddt_symexec.Exec.st_dbt_guard_bails;
+    j_dbt_decompiled = r.Session.r_stats.Ddt_symexec.Exec.st_dbt_decompiled;
+    j_dbt_compiled_steps =
+      r.Session.r_stats.Ddt_symexec.Exec.st_dbt_compiled_steps;
+    j_total_steps = r.Session.r_stats.Ddt_symexec.Exec.st_total_steps;
   }
 
 (* --- emission --- *)
@@ -160,7 +175,13 @@ let to_string s =
         | Some n -> string_of_int n));
       ("states_dropped", string_of_int s.j_states_dropped);
       ("soft_retired", string_of_int s.j_soft_retired);
-      ("incidents", jlist incident_row_json s.j_incidents) ]
+      ("incidents", jlist incident_row_json s.j_incidents);
+      ("dbt_blocks", string_of_int s.j_dbt_blocks);
+      ("dbt_superblocks", string_of_int s.j_dbt_superblocks);
+      ("dbt_guard_bails", string_of_int s.j_dbt_guard_bails);
+      ("dbt_decompiled", string_of_int s.j_dbt_decompiled);
+      ("dbt_compiled_steps", string_of_int s.j_dbt_compiled_steps);
+      ("total_steps", string_of_int s.j_total_steps) ]
 
 (* --- parsing: a minimal JSON reader covering what [to_string] emits
    (objects, arrays, strings with the escapes above, integers, null) --- *)
@@ -336,5 +357,11 @@ let of_string str =
               j_soft_retired = as_int (field "soft_retired" j);
               j_incidents =
                 List.map incident_row_of (as_arr (field "incidents" j));
+              j_dbt_blocks = as_int (field "dbt_blocks" j);
+              j_dbt_superblocks = as_int (field "dbt_superblocks" j);
+              j_dbt_guard_bails = as_int (field "dbt_guard_bails" j);
+              j_dbt_decompiled = as_int (field "dbt_decompiled" j);
+              j_dbt_compiled_steps = as_int (field "dbt_compiled_steps" j);
+              j_total_steps = as_int (field "total_steps" j);
             }
       with Bad _ -> None)

@@ -1,0 +1,598 @@
+(* DBT-style block compilation: translate decoded basic blocks into
+   OCaml closures (threaded code) so hot concrete stretches run with no
+   per-instruction fetch/decode/dispatch. Direct jumps and fall-throughs
+   chain into superblocks. The symbolic engine layers symbolic-operand
+   guards on the same block plan (see Ddt_symexec.Sdbt); this module is
+   the unguarded concrete leg used by trace replay and the stress
+   baseline. *)
+
+let instr_shift = 3 (* log2 Isa.instr_size *)
+
+(* --- block plan ------------------------------------------------------ *)
+
+type ending =
+  | E_term
+      (* the block's last instruction is a control transfer; its closure
+         sets the pc *)
+  | E_fall of int
+      (* execution falls through to this absolute pc: the next leader, an
+         undecodable slot, or the end of text *)
+
+type block = {
+  bk_entry : int;                       (* absolute pc of the leader *)
+  bk_instrs : (int * Isa.instr) array;  (* (absolute pc, instruction) *)
+  bk_end : ending;
+}
+
+type plan = {
+  pl_loaded : Image.loaded;
+  pl_blocks : block option array;       (* one slot per instruction; [Some]
+                                           exactly at aligned leaders *)
+}
+
+let is_term = function
+  | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Call _ | Isa.Callr _ | Isa.Ret
+  | Isa.Hlt | Isa.Kcall _ ->
+      (* Kcall ends a block: the kernel call may install hooks, and the
+         gate must get a chance to re-check them before compiled code
+         continues. [Disasm.basic_block_starts] makes the next slot a
+         leader for all of these. *)
+      true
+  | _ -> false
+
+(* [Isa.decode] does not validate register bytes, so data that happens
+   to decode (a [Some] slot in the code array) can name registers >= 16;
+   the interpreter crashes mid-dispatch on those with [Invalid_argument]
+   rather than a [Fault]. Keep such instructions out of every block so
+   only the interpreter executes them — pc and step accounting then
+   agree exactly between the engines. *)
+let regs_ok i =
+  let ok r = r >= 0 && r < Isa.num_regs in
+  match i with
+  | Isa.Nop | Isa.Hlt | Isa.Jmp _ | Isa.Call _ | Isa.Ret | Isa.Kcall _
+  | Isa.Cli | Isa.Sti ->
+      true
+  | Isa.Mov (a, b) -> ok a && ok b
+  | Isa.Movi (a, _) | Isa.Lea (a, _) -> ok a
+  | Isa.Alu (_, a, b, c) | Isa.Cmp (_, a, b, c) -> ok a && ok b && ok c
+  | Isa.Alui (_, a, b, _) | Isa.Cmpi (_, a, b, _) -> ok a && ok b
+  | Isa.Ldw (a, b, _) | Isa.Ldb (a, b, _) -> ok a && ok b
+  | Isa.Stw (a, _, b) | Isa.Stb (a, _, b) -> ok a && ok b
+  | Isa.Push a | Isa.Pop a | Isa.Jz (a, _) | Isa.Jnz (a, _) | Isa.Callr a ->
+      ok a
+
+let plan (l : Image.loaded) =
+  let code = l.Image.code in
+  let nslots = Array.length code in
+  let leader = Array.make (max 1 nslots) false in
+  List.iter
+    (fun off ->
+      if off land (Isa.instr_size - 1) = 0 && off lsr instr_shift < nslots
+      then leader.(off lsr instr_shift) <- true)
+    (Disasm.basic_block_starts l.Image.image);
+  let abs slot = l.Image.text_start + (slot lsl instr_shift) in
+  let block_at i =
+    if not (i < nslots && leader.(i)) then None
+    else
+      let rec collect j acc =
+        if j >= nslots then (acc, E_fall (abs j))
+        else if j > i && leader.(j) then (acc, E_fall (abs j))
+        else
+          match code.(j) with
+          | None -> (acc, E_fall (abs j))
+          | Some instr when not (regs_ok instr) -> (acc, E_fall (abs j))
+          | Some instr ->
+              if is_term instr then ((abs j, instr) :: acc, E_term)
+              else collect (j + 1) ((abs j, instr) :: acc)
+      in
+      let rev_instrs, bk_end = collect i [] in
+      Some
+        { bk_entry = abs i;
+          bk_instrs = Array.of_list (List.rev rev_instrs);
+          bk_end }
+  in
+  { pl_loaded = l; pl_blocks = Array.init (max 1 nslots) block_at }
+
+let block_of plan pc =
+  let l = plan.pl_loaded in
+  if
+    pc >= l.Image.text_start && pc < l.Image.text_end
+    && (pc - l.Image.text_start) land (Isa.instr_size - 1) = 0
+  then plan.pl_blocks.((pc - l.Image.text_start) lsr instr_shift)
+  else None
+
+(* Superblock selection: follow direct jumps and leader fall-throughs
+   from a head block, never revisiting a block (loops re-enter through
+   the dispatch loop) and respecting hard size caps. Returns the
+   constituent blocks in execution order. *)
+let max_chain_blocks = 16
+let max_chain_instrs = 128
+
+let chain plan head_pc =
+  let rec go pc acc seen ninstrs =
+    if List.length acc >= max_chain_blocks then List.rev acc
+    else
+      match block_of plan pc with
+      | None -> List.rev acc
+      | Some bk ->
+          if List.mem pc seen || ninstrs + Array.length bk.bk_instrs > max_chain_instrs
+          then List.rev acc
+          else
+            let acc = bk :: acc and seen = pc :: seen in
+            let ninstrs = ninstrs + Array.length bk.bk_instrs in
+            let continue_to =
+              match bk.bk_end with
+              | E_fall t when block_of plan t <> None -> Some t
+              | E_fall _ -> None
+              | E_term -> (
+                  match bk.bk_instrs.(Array.length bk.bk_instrs - 1) with
+                  | _, Isa.Jmp t when block_of plan t <> None -> Some t
+                  | _ -> None)
+            in
+            (match continue_to with
+             | Some t -> go t acc seen ninstrs
+             | None -> List.rev acc)
+  in
+  go head_pc [] [] 0
+
+(* --- concrete compilation ------------------------------------------- *)
+
+(* Per-instruction closures over the interpreter environment, built in
+   continuation style: each closure performs one instruction and
+   tail-calls [rest] (the remainder of the superblock), so a compiled
+   block is one fused closure chain with no dispatch loop. Invariants
+   mirroring Interp.step exactly:
+   - the dispatch loop prepays [cb_len] steps before entering the block
+     (the interpreter counts a step before executing it, so a fault at
+     1-based position k must leave k steps counted: every raise site
+     gives back its [overshoot] = cb_len - k first);
+   - closures that raise [Interp.Fault] restore [cpu.pc] to their own pc
+     first, because interior closures leave it stale;
+   - hooks are not dispatched — the gate only enters compiled code when
+     [Interp.hooks_are_default] holds;
+   - fuel is charged by the dispatch loop ([cb_len] on a full run, the
+     steps delta when a fault escapes mid-block);
+   - register indices were validated at plan time ([regs_ok]) and
+     [Cpu.create] allocates exactly [Isa.num_regs] slots, so register
+     access compiles to unchecked array reads/writes. *)
+
+let m32 = 0xFFFFFFFF
+let rg (cpu : Cpu.t) r = Array.unsafe_get cpu.Cpu.regs r
+let rst (cpu : Cpu.t) r v = Array.unsafe_set cpu.Cpu.regs r (v land m32)
+let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let compile_instr ~(overshoot : int) (pc, instr) (rest : Interp.env -> unit) :
+    Interp.env -> unit =
+  let next = pc + Isa.instr_size in
+  let open Interp in
+  (* Cold fault path: restore pc, give back prepaid steps, raise. *)
+  let die env f : unit =
+    env.cpu.Cpu.pc <- pc;
+    env.steps <- env.steps - overshoot;
+    raise (Fault (f, pc))
+  in
+  match instr with
+  | Isa.Nop -> rest
+  | Isa.Hlt ->
+      fun env ->
+        env.cpu.Cpu.pc <- pc;
+        env.cpu.Cpu.halted <- true;
+        rest env
+  | Isa.Mov (rd, rs) ->
+      fun env ->
+        let cpu = env.cpu in
+        rst cpu rd (rg cpu rs);
+        rest env
+  | Isa.Movi (rd, imm) | Isa.Lea (rd, imm) ->
+      fun env ->
+        rst env.cpu rd imm;
+        rest env
+  | Isa.Alu (op, rd, rs1, rs2) -> (
+      match op with
+      | Isa.Add ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 + rg cpu rs2);
+            rest env
+      | Isa.Sub ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 - rg cpu rs2);
+            rest env
+      | Isa.Mul ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 * rg cpu rs2);
+            rest env
+      | Isa.And ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 land rg cpu rs2);
+            rest env
+      | Isa.Or ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lor rg cpu rs2);
+            rest env
+      | Isa.Xor ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lxor rg cpu rs2);
+            rest env
+      | Isa.Shl ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lsl (rg cpu rs2 land 31));
+            rest env
+      | Isa.Shru ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lsr (rg cpu rs2 land 31));
+            rest env
+      | Isa.Shrs ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (to_signed32 (rg cpu rs1) asr (rg cpu rs2 land 31));
+            rest env
+      | Isa.Divu ->
+          fun env ->
+            let cpu = env.cpu in
+            let b = rg cpu rs2 in
+            if b = 0 then die env Div_by_zero;
+            rst cpu rd (rg cpu rs1 / b);
+            rest env
+      | Isa.Remu ->
+          fun env ->
+            let cpu = env.cpu in
+            let b = rg cpu rs2 in
+            if b = 0 then die env Div_by_zero;
+            rst cpu rd (rg cpu rs1 mod b);
+            rest env)
+  | Isa.Alui (op, rd, rs1, imm) -> (
+      match op with
+      | Isa.Add ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 + imm);
+            rest env
+      | Isa.Sub ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 - imm);
+            rest env
+      | Isa.Mul ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 * imm);
+            rest env
+      | Isa.And ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 land imm);
+            rest env
+      | Isa.Or ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lor imm);
+            rest env
+      | Isa.Xor ->
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lxor imm);
+            rest env
+      | Isa.Shl ->
+          let sh = imm land 31 in
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lsl sh);
+            rest env
+      | Isa.Shru ->
+          let sh = imm land 31 in
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (rg cpu rs1 lsr sh);
+            rest env
+      | Isa.Shrs ->
+          let sh = imm land 31 in
+          fun env ->
+            let cpu = env.cpu in
+            rst cpu rd (to_signed32 (rg cpu rs1) asr sh);
+            rest env
+      | Isa.Divu ->
+          if imm = 0 then fun env -> die env Div_by_zero
+          else
+            fun env ->
+              let cpu = env.cpu in
+              rst cpu rd (rg cpu rs1 / imm);
+              rest env
+      | Isa.Remu ->
+          if imm = 0 then fun env -> die env Div_by_zero
+          else
+            fun env ->
+              let cpu = env.cpu in
+              rst cpu rd (rg cpu rs1 mod imm);
+              rest env)
+  | Isa.Cmp (op, rd, rs1, rs2) ->
+      fun env ->
+        let cpu = env.cpu in
+        rst cpu rd (Interp.cmp op (rg cpu rs1) (rg cpu rs2));
+        rest env
+  | Isa.Cmpi (op, rd, rs1, imm) ->
+      fun env ->
+        let cpu = env.cpu in
+        rst cpu rd (Interp.cmp op (rg cpu rs1) imm);
+        rest env
+  | Isa.Ldw (rd, rs1, off) ->
+      fun env ->
+        let cpu = env.cpu in
+        let a = (rg cpu rs1 + off) land m32 in
+        if a < Layout.null_guard then die env Null_deref;
+        rst cpu rd (Mem.read_u32 env.mem a);
+        rest env
+  | Isa.Ldb (rd, rs1, off) ->
+      fun env ->
+        let cpu = env.cpu in
+        let a = (rg cpu rs1 + off) land m32 in
+        if a < Layout.null_guard then die env Null_deref;
+        rst cpu rd (Mem.read_u8 env.mem a);
+        rest env
+  | Isa.Stw (rs1, off, rs2) ->
+      fun env ->
+        let cpu = env.cpu in
+        let a = (rg cpu rs1 + off) land m32 in
+        if a < Layout.null_guard then die env Null_deref;
+        Mem.write_u32 env.mem a (rg cpu rs2);
+        rest env
+  | Isa.Stb (rs1, off, rs2) ->
+      fun env ->
+        let cpu = env.cpu in
+        let a = (rg cpu rs1 + off) land m32 in
+        if a < Layout.null_guard then die env Null_deref;
+        Mem.write_u8 env.mem a (rg cpu rs2);
+        rest env
+  | Isa.Push rs ->
+      fun env ->
+        let cpu = env.cpu in
+        let v = rg cpu rs in (* before sp moves: [push sp] *)
+        let sp = rg cpu Isa.sp - 4 in
+        if sp < Layout.stack_limit then die env Stack_overflow;
+        rst cpu Isa.sp sp;
+        Mem.write_u32 env.mem sp v;
+        rest env
+  | Isa.Pop rd ->
+      fun env ->
+        let cpu = env.cpu in
+        let sp = rg cpu Isa.sp in
+        if sp < Layout.null_guard then die env Null_deref;
+        let v = Mem.read_u32 env.mem sp in
+        rst cpu Isa.sp (sp + 4);
+        rst cpu rd v;
+        rest env
+  | Isa.Jmp t ->
+      fun env ->
+        env.cpu.Cpu.pc <- t;
+        rest env
+  | Isa.Jz (rs, t) ->
+      fun env ->
+        let cpu = env.cpu in
+        cpu.Cpu.pc <- (if rg cpu rs = 0 then t else next);
+        rest env
+  | Isa.Jnz (rs, t) ->
+      fun env ->
+        let cpu = env.cpu in
+        cpu.Cpu.pc <- (if rg cpu rs <> 0 then t else next);
+        rest env
+  | Isa.Call t ->
+      fun env ->
+        let cpu = env.cpu in
+        let sp = rg cpu Isa.sp - 4 in
+        if sp < Layout.stack_limit then die env Stack_overflow;
+        rst cpu Isa.sp sp;
+        Mem.write_u32 env.mem sp next;
+        cpu.Cpu.pc <- t;
+        rest env
+  | Isa.Callr rs ->
+      fun env ->
+        let cpu = env.cpu in
+        let target = rg cpu rs in
+        if target < Layout.null_guard then die env Bad_jump;
+        let sp = rg cpu Isa.sp - 4 in
+        if sp < Layout.stack_limit then die env Stack_overflow;
+        rst cpu Isa.sp sp;
+        Mem.write_u32 env.mem sp next;
+        cpu.Cpu.pc <- target;
+        rest env
+  | Isa.Ret ->
+      fun env ->
+        let cpu = env.cpu in
+        let sp = rg cpu Isa.sp in
+        if sp < Layout.null_guard then die env Null_deref;
+        let v = Mem.read_u32 env.mem sp in
+        rst cpu Isa.sp (sp + 4);
+        cpu.Cpu.pc <- v;
+        rest env
+  | Isa.Kcall _ ->
+      (* Kernel calls never compile: the model may re-enter the VM
+         through [call_function] on the same env, which would nest fuel
+         accounting, and it may install hooks. [compile] truncates the
+         superblock before a trailing Kcall. *)
+      assert false
+  | Isa.Cli ->
+      fun env ->
+        env.cpu.Cpu.int_enabled <- false;
+        rest env
+  | Isa.Sti ->
+      fun env ->
+        env.cpu.Cpu.int_enabled <- true;
+        rest env
+
+type cblock = {
+  cb_len : int;                   (* steps a full (fault-free) run executes *)
+  cb_run : Interp.env -> unit;
+}
+
+let stop : Interp.env -> unit = fun _ -> ()
+
+(* Compile a superblock starting at [head_pc] into one fused closure
+   chain. Interior instructions leave [cpu.pc] stale (faulting closures
+   restore it); only the final closure establishes the successor pc. A
+   Jmp into the next chained block costs a step but compiles to nothing
+   (its continuation IS the target block); a trailing Kcall is truncated
+   into a pc hand-off so the interpreter executes it. *)
+let compile plan head_pc =
+  match chain plan head_pc with
+  | [] -> None
+  | blocks ->
+      let nblocks = List.length blocks in
+      let nchained = nblocks - 1 in
+      (* flatten to (pc, instr, compiles-to-nothing) in execution order *)
+      let items = ref [] in
+      List.iteri
+        (fun bi bk ->
+          let n = Array.length bk.bk_instrs in
+          Array.iteri
+            (fun ii (ipc, instr) ->
+              let chained_jmp =
+                bi < nblocks - 1 && ii = n - 1
+                && match instr with Isa.Jmp _ -> true | _ -> false
+              in
+              items := (ipc, instr, chained_jmp) :: !items)
+            bk.bk_instrs)
+        blocks;
+      let items, tail =
+        match !items with
+        | (kpc, Isa.Kcall _, _) :: rest_rev ->
+            (List.rev rest_rev, fun env -> env.Interp.cpu.Cpu.pc <- kpc)
+        | rev -> (
+            let last = List.nth blocks (nblocks - 1) in
+            match last.bk_end with
+            | E_fall t -> (List.rev rev, fun env -> env.Interp.cpu.Cpu.pc <- t)
+            | E_term -> (List.rev rev, stop))
+      in
+      let cb_len = List.length items in
+      (* A leader whose first instruction is uncompilable (or a lone
+         Kcall) yields an empty chain; running it would make no progress,
+         so leave such pcs to the interpreter entirely. *)
+      if cb_len = 0 then None
+      else
+        (* build back-to-front: position k's closure tail-calls the rest *)
+        let rec build k = function
+          | [] -> tail
+          | (ipc, instr, nothing) :: tl ->
+              let rest = build (k + 1) tl in
+              if nothing then rest
+              else compile_instr ~overshoot:(cb_len - k) (ipc, instr) rest
+        in
+        Some ({ cb_len; cb_run = build 1 items }, nchained)
+
+(* --- dispatch-loop runtime ------------------------------------------ *)
+
+type cell =
+  | Not_leader
+  | Cold of int ref
+  | Ready of cblock
+
+type stats = {
+  db_blocks_compiled : int;
+  db_superblocks_chained : int;
+}
+
+type t = {
+  dt_plan : plan;
+  dt_cells : cell array;
+  dt_threshold : int;
+  mutable dt_compiled : int;
+  mutable dt_chained : int;
+}
+
+let default_threshold = 16
+
+let create ?(threshold = default_threshold) (l : Image.loaded) =
+  let plan = plan l in
+  let cells =
+    Array.map
+      (function Some _ -> Cold (ref 0) | None -> Not_leader)
+      plan.pl_blocks
+  in
+  { dt_plan = plan; dt_cells = cells; dt_threshold = threshold;
+    dt_compiled = 0; dt_chained = 0 }
+
+let stats t =
+  { db_blocks_compiled = t.dt_compiled; db_superblocks_chained = t.dt_chained }
+
+let compile_slot t slot pc =
+  match compile t.dt_plan pc with
+  | Some (cb, nchained) ->
+      t.dt_compiled <- t.dt_compiled + 1;
+      t.dt_chained <- t.dt_chained + nchained;
+      t.dt_cells.(slot) <- Ready cb
+  | None -> t.dt_cells.(slot) <- Not_leader
+
+let compile_all t =
+  Array.iteri
+    (fun slot bk ->
+      match bk with
+      | Some b -> compile_slot t slot b.bk_entry
+      | None -> ())
+    t.dt_plan.pl_blocks
+
+(* The interpreter loop with a compiled fast path: same stopping rule as
+   Interp.run, with fuel charged per executed instruction (batched over
+   a compiled superblock, including the partial count when a fault
+   escapes mid-block). *)
+let run t env =
+  let l = t.dt_plan.pl_loaded in
+  let ts = l.Image.text_start and te = l.Image.text_end in
+  let cells = t.dt_cells in
+  let rec go () =
+    if env.Interp.cpu.Cpu.halted then Interp.Halted
+    else if env.Interp.cpu.Cpu.pc = Layout.return_sentinel then Interp.Sentinel
+    else if env.Interp.fuel <= 0 then Interp.Out_of_fuel
+    else begin
+      let pc = env.Interp.cpu.Cpu.pc in
+      let ran_compiled =
+        pc >= ts && pc < te
+        && (pc - ts) land (Isa.instr_size - 1) = 0
+        &&
+        let slot = (pc - ts) lsr instr_shift in
+        match Array.unsafe_get cells slot with
+        | Ready cb
+          when env.Interp.fuel >= cb.cb_len
+               && Interp.hooks_are_default env.Interp.hooks ->
+            (* Prepay the whole block's steps; a faulting closure gives
+               back the unexecuted remainder before raising, so on any
+               exit the steps delta is exactly the instructions run. *)
+            let steps0 = env.Interp.steps in
+            env.Interp.steps <- steps0 + cb.cb_len;
+            (try cb.cb_run env
+             with e ->
+               env.Interp.fuel <-
+                 env.Interp.fuel - (env.Interp.steps - steps0);
+               raise e);
+            env.Interp.fuel <- env.Interp.fuel - cb.cb_len;
+            true
+        | Cold n ->
+            incr n;
+            if !n >= t.dt_threshold then compile_slot t slot pc;
+            false
+        | _ -> false
+      in
+      if not ran_compiled then begin
+        env.Interp.fuel <- env.Interp.fuel - 1;
+        Interp.step env
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let call_function t env ~addr ~args =
+  let saved_pc = env.Interp.cpu.Cpu.pc in
+  List.iter (fun a -> Interp.push env addr a) (List.rev args);
+  Interp.push env addr Layout.return_sentinel;
+  env.Interp.cpu.Cpu.pc <- addr;
+  let (_ : Interp.stop) = run t env in
+  Cpu.set env.Interp.cpu Isa.sp
+    (Cpu.get env.Interp.cpu Isa.sp + (4 * List.length args));
+  env.Interp.cpu.Cpu.pc <- saved_pc;
+  Cpu.get env.Interp.cpu 0

@@ -1,0 +1,73 @@
+(** DBT-style block compilation (threaded code).
+
+    Translates decoded basic blocks of a loaded DXE image into OCaml
+    closures that execute straight-line with no per-instruction
+    fetch/decode/dispatch, chaining direct jumps and fall-throughs into
+    superblocks — the QEMU-translation-cache analog of the paper's VM
+    leg, for the fully concrete engines (trace replay §3.5, the stress
+    baseline). The symbolic engine reuses the {e block plan} from here
+    and adds symbolic-operand guards ([Ddt_symexec.Sdbt]).
+
+    Compiled code preserves the interpreter's observable semantics
+    exactly: fault kinds and pcs, step and fuel accounting, register
+    masking. Per-instruction hooks are {e not} dispatched, so the
+    dispatch loop only enters compiled code while
+    {!Interp.hooks_are_default} holds. *)
+
+(** {1 Block plan} — shared with the symbolic compiler *)
+
+type ending =
+  | E_term        (** last instruction is a control transfer *)
+  | E_fall of int (** falls through to this absolute pc *)
+
+type block = {
+  bk_entry : int;                       (** absolute pc of the leader *)
+  bk_instrs : (int * Isa.instr) array;  (** (absolute pc, instruction) *)
+  bk_end : ending;
+}
+
+type plan
+
+val plan : Image.loaded -> plan
+(** Carve the decode-once code array into basic blocks at the
+    [Disasm.basic_block_starts] leaders (the same universe the symbolic
+    engine's coverage accounting uses). *)
+
+val block_of : plan -> int -> block option
+(** The block led by this absolute pc, if it is an aligned in-text
+    leader. *)
+
+val chain : plan -> int -> block list
+(** Superblock selection: the blocks reached from this head by direct
+    jumps and leader fall-throughs, in execution order, without
+    revisiting a block and within hard size caps. *)
+
+(** {1 Concrete compiled execution} *)
+
+type t
+
+val create : ?threshold:int -> Image.loaded -> t
+(** A compilation state over the image. A block is compiled once it has
+    been entered [threshold] times (default {!default_threshold});
+    [~threshold:0] compiles a block the first time it is seen. *)
+
+val default_threshold : int
+
+val compile_all : t -> unit
+(** Eagerly compile every block — used by the differential tests and
+    benchmarks to avoid warmup. *)
+
+val run : t -> Interp.env -> Interp.stop
+(** Like {!Interp.run}, dispatching through compiled superblocks when
+    the pc heads one, fuel permitting and hooks defaulted; otherwise
+    falls back to single-step interpretation. @raise Interp.Fault *)
+
+val call_function : t -> Interp.env -> addr:int -> args:int list -> int
+(** {!Interp.call_function} with the compiled dispatch loop. *)
+
+type stats = {
+  db_blocks_compiled : int;
+  db_superblocks_chained : int; (** chained constituents beyond heads *)
+}
+
+val stats : t -> stats

@@ -17,7 +17,22 @@ type loaded = {
   text_end : int;
   data_start : int;
   data_end : int;
+  code : Isa.instr option array;
 }
+
+(* Decode every instruction slot of the text section once, from the
+   relocated bytes in memory (relocation patches 32-bit immediate fields
+   in place, so decoding [img.text] directly would see pre-rebase
+   addresses). Slots that do not decode — data placed in text — are
+   [None]; executing one is the usual bad-opcode fault, discovered
+   lazily exactly as per-fetch decoding would. *)
+let decode_text mem ~base ~len =
+  let slots = len / Isa.instr_size in
+  let text = Mem.read_bytes mem base len in
+  Array.init slots (fun i ->
+      match Isa.decode text (i * Isa.instr_size) with
+      | instr -> Some instr
+      | exception Isa.Invalid_opcode _ -> None)
 
 let load img mem ~base =
   Mem.load_bytes mem base img.text;
@@ -41,6 +56,7 @@ let load img mem ~base =
     text_end = base + Bytes.length img.text;
     data_start;
     data_end = data_start + Bytes.length img.data + img.bss_size;
+    code = decode_text mem ~base ~len:(Bytes.length img.text);
   }
 
 let export_addr l name = l.base + List.assoc name l.image.exports

@@ -28,6 +28,12 @@ type loaded = {
   text_end : int;              (** exclusive *)
   data_start : int;
   data_end : int;              (** exclusive; covers data + bss *)
+  code : Isa.instr option array;
+  (** decode-once instruction array, one slot per [Isa.instr_size] bytes
+      of text, built from the {e relocated} bytes at load time. [None]
+      marks an undecodable slot (data in text). Shared by the concrete
+      interpreter, the symbolic engine and the block compiler — replaces
+      the per-consumer decode caches. *)
 }
 
 val load : t -> Mem.t -> base:int -> loaded

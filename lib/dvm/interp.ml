@@ -27,17 +27,24 @@ type env = {
   hooks : hooks;
   mutable steps : int;
   mutable fuel : int;
-  decode_cache : (int, Isa.instr) Hashtbl.t;
+  mutable image : Image.loaded option;
 }
 
-let no_hooks () =
-  { on_step = (fun _ -> ()); on_read = (fun _ _ _ -> ());
-    on_write = (fun _ _ _ -> ()) }
+(* Shared physical no-op closures: the block compiler treats "all hooks
+   are these exact closures" as the license to skip per-instruction hook
+   dispatch inside compiled blocks. *)
+let nop_step : int -> unit = fun _ -> ()
+let nop_rw : int -> int -> int -> unit = fun _ _ _ -> ()
 
-let create ?(fuel = 50_000_000) mem =
+let no_hooks () = { on_step = nop_step; on_read = nop_rw; on_write = nop_rw }
+
+let hooks_are_default h =
+  h.on_step == nop_step && h.on_read == nop_rw && h.on_write == nop_rw
+
+let create ?(fuel = 50_000_000) ?image mem =
   { mem; cpu = Cpu.create ();
     kcall = (fun n -> failwith (Printf.sprintf "unbound kcall %d" n));
-    hooks = no_hooks (); steps = 0; fuel; decode_cache = Hashtbl.create 256 }
+    hooks = no_hooks (); steps = 0; fuel; image }
 
 let mask32 v = v land 0xFFFFFFFF
 
@@ -110,18 +117,23 @@ let pop env pc =
   Cpu.set env.cpu Isa.sp (sp + 4);
   v
 
+let decode_mem env pc =
+  let b = Mem.read_bytes env.mem pc Isa.instr_size in
+  try Isa.decode b 0
+  with Isa.Invalid_opcode _ -> raise (Fault (Bad_opcode, pc))
+
 let fetch env pc =
-  (* Instructions never live in MMIO space and loaded text is immutable,
-     so decoding is memoized per address. *)
-  match Hashtbl.find_opt env.decode_cache pc with
-  | Some i -> i
-  | None -> (
-      let b = Mem.read_bytes env.mem pc Isa.instr_size in
-      try
-        let i = Isa.decode b 0 in
-        Hashtbl.replace env.decode_cache pc i;
-        i
-      with Isa.Invalid_opcode _ -> raise (Fault (Bad_opcode, pc)))
+  (* Aligned fetches inside the loaded text hit the decode-once array
+     built at [Image.load]; anything else (no image attached, or a jump
+     to an unaligned/out-of-text address) decodes straight from memory. *)
+  match env.image with
+  | Some l
+    when pc >= l.Image.text_start && pc < l.Image.text_end
+         && (pc - l.Image.text_start) land (Isa.instr_size - 1) = 0 -> (
+      match l.Image.code.((pc - l.Image.text_start) / Isa.instr_size) with
+      | Some i -> i
+      | None -> raise (Fault (Bad_opcode, pc)))
+  | _ -> decode_mem env pc
 
 let step env =
   let cpu = env.cpu in

@@ -57,6 +57,12 @@ type config = {
   chaos : Guard.chaos option;
   (** deterministic fault injection for the chaos harness; [None] (the
       default) injects nothing *)
+  dbt : bool;
+  (** compile hot basic blocks into guarded closures ({!Sdbt}): fully
+      concrete stretches execute with no per-instruction decode/dispatch
+      and bail to the interpreter at the first symbolic operand. On by
+      default; automatically disabled while [record_exec_pcs] is set
+      (compiled blocks do not emit per-pc trace events). *)
 }
 
 let default_config =
@@ -77,6 +83,7 @@ let default_config =
     guard = true;
     max_worker_restarts = 3;
     chaos = None;
+    dbt = true;
   }
 
 type mem_access = {
@@ -104,8 +111,10 @@ type engine = {
   base_mem : Mem.t;
   img : Image.loaded;
   symdev : Ddt_hw.Symdev.t;
-  stamp : int;
-  (* process-unique id keying the per-domain decode caches *)
+  mutable dbt : Sdbt.t option;
+  (* guarded block compiler, installed lazily by [ensure_dbt] at [run]
+     time (its context closures capture [note_block], defined after
+     [create]); [None] when [cfg.dbt] is off or per-pc tracing is on *)
   block_index : (int, int) Hashtbl.t;       (* abs leader -> dense id;
                                                read-only after create *)
   block_addrs : int array;                  (* dense id -> abs leader, sorted *)
@@ -173,24 +182,6 @@ let rec amax a v =
    a domain serves exactly one worker slot per [run]. *)
 let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
-let eng_stamp = Atomic.make 0
-
-(* Decode caches are per-domain (hot per-instruction path; sharing one
-   table would serialize every fetch) and keyed by engine stamp so
-   successive engines in one domain don't see each other's code. *)
-let decode_dls : (int * (int, Isa.instr) Hashtbl.t) ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref (-1, Hashtbl.create 1))
-
-let decode_cache_for eng =
-  let slot = Domain.DLS.get decode_dls in
-  let stamp, tbl = !slot in
-  if stamp = eng.stamp then tbl
-  else begin
-    let tbl = Hashtbl.create 1024 in
-    slot := (eng.stamp, tbl);
-    tbl
-  end
-
 exception Discard_state of string
 exception Fork_alts of (string * (Mach.t -> unit)) list
 exception Vm_crash of string * string
@@ -247,7 +238,7 @@ let create ?(config = default_config) img base_mem symdev =
     base_mem;
     img;
     symdev;
-    stamp = Atomic.fetch_and_add eng_stamp 1;
+    dbt = None;
     block_index;
     block_addrs;
     covered;
@@ -720,22 +711,28 @@ let cmp_to_cmpop = function
   | Isa.Les -> Expr.Les
 
 let fetch eng pc =
-  (* Driver text is immutable once loaded, so decoding is memoizable —
-     the analog of QEMU's translation cache (§4.1.2). The cache is
-     per-domain (see [decode_cache_for]): lock-free on the hottest path
-     at the cost of each worker decoding independently. *)
-  let cache = decode_cache_for eng in
-  match Hashtbl.find_opt cache pc with
-  | Some i -> i
-  | None -> (
-      let b = Mem.read_bytes eng.base_mem pc Isa.instr_size in
-      try
-        let i = Isa.decode b 0 in
-        Hashtbl.replace cache pc i;
-        i
-      with Isa.Invalid_opcode _ ->
+  (* Driver text is immutable once loaded, so every aligned in-text pc
+     is served from the decode-once [Image.code] array — shared,
+     read-only, lock-free, the analog of QEMU's translation cache
+     (§4.1.2). Off-text or misaligned pcs (a wild indirect jump) fall
+     back to decoding from memory. *)
+  let l = eng.img in
+  if
+    pc >= l.Image.text_start
+    && pc < l.Image.text_end
+    && (pc - l.Image.text_start) land (Isa.instr_size - 1) = 0
+  then
+    match l.Image.code.((pc - l.Image.text_start) / Isa.instr_size) with
+    | Some i -> i
+    | None ->
         raise
-          (Vm_crash ("DRIVER_FAULT", Printf.sprintf "invalid opcode at 0x%x" pc)))
+          (Vm_crash ("DRIVER_FAULT", Printf.sprintf "invalid opcode at 0x%x" pc))
+  else
+    let b = Mem.read_bytes eng.base_mem pc Isa.instr_size in
+    try Isa.decode b 0
+    with Isa.Invalid_opcode _ ->
+      raise
+        (Vm_crash ("DRIVER_FAULT", Printf.sprintf "invalid opcode at 0x%x" pc))
 
 (* Merge one worker's count shard into the shared table. The only
    [glock] acquisition on the block-counting path, amortized over
@@ -778,6 +775,33 @@ let note_block eng st pc =
         Atomic.set eng.last_new_block_step (Atomic.get eng.total_steps);
         eng.on_new_block st pc
       end
+
+(* Install the guarded block compiler. Lazy (called from [run], not
+   [create]) because its context closures capture [note_block]. Per-pc
+   tracing disables it: compiled blocks do not emit E_exec events. *)
+let ensure_dbt eng =
+  if eng.cfg.dbt && (not eng.cfg.record_exec_pcs) && eng.dbt = None then
+    let ctx =
+      {
+        Sdbt.c_note = (fun st pc -> note_block eng st pc);
+        c_total_incr = (fun () -> Atomic.incr eng.total_steps);
+        c_mem_access =
+          (fun st ~pc ~write ~addr ~conc ~width ~sp ->
+            eng.on_mem_access
+              {
+                ma_state = st;
+                ma_pc = pc;
+                ma_write = write;
+                ma_addr = addr;
+                ma_conc = conc;
+                ma_width = width;
+                ma_constraints = st.St.constraints;
+                ma_sp = sp;
+              });
+        c_crash = (fun code msg -> Vm_crash (code, msg));
+      }
+    in
+    eng.dbt <- Some (Sdbt.create ctx eng.img)
 
 (* Handle reaching the return sentinel: either an interrupt continuation
    finishes, or the whole entry-point invocation is complete. *)
@@ -1046,8 +1070,23 @@ let step_quantum eng st =
        && !budget > 0
        && st.St.steps < eng.cfg.max_steps_per_state
      do
-       decr budget;
-       step eng st
+       (* Compiled-block gate: when the pc heads a hot superblock whose
+          whole length fits in both the quantum budget and the per-state
+          step allowance, run it compiled; scheduling boundaries stay
+          step-identical with the interpreter either way. *)
+       match eng.dbt with
+       | Some d -> (
+           match
+             Sdbt.try_run d st ~budget:!budget
+               ~steps_left:(eng.cfg.max_steps_per_state - st.St.steps)
+           with
+           | 0 ->
+               decr budget;
+               step eng st
+           | n -> budget := !budget - n)
+       | None ->
+           decr budget;
+           step eng st
      done;
      if St.terminated st then ()
      else if st.St.steps >= eng.cfg.max_steps_per_state then
@@ -1315,6 +1354,7 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive wid =
   end
 
 let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
+  ensure_dbt eng;
   let start = Atomic.get eng.total_steps in
   Atomic.set eng.last_new_block_step start;
   let stop : stop_reason option Atomic.t = Atomic.make None in
@@ -1464,6 +1504,11 @@ type stats = {
   st_worker_restarts : int;
   st_soft_retired : int;
   st_solver : Solver.stats;
+  st_dbt_blocks : int;
+  st_dbt_superblocks : int;
+  st_dbt_guard_bails : int;
+  st_dbt_decompiled : int;
+  st_dbt_compiled_steps : int;
 }
 
 let steps_now eng = Atomic.get eng.total_steps
@@ -1497,4 +1542,9 @@ let stats eng =
     st_worker_restarts = Guard.restarts eng.guard_st;
     st_soft_retired = Atomic.get eng.soft_retired;
     st_solver = Solver.diff_stats (Solver.stats ()) eng.solver_base;
+    st_dbt_blocks = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_compiled | None -> 0);
+    st_dbt_superblocks = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_superblocks | None -> 0);
+    st_dbt_guard_bails = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_bails | None -> 0);
+    st_dbt_decompiled = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_decompiled | None -> 0);
+    st_dbt_compiled_steps = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_compiled_steps | None -> 0);
   }

@@ -69,6 +69,13 @@ type config = {
   chaos : Guard.chaos option;
   (** deterministic fault injection for the chaos harness ({!Guard.chaos});
       [None] (the default) injects nothing and costs nothing *)
+  dbt : bool;
+  (** compile hot basic blocks into guarded closures ({!Sdbt}): fully
+      concrete stretches execute with no per-instruction
+      decode/dispatch and bail to the interpreter at the first symbolic
+      operand. Bug reports are identical either way. On by default;
+      ignored (treated as off) while [record_exec_pcs] is set, because
+      compiled blocks do not emit per-pc trace events. *)
 }
 
 val default_config : config
@@ -242,6 +249,11 @@ type stats = {
   (** solver queries/cache-hit/bit-blast counters attributable to this
       engine (snapshot delta since [create]; exact only while no other
       engine runs concurrently — the counters are process-global) *)
+  st_dbt_blocks : int;          (** superblocks compiled *)
+  st_dbt_superblocks : int;     (** chained constituents beyond heads *)
+  st_dbt_guard_bails : int;     (** symbolic-operand guard bailouts *)
+  st_dbt_decompiled : int;      (** superblocks de-compiled after chronic bails *)
+  st_dbt_compiled_steps : int;  (** instructions executed via compiled blocks *)
 }
 
 val stats : engine -> stats

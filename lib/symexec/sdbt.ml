@@ -1,0 +1,593 @@
+(* Guarded block compilation for the symbolic engine.
+
+   Reuses the block plan from Ddt_dvm.Dbt and translates each superblock
+   into closures over the symbolic state. Every instruction whose
+   semantics would make the interpreter concretize an operand (memory
+   addresses, the stack pointer, branch conditions, indirect-call and
+   return targets, register divisors) carries a cheap guard: the operand
+   expression must already be a constant, otherwise the closure bails —
+   setting the pc to the un-executed instruction — and the dispatch loop
+   falls back to single-step interpretation, which owns forking,
+   concretization and replay. Purely data-flow instructions need no
+   guard at all: the Expr smart constructors fold constant operands, so
+   a compiled ALU op over symbolic inputs builds exactly the expression
+   the interpreter would.
+
+   Observable-effect parity with Exec.step is the design invariant:
+   identical trace events, identical constraint evolution, identical
+   [note_block] / step-counter ordering (the one documented exception:
+   a guard bail at a block leader re-runs that leader's hotness note
+   when the interpreter takes over — a heuristic count only; coverage
+   claims stay exactly-once).
+
+   Chronically-bailing superblocks are de-compiled: once bails dominate
+   runs past a floor, the cell is flipped to Rejected and the block
+   interprets forever after. Run/bail tallies are plain mutable fields —
+   racy updates between workers lose counts harmlessly. *)
+
+module Expr = Ddt_solver.Expr
+module Isa = Ddt_dvm.Isa
+module Layout = Ddt_dvm.Layout
+module Image = Ddt_dvm.Image
+module Cdbt = Ddt_dvm.Dbt
+module Event = Ddt_trace.Event
+module St = Symstate
+
+type ctx = {
+  c_note : St.t -> int -> unit;
+      (* the engine's note_block: hotness, last_block, coverage claim *)
+  c_total_incr : unit -> unit;
+      (* bump the engine-wide step counter *)
+  c_mem_access :
+    St.t -> pc:int -> write:bool -> addr:Expr.t -> conc:int -> width:int ->
+    sp:int -> unit;
+      (* fire the engine's on_mem_access hook (checker tap) *)
+  c_crash : string -> string -> exn;
+      (* build the engine's Vm_crash *)
+}
+
+let alu_to_binop = function
+  | Isa.Add -> Expr.Add
+  | Isa.Sub -> Expr.Sub
+  | Isa.Mul -> Expr.Mul
+  | Isa.Divu -> Expr.Divu
+  | Isa.Remu -> Expr.Remu
+  | Isa.And -> Expr.And
+  | Isa.Or -> Expr.Or
+  | Isa.Xor -> Expr.Xor
+  | Isa.Shl -> Expr.Shl
+  | Isa.Shru -> Expr.Lshr
+  | Isa.Shrs -> Expr.Ashr
+
+let cmp_to_cmpop = function
+  | Isa.Eq -> Expr.Eq
+  | Isa.Ne -> Expr.Ne
+  | Isa.Ltu -> Expr.Ltu
+  | Isa.Leu -> Expr.Leu
+  | Isa.Lts -> Expr.Lts
+  | Isa.Les -> Expr.Les
+
+let m32 = 0xFFFFFFFF
+
+let in_mmio a = a >= Layout.mmio_base && a < Layout.mmio_limit
+
+(* A compiled instruction: returns [true] to continue the superblock,
+   [false] on a guard bail (pc already restored to the bailing
+   instruction, nothing counted). Mirrors Exec.step ordering: the step
+   is counted (state + engine) before effects, so a crashing instruction
+   is counted; [st.pc] is restored before anything that can raise or
+   fire a hook, because interior closures otherwise leave it stale. *)
+let compile_instr ctx (pc, instr) : St.t -> bool =
+  let next = pc + Isa.instr_size in
+  let count st =
+    st.St.steps <- st.St.steps + 1;
+    ctx.c_total_incr ()
+  in
+  let g st r = St.reg_get st r in
+  match instr with
+  | Isa.Nop ->
+      fun st ->
+        count st;
+        true
+  | Isa.Hlt ->
+      fun st ->
+        count st;
+        st.St.pc <- pc;
+        raise (ctx.c_crash "DRIVER_FAULT" "driver executed HLT")
+  | Isa.Mov (rd, rs) ->
+      fun st ->
+        count st;
+        St.reg_set st rd (g st rs);
+        true
+  | Isa.Movi (rd, imm) | Isa.Lea (rd, imm) ->
+      let e = Expr.word imm in
+      fun st ->
+        count st;
+        St.reg_set st rd e;
+        true
+  | Isa.Alu (((Isa.Divu | Isa.Remu) as op), rd, rs1, rs2) ->
+      let bop = alu_to_binop op in
+      fun st ->
+        let b = g st rs2 in
+        (match Expr.to_const b with
+         | Some z when z <> 0 ->
+             count st;
+             St.reg_set st rd (Expr.binop bop (g st rs1) b);
+             true
+         | _ ->
+             (* symbolic divisor (the interpreter forks on it) or a
+                certain division by zero (the interpreter retires the
+                state): both belong to the slow path *)
+             st.St.pc <- pc;
+             false)
+  | Isa.Alu (op, rd, rs1, rs2) ->
+      let bop = alu_to_binop op in
+      fun st ->
+        count st;
+        St.reg_set st rd (Expr.binop bop (g st rs1) (g st rs2));
+        true
+  | Isa.Alui (((Isa.Divu | Isa.Remu) as op), rd, rs1, imm) ->
+      if imm = 0 then fun st ->
+        count st;
+        st.St.pc <- pc;
+        raise (ctx.c_crash "DRIVER_FAULT" "division by zero")
+      else
+        let bop = alu_to_binop op and ie = Expr.word imm in
+        fun st ->
+          count st;
+          St.reg_set st rd (Expr.binop bop (g st rs1) ie);
+          true
+  | Isa.Alui (op, rd, rs1, imm) ->
+      let bop = alu_to_binop op and ie = Expr.word imm in
+      fun st ->
+        count st;
+        St.reg_set st rd (Expr.binop bop (g st rs1) ie);
+        true
+  | Isa.Cmp (op, rd, rs1, rs2) ->
+      let cop = cmp_to_cmpop op in
+      fun st ->
+        count st;
+        St.reg_set st rd (Expr.zext (Expr.cmp cop (g st rs1) (g st rs2)));
+        true
+  | Isa.Cmpi (op, rd, rs1, imm) ->
+      let cop = cmp_to_cmpop op and ie = Expr.word imm in
+      fun st ->
+        count st;
+        St.reg_set st rd (Expr.zext (Expr.cmp cop (g st rs1) ie));
+        true
+  | Isa.Ldw (rd, rs1, off) ->
+      fun st -> (
+        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+        | Some bv, Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            let conc = (bv + off) land m32 in
+            ctx.c_mem_access st ~pc ~write:false ~addr:addr_expr ~conc
+              ~width:4 ~sp:spv;
+            if conc < Layout.null_guard then
+              raise
+                (ctx.c_crash "DRIVER_FAULT"
+                   (Printf.sprintf
+                      "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
+            let v = Symmem.read_u32 st.St.mem conc in
+            St.record st
+              (Event.E_mem
+                 { pc; write = false; addr = addr_expr; width = 4; value = v });
+            St.reg_set st rd v;
+            true
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Ldb (rd, rs1, off) ->
+      fun st -> (
+        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+        | Some bv, Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            let conc = (bv + off) land m32 in
+            ctx.c_mem_access st ~pc ~write:false ~addr:addr_expr ~conc
+              ~width:1 ~sp:spv;
+            if conc < Layout.null_guard then
+              raise
+                (ctx.c_crash "DRIVER_FAULT"
+                   (Printf.sprintf
+                      "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
+            let v = Symmem.read_u8 st.St.mem conc in
+            St.record st
+              (Event.E_mem
+                 { pc; write = false; addr = addr_expr; width = 1; value = v });
+            St.reg_set st rd (Expr.zext v);
+            true
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Stw (rs1, off, rs2) ->
+      fun st -> (
+        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+        | Some bv, Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            let conc = (bv + off) land m32 in
+            ctx.c_mem_access st ~pc ~write:true ~addr:addr_expr ~conc
+              ~width:4 ~sp:spv;
+            if conc < Layout.null_guard then
+              raise
+                (ctx.c_crash "DRIVER_FAULT"
+                   (Printf.sprintf
+                      "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
+            let v = g st rs2 in
+            St.record st
+              (Event.E_mem
+                 { pc; write = true; addr = addr_expr; width = 4; value = v });
+            Symmem.write_u32 st.St.mem conc v;
+            true
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Stb (rs1, off, rs2) ->
+      fun st -> (
+        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+        | Some bv, Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            let conc = (bv + off) land m32 in
+            ctx.c_mem_access st ~pc ~write:true ~addr:addr_expr ~conc
+              ~width:1 ~sp:spv;
+            if conc < Layout.null_guard then
+              raise
+                (ctx.c_crash "DRIVER_FAULT"
+                   (Printf.sprintf
+                      "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
+            let byte_v = Expr.extract (g st rs2) 0 in
+            St.record st
+              (Event.E_mem
+                 { pc; write = true; addr = addr_expr; width = 1;
+                   value = byte_v });
+            Symmem.write_u8 st.St.mem conc byte_v;
+            true
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Push rs ->
+      fun st -> (
+        match Expr.to_const (g st Isa.sp) with
+        | Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let v = g st rs in (* before sp moves: [push sp] *)
+            let sp = spv - 4 in
+            if sp < Layout.stack_limit then
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
+            St.reg_set st Isa.sp (Expr.word sp);
+            Symmem.write_u32 st.St.mem sp v;
+            true
+        | None ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Pop rd ->
+      fun st -> (
+        match Expr.to_const (g st Isa.sp) with
+        | Some spv ->
+            count st;
+            St.reg_set st rd (Symmem.read_u32 st.St.mem spv);
+            St.reg_set st Isa.sp (Expr.word (spv + 4));
+            true
+        | None ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Jmp t ->
+      fun st ->
+        count st;
+        st.St.pc <- t;
+        true
+  | Isa.Jz (rs, target) | Isa.Jnz (rs, target) ->
+      let is_jz = match instr with Isa.Jz _ -> true | _ -> false in
+      let cop = if is_jz then Expr.Eq else Expr.Ne in
+      fun st -> (
+        let c = g st rs in
+        match Expr.to_const c with
+        | Some v ->
+            count st;
+            let taken = if is_jz then v = 0 else v <> 0 in
+            (* folds to the same constant expression the interpreter's
+               fork_bool sees on a concrete condition *)
+            let cond = Expr.cmp cop c (Expr.word 0) in
+            St.record st
+              (Event.E_branch { pc; taken; forked = false; cond });
+            st.St.pc <- (if taken then target else next);
+            true
+        | None ->
+            (* symbolic condition: the interpreter forks *)
+            st.St.pc <- pc;
+            false)
+  | Isa.Call target ->
+      fun st -> (
+        match Expr.to_const (g st Isa.sp) with
+        | Some spv ->
+            count st;
+            st.St.pc <- pc;
+            let sp = spv - 4 in
+            if sp < Layout.stack_limit then
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
+            St.reg_set st Isa.sp (Expr.word sp);
+            Symmem.write_u32 st.St.mem sp (Expr.word next);
+            st.St.pc <- target;
+            true
+        | None ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Callr rs ->
+      fun st -> (
+        match Expr.to_const (g st rs), Expr.to_const (g st Isa.sp) with
+        | Some target, Some spv ->
+            count st;
+            st.St.pc <- pc;
+            if target < Layout.null_guard then
+              raise
+                (ctx.c_crash "DRIVER_FAULT"
+                   (Printf.sprintf "indirect call through bad pointer 0x%x"
+                      target));
+            let sp = spv - 4 in
+            if sp < Layout.stack_limit then
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
+            St.reg_set st Isa.sp (Expr.word sp);
+            Symmem.write_u32 st.St.mem sp (Expr.word next);
+            st.St.pc <- target;
+            true
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Ret ->
+      fun st -> (
+        match Expr.to_const (g st Isa.sp) with
+        (* exclude MMIO stack pointers: the bail path would re-read, and
+           MMIO reads mint fresh symbols *)
+        | Some spv when not (in_mmio spv) -> (
+            match Expr.to_const (Symmem.read_u32 st.St.mem spv) with
+            | Some ret_addr ->
+                count st;
+                St.reg_set st Isa.sp (Expr.word (spv + 4));
+                st.St.pc <- ret_addr;
+                true
+            | None ->
+                st.St.pc <- pc;
+                false)
+        | _ ->
+            st.St.pc <- pc;
+            false)
+  | Isa.Kcall _ ->
+      (* never compiled: kernel calls fork, inject interrupts and run
+         annotations — superblocks are truncated before a Kcall *)
+      fun st ->
+        st.St.pc <- pc;
+        false
+  | Isa.Cli ->
+      fun st ->
+        count st;
+        st.St.int_enabled <- false;
+        true
+  | Isa.Sti ->
+      fun st ->
+        count st;
+        st.St.int_enabled <- true;
+        true
+
+let compilable = function Isa.Kcall _ -> false | _ -> true
+
+type sblock = {
+  sb_len : int;                      (* steps a complete run executes *)
+  sb_codes : (St.t -> bool) array;
+}
+
+(* Translate a superblock chain into a closure sequence: a hotness note
+   at each constituent leader, then the instructions; a block is
+   truncated at its first un-compilable instruction (ending the chain
+   there with a pc hand-off), and a final un-chained fall-through also
+   hands the pc to the dispatch loop. *)
+let compile_chain ctx blocks =
+  let codes = ref [] and len = ref 0 in
+  let truncated = ref false in
+  let blocks =
+    (* drop everything after a truncating block *)
+    let rec keep = function
+      | [] -> []
+      | bk :: rest ->
+          if Array.exists (fun (_, i) -> not (compilable i)) bk.Cdbt.bk_instrs
+          then [ bk ]
+          else bk :: keep rest
+    in
+    keep blocks
+  in
+  let nblocks = List.length blocks in
+  List.iteri
+    (fun bi bk ->
+      let entry = bk.Cdbt.bk_entry in
+      codes :=
+        (fun st ->
+          ctx.c_note st entry;
+          true)
+        :: !codes;
+      let n = Array.length bk.Cdbt.bk_instrs in
+      (try
+         Array.iteri
+           (fun ii ((ipc, instr) as ipair) ->
+             if not (compilable instr) then begin
+               truncated := true;
+               codes :=
+                 (fun st ->
+                   st.St.pc <- ipc;
+                   true)
+                 :: !codes;
+               raise Exit
+             end;
+             let chained_jmp =
+               bi < nblocks - 1 && ii = n - 1
+               && match instr with Isa.Jmp _ -> true | _ -> false
+             in
+             incr len;
+             if chained_jmp then
+               codes :=
+                 (fun st ->
+                   st.St.steps <- st.St.steps + 1;
+                   ctx.c_total_incr ();
+                   true)
+                 :: !codes
+             else codes := compile_instr ctx ipair :: !codes)
+           bk.Cdbt.bk_instrs
+       with Exit -> ());
+      if bi = nblocks - 1 && not !truncated then
+        match bk.Cdbt.bk_end with
+        | Cdbt.E_fall t ->
+            codes :=
+              (fun st ->
+                st.St.pc <- t;
+                true)
+              :: !codes
+        | Cdbt.E_term -> ())
+    blocks;
+  let sb_codes = Array.of_list (List.rev !codes) in
+  ({ sb_len = !len; sb_codes }, max 0 (List.length blocks - 1))
+
+(* --- cells and the dispatch gate ------------------------------------- *)
+
+type ready = {
+  r_block : sblock;
+  mutable r_runs : int;   (* heuristic tallies: racy updates are benign *)
+  mutable r_bails : int;
+}
+
+type cell =
+  | Not_leader
+  | Cold of int Atomic.t
+  | Ready of ready
+  | Rejected
+
+type t = {
+  sd_plan : Cdbt.plan;
+  sd_ctx : ctx;
+  sd_text_start : int;
+  sd_text_end : int;
+  sd_cells : cell Atomic.t array;
+  sd_threshold : int;
+  sd_compiled : int Atomic.t;
+  sd_chained : int Atomic.t;
+  sd_bails : int Atomic.t;
+  sd_decompiled : int Atomic.t;
+  sd_compiled_steps : int Atomic.t;
+}
+
+let default_threshold = 16
+
+(* De-compilation policy: a superblock that has bailed at least
+   [decompile_floor] times, with bails outnumbering completed runs, is
+   chronically guarded by symbolic data — reject it for good. *)
+let decompile_floor = 32
+
+let create ?(threshold = default_threshold) ctx (l : Image.loaded) =
+  let plan = Cdbt.plan l in
+  let nslots = max 1 (Array.length l.Image.code) in
+  let cells =
+    Array.init nslots (fun slot ->
+        let pc = l.Image.text_start + (slot * Isa.instr_size) in
+        Atomic.make
+          (match Cdbt.block_of plan pc with
+           | Some _ -> Cold (Atomic.make 0)
+           | None -> Not_leader))
+  in
+  { sd_plan = plan; sd_ctx = ctx; sd_text_start = l.Image.text_start;
+    sd_text_end = l.Image.text_end; sd_cells = cells;
+    sd_threshold = threshold; sd_compiled = Atomic.make 0;
+    sd_chained = Atomic.make 0; sd_bails = Atomic.make 0;
+    sd_decompiled = Atomic.make 0; sd_compiled_steps = Atomic.make 0 }
+
+let compile_cell t cell pc =
+  match Cdbt.chain t.sd_plan pc with
+  | [] -> Atomic.set cell Rejected
+  | blocks ->
+      let sb, nchained = compile_chain t.sd_ctx blocks in
+      if sb.sb_len = 0 then
+        (* leader instruction itself is un-compilable *)
+        Atomic.set cell Rejected
+      else begin
+        Atomic.incr t.sd_compiled;
+        if nchained > 0 then
+          ignore (Atomic.fetch_and_add t.sd_chained nchained);
+        Atomic.set cell (Ready { r_block = sb; r_runs = 0; r_bails = 0 })
+      end
+
+(* The dispatch gate, called by the engine's quantum loop before each
+   interpreted step. Returns the number of steps executed compiled (the
+   caller charges them against its budget), or 0 — meaning "interpret
+   one step as usual" (not a leader, still cold, rejected, budget too
+   small, or an immediate first-instruction bail). *)
+let try_run t st ~budget ~steps_left =
+  let pc = st.St.pc in
+  if pc < t.sd_text_start || pc >= t.sd_text_end then 0
+  else
+    let off = pc - t.sd_text_start in
+    if off land (Isa.instr_size - 1) <> 0 then 0
+    else
+      let cell = Array.unsafe_get t.sd_cells (off lsr 3) in
+      match Atomic.get cell with
+      | Not_leader | Rejected -> 0
+      | Cold n ->
+          let seen = 1 + Atomic.fetch_and_add n 1 in
+          if seen >= t.sd_threshold then compile_cell t cell pc;
+          0
+      | Ready r ->
+          let sb = r.r_block in
+          if budget < sb.sb_len || steps_left < sb.sb_len then 0
+          else begin
+            let steps0 = st.St.steps in
+            let finish completed =
+              let consumed = st.St.steps - steps0 in
+              if consumed > 0 then
+                ignore (Atomic.fetch_and_add t.sd_compiled_steps consumed);
+              r.r_runs <- r.r_runs + 1;
+              if not completed then begin
+                r.r_bails <- r.r_bails + 1;
+                Atomic.incr t.sd_bails;
+                if
+                  r.r_bails >= decompile_floor && r.r_bails * 2 > r.r_runs
+                then begin
+                  Atomic.set cell Rejected;
+                  Atomic.incr t.sd_decompiled
+                end
+              end;
+              consumed
+            in
+            let codes = sb.sb_codes in
+            let ncodes = Array.length codes in
+            let rec exec i =
+              if i >= ncodes then true
+              else if (Array.unsafe_get codes i) st then exec (i + 1)
+              else false
+            in
+            match exec 0 with
+            | completed -> finish completed
+            | exception e ->
+                (* crash/discard escaping a closure: steps are already
+                   synced per instruction; settle the tallies and let
+                   the quantum loop's handlers retire the state *)
+                ignore (finish true);
+                raise e
+          end
+
+type stats = {
+  sd_st_compiled : int;
+  sd_st_superblocks : int;
+  sd_st_bails : int;
+  sd_st_decompiled : int;
+  sd_st_compiled_steps : int;
+}
+
+let stats t =
+  { sd_st_compiled = Atomic.get t.sd_compiled;
+    sd_st_superblocks = Atomic.get t.sd_chained;
+    sd_st_bails = Atomic.get t.sd_bails;
+    sd_st_decompiled = Atomic.get t.sd_decompiled;
+    sd_st_compiled_steps = Atomic.get t.sd_compiled_steps }

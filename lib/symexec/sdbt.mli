@@ -1,0 +1,58 @@
+(** Guarded block compilation for the symbolic engine (the DBT leg of
+    §4.1 applied to selective symbolic execution).
+
+    Superblocks from the shared block plan ([Ddt_dvm.Dbt]) are
+    translated into closures over {!Symstate.t}. Instructions whose
+    interpretation would concretize an operand carry a guard — the
+    operand must already be an [Expr] constant — and bail to the
+    interpreter otherwise; purely data-flow instructions run unguarded
+    because the [Expr] smart constructors fold constants, making the
+    compiled expression identical to the interpreted one. Chronically
+    bailing superblocks are de-compiled.
+
+    The engine owns forking, concretization, replay and retirement;
+    everything a compiled closure needs from it arrives through {!ctx}
+    (which also breaks the [Exec] ↔ [Sdbt] dependency cycle). *)
+
+module Expr = Ddt_solver.Expr
+module St = Symstate
+
+type ctx = {
+  c_note : St.t -> int -> unit;
+      (** the engine's note_block (hotness, last_block, coverage) *)
+  c_total_incr : unit -> unit;
+      (** bump the engine-wide step counter *)
+  c_mem_access :
+    St.t -> pc:int -> write:bool -> addr:Expr.t -> conc:int -> width:int ->
+    sp:int -> unit;
+      (** fire the engine's on_mem_access hook *)
+  c_crash : string -> string -> exn;
+      (** build the engine's Vm_crash *)
+}
+
+type t
+
+val create : ?threshold:int -> ctx -> Ddt_dvm.Image.loaded -> t
+(** A block is compiled once entered [threshold] times (default
+    {!default_threshold}). *)
+
+val default_threshold : int
+
+val try_run : t -> St.t -> budget:int -> steps_left:int -> int
+(** The dispatch gate: if the state's pc heads a compiled superblock
+    that fits in the remaining quantum [budget] and per-state
+    [steps_left], run it and return the steps executed; otherwise
+    return [0] ("interpret one step"). Counts cold blocks toward the
+    compile threshold as a side effect. May raise the engine's crash
+    exception out of a compiled instruction — state and engine step
+    counters are already settled when it does. *)
+
+type stats = {
+  sd_st_compiled : int;        (** superblocks compiled *)
+  sd_st_superblocks : int;     (** chained constituents beyond heads *)
+  sd_st_bails : int;           (** guard bailouts *)
+  sd_st_decompiled : int;      (** superblocks rejected after chronic bails *)
+  sd_st_compiled_steps : int;  (** instructions executed compiled *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,483 @@
+(* Differential tests for DBT block compilation.
+
+   The contract under test: executing through compiled superblocks is
+   observationally identical to single-step interpretation — same
+   registers, same memory, same fault kind and pc, same step and fuel
+   accounting — for the concrete engine ([Dbt]) and, at the bug-report
+   level, for the symbolic engine ([Sdbt] via full corpus sessions). *)
+
+open Ddt_dvm
+module Config = Ddt_core.Config
+module Session = Ddt_core.Session
+module Exec = Ddt_symexec.Exec
+module Guard = Ddt_symexec.Guard
+module Solver = Ddt_solver.Solver
+module Report = Ddt_checkers.Report
+module Corpus = Ddt_drivers.Corpus
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- harness: run a raw instruction sequence both ways ------------------- *)
+
+(* Build a loadable image straight from instructions. Control-transfer
+   immediates are image-relative here and entered into the reloc list,
+   exactly as the assembler emits them — so [Disasm.basic_block_starts]
+   sees in-range leaders and the block plan splits at jump targets. *)
+let image_of_instrs name instrs =
+  let text = Buffer.create 64 in
+  let relocs = ref [] in
+  List.iteri
+    (fun idx i ->
+      (match i with
+       | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Call _ ->
+           relocs := ((idx * Isa.instr_size) + Isa.imm_field_offset) :: !relocs
+       | _ -> ());
+      Buffer.add_bytes text (Isa.encode i))
+    instrs;
+  { Image.name; text = Buffer.to_bytes text; data = Bytes.create 0;
+    bss_size = 0; entry = 0; imports = [||]; exports = [];
+    relocs = !relocs; funcs = [ (name, 0) ] }
+
+(* Deterministic initial state shared by both runs: registers seeded
+   from the generated ints (every third one becomes a heap pointer so
+   loads and stores mostly hit mapped memory), a stripe of recognizable
+   heap words, sp at the top of the stack, return sentinel pushed. *)
+let setup_env ?(fuel = 400) loaded mem seeds =
+  let env = Interp.create ~fuel ~image:loaded mem in
+  for i = 0 to 127 do
+    Mem.write_u32 mem
+      (Layout.heap_base + (4 * i))
+      ((i * 2654435761) land 0xFFFFFFFF)
+  done;
+  List.iteri
+    (fun r v ->
+      if r < 14 then
+        let v =
+          if v mod 3 = 0 then Layout.heap_base + (abs v mod 0x100) * 4
+          else v land 0xFFFFFFFF
+        in
+        Cpu.set env.Interp.cpu r v)
+    seeds;
+  Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
+  Interp.push env 0 Layout.return_sentinel;
+  env.Interp.cpu.Cpu.pc <- loaded.Image.text_start;
+  env
+
+type outcome =
+  | O_stop of Interp.stop
+  | O_fault of Interp.fault * int
+  | O_exn of string
+      (* escaped engine crash, e.g. Invalid_argument from a wild jump
+         into data that decodes with garbage register bytes — both
+         engines single-step such code in the interpreter *)
+
+let finish env run_fn =
+  let o =
+    match run_fn env with
+    | s -> O_stop s
+    | exception Interp.Fault (f, pc) -> O_fault (f, pc)
+    | exception e -> O_exn (Printexc.to_string e)
+  in
+  let probe base = Bytes.to_string (Mem.read_bytes env.Interp.mem base 512) in
+  ( o,
+    env.Interp.steps,
+    env.Interp.fuel,
+    Array.to_list env.Interp.cpu.Cpu.regs,
+    env.Interp.cpu.Cpu.pc,
+    env.Interp.cpu.Cpu.halted,
+    probe Layout.heap_base,
+    probe (Layout.stack_top - 512) )
+
+let run_both ?fuel instrs seeds =
+  let go run_of =
+    let img = image_of_instrs "prop" instrs in
+    let mem = Mem.create () in
+    let loaded = Image.load img mem ~base:Layout.image_base in
+    let env = setup_env ?fuel loaded mem seeds in
+    finish env (run_of loaded)
+  in
+  let interp = go (fun _ -> Interp.run) in
+  let compiled =
+    go (fun loaded ->
+        let d = Dbt.create ~threshold:0 loaded in
+        Dbt.compile_all d;
+        Dbt.run d)
+  in
+  (interp, compiled)
+
+let show_outcome (o, steps, fuel, regs, pc, halted, _, _) =
+  let head =
+    match o with
+    | O_stop Interp.Sentinel -> "sentinel"
+    | O_stop Interp.Halted -> "halted"
+    | O_stop Interp.Out_of_fuel -> "out-of-fuel"
+    | O_fault (f, pc) ->
+        Printf.sprintf "fault %s @ 0x%x" (Interp.string_of_fault f) pc
+    | O_exn e -> "exn " ^ e
+  in
+  Printf.sprintf "%s steps=%d fuel=%d pc=0x%x halted=%b regs=[%s]" head steps
+    fuel pc halted
+    (String.concat ";" (List.map (Printf.sprintf "0x%x") regs))
+
+(* --- QCheck: random programs ---------------------------------------------- *)
+
+let aluops =
+  [| Isa.Add; Isa.Sub; Isa.Mul; Isa.Divu; Isa.Remu; Isa.And; Isa.Or;
+     Isa.Xor; Isa.Shl; Isa.Shru; Isa.Shrs |]
+
+let cmpops = [| Isa.Eq; Isa.Ne; Isa.Ltu; Isa.Leu; Isa.Lts; Isa.Les |]
+
+(* Register operands stay below 10 so sp/fp survive for the stack ops;
+   [n] bounds jump targets to the program (image-relative, aligned). *)
+let gen_instr n =
+  QCheck.Gen.(
+    let reg = int_bound 9 in
+    let target = map (fun k -> k * Isa.instr_size) (int_bound n) in
+    frequency
+      [ (3,
+         let* op = int_bound 10 in
+         let* rd = reg and* rs1 = reg and* rs2 = reg in
+         return (Isa.Alu (aluops.(op), rd, rs1, rs2)));
+        (3,
+         let* op = int_bound 10 in
+         let* rd = reg and* rs1 = reg in
+         let* imm = frequency [ (6, int_bound 1000); (1, return 0) ] in
+         return (Isa.Alui (aluops.(op), rd, rs1, imm)));
+        (2,
+         let* op = int_bound 5 in
+         let* rd = reg and* rs1 = reg and* rs2 = reg in
+         return (Isa.Cmp (cmpops.(op), rd, rs1, rs2)));
+        (2,
+         let* op = int_bound 5 in
+         let* rd = reg and* rs1 = reg and* imm = int_bound 1000 in
+         return (Isa.Cmpi (cmpops.(op), rd, rs1, imm)));
+        (2,
+         let* rd = reg and* rs = reg in
+         return (Isa.Mov (rd, rs)));
+        (3,
+         let* rd = reg in
+         let* v =
+           frequency
+             [ (2, map (fun k -> Layout.heap_base + (4 * k)) (int_bound 100));
+               (2, int_bound 0xFFFF); (1, return 0) ]
+         in
+         return (Isa.Movi (rd, v)));
+        (3,
+         let* rd = reg and* b = reg and* off = int_bound 16 in
+         return (Isa.Ldw (rd, b, 4 * off)));
+        (3,
+         let* b = reg and* off = int_bound 16 and* rs = reg in
+         return (Isa.Stw (b, 4 * off, rs)));
+        (1,
+         let* rd = reg and* b = reg and* off = int_bound 64 in
+         return (Isa.Ldb (rd, b, off)));
+        (1,
+         let* b = reg and* off = int_bound 64 and* rs = reg in
+         return (Isa.Stb (b, off, rs)));
+        (2, map (fun r -> Isa.Push r) reg);
+        (2, map (fun r -> Isa.Pop r) reg);
+        (2,
+         let* r = reg and* t = target in
+         return (Isa.Jz (r, t)));
+        (1,
+         let* r = reg and* t = target in
+         return (Isa.Jnz (r, t)));
+        (1, map (fun t -> Isa.Jmp t) target);
+        (1, return Isa.Nop) ])
+
+let gen_program =
+  QCheck.Gen.(
+    let* n = int_range 1 24 in
+    let* body = list_repeat n (gen_instr n) in
+    let* seeds = list_repeat 14 int in
+    return (body @ [ Isa.Ret ], seeds))
+
+let prop_differential =
+  QCheck.Test.make ~count:500
+    ~name:"compiled and interpreted runs are observationally identical"
+    (QCheck.make gen_program
+       ~print:(fun (instrs, _) ->
+         String.concat "\n" (List.map Isa.to_string instrs)))
+    (fun (instrs, seeds) ->
+      let interp, compiled = run_both instrs seeds in
+      if interp = compiled then true
+      else
+        QCheck.Test.fail_reportf "interp:   %s@.compiled: %s"
+          (show_outcome interp) (show_outcome compiled))
+
+(* Tight loops must agree on where fuel runs out, not just that it does. *)
+let prop_fuel_exact =
+  QCheck.Test.make ~count:100 ~name:"fuel exhaustion is step-exact"
+    (QCheck.make
+       QCheck.Gen.(
+         let* fuel = int_range 1 50 in
+         let* seeds = list_repeat 14 int in
+         return (fuel, seeds)))
+    (fun (fuel, seeds) ->
+      (* r0 counts up forever: jmp back to the loop head. *)
+      let instrs =
+        [ Isa.Movi (0, 0); Isa.Alui (Isa.Add, 0, 0, 1);
+          Isa.Jmp Isa.instr_size ]
+      in
+      let interp, compiled = run_both ~fuel instrs seeds in
+      interp = compiled)
+
+(* --- directed cases -------------------------------------------------------- *)
+
+let run_asm_both src =
+  let go run_of =
+    let img = Asm.assemble ~name:"t" src in
+    let mem = Mem.create () in
+    let loaded = Image.load img mem ~base:Layout.image_base in
+    let env = setup_env loaded mem [] in
+    finish env (run_of loaded)
+  in
+  (go (fun _ -> Interp.run),
+   go (fun loaded ->
+       let d = Dbt.create ~threshold:0 loaded in
+       Dbt.compile_all d;
+       Dbt.run d))
+
+let test_factorial_parity () =
+  let interp, compiled =
+    run_asm_both {|
+      .entry main
+      .func main
+      main:
+        movi r1, 10
+        movi r0, 1
+      loop:
+        jz r1, done
+        mul r0, r0, r1
+        sub r1, r1, 1
+        jmp loop
+      done:
+        ret
+    |}
+  in
+  check_bool "factorial states equal" true (interp = compiled);
+  let _, _, _, regs, _, _, _, _ = compiled in
+  check_int "10! in r0" 3628800 (List.nth regs 0)
+
+let test_fault_parity () =
+  List.iter
+    (fun src ->
+      let interp, compiled = run_asm_both src in
+      if interp <> compiled then
+        Alcotest.failf "fault divergence:\ninterp:   %s\ncompiled: %s"
+          (show_outcome interp) (show_outcome compiled))
+    [ (* null dereference *)
+      {|
+        .entry main
+        .func main
+        main:
+          movi r1, 0
+          ldw r0, [r1+8]
+          ret
+      |};
+      (* division by zero (register divisor) *)
+      {|
+        .entry main
+        .func main
+        main:
+          movi r1, 0
+          movi r2, 7
+          divu r0, r2, r1
+          ret
+      |};
+      (* stack overflow in a push loop *)
+      {|
+        .entry main
+        .func main
+        main:
+          movi r0, 1
+        loop:
+          push r0
+          jmp loop
+      |};
+      (* hlt inside a hot block *)
+      {|
+        .entry main
+        .func main
+        main:
+          movi r0, 42
+          hlt
+      |} ]
+
+(* With a client hook installed the dispatch loop must stay on the
+   interpreter: every instruction still produces its on_step event. *)
+let test_hooks_force_interpretation () =
+  let img = Asm.assemble ~name:"t" {|
+    .entry main
+    .func main
+    main:
+      movi r1, 5
+      movi r0, 0
+    loop:
+      jz r1, done
+      add r0, r0, r1
+      sub r1, r1, 1
+      jmp loop
+    done:
+      ret
+  |} in
+  let mem = Mem.create () in
+  let loaded = Image.load img mem ~base:Layout.image_base in
+  let env = setup_env loaded mem [] in
+  let stepped = ref 0 in
+  env.Interp.hooks.Interp.on_step <- (fun _ -> incr stepped);
+  let d = Dbt.create ~threshold:0 loaded in
+  Dbt.compile_all d;
+  check_bool "sentinel" true (Dbt.run d env = Interp.Sentinel);
+  check_int "every step hooked" env.Interp.steps !stepped;
+  check_bool "hook detection" false (Interp.hooks_are_default env.Interp.hooks)
+
+let test_warmup_threshold () =
+  (* Below the threshold nothing compiles; the loop's 21st entry tips
+     the block over and the remainder runs compiled. End state must be
+     identical to pure interpretation either way. *)
+  let src = {|
+    .entry main
+    .func main
+    main:
+      movi r1, 100
+      movi r0, 0
+    loop:
+      jz r1, done
+      add r0, r0, r1
+      sub r1, r1, 1
+      jmp loop
+    done:
+      ret
+  |} in
+  let go threshold =
+    let img = Asm.assemble ~name:"t" src in
+    let mem = Mem.create () in
+    let loaded = Image.load img mem ~base:Layout.image_base in
+    let env = setup_env loaded mem [] in
+    let d = Dbt.create ~threshold loaded in
+    let stop = Dbt.run d env in
+    (stop, env.Interp.steps, Cpu.get env.Interp.cpu 0, (Dbt.stats d).Dbt.db_blocks_compiled)
+  in
+  let s_hot, steps_hot, r0_hot, compiled_hot = go 20 in
+  let s_cold, steps_cold, r0_cold, compiled_cold = go 1_000_000 in
+  check_bool "stop equal" true (s_hot = s_cold);
+  check_int "steps equal" steps_cold steps_hot;
+  check_int "sum equal" r0_cold r0_hot;
+  check_bool "warm run compiled something" true (compiled_hot > 0);
+  check_int "cold run compiled nothing" 0 compiled_cold
+
+let test_superblock_chaining () =
+  (* Straight-line blocks linked by direct jumps chain into one
+     superblock; the stats must show chained constituents. *)
+  let img = Asm.assemble ~name:"t" {|
+    .entry main
+    .func main
+    main:
+      movi r0, 1
+      jmp b1
+    b1:
+      add r0, r0, r0
+      jmp b2
+    b2:
+      add r0, r0, r0
+      ret
+  |} in
+  let mem = Mem.create () in
+  let loaded = Image.load img mem ~base:Layout.image_base in
+  let env = setup_env loaded mem [] in
+  let d = Dbt.create ~threshold:0 loaded in
+  Dbt.compile_all d;
+  check_bool "sentinel" true (Dbt.run d env = Interp.Sentinel);
+  check_int "result" 4 (Cpu.get env.Interp.cpu 0);
+  check_bool "chained constituents counted" true
+    ((Dbt.stats d).Dbt.db_superblocks_chained > 0)
+
+let test_call_function_parity () =
+  let src = {|
+    .entry main
+    .func main
+    main:
+      push fp
+      mov fp, sp
+      ldw r1, [fp+8]
+      ldw r2, [fp+12]
+      add r0, r1, r2
+      mov sp, fp
+      pop fp
+      ret
+  |} in
+  let go use_dbt =
+    let img = Asm.assemble ~name:"t" src in
+    let mem = Mem.create () in
+    let loaded = Image.load img mem ~base:Layout.image_base in
+    let env = Interp.create ~image:loaded mem in
+    Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
+    let addr = loaded.Image.base + img.Image.entry in
+    if use_dbt then begin
+      let d = Dbt.create ~threshold:0 loaded in
+      Dbt.compile_all d;
+      Dbt.call_function d env ~addr ~args:[ 19; 23 ]
+    end
+    else Interp.call_function env ~addr ~args:[ 19; 23 ]
+  in
+  check_int "interp sum" 42 (go false);
+  check_int "compiled sum" 42 (go true)
+
+(* --- corpus parity: symbolic engine, dbt on vs off ------------------------- *)
+
+let quick_cfg ?chaos ~dbt (e : Corpus.entry) =
+  let cfg = Corpus.config e in
+  let cfg =
+    { cfg with Config.max_total_steps = 60_000; plateau_steps = 50_000 }
+  in
+  { cfg with
+    Config.exec_config =
+      { cfg.Config.exec_config with Exec.jobs = 1; dbt; chaos } }
+
+let bug_keys (r : Session.result) =
+  List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
+
+let parity_case ?chaos (e : Corpus.entry) () =
+  Solver.clear_cache ();
+  let off = Session.run (quick_cfg ?chaos ~dbt:false e) in
+  Solver.clear_cache ();
+  let on = Session.run (quick_cfg ?chaos ~dbt:true e) in
+  check_bool (e.Corpus.short ^ ": same bugs dbt on/off") true
+    (bug_keys off = bug_keys on);
+  check_int
+    (e.Corpus.short ^ ": same invocations")
+    off.Session.r_invocations on.Session.r_invocations;
+  check_int
+    (e.Corpus.short ^ ": no dbt counters when off")
+    0 off.Session.r_stats.Exec.st_dbt_blocks
+
+let chaos_spec =
+  { Guard.chaos_worker_crash_period = 25; chaos_solver_exhaust_period = 3;
+    chaos_pressure_words = 50_000_000 }
+
+let () =
+  let corpus_cases =
+    List.concat_map
+      (fun (e : Corpus.entry) ->
+        [ Alcotest.test_case e.Corpus.short `Quick (parity_case e);
+          Alcotest.test_case (e.Corpus.short ^ " +chaos") `Quick
+            (parity_case ~chaos:chaos_spec e) ])
+      Corpus.all
+  in
+  Alcotest.run "ddt_dbt"
+    [ ("differential",
+       [ QCheck_alcotest.to_alcotest prop_differential;
+         QCheck_alcotest.to_alcotest prop_fuel_exact ]);
+      ("directed",
+       [ Alcotest.test_case "factorial parity" `Quick test_factorial_parity;
+         Alcotest.test_case "fault parity" `Quick test_fault_parity;
+         Alcotest.test_case "hooks force interpretation" `Quick
+           test_hooks_force_interpretation;
+         Alcotest.test_case "warmup threshold" `Quick test_warmup_threshold;
+         Alcotest.test_case "superblock chaining" `Quick
+           test_superblock_chaining;
+         Alcotest.test_case "call_function parity" `Quick
+           test_call_function_parity ]);
+      ("corpus parity", corpus_cases) ]

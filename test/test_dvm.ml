@@ -50,7 +50,7 @@ let run_program ?(setup = fun _ -> ()) src =
   let img = Asm.assemble ~name:"test" src in
   let mem = Mem.create () in
   let loaded = Image.load img mem ~base:Layout.image_base in
-  let env = Interp.create mem in
+  let env = Interp.create ~image:loaded mem in
   setup env;
   Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
   let entry = loaded.Image.base + img.Image.entry in
@@ -186,7 +186,7 @@ let test_kcall_dispatch () =
   Alcotest.(check string) "import name" "DoubleIt" img.Image.imports.(0);
   let mem = Mem.create () in
   let loaded = Image.load img mem ~base:Layout.image_base in
-  let env = Interp.create mem in
+  let env = Interp.create ~image:loaded mem in
   env.Interp.kcall <-
     (fun n ->
       check_int "import index" 0 n;
@@ -219,7 +219,7 @@ let test_mmio_hook () =
       mmio_read = (fun off -> if off = 0 then 0x77 else 0);
       mmio_write = (fun off v -> writes := (off, v) :: !writes) };
   let loaded = Image.load img mem ~base:Layout.image_base in
-  let env = Interp.create mem in
+  let env = Interp.create ~image:loaded mem in
   Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
   let r0 =
     Interp.call_function env ~addr:(loaded.Image.base + img.Image.entry)
@@ -310,7 +310,7 @@ let test_interrupt_nesting () =
   let img = Asm.assemble ~name:"irq" src in
   let mem = Mem.create () in
   let loaded = Image.load img mem ~base:Layout.image_base in
-  let env = Interp.create mem in
+  let env = Interp.create ~image:loaded mem in
   Cpu.set env.Interp.cpu Isa.sp Layout.stack_top;
   let isr = Image.export_addr loaded "isr" in
   let main = Image.export_addr loaded "main" in

@@ -14,7 +14,7 @@ let compile_and_run ?(imports = []) ?(fn = "main") src args =
   let img = Codegen.compile ~name:"test" src in
   let mem = Mem.create () in
   let loaded = Image.load img mem ~base:Layout.image_base in
-  let env = Interp.create mem in
+  let env = Interp.create ~image:loaded mem in
   env.Interp.kcall <-
     (fun n ->
       let name = img.Image.imports.(n) in

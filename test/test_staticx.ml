@@ -263,6 +263,64 @@ let test_const_arg_clean_when_ok () =
   check_int "no findings" 0
     (List.length (List.filter (fun f -> f.Sfind.f_rule = "const-arg-contract") fs))
 
+(* The join-over-predecessors pass: a constant materialized in one
+   block and pushed as a kcall argument in a successor block is still a
+   must-violation. *)
+let test_const_arg_across_blocks () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          movi r1, 0           ; tag = 0, materialized here...
+          jmp docall           ; ...block boundary...
+      docall:
+          push r1              ; ...violation pushed here
+          movi r2, 64
+          push r2              ; size positive
+          push r0
+          kcall NdisAllocateMemoryWithTag
+          add sp, sp, 12
+          mov sp, fp
+          pop fp
+          ret
+    |}
+  in
+  let contracts = Ddt_annot.Ndis_annotations.contracts in
+  let fs = Sfind.analyze ~contracts (Icfg.build img) in
+  check_int "cross-block constant caught" 1
+    (List.length (List.filter (fun f -> f.Sfind.f_rule = "const-arg-contract") fs))
+
+(* Must-join bias: when predecessors disagree on the value, the merge
+   is Top and no finding fires, even though one path violates. *)
+let test_const_arg_join_disagreement_clean () =
+  let img = assemble {|
+      .entry driver_entry
+      .func driver_entry
+          push fp
+          mov fp, sp
+          jz r0, zero_tag
+          movi r1, 0x4464      ; this path is in contract
+          jmp docall
+      zero_tag:
+          movi r1, 0           ; this path violates
+      docall:
+          push r1              ; join is Top: may-violation, not reported
+          movi r2, 64
+          push r2
+          push r0
+          kcall NdisAllocateMemoryWithTag
+          add sp, sp, 12
+          mov sp, fp
+          pop fp
+          ret
+    |}
+  in
+  let contracts = Ddt_annot.Ndis_annotations.contracts in
+  let fs = Sfind.analyze ~contracts (Icfg.build img) in
+  check_int "no finding at the merge" 0
+    (List.length (List.filter (fun f -> f.Sfind.f_rule = "const-arg-contract") fs))
+
 let test_corpus_statically_clean () =
   List.iter
     (fun e ->
@@ -400,6 +458,12 @@ let test_report_json_roundtrip () =
           { J.ji_kind = "solver-exhaustion"; ji_worker = 0; ji_state_id = 0;
             ji_entry = ""; ji_pc = 0;
             ji_message = "1 solver budget exhaustion(s)"; ji_replay = "" } ];
+      j_dbt_blocks = 5;
+      j_dbt_superblocks = 9;
+      j_dbt_guard_bails = 3;
+      j_dbt_decompiled = 1;
+      j_dbt_compiled_steps = 70_000;
+      j_total_steps = 100_000;
     }
   in
   (match J.of_string (J.to_string s) with
@@ -488,6 +552,10 @@ let () =
            test_balanced_function_clean;
          Alcotest.test_case "const-arg contract" `Quick
            test_const_arg_contract;
+         Alcotest.test_case "const arg across blocks" `Quick
+           test_const_arg_across_blocks;
+         Alcotest.test_case "join disagreement is clean" `Quick
+           test_const_arg_join_disagreement_clean;
          Alcotest.test_case "in-contract args are clean" `Quick
            test_const_arg_clean_when_ok;
          Alcotest.test_case "corpus statically clean" `Quick
