@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-dbt clean
+.PHONY: all build test check bench bench-dbt bench-merge clean
 
 all: build
 
@@ -14,7 +14,10 @@ test:
 # pressure must leave the bug sets unchanged), a quick incremental-
 # session run (bug sets must match the from-scratch pipeline, plus the
 # clause-retention microbench), a quick DBT parity run (compiled blocks
-# on/off must report identical bug sets, with and without chaos), the
+# on/off must report identical bug sets, with and without chaos), a
+# quick state-merging parity run (fusing states at post-dominators must
+# leave the bug sets unchanged while collapsing the deep-loop driver's
+# frontier), the
 # static pre-analysis on two known-clean drivers (nonzero universe,
 # zero findings), and a warning-clean doc build.
 check: build test
@@ -22,6 +25,7 @@ check: build test
 	dune exec bench/main.exe -- chaos --quick
 	dune exec bench/main.exe -- incr --quick
 	dune exec bench/main.exe -- dbt --quick
+	dune exec bench/main.exe -- merge --quick
 	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean > /dev/null
 	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
 	dune build @doc
@@ -33,6 +37,12 @@ bench:
 # report parity on all six drivers (± chaos); writes BENCH_dbt.json.
 bench-dbt:
 	dune exec bench/main.exe -- dbt --json
+
+# Full state-merging experiment: frontier sizes and bug-report parity
+# with merging off vs on across the corpus (± chaos), including the
+# deep-loop >= 10x state-collapse check; writes BENCH_merge.json.
+bench-merge:
+	dune exec bench/main.exe -- merge --json
 
 clean:
 	dune clean

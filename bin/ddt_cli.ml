@@ -94,8 +94,18 @@ let no_dbt_flag =
   in
   Arg.(value & flag & info [ "no-dbt" ] ~doc)
 
+let no_merge_flag =
+  let doc =
+    "Disable dynamic state merging at branch post-dominators and fork on \
+     every symbolic branch (the differential oracle the merging path is \
+     validated against). Bug reports are identical either way; merging \
+     only collapses the number of states explored."
+  in
+  Arg.(value & flag & info [ "no-merge" ] ~doc)
+
 let test_cmd =
-  let run short fixed no_annot traces jobs guided chaos no_incr no_dbt =
+  let run short fixed no_annot traces jobs guided chaos no_incr no_dbt
+      no_merge =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -108,7 +118,8 @@ let test_cmd =
               { cfg.Ddt_core.Config.exec_config with
                 Ddt_symexec.Exec.jobs = max 1 jobs;
                 solver_incr = not no_incr;
-                dbt = not no_dbt } }
+                dbt = not no_dbt;
+                state_merging = not no_merge } }
         in
         let cfg =
           if guided then
@@ -152,7 +163,8 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
-      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag $ no_dbt_flag)
+      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag $ no_dbt_flag
+      $ no_merge_flag)
 
 let static_cmd =
   let run short fixed =

@@ -51,7 +51,11 @@ let symbolic_escape t (st : St.t) (ma : Exec.mem_access) =
     match Interval.infer ma.Exec.ma_constraints with
     | None -> None
     | Some env ->
-        let range = Interval.range_of (Interval.lookup env) ma.Exec.ma_addr in
+        (* [range_within], not [range_of]: a post-dominator merge turns a
+           clamped index into [ite(guard, clamped, raw)] with the clamp
+           inside the guard, and only the guard-conditioned range stays
+           tight enough to avoid a false escape report. *)
+        let range = Interval.range_within env ma.Exec.ma_addr in
         let l = t.loaded in
         let inside lo hi =
           (* Entirely within one permitted region? *)

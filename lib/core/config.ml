@@ -44,7 +44,7 @@ let default_descriptor =
 let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     ?(registry = []) ?workload ?(use_annotations = true)
     ?annotations ?(exec_config = Ddt_symexec.Exec.default_config)
-    ?jobs ?static_guidance ?solver_incr ?dbt
+    ?jobs ?static_guidance ?solver_incr ?dbt ?state_merging
     ?(max_total_steps = 3_000_000) ?(plateau_steps = 250_000)
     ?(max_bases_per_phase = 3) ?concrete_device ?replay
     ?(collect_crashdumps = false) ?governor () =
@@ -67,6 +67,11 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     match dbt with
     | None -> exec_config
     | Some d -> { exec_config with Ddt_symexec.Exec.dbt = d }
+  in
+  let exec_config =
+    match state_merging with
+    | None -> exec_config
+    | Some m -> { exec_config with Ddt_symexec.Exec.state_merging = m }
   in
   let workload =
     match workload with

@@ -67,6 +67,9 @@ val make :
   ?dbt:bool ->
   (** override [exec_config.dbt]: guarded block compilation (see
       {!Ddt_symexec.Exec.config}) *)
+  ?state_merging:bool ->
+  (** override [exec_config.state_merging]: fuse sibling states at
+      branch post-dominators (see {!Ddt_symexec.Exec.config}) *)
   ?max_total_steps:int ->
   ?plateau_steps:int ->
   ?max_bases_per_phase:int ->

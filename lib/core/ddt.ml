@@ -67,6 +67,16 @@ let pp_report fmt (r : Session.result) =
       stats.Ddt_symexec.Exec.st_dbt_decompiled
       (100.0 *. float_of_int compiled /. float_of_int total)
   end;
+  if stats.Ddt_symexec.Exec.st_merged_states > 0
+     || stats.Ddt_symexec.Exec.st_merge_refusals > 0
+  then
+    Format.fprintf fmt
+      "merge: %d state(s) fused at post-dominators, %d value(s) lifted to \
+       ite, %d fork(s) avoided, %d refusal(s)@."
+      stats.Ddt_symexec.Exec.st_merged_states
+      stats.Ddt_symexec.Exec.st_merge_ites
+      stats.Ddt_symexec.Exec.st_merge_forks_avoided
+      stats.Ddt_symexec.Exec.st_merge_refusals;
   let sv = stats.Ddt_symexec.Exec.st_solver in
   Format.fprintf fmt
     "solver: %d queries, %d group solves, %.0f%% cache hits, %d bit-blasts@."

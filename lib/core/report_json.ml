@@ -5,7 +5,7 @@
 
 module Report = Ddt_checkers.Report
 
-let schema_version = 3
+let schema_version = 4
 
 type bug_row = {
   jb_kind : string;
@@ -58,6 +58,11 @@ type summary = {
   j_dbt_compiled_steps : int;
   j_total_steps : int;
   (* denominator for the compiled-vs-interpreted step fraction *)
+  (* schema 4: post-dominator state-merging counters (all 0 when merging
+     is off or never triggered) *)
+  j_merged_states : int;
+  j_merge_ites : int;
+  j_merge_forks_avoided : int;
 }
 
 let of_result (r : Session.result) =
@@ -111,6 +116,10 @@ let of_result (r : Session.result) =
     j_dbt_compiled_steps =
       r.Session.r_stats.Ddt_symexec.Exec.st_dbt_compiled_steps;
     j_total_steps = r.Session.r_stats.Ddt_symexec.Exec.st_total_steps;
+    j_merged_states = r.Session.r_stats.Ddt_symexec.Exec.st_merged_states;
+    j_merge_ites = r.Session.r_stats.Ddt_symexec.Exec.st_merge_ites;
+    j_merge_forks_avoided =
+      r.Session.r_stats.Ddt_symexec.Exec.st_merge_forks_avoided;
   }
 
 (* --- emission --- *)
@@ -181,7 +190,10 @@ let to_string s =
       ("dbt_guard_bails", string_of_int s.j_dbt_guard_bails);
       ("dbt_decompiled", string_of_int s.j_dbt_decompiled);
       ("dbt_compiled_steps", string_of_int s.j_dbt_compiled_steps);
-      ("total_steps", string_of_int s.j_total_steps) ]
+      ("total_steps", string_of_int s.j_total_steps);
+      ("merged_states", string_of_int s.j_merged_states);
+      ("merge_ites", string_of_int s.j_merge_ites);
+      ("merge_forks_avoided", string_of_int s.j_merge_forks_avoided) ]
 
 (* --- parsing: a minimal JSON reader covering what [to_string] emits
    (objects, arrays, strings with the escapes above, integers, null) --- *)
@@ -363,5 +375,9 @@ let of_string str =
               j_dbt_decompiled = as_int (field "dbt_decompiled" j);
               j_dbt_compiled_steps = as_int (field "dbt_compiled_steps" j);
               j_total_steps = as_int (field "total_steps" j);
+              j_merged_states = as_int (field "merged_states" j);
+              j_merge_ites = as_int (field "merge_ites" j);
+              j_merge_forks_avoided =
+                as_int (field "merge_forks_avoided" j);
             }
       with Bad _ -> None)

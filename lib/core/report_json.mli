@@ -57,6 +57,9 @@ type summary = {
   j_dbt_decompiled : int;      (** superblocks de-compiled after chronic bails *)
   j_dbt_compiled_steps : int;  (** instructions executed via compiled blocks *)
   j_total_steps : int;         (** fraction denominator for the above *)
+  j_merged_states : int;       (** states fused at post-dominators (schema 4) *)
+  j_merge_ites : int;          (** registers/bytes lifted to ite at merges *)
+  j_merge_forks_avoided : int; (** forks the fused states would have spawned *)
 }
 
 val of_result : Session.result -> summary

@@ -122,6 +122,17 @@ let run (cfg : Config.t) =
     end
     else None
   in
+  (* State merging: hand the engine the immediate-post-dominator map so
+     it knows, per branch block, where diverging siblings reconverge.
+     Never installed for replay runs — a script follows exactly one
+     concrete path, and merging would fold it into its siblings. *)
+  if exec_config.Exec.state_merging && cfg.Config.replay = None then begin
+    let pd = Ddt_staticx.Pdom.compute icfg in
+    Exec.set_merge_points eng (fun abs ->
+        Option.map
+          (fun rel -> rel + loaded.Image.base)
+          (Ddt_staticx.Pdom.merge_point pd (abs - loaded.Image.base)))
+  end;
   (* Wire the checkers. *)
   let memcheck =
     Ddt_checkers.Memcheck.create ~sink ~driver ~loaded ~symdev

@@ -102,6 +102,19 @@ let all =
           (Report.Segfault, "Crash when getting an unexpected OID in \
                              SetInformation") ];
     };
+    {
+      name = "Deep-loop poller";
+      short = "deeploop";
+      driver_class = Config.Network;
+      image = Deeploop.image;
+      fixed_image = Deeploop.fixed_image;
+      registry = Deeploop.registry;
+      descriptor = Deeploop.descriptor;
+      expected_bugs =
+        [ (Report.Segfault,
+           "Calibration byte 0x77 makes the driver write the polled \
+            checksum through a null scratch pointer") ];
+    };
   ]
 
 let find short = List.find (fun e -> e.short = short) all

@@ -9,30 +9,48 @@ let meet a b =
   if lo > hi then None else Some { lo; hi }
 
 (* Conservative interval arithmetic: when an operation could wrap or is
-   otherwise hard to bound we return the full range of the result width. *)
-let range_of lookup_var e =
+   otherwise hard to bound we return the full range of the result width.
+   Parameterized over an abstract environment: [lookup] ranges a
+   variable, [refine] conditions the environment on a W1 guard (or
+   reports the guard infeasible with [None]) so an [Ite] arm can be
+   ranged under the facts its own guard implies — without this, a
+   post-dominator merge that lifts a clamped index to
+   [ite(count > 7, 7, count)] loses the clamp and the hull degrades to
+   the full word range. *)
+let range_gen ~lookup ~refine env e =
   let open Expr in
-  let rec go e =
+  let rec go env e =
     let w = width_of e in
     let top = full w in
     match e with
     | Const (_, v) -> singleton v
-    | Var v -> lookup_var v
-    | Zext x -> go x
-    | Extract (x, 0) ->
-        let r = go x in
-        if r.hi <= 0xFF then r else full W8
-    | Extract (_, _) -> full W8
-    | Concat4 (Const (_, 0), Const (_, 0), Const (_, 0), b0) -> go b0
-    | Concat4 _ -> top
+    | Var v -> lookup env v
+    | Zext x -> go env x
+    | Extract (x, i) ->
+        (* byte i of x: exact once x is known to fit below byte i+1,
+           because the mask then truncates nothing *)
+        let r = go env x in
+        if r.hi < 1 lsl (8 * (i + 1)) then
+          { lo = r.lo lsr (8 * i); hi = r.hi lsr (8 * i) }
+        else full W8
+    | Concat4 (b3, b2, b1, b0) ->
+        (* independent byte fields: the word is monotone in each *)
+        let r3 = go env b3 and r2 = go env b2 and r1 = go env b1
+        and r0 = go env b0 in
+        { lo = (r3.lo lsl 24) lor (r2.lo lsl 16) lor (r1.lo lsl 8) lor r0.lo;
+          hi = (r3.hi lsl 24) lor (r2.hi lsl 16) lor (r1.hi lsl 8) lor r0.hi }
     | Not x ->
-        let r = go x in
+        let r = go env x in
         if is_singleton r then singleton (1 - r.lo) else full W1
-    | Ite (_, a, b) ->
-        let ra = go a and rb = go b in
-        { lo = min ra.lo rb.lo; hi = max ra.hi rb.hi }
+    | Ite (c, a, b) -> (
+        let ra = Option.map (fun en -> go en a) (refine env c) in
+        let rb = Option.map (fun en -> go en b) (refine env (not_ c)) in
+        match ra, rb with
+        | Some ra, Some rb -> { lo = min ra.lo rb.lo; hi = max ra.hi rb.hi }
+        | Some r, None | None, Some r -> r (* other arm infeasible *)
+        | None, None -> top)
     | Cmp (op, a, b) ->
-        let ra = go a and rb = go b in
+        let ra = go env a and rb = go env b in
         let certain v = singleton v in
         (match op with
          | Eq ->
@@ -70,7 +88,7 @@ let range_of lookup_var e =
                     else full W1)
              else full W1)
     | Binop (op, a, b) ->
-        let ra = go a and rb = go b in
+        let ra = go env a and rb = go env b in
         let mask = mask_of_width w in
         (match op with
          | Add ->
@@ -121,7 +139,11 @@ let range_of lookup_var e =
               | None -> { lo = 0; hi = ra.hi })
          | Ashr -> top)
   in
-  go e
+  go env e
+
+let range_of lookup_var e =
+  range_gen ~lookup:(fun () v -> lookup_var v)
+    ~refine:(fun () _ -> Some ()) () e
 
 type env = (int, t) Hashtbl.t
 
@@ -181,6 +203,30 @@ let apply_constraint env c =
       | _ -> false)
   | Not (Cmp _) -> false (* simplifier normalizes these away *)
   | _ -> false
+
+(* Condition a copy of [env] on a W1 guard: split its conjunctions and
+   run the same narrowing loop [infer] uses. [None] means the guard
+   contradicts the environment — that arm of an [Ite] is infeasible. *)
+let refine_guard env c =
+  let open Expr in
+  let rec atoms acc = function
+    | Binop (And, a, b) when width_of a = W1 -> atoms (atoms acc a) b
+    | c -> c :: acc
+  in
+  let cs = atoms [] c in
+  let env' = Hashtbl.copy env in
+  match
+    let changed = ref true and rounds = ref 0 in
+    while !changed && !rounds < 4 do
+      changed := false;
+      incr rounds;
+      List.iter (fun a -> if apply_constraint env' a then changed := true) cs
+    done
+  with
+  | () -> Some env'
+  | exception Exit -> None
+
+let range_within env e = range_gen ~lookup ~refine:refine_guard env e
 
 let infer constraints =
   let env : env = Hashtbl.create 16 in

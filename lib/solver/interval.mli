@@ -29,6 +29,14 @@ val infer : Expr.t list -> env option
 
 val lookup : env -> Expr.var -> t
 
+val range_within : env -> Expr.t -> t
+(** Like {!range_of} over [lookup env], but each [Ite] arm is ranged in
+    a copy of [env] conditioned on its guard (and an arm whose guard
+    contradicts [env] is dropped). Keeps ranges tight through the
+    [ite(cond, clamped, raw)] values introduced by post-dominator state
+    merging, where the clamping constraint lives inside the guard rather
+    than in the conjunctive path condition. *)
+
 val candidates : env -> Expr.var list -> (Expr.var -> int) list
 (** A few cheap whole-model guesses (low ends, high ends, midpoints) to be
     verified against the constraints by evaluation. *)

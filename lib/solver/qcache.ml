@@ -74,7 +74,93 @@ let create ?(capacity = 4096) ?(model_reuse = 12) () =
     evicted = 0;
   }
 
-let canon cs = List.sort_uniq Expr.compare cs
+(* --- structural normalization ------------------------------------------- *)
+(* Operands of commutative operators are put in a canonical order before
+   hashing/renaming, so structurally-equal queries whose subterms were
+   assembled in different orders — e.g. the disjoined guards of a merged
+   state vs the same conditions consed one at a time by forking — land on
+   the same entry. The order must be stable under variable renaming
+   (renaming happens AFTER this pass), so expressions are compared by
+   erased shape: every variable of a width is equal to every other. Ties
+   (shape-equal operands) keep their input order, which is fine — shape-
+   equal operands rename to the same key either way only if genuinely
+   symmetric, and a missed swap costs a cache miss, never a wrong answer. *)
+
+let commutative = function
+  | Expr.Add | Expr.Mul | Expr.And | Expr.Or | Expr.Xor -> true
+  | Expr.Sub | Expr.Divu | Expr.Remu | Expr.Shl | Expr.Lshr | Expr.Ashr ->
+      false
+
+let shape_tag : Expr.t -> int = function
+  | Expr.Const _ -> 0
+  | Expr.Var _ -> 1
+  | Expr.Binop _ -> 2
+  | Expr.Cmp _ -> 3
+  | Expr.Ite _ -> 4
+  | Expr.Extract _ -> 5
+  | Expr.Concat4 _ -> 6
+  | Expr.Zext _ -> 7
+  | Expr.Not _ -> 8
+
+let rec shape_compare (a : Expr.t) (b : Expr.t) =
+  match (a, b) with
+  | Expr.Const (w1, c1), Expr.Const (w2, c2) -> (
+      match compare w1 w2 with 0 -> compare c1 c2 | c -> c)
+  | Expr.Var v1, Expr.Var v2 ->
+      compare v1.Expr.var_width v2.Expr.var_width
+  | Expr.Binop (o1, x1, y1), Expr.Binop (o2, x2, y2) -> (
+      match compare o1 o2 with
+      | 0 -> ( match shape_compare x1 x2 with 0 -> shape_compare y1 y2 | c -> c)
+      | c -> c)
+  | Expr.Cmp (o1, x1, y1), Expr.Cmp (o2, x2, y2) -> (
+      match compare o1 o2 with
+      | 0 -> ( match shape_compare x1 x2 with 0 -> shape_compare y1 y2 | c -> c)
+      | c -> c)
+  | Expr.Ite (c1, x1, y1), Expr.Ite (c2, x2, y2) -> (
+      match shape_compare c1 c2 with
+      | 0 -> ( match shape_compare x1 x2 with 0 -> shape_compare y1 y2 | c -> c)
+      | c -> c)
+  | Expr.Extract (x1, i1), Expr.Extract (x2, i2) -> (
+      match compare i1 i2 with 0 -> shape_compare x1 x2 | c -> c)
+  | Expr.Concat4 (a3, a2, a1, a0), Expr.Concat4 (b3, b2, b1, b0) -> (
+      match shape_compare a3 b3 with
+      | 0 -> (
+          match shape_compare a2 b2 with
+          | 0 -> (
+              match shape_compare a1 b1 with
+              | 0 -> shape_compare a0 b0
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | Expr.Zext x1, Expr.Zext x2 -> shape_compare x1 x2
+  | Expr.Not x1, Expr.Not x2 -> shape_compare x1 x2
+  | _ -> compare (shape_tag a) (shape_tag b)
+
+let rec normalize (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Binop (op, a, b) ->
+      let a = normalize a and b = normalize b in
+      if commutative op && shape_compare b a < 0 then Expr.Binop (op, b, a)
+      else Expr.Binop (op, a, b)
+  | Expr.Cmp (op, a, b) -> (
+      let a = normalize a and b = normalize b in
+      match op with
+      | (Expr.Eq | Expr.Ne) when shape_compare b a < 0 -> Expr.Cmp (op, b, a)
+      | _ -> Expr.Cmp (op, a, b))
+  | Expr.Ite (c, a, b) -> (
+      (* A negated guard swaps arms, so a lift built from the taken arm
+         and one built from the fallthrough share a key. *)
+      match normalize c with
+      | Expr.Not c' -> Expr.Ite (c', normalize b, normalize a)
+      | c -> Expr.Ite (c, normalize a, normalize b))
+  | Expr.Extract (x, i) -> Expr.Extract (normalize x, i)
+  | Expr.Concat4 (b3, b2, b1, b0) ->
+      Expr.Concat4 (normalize b3, normalize b2, normalize b1, normalize b0)
+  | Expr.Zext x -> Expr.Zext (normalize x)
+  | Expr.Not x -> Expr.Not (normalize x)
+
+let canon cs = List.sort_uniq Expr.compare (List.map normalize cs)
 
 (* --- normalization up to variable renaming ------------------------------ *)
 (* Variables are renumbered 1..n in first-occurrence order over the

@@ -49,6 +49,25 @@ let step e =
      arms are constants: lets comparisons above it fold. *)
   | Cmp (op, Ite (c, (Const _ as a), (Const _ as b)), (Const _ as d)) ->
       Some (ite c (cmp op a d) (cmp op b d))
+  | Cmp (op, (Const _ as d), Ite (c, (Const _ as a), (Const _ as b))) ->
+      Some (ite c (cmp op d a) (cmp op d b))
+  (* Ite pushdown through operators when both arms are constants: the
+     merged-state pattern ite(g, k1, k2) op k folds to ite(g, k1', k2'),
+     keeping lifted values as cheap as the constants they replaced. *)
+  | Binop (op, Ite (c, (Const _ as a), (Const _ as b)), (Const _ as d)) ->
+      Some (ite c (binop op a d) (binop op b d))
+  | Binop (op, (Const _ as d), Ite (c, (Const _ as a), (Const _ as b))) ->
+      Some (ite c (binop op d a) (binop op d b))
+  | Extract (Ite (c, (Const _ as a), (Const _ as b)), i) ->
+      Some (ite c (extract a i) (extract b i))
+  | Zext (Ite (c, (Const _ as a), (Const _ as b))) ->
+      Some (ite c (zext a) (zext b))
+  (* Nested ite on the same guard: the inner decision is already made. *)
+  | Ite (c, Ite (c', a, _), b) when equal c c' -> Some (ite c a b)
+  | Ite (c, a, Ite (c', _, b)) when equal c c' -> Some (ite c a b)
+  (* Negated guard: swap arms so structurally-equal lifts (one built from
+     the taken arm, one from the fallthrough) normalize to one shape. *)
+  | Ite (Not c, a, b) -> Some (ite c b a)
   | Binop (And, Binop (And, x, Const (w, c1)), Const (_, c2)) ->
       Some (binop And x (const w (c1 land c2)))
   | Binop (Or, Binop (Or, x, Const (w, c1)), Const (_, c2)) ->
@@ -81,3 +100,52 @@ let simplify_bool e =
   let e' = simplify e in
   assert (width_of e' = W1);
   e'
+
+(* --- pruning under known path conditions -------------------------------- *)
+
+module EH = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash = Hashtbl.hash
+end)
+
+(* Rewrite [e] assuming every constraint in [under] holds: boolean
+   subterms that occur verbatim in the path condition become true (their
+   verbatim negations false), which collapses [Ite]s whose guards a
+   merged state has since re-decided. Substituting a truth value for a
+   subterm equivalent to it under ALL models of the path condition is
+   sound in any position, including under [Not]. Meant for the slow
+   path: callers about to hand [e] to the solver anyway. *)
+let prune ~under e =
+  let known = EH.create (2 * List.length under) in
+  List.iter
+    (fun c ->
+      EH.replace known c true;
+      match c with
+      | Not c' -> EH.replace known c' false
+      | Cmp (Eq, a, b) -> EH.replace known (Cmp (Ne, a, b)) false
+      | Cmp (Ne, a, b) -> EH.replace known (Cmp (Eq, a, b)) false
+      | _ -> ())
+    under;
+  let rec go e =
+    match EH.find_opt known e with
+    | Some true when width_of e = W1 -> tru
+    | Some false when width_of e = W1 -> fls
+    | _ -> (
+        match e with
+        | Const _ | Var _ -> e
+        | Ite (c, a, b) -> (
+            let c' = go c in
+            match to_const c' with
+            | Some 1 -> go a
+            | Some 0 -> go b
+            | _ -> ite c' (go a) (go b))
+        | Binop (op, a, b) -> binop op (go a) (go b)
+        | Cmp (op, a, b) -> cmp op (go a) (go b)
+        | Extract (x, i) -> extract (go x) i
+        | Concat4 (b3, b2, b1, b0) -> concat4 (go b3) (go b2) (go b1) (go b0)
+        | Zext x -> zext (go x)
+        | Not x -> not_ (go x))
+  in
+  simplify (go e)

@@ -15,3 +15,12 @@ val simplify : Expr.t -> Expr.t
 val simplify_bool : Expr.t -> Expr.t
 (** [simplify_bool e] simplifies a width-1 expression used as a path
     condition. Same as {!simplify} but asserts the result width. *)
+
+val prune : under:Expr.t list -> Expr.t -> Expr.t
+(** [prune ~under e] simplifies [e] assuming every constraint in [under]
+    holds: boolean subterms occurring verbatim in [under] become true
+    (their verbatim negations false), collapsing [ite]s whose guards the
+    path condition has since decided — the merged-state analog of branch
+    folding. Semantics-preserving under all models of [under]. Linear in
+    [List.length under + Expr.size e]; intended for the solver-bound
+    slow path, not per-instruction use. *)

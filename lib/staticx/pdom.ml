@@ -1,0 +1,105 @@
+(* Immediate post-dominators over the interprocedural CFG, per function.
+
+   The merge scheduler asks one question: for the block a symbolic branch
+   just forked in, where do the two arms reconverge? That is the branch
+   block's immediate post-dominator within its own function — computed
+   here once per image from the existing [Icfg], over the same
+   image-relative leader universe coverage accounting uses.
+
+   Each function is analyzed against a *virtual exit* joining its ret /
+   stop blocks and any block with no in-function successor (tail jumps
+   into another function leave the analyzed region, so they exit too).
+   The sets are the textbook iterative dataflow
+
+       pdom(b) = {b} ∪ ⋂ { pdom(s) | s ∈ succ(b) }
+
+   seeded top (all blocks) and shrunk to fixpoint; functions are small
+   (tens of blocks), so the O(n²)-bits representation is a per-function
+   array of bool arrays and nothing fancier is warranted.
+
+   A block trapped in an exit-free cycle keeps an over-full set at the
+   fixpoint and may report an arbitrary in-cycle "post-dominator". That
+   is acceptable by design: the merge point is a *placement heuristic* —
+   the engine only fuses states that actually arrived at the same pc
+   with compatible contexts, so a wrong merge point costs an unexercised
+   merge token, never soundness. *)
+
+type t = {
+  ipdom : (int, int) Hashtbl.t;
+      (* image-relative block leader -> image-relative leader of its
+         immediate post-dominator (absent: exits directly) *)
+}
+
+let compute (icfg : Icfg.t) =
+  let ipdom = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Icfg.func) ->
+      let blocks = Array.of_list f.Icfg.fn_blocks in
+      let n = Array.length blocks in
+      if n > 0 then begin
+        let index = Hashtbl.create n in
+        Array.iteri (fun i l -> Hashtbl.replace index l i) blocks;
+        (* In-function successors; [] means the block feeds the virtual
+           exit (ret, stop, or every successor outside the function). *)
+        let succs =
+          Array.map
+            (fun l ->
+              match Icfg.block icfg l with
+              | None -> []
+              | Some b ->
+                  List.filter_map
+                    (fun s -> Hashtbl.find_opt index s)
+                    b.Icfg.bb_succs)
+            blocks
+        in
+        (* pd.(i) = postdominator set of block i, plus slot n for the
+           virtual exit. *)
+        let pd = Array.init (n + 1) (fun _ -> Array.make (n + 1) true) in
+        pd.(n) <- Array.make (n + 1) false;
+        pd.(n).(n) <- true;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = 0 to n - 1 do
+            let meet = Array.make (n + 1) true in
+            (match succs.(i) with
+             | [] -> Array.blit pd.(n) 0 meet 0 (n + 1)
+             | ss ->
+                 List.iter
+                   (fun s ->
+                     let ps = pd.(s) in
+                     for j = 0 to n do
+                       meet.(j) <- meet.(j) && ps.(j)
+                     done)
+                   ss);
+            meet.(i) <- true;
+            for j = 0 to n do
+              if pd.(i).(j) && not meet.(j) then begin
+                pd.(i).(j) <- false;
+                changed := true
+              end
+            done
+          done
+        done;
+        let card i =
+          let c = ref 0 in
+          Array.iter (fun b -> if b then incr c) pd.(i);
+          !c
+        in
+        (* The strict postdominators of a block form a chain whose sets
+           shrink toward the exit; the immediate one is the largest. *)
+        for i = 0 to n - 1 do
+          let best = ref (-1) and best_card = ref (-1) in
+          for j = 0 to n - 1 do
+            if j <> i && pd.(i).(j) && card j > !best_card then begin
+              best := j;
+              best_card := card j
+            end
+          done;
+          if !best >= 0 then Hashtbl.replace ipdom blocks.(i) blocks.(!best)
+        done
+      end)
+    icfg.Icfg.funcs;
+  { ipdom }
+
+let merge_point t leader = Hashtbl.find_opt t.ipdom leader

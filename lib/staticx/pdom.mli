@@ -1,0 +1,19 @@
+(** Immediate post-dominators per function over the {!Icfg}: the merge
+    scheduler's answer to "where do the two arms of this branch
+    reconverge?". Computed once per image; addresses are image-relative
+    block leaders, like the rest of the static layer.
+
+    The result is a placement heuristic only: the merge engine
+    re-checks every fusion dynamically (same pc, compatible context,
+    structurally disjoint guards), so an imprecise post-dominator — for
+    instance around an exit-free cycle — costs an unexercised merge
+    token, never soundness. *)
+
+type t
+
+val compute : Icfg.t -> t
+
+val merge_point : t -> int -> int option
+(** [merge_point t leader] is the image-relative leader of the block's
+    immediate post-dominator within its function, or [None] when the
+    block exits the function directly (or is unknown to the ICFG). *)

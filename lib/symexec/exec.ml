@@ -63,6 +63,14 @@ type config = {
       and bail to the interpreter at the first symbolic operand. On by
       default; automatically disabled while [record_exec_pcs] is set
       (compiled blocks do not emit per-pc trace events). *)
+  state_merging : bool;
+  (** fuse sibling states back together at branch post-dominators
+      ({!Merge}): a symbolic fork whose arms reconverge — per the
+      merge-point map the session installs ({!set_merge_points}) — parks
+      both arms at the join and lifts their register/memory differences
+      to [ite]s over the disjoined path conditions, collapsing the fork
+      subtree into one state. On by default; replay runs never merge (a
+      script follows exactly one concrete path). *)
 }
 
 let default_config =
@@ -84,6 +92,7 @@ let default_config =
     max_worker_restarts = 3;
     chaos = None;
     dbt = true;
+    state_merging = true;
   }
 
 type mem_access = {
@@ -154,6 +163,12 @@ type engine = {
   mutable kcall_enter : St.t -> string -> Mach.t -> unit;
   mutable kcall_leave : St.t -> string -> Mach.t -> unit;
   mutable replay : Replay.script option;
+  pool : Merge.t;
+  (* merge-token pool: parked arms, per-branch merge history, counters *)
+  mutable merge_points : int -> int option;
+  (* absolute block leader -> absolute reconvergence pc. The default maps
+     nothing, so no token ever opens; the session installs the
+     post-dominator map ({!Ddt_staticx.Pdom}) when [cfg.state_merging]. *)
   guard_st : Guard.t;
   soft_retired : int Atomic.t;
   rehomed : int Atomic.t;
@@ -185,6 +200,11 @@ let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 exception Discard_state of string
 exception Fork_alts of (string * (Mach.t -> unit)) list
 exception Vm_crash of string * string
+
+(* The state reached its innermost merge token's reconvergence pc and
+   parked in the pool: it is no longer this worker's to requeue or
+   retire. Unwinds [step_quantum] only. *)
+exception Parked
 
 let create ?(config = default_config) img base_mem symdev =
   Ddt_kernel.Ndis.install ();
@@ -267,6 +287,8 @@ let create ?(config = default_config) img base_mem symdev =
     kcall_enter = (fun _ _ _ -> ());
     kcall_leave = (fun _ _ _ -> ());
     replay = None;
+    pool = Merge.create ();
+    merge_points = (fun _ -> None);
     guard_st;
     soft_retired = Atomic.make 0;
     rehomed = Atomic.make 0;
@@ -291,6 +313,7 @@ let set_kcall_hooks eng ~enter ~leave =
 
 let set_replay eng script = eng.replay <- Some script
 let set_distance_fn eng f = eng.dist_fn := f
+let set_merge_points eng f = eng.merge_points <- f
 let set_governor eng f = eng.governor <- Some f
 let incidents eng = Guard.incidents eng.guard_st
 let worker_restarts eng = Guard.restarts eng.guard_st
@@ -330,10 +353,6 @@ let new_root_state eng ks =
   install_sym_hook eng st;
   st
 
-let add_state eng st =
-  (* Cap rejections are counted by the frontier. *)
-  ignore (Frontier.push eng.frontier ~worker:(Domain.DLS.get worker_key) st)
-
 let fork_state eng st =
   let id = Atomic.fetch_and_add eng.next_id 1 + 1 in
   Atomic.incr eng.states_created;
@@ -343,6 +362,10 @@ let fork_state eng st =
   (* Forking moved the parent to a fresh COW leaf too; re-binding the hook
      keeps symbolic-read events attributed to the right state. *)
   amax eng.max_cow_depth (Symmem.chain_depth child.St.mem);
+  (* The child inherited the parent's merge tags ([St.fork] shares the
+     list): every open token the parent carries gains a live carrier, and
+     forks by a state that absorbed siblings count as forks avoided. *)
+  Merge.note_fork eng.pool st child;
   (* [St.fork] copied the parent's [last_block], so the child's scheduling
      priority starts from the fork point without any shared table. *)
   child
@@ -377,7 +400,12 @@ let safe_replay_script st =
     { Replay.rs_inputs = []; rs_choices = []; rs_inject_sites = [];
       rs_entry = st.St.entry_name }
 
-let retire eng st status ~report =
+let rec retire eng st status ~report =
+  (* A dying carrier releases every merge token it holds; the last
+     carrier out triggers the fold, whose survivors go back to the
+     frontier and whose absorbed states retire (recursively) below. The
+     pool call is a lock-free no-op while merging has never been used. *)
+  handle_merge_outcome eng (Merge.note_dead eng.pool st);
   st.St.status <- Some status;
   let forks =
     List.fold_left
@@ -414,6 +442,28 @@ let retire eng st status ~report =
         }
   end
 
+(* Apply a fold's results outside the pool lock: absorbed states are
+   gone (their paths live on as the ite-lifted survivor), survivors go
+   back to the frontier. Runs while the triggering worker's in-flight
+   slot is still held, so the frontier can never look quiescent between
+   a park/death and the requeue of the fold's survivors. *)
+and handle_merge_outcome eng mo =
+  List.iter
+    (fun s ->
+      retire eng s (St.Discarded "fused into merged sibling") ~report:false)
+    mo.Merge.mo_absorbed;
+  List.iter
+    (fun s ->
+      Frontier.requeue eng.frontier ~worker:(Domain.DLS.get worker_key) s)
+    mo.Merge.mo_requeue
+
+let add_state eng st =
+  (* Cap rejections are counted by the frontier; a rejected state
+     carrying open merge tokens must still release them, or its siblings
+     would park forever waiting for a carrier that never runs. *)
+  if not (Frontier.push eng.frontier ~worker:(Domain.DLS.get worker_key) st)
+  then handle_merge_outcome eng (Merge.note_dead eng.pool st)
+
 (* --- expression helpers ------------------------------------------------ *)
 
 let concretize eng st e reason =
@@ -421,6 +471,13 @@ let concretize eng st e reason =
   match Expr.to_const e with
   | Some v -> v
   | None -> (
+      (* Solver-bound anyway: prune under the path condition first, so
+         ites lifted by a merge collapse once their guard has been
+         re-decided by a later branch (often back to a constant). *)
+      let e = Simplify.prune ~under:st.St.constraints e in
+      match Expr.to_const e with
+      | Some v -> v
+      | None ->
       let answer =
         if eng.cfg.solver_incr then
           (* Only the relevant slice (plus audited replay pins) can
@@ -957,8 +1014,25 @@ let step eng st =
         let was_symbolic =
           Expr.to_const (Simplify.simplify taken_cond) = None
         in
+        (* Captured before [fork_bool] conses either arm's constraint:
+           the physical sync point suffix extraction walks back to when
+           the arms are fused at the merge point. *)
+        let cs_before = st.St.constraints in
         let successors = fork_bool eng st taken_cond in
         let forked = List.length successors > 1 in
+        (* Two feasible arms that reconverge: open a merge token before
+           either arm is published to the frontier (tagging a state
+           another worker already picked up would race its step loop). *)
+        (if forked && eng.cfg.state_merging && eng.replay = None then
+           match successors with
+           | [ (a, _); (b, _) ] -> (
+               match eng.merge_points st.St.last_block with
+               | Some mpc when mpc <> pc ->
+                   ignore
+                     (Merge.open_token eng.pool ~branch_pc:pc ~merge_pc:mpc
+                        ~base:cs_before a b)
+               | _ -> ())
+           | _ -> ());
         List.iter
           (fun (sx, taken) ->
             St.record sx
@@ -1070,12 +1144,26 @@ let step_quantum eng st =
        && !budget > 0
        && st.St.steps < eng.cfg.max_steps_per_state
      do
+       (* Merge arrival: the state stands at its innermost token's
+          reconvergence pc — park it in the pool (possibly folding the
+          token right now) and stop executing it; the fold's survivor
+          comes back through the frontier. *)
+       (match st.St.tags with
+        | { St.mt_pc; _ } :: _ when mt_pc = st.St.pc -> (
+            match Merge.on_arrival eng.pool st with
+            | Merge.A_continue -> ()
+            | Merge.A_parked mo ->
+                handle_merge_outcome eng mo;
+                raise Parked)
+        | _ -> ());
        (* Compiled-block gate: when the pc heads a hot superblock whose
           whole length fits in both the quantum budget and the per-state
           step allowance, run it compiled; scheduling boundaries stay
-          step-identical with the interpreter either way. *)
+          step-identical with the interpreter either way. Carriers of
+          open merge tokens stay on the interpreter: a superblock runs
+          through many pcs without the arrival check above. *)
        match eng.dbt with
-       | Some d -> (
+       | Some d when st.St.tags = [] -> (
            match
              Sdbt.try_run d st ~budget:!budget
                ~steps_left:(eng.cfg.max_steps_per_state - st.St.steps)
@@ -1084,7 +1172,7 @@ let step_quantum eng st =
                decr budget;
                step eng st
            | n -> budget := !budget - n)
-       | None ->
+       | _ ->
            decr budget;
            step eng st
      done;
@@ -1098,6 +1186,12 @@ let step_quantum eng st =
        Frontier.requeue eng.frontier ~worker:wid st
      end
    with
+   | Parked ->
+       (* The state now belongs to the merge pool: neither requeued nor
+          retired here. The worker's task_done accounting is untouched —
+          any fold triggered by the park already requeued its survivors
+          while this in-flight slot was still held. *)
+       ()
    | Discard_state why | Mach.Path_terminated why ->
        retire eng st (St.Discarded why) ~report:false
    | Vm_crash (code, msg) ->
@@ -1353,6 +1447,26 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive wid =
     loop ()
   end
 
+(* Drain the frontier to empty through merge folds: retiring a token
+   carrier can fold its token and requeue the fold's survivors, so a
+   single [drain_all] pass is not enough. Once the frontier is truly
+   empty, any state still parked lost every sibling to caps or crashes
+   without a fold firing — hand those to [f] as well. *)
+let drain_retire eng f =
+  let rec go () =
+    match Frontier.drain_all eng.frontier with
+    | _ :: _ as batch ->
+        List.iter f batch;
+        go ()
+    | [] -> (
+        match Merge.drain_parked eng.pool with
+        | [] -> ()
+        | parked ->
+            List.iter f parked;
+            go ())
+  in
+  go ()
+
 let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
   ensure_dbt eng;
   let start = Atomic.get eng.total_steps in
@@ -1404,25 +1518,32 @@ let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
          leftovers quietly so the session still terminates cleanly and
          reports what was explored. *)
       if eng.cfg.guard && not (Frontier.quiescent eng.frontier) then
-        List.iter
-          (fun st ->
+        drain_retire eng (fun st ->
             retire eng st
               (St.Discarded "workers exhausted restart budget")
               ~report:false)
-          (Frontier.drain_all eng.frontier)
+      else
+        (* Quiescent frontier can still leave parked states behind when
+           every surviving sibling of a token was quarantined without
+           reaching the pool; release them so no path is silently lost. *)
+        drain_retire eng (fun st ->
+            retire eng st (St.Discarded "merge token abandoned") ~report:false)
   | Some Stop_budget ->
-      (* Budget exhausted: remaining states end as Exhausted. *)
-      List.iter
-        (fun st -> retire eng st St.Exhausted ~report:true)
-        (Frontier.drain_all eng.frontier)
+      (* Session budget exhausted: the states left on the frontier were
+         truncated by the *global* step budget, not by their own step
+         cap — reporting them as hangs would make the bug report depend
+         on frontier size (and so diverge between merged and unmerged
+         exploration of the same driver). Genuine hangs are retired as
+         [Exhausted] by the per-state cap above. *)
+      drain_retire eng (fun st ->
+          retire eng st (St.Discarded "session step budget exhausted")
+            ~report:false)
   | Some Stop_plateau ->
       (* The paper's stopping rule: run until no new basic blocks are
          discovered for some amount of time (§5.2). Remaining states are
          redundant path siblings; drop them quietly. *)
-      List.iter
-        (fun st ->
+      drain_retire eng (fun st ->
           retire eng st (St.Discarded "coverage plateau") ~report:false)
-        (Frontier.drain_all eng.frontier)
 
 let execution_tree eng =
   Mutex.lock eng.glock;
@@ -1509,6 +1630,10 @@ type stats = {
   st_dbt_guard_bails : int;
   st_dbt_decompiled : int;
   st_dbt_compiled_steps : int;
+  st_merged_states : int;
+  st_merge_ites : int;
+  st_merge_forks_avoided : int;
+  st_merge_refusals : int;
 }
 
 let steps_now eng = Atomic.get eng.total_steps
@@ -1547,4 +1672,8 @@ let stats eng =
     st_dbt_guard_bails = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_bails | None -> 0);
     st_dbt_decompiled = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_decompiled | None -> 0);
     st_dbt_compiled_steps = (match eng.dbt with Some d -> (Sdbt.stats d).sd_st_compiled_steps | None -> 0);
+    st_merged_states = (let m, _, _, _ = Merge.stats eng.pool in m);
+    st_merge_ites = (let _, i, _, _ = Merge.stats eng.pool in i);
+    st_merge_forks_avoided = (let _, _, f, _ = Merge.stats eng.pool in f);
+    st_merge_refusals = (let _, _, _, r = Merge.stats eng.pool in r);
   }

@@ -76,6 +76,16 @@ type config = {
       operand. Bug reports are identical either way. On by default;
       ignored (treated as off) while [record_exec_pcs] is set, because
       compiled blocks do not emit per-pc trace events. *)
+  state_merging : bool;
+  (** fuse sibling states back together at branch post-dominators
+      ({!Merge}): a symbolic fork whose arms reconverge — per the
+      merge-point map the session installs ({!set_merge_points}) — parks
+      both arms at the join and lifts their register/memory differences
+      to [ite]s over the disjoined path conditions, collapsing the fork
+      subtree into one state. Bug reports are identical either way. On
+      by default; replay runs never merge (a script follows exactly one
+      concrete path), and with no merge-point map installed the knob has
+      no effect. *)
 }
 
 val default_config : config
@@ -136,6 +146,12 @@ val set_distance_fn : engine -> (int -> int) -> unit
     (covering code only raises distances) — the scheduler's lazy heap
     relies on priorities never shrinking. The default oracle is
     [fun _ -> 0]. *)
+
+val set_merge_points : engine -> (int -> int option) -> unit
+(** Install the merge-point map (absolute block leader -> absolute
+    reconvergence pc, normally {!Ddt_staticx.Pdom} plus the image base).
+    The default maps nothing, so no merge token ever opens even with
+    [config.state_merging] on. *)
 
 (** {1 Resilience} *)
 
@@ -254,6 +270,12 @@ type stats = {
   st_dbt_guard_bails : int;     (** symbolic-operand guard bailouts *)
   st_dbt_decompiled : int;      (** superblocks de-compiled after chronic bails *)
   st_dbt_compiled_steps : int;  (** instructions executed via compiled blocks *)
+  st_merged_states : int;       (** sibling states fused at merge points *)
+  st_merge_ites : int;          (** register/memory values lifted to ites *)
+  st_merge_forks_avoided : int;
+  (** forks performed by states that had absorbed siblings — each would
+      have been duplicated once per absorbed sibling without merging *)
+  st_merge_refusals : int;      (** fusions refused (context or cost) *)
 }
 
 val stats : engine -> stats

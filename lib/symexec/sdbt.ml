@@ -46,6 +46,60 @@ type ctx = {
       (* build the engine's Vm_crash *)
 }
 
+(* Concrete-register cache. Compiled code runs hot exactly when its
+   operands are concrete, yet the plain closures still pay for every
+   instruction in [Expr] traffic: a [to_const] walk per read and a fresh
+   [Const] allocation per write. Each superblock run therefore carries a
+   scratch array of concrete register values and works on raw ints while
+   it can. [rc_tag.(r)] is 0 when [St.regs] is authoritative, 1 when the
+   cached int mirrors a [Const] already in [St.regs], and 2 when the
+   cache is ahead (the register exists only as an int until spilled).
+   Dirty slots are spilled back as [Expr.word] — byte-identical to what
+   the interpreter's smart constructors would have produced — at every
+   point where anyone but the compiled code can observe the state: the
+   checker tap before a memory access, and [finish] in the dispatch
+   gate, which covers completion, guard bails and escaping crashes. *)
+type rcache = {
+  rc_val : int array;
+  rc_tag : int array;
+}
+
+let rc_make () =
+  { rc_val = Array.make Isa.num_regs 0; rc_tag = Array.make Isa.num_regs 0 }
+
+(* Write dirty slots back and invalidate everything: after a spill an
+   observer (checker, interpreter, crash handler) may mutate registers
+   behind the cache's back, so clean entries cannot be trusted either. *)
+let spill st rc =
+  for r = 0 to Isa.num_regs - 1 do
+    if rc.rc_tag.(r) = 2 then St.reg_set st r (Expr.word rc.rc_val.(r));
+    rc.rc_tag.(r) <- 0
+  done
+
+(* Concrete view of a register, caching the [to_const] verdict. *)
+let cget st rc r =
+  if rc.rc_tag.(r) > 0 then Some rc.rc_val.(r)
+  else
+    match Expr.to_const (St.reg_get st r) with
+    | Some v ->
+        rc.rc_val.(r) <- v;
+        rc.rc_tag.(r) <- 1;
+        Some v
+    | None -> None
+
+let cset rc r v =
+  rc.rc_val.(r) <- v land 0xFFFFFFFF;
+  rc.rc_tag.(r) <- 2
+
+(* Expression view honouring dirty slots. *)
+let eget st rc r =
+  if rc.rc_tag.(r) = 2 then Expr.word rc.rc_val.(r) else St.reg_get st r
+
+(* Symbolic write-through: the cache entry is stale from here on. *)
+let eset st rc r e =
+  rc.rc_tag.(r) <- 0;
+  St.reg_set st r e
+
 let alu_to_binop = function
   | Isa.Add -> Expr.Add
   | Isa.Sub -> Expr.Sub
@@ -77,91 +131,115 @@ let in_mmio a = a >= Layout.mmio_base && a < Layout.mmio_limit
    is counted (state + engine) before effects, so a crashing instruction
    is counted; [st.pc] is restored before anything that can raise or
    fire a hook, because interior closures otherwise leave it stale. *)
-let compile_instr ctx (pc, instr) : St.t -> bool =
+let compile_instr ctx (pc, instr) : St.t -> rcache -> bool =
   let next = pc + Isa.instr_size in
   let count st =
     st.St.steps <- st.St.steps + 1;
     ctx.c_total_incr ()
   in
-  let g st r = St.reg_get st r in
   match instr with
   | Isa.Nop ->
-      fun st ->
+      fun st _rc ->
         count st;
         true
   | Isa.Hlt ->
-      fun st ->
+      fun st rc ->
         count st;
         st.St.pc <- pc;
+        spill st rc;
         raise (ctx.c_crash "DRIVER_FAULT" "driver executed HLT")
   | Isa.Mov (rd, rs) ->
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd (g st rs);
+        (match cget st rc rs with
+         | Some v -> cset rc rd v
+         | None -> eset st rc rd (St.reg_get st rs));
         true
   | Isa.Movi (rd, imm) | Isa.Lea (rd, imm) ->
-      let e = Expr.word imm in
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd e;
+        cset rc rd imm;
         true
   | Isa.Alu (((Isa.Divu | Isa.Remu) as op), rd, rs1, rs2) ->
       let bop = alu_to_binop op in
-      fun st ->
-        let b = g st rs2 in
-        (match Expr.to_const b with
-         | Some z when z <> 0 ->
-             count st;
-             St.reg_set st rd (Expr.binop bop (g st rs1) b);
-             true
-         | _ ->
-             (* symbolic divisor (the interpreter forks on it) or a
-                certain division by zero (the interpreter retires the
-                state): both belong to the slow path *)
-             st.St.pc <- pc;
-             false)
+      fun st rc -> (
+        match cget st rc rs2 with
+        | Some z when z <> 0 ->
+            count st;
+            (match cget st rc rs1 with
+             | Some a -> cset rc rd (Expr.eval_binop bop Expr.W32 a z)
+             | None ->
+                 eset st rc rd
+                   (Expr.binop bop (St.reg_get st rs1) (Expr.word z)));
+            true
+        | _ ->
+            (* symbolic divisor (the interpreter forks on it) or a
+               certain division by zero (the interpreter retires the
+               state): both belong to the slow path *)
+            st.St.pc <- pc;
+            false)
   | Isa.Alu (op, rd, rs1, rs2) ->
       let bop = alu_to_binop op in
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd (Expr.binop bop (g st rs1) (g st rs2));
+        (match cget st rc rs1, cget st rc rs2 with
+         | Some a, Some b -> cset rc rd (Expr.eval_binop bop Expr.W32 a b)
+         | _ ->
+             eset st rc rd
+               (Expr.binop bop (eget st rc rs1) (eget st rc rs2)));
         true
   | Isa.Alui (((Isa.Divu | Isa.Remu) as op), rd, rs1, imm) ->
-      if imm = 0 then fun st ->
+      if imm = 0 then fun st rc ->
         count st;
         st.St.pc <- pc;
+        spill st rc;
         raise (ctx.c_crash "DRIVER_FAULT" "division by zero")
       else
         let bop = alu_to_binop op and ie = Expr.word imm in
-        fun st ->
+        fun st rc ->
           count st;
-          St.reg_set st rd (Expr.binop bop (g st rs1) ie);
+          (match cget st rc rs1 with
+           | Some a -> cset rc rd (Expr.eval_binop bop Expr.W32 a imm)
+           | None -> eset st rc rd (Expr.binop bop (St.reg_get st rs1) ie));
           true
   | Isa.Alui (op, rd, rs1, imm) ->
       let bop = alu_to_binop op and ie = Expr.word imm in
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd (Expr.binop bop (g st rs1) ie);
+        (match cget st rc rs1 with
+         | Some a -> cset rc rd (Expr.eval_binop bop Expr.W32 a imm)
+         | None -> eset st rc rd (Expr.binop bop (St.reg_get st rs1) ie));
         true
   | Isa.Cmp (op, rd, rs1, rs2) ->
       let cop = cmp_to_cmpop op in
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd (Expr.zext (Expr.cmp cop (g st rs1) (g st rs2)));
+        (match cget st rc rs1, cget st rc rs2 with
+         | Some a, Some b -> cset rc rd (Expr.eval_cmp cop Expr.W32 a b)
+         | _ ->
+             eset st rc rd
+               (Expr.zext (Expr.cmp cop (eget st rc rs1) (eget st rc rs2))));
         true
   | Isa.Cmpi (op, rd, rs1, imm) ->
       let cop = cmp_to_cmpop op and ie = Expr.word imm in
-      fun st ->
+      fun st rc ->
         count st;
-        St.reg_set st rd (Expr.zext (Expr.cmp cop (g st rs1) ie));
+        (match cget st rc rs1 with
+         | Some a -> cset rc rd (Expr.eval_cmp cop Expr.W32 a imm)
+         | None ->
+             eset st rc rd
+               (Expr.zext (Expr.cmp cop (St.reg_get st rs1) ie)));
         true
   | Isa.Ldw (rd, rs1, off) ->
-      fun st -> (
-        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc rs1, cget st rc Isa.sp with
         | Some bv, Some spv ->
             count st;
             st.St.pc <- pc;
-            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            spill st rc;
+            let addr_expr =
+              Expr.binop Expr.Add (St.reg_get st rs1) (Expr.word off)
+            in
             let conc = (bv + off) land m32 in
             ctx.c_mem_access st ~pc ~write:false ~addr:addr_expr ~conc
               ~width:4 ~sp:spv;
@@ -180,12 +258,15 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Ldb (rd, rs1, off) ->
-      fun st -> (
-        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc rs1, cget st rc Isa.sp with
         | Some bv, Some spv ->
             count st;
             st.St.pc <- pc;
-            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            spill st rc;
+            let addr_expr =
+              Expr.binop Expr.Add (St.reg_get st rs1) (Expr.word off)
+            in
             let conc = (bv + off) land m32 in
             ctx.c_mem_access st ~pc ~write:false ~addr:addr_expr ~conc
               ~width:1 ~sp:spv;
@@ -204,12 +285,15 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Stw (rs1, off, rs2) ->
-      fun st -> (
-        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc rs1, cget st rc Isa.sp with
         | Some bv, Some spv ->
             count st;
             st.St.pc <- pc;
-            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            spill st rc;
+            let addr_expr =
+              Expr.binop Expr.Add (St.reg_get st rs1) (Expr.word off)
+            in
             let conc = (bv + off) land m32 in
             ctx.c_mem_access st ~pc ~write:true ~addr:addr_expr ~conc
               ~width:4 ~sp:spv;
@@ -218,7 +302,7 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
                 (ctx.c_crash "DRIVER_FAULT"
                    (Printf.sprintf
                       "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
-            let v = g st rs2 in
+            let v = St.reg_get st rs2 in
             St.record st
               (Event.E_mem
                  { pc; write = true; addr = addr_expr; width = 4; value = v });
@@ -228,12 +312,15 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Stb (rs1, off, rs2) ->
-      fun st -> (
-        match Expr.to_const (g st rs1), Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc rs1, cget st rc Isa.sp with
         | Some bv, Some spv ->
             count st;
             st.St.pc <- pc;
-            let addr_expr = Expr.binop Expr.Add (g st rs1) (Expr.word off) in
+            spill st rc;
+            let addr_expr =
+              Expr.binop Expr.Add (St.reg_get st rs1) (Expr.word off)
+            in
             let conc = (bv + off) land m32 in
             ctx.c_mem_access st ~pc ~write:true ~addr:addr_expr ~conc
               ~width:1 ~sp:spv;
@@ -242,7 +329,7 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
                 (ctx.c_crash "DRIVER_FAULT"
                    (Printf.sprintf
                       "null pointer dereference at 0x%x (pc 0x%x)" conc pc));
-            let byte_v = Expr.extract (g st rs2) 0 in
+            let byte_v = Expr.extract (St.reg_get st rs2) 0 in
             St.record st
               (Event.E_mem
                  { pc; write = true; addr = addr_expr; width = 1;
@@ -253,49 +340,52 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Push rs ->
-      fun st -> (
-        match Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc Isa.sp with
         | Some spv ->
             count st;
             st.St.pc <- pc;
-            let v = g st rs in (* before sp moves: [push sp] *)
+            let v = eget st rc rs in (* before sp moves: [push sp] *)
             let sp = spv - 4 in
-            if sp < Layout.stack_limit then
-              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
-            St.reg_set st Isa.sp (Expr.word sp);
+            if sp < Layout.stack_limit then begin
+              spill st rc;
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow")
+            end;
+            cset rc Isa.sp sp;
             Symmem.write_u32 st.St.mem sp v;
             true
         | None ->
             st.St.pc <- pc;
             false)
   | Isa.Pop rd ->
-      fun st -> (
-        match Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc Isa.sp with
         | Some spv ->
             count st;
-            St.reg_set st rd (Symmem.read_u32 st.St.mem spv);
-            St.reg_set st Isa.sp (Expr.word (spv + 4));
+            (match Expr.to_const (Symmem.read_u32 st.St.mem spv) with
+             | Some v -> cset rc rd v
+             | None -> eset st rc rd (Symmem.read_u32 st.St.mem spv));
+            cset rc Isa.sp (spv + 4);
             true
         | None ->
             st.St.pc <- pc;
             false)
   | Isa.Jmp t ->
-      fun st ->
+      fun st _rc ->
         count st;
         st.St.pc <- t;
         true
   | Isa.Jz (rs, target) | Isa.Jnz (rs, target) ->
       let is_jz = match instr with Isa.Jz _ -> true | _ -> false in
       let cop = if is_jz then Expr.Eq else Expr.Ne in
-      fun st -> (
-        let c = g st rs in
-        match Expr.to_const c with
+      fun st rc -> (
+        match cget st rc rs with
         | Some v ->
             count st;
             let taken = if is_jz then v = 0 else v <> 0 in
             (* folds to the same constant expression the interpreter's
                fork_bool sees on a concrete condition *)
-            let cond = Expr.cmp cop c (Expr.word 0) in
+            let cond = Expr.cmp cop (Expr.word v) (Expr.word 0) in
             St.record st
               (Event.E_branch { pc; taken; forked = false; cond });
             st.St.pc <- (if taken then target else next);
@@ -305,15 +395,17 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Call target ->
-      fun st -> (
-        match Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc Isa.sp with
         | Some spv ->
             count st;
             st.St.pc <- pc;
             let sp = spv - 4 in
-            if sp < Layout.stack_limit then
-              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
-            St.reg_set st Isa.sp (Expr.word sp);
+            if sp < Layout.stack_limit then begin
+              spill st rc;
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow")
+            end;
+            cset rc Isa.sp sp;
             Symmem.write_u32 st.St.mem sp (Expr.word next);
             st.St.pc <- target;
             true
@@ -321,20 +413,24 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Callr rs ->
-      fun st -> (
-        match Expr.to_const (g st rs), Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc rs, cget st rc Isa.sp with
         | Some target, Some spv ->
             count st;
             st.St.pc <- pc;
-            if target < Layout.null_guard then
+            if target < Layout.null_guard then begin
+              spill st rc;
               raise
                 (ctx.c_crash "DRIVER_FAULT"
                    (Printf.sprintf "indirect call through bad pointer 0x%x"
-                      target));
+                      target))
+            end;
             let sp = spv - 4 in
-            if sp < Layout.stack_limit then
-              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow");
-            St.reg_set st Isa.sp (Expr.word sp);
+            if sp < Layout.stack_limit then begin
+              spill st rc;
+              raise (ctx.c_crash "DRIVER_FAULT" "stack overflow")
+            end;
+            cset rc Isa.sp sp;
             Symmem.write_u32 st.St.mem sp (Expr.word next);
             st.St.pc <- target;
             true
@@ -342,15 +438,15 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
             st.St.pc <- pc;
             false)
   | Isa.Ret ->
-      fun st -> (
-        match Expr.to_const (g st Isa.sp) with
+      fun st rc -> (
+        match cget st rc Isa.sp with
         (* exclude MMIO stack pointers: the bail path would re-read, and
            MMIO reads mint fresh symbols *)
         | Some spv when not (in_mmio spv) -> (
             match Expr.to_const (Symmem.read_u32 st.St.mem spv) with
             | Some ret_addr ->
                 count st;
-                St.reg_set st Isa.sp (Expr.word (spv + 4));
+                cset rc Isa.sp (spv + 4);
                 st.St.pc <- ret_addr;
                 true
             | None ->
@@ -362,16 +458,16 @@ let compile_instr ctx (pc, instr) : St.t -> bool =
   | Isa.Kcall _ ->
       (* never compiled: kernel calls fork, inject interrupts and run
          annotations — superblocks are truncated before a Kcall *)
-      fun st ->
+      fun st _rc ->
         st.St.pc <- pc;
         false
   | Isa.Cli ->
-      fun st ->
+      fun st _rc ->
         count st;
         st.St.int_enabled <- false;
         true
   | Isa.Sti ->
-      fun st ->
+      fun st _rc ->
         count st;
         st.St.int_enabled <- true;
         true
@@ -380,7 +476,7 @@ let compilable = function Isa.Kcall _ -> false | _ -> true
 
 type sblock = {
   sb_len : int;                      (* steps a complete run executes *)
-  sb_codes : (St.t -> bool) array;
+  sb_codes : (St.t -> rcache -> bool) array;
 }
 
 (* Translate a superblock chain into a closure sequence: a hotness note
@@ -407,7 +503,7 @@ let compile_chain ctx blocks =
     (fun bi bk ->
       let entry = bk.Cdbt.bk_entry in
       codes :=
-        (fun st ->
+        (fun st _rc ->
           ctx.c_note st entry;
           true)
         :: !codes;
@@ -418,7 +514,7 @@ let compile_chain ctx blocks =
              if not (compilable instr) then begin
                truncated := true;
                codes :=
-                 (fun st ->
+                 (fun st _rc ->
                    st.St.pc <- ipc;
                    true)
                  :: !codes;
@@ -431,7 +527,7 @@ let compile_chain ctx blocks =
              incr len;
              if chained_jmp then
                codes :=
-                 (fun st ->
+                 (fun st _rc ->
                    st.St.steps <- st.St.steps + 1;
                    ctx.c_total_incr ();
                    true)
@@ -443,7 +539,7 @@ let compile_chain ctx blocks =
         match bk.Cdbt.bk_end with
         | Cdbt.E_fall t ->
             codes :=
-              (fun st ->
+              (fun st _rc ->
                 st.St.pc <- t;
                 true)
               :: !codes
@@ -543,7 +639,12 @@ let try_run t st ~budget ~steps_left =
           if budget < sb.sb_len || steps_left < sb.sb_len then 0
           else begin
             let steps0 = st.St.steps in
+            let rc = rc_make () in
             let finish completed =
+              (* all exits — completion, guard bail, escaping crash —
+                 funnel through here, so the interpreter, the retire
+                 path and every exception handler see spilled state *)
+              spill st rc;
               let consumed = st.St.steps - steps0 in
               if consumed > 0 then
                 ignore (Atomic.fetch_and_add t.sd_compiled_steps consumed);
@@ -564,7 +665,7 @@ let try_run t st ~budget ~steps_left =
             let ncodes = Array.length codes in
             let rec exec i =
               if i >= ncodes then true
-              else if (Array.unsafe_get codes i) st then exec (i + 1)
+              else if (Array.unsafe_get codes i) st rc then exec (i + 1)
               else false
             in
             match exec 0 with

@@ -88,6 +88,44 @@ let write_u32 t addr v =
 
 let read_u8_concrete_view t valuation addr = valuation (read_u8 t addr)
 
+(* Addresses either side wrote since their common COW ancestor — the
+   only bytes two sibling memories can disagree on, since everything
+   below the shared node is frozen at fork time. [None] when the
+   memories share no ancestor (different sessions; the caller must not
+   merge them). Write tables never contain MMIO addresses, so the diff
+   is purely RAM. *)
+let cow_diff a b =
+  let depth m =
+    let rec go acc = function None -> acc | Some n -> go (acc + 1) n.parent in
+    go 0 (Some m.node)
+  in
+  let rec up n k = if k <= 0 then n else up (Option.get n.parent) (k - 1) in
+  let da = depth a and db = depth b in
+  let na = up a.node (max 0 (da - db)) and nb = up b.node (max 0 (db - da)) in
+  let rec ancestor na nb =
+    if na == nb then Some na
+    else
+      match (na.parent, nb.parent) with
+      | Some pa, Some pb -> ancestor pa pb
+      | _ -> None
+  in
+  match ancestor na nb with
+  | None -> None
+  | Some anc ->
+      let addrs = Hashtbl.create 32 in
+      let collect top =
+        let rec go n =
+          if not (n == anc) then begin
+            Hashtbl.iter (fun addr _ -> Hashtbl.replace addrs addr ()) n.writes;
+            match n.parent with Some p -> go p | None -> ()
+          end
+        in
+        go top
+      in
+      collect a.node;
+      collect b.node;
+      Some (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) addrs []))
+
 let chain_depth t =
   let rec go acc = function
     | None -> acc

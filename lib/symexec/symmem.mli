@@ -30,6 +30,13 @@ val write_u32 : t -> int -> Ddt_solver.Expr.t -> unit
 val read_u8_concrete_view : t -> (Ddt_solver.Expr.t -> int) -> int -> int
 (** Read a byte and concretize it with the supplied valuation. *)
 
+val cow_diff : t -> t -> int list option
+(** Addresses at which two sibling memories can disagree: the union of
+    addresses either side wrote since their common copy-on-write
+    ancestor (found by physical node identity), sorted. [None] when the
+    memories share no ancestor — the caller must not merge them. MMIO
+    writes are discarded at the write barrier, so the diff is pure RAM. *)
+
 val chain_depth : t -> int
 (** Length of the copy-on-write chain (for statistics/benchmarks). *)
 

@@ -23,6 +23,16 @@ type post_action =
   | Pa_after_dpc of saved_ctx * int
   | Pa_after_timer of saved_ctx * int
 
+(* An open merge token this state is committed to: when the state
+   reaches [mt_pc] (the branch's immediate post-dominator), it reports
+   to the merge pool instead of executing on. Forking under an open
+   token commits both children, so the list is a stack — innermost
+   (most recently opened) token first. *)
+type merge_tag = {
+  mt_token : int;
+  mt_pc : int;
+}
+
 type t = {
   id : int;
   parent_id : int;
@@ -47,6 +57,7 @@ type t = {
   mutable replay_choices : (string * string) list;
   mutable session : Ddt_solver.Incr.session option;
   mutable pinned : Expr.t list;
+  mutable tags : merge_tag list;
 }
 
 let create ~id ~mem ~ks =
@@ -74,6 +85,7 @@ let create ~id ~mem ~ks =
     replay_choices = [];
     session = None;
     pinned = [];
+    tags = [];
   }
 
 let fork t ~id =

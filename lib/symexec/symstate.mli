@@ -29,6 +29,16 @@ type post_action =
   | Pa_after_dpc of saved_ctx * int
   | Pa_after_timer of saved_ctx * int
 
+(** An open merge token this state is committed to: when the state
+    reaches [mt_pc] (its branch's reconvergence point), it reports to
+    the merge pool ({!Merge}) instead of executing on. Forking under an
+    open token commits both children, so a state carries a stack of
+    tags — innermost (most recently opened) token first. *)
+type merge_tag = {
+  mt_token : int;
+  mt_pc : int;
+}
+
 type t = {
   id : int;
   parent_id : int;
@@ -64,6 +74,10 @@ type t = {
   mutable pinned : Expr.t list;
   (** replay-mode pin constraints (a subset of [constraints], physically)
       — force-included when concretizing over a relevant slice *)
+  mutable tags : merge_tag list;
+  (** open merge tokens, innermost first; shared structurally with
+      children on fork (the engine tells the pool about the new carrier
+      via {!Merge.note_fork}) *)
 }
 
 val create : id:int -> mem:Symmem.t -> ks:Ddt_kernel.Kstate.t -> t

@@ -13,6 +13,10 @@ type t =
   | E_entry_ret of { name : string; ret : int }
   | E_interrupt of { site : string; phase : string }
   | E_choice of { label : string; choice : string }
+  | E_merge of { pc : int; absorbed : int; cond : Expr.t }
+      (** recorded on the surviving state when a sibling was fused into
+          it at merge point [pc]; [cond] is the absorbed path's guard
+          (the [ite] condition selecting its values) *)
 
 let pp fmt = function
   | E_exec pc -> Format.fprintf fmt "exec 0x%x" pc
@@ -37,6 +41,9 @@ let pp fmt = function
       Format.fprintf fmt "interrupt at %s phase=%s" site phase
   | E_choice { label; choice } ->
       Format.fprintf fmt "choice %s -> %s" label choice
+  | E_merge { pc; absorbed; cond } ->
+      Format.fprintf fmt "merge 0x%x absorbed state %d under %a" pc absorbed
+        Expr.pp cond
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -28,6 +28,10 @@ type t =
       (** symbolic interrupt injected: where, and isr/dpc/timer phase *)
   | E_choice of { label : string; choice : string }
       (** which alternative an annotation fork took on this path *)
+  | E_merge of { pc : int; absorbed : int; cond : Ddt_solver.Expr.t }
+      (** recorded on the surviving state when a sibling state was fused
+          into it at merge point [pc]; [cond] is the absorbed path's
+          guard (the [ite] condition selecting its values) *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

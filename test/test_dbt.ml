@@ -439,6 +439,56 @@ let quick_cfg ?chaos ~dbt (e : Corpus.entry) =
 let bug_keys (r : Session.result) =
   List.sort compare (List.map (fun b -> b.Report.b_key) r.Session.r_bugs)
 
+(* The symbolic engine's concrete-register cache: a hot all-concrete
+   loop runs through the scratch arrays and only spills to expressions
+   at the symbolic guard. If a spill were missed or stale, the guard
+   below would be built from wrong register values and the seeded crash
+   would move or vanish — so bug-for-bug parity with the interpreted run
+   is the differential oracle. *)
+let test_sdbt_rcache_parity () =
+  let src = {|
+    int chars[8];
+    int g;
+    int initialize(void) {
+      int mmio;
+      NdisMMapIoSpace(&mmio, 0);
+      int acc = 1;
+      int i;
+      for (i = 0; i < 64; i = i + 1) {
+        acc = ((acc + (acc & 0xFFFF)) ^ (i + 3)) & 0xFFFFFF;
+      }
+      g = acc;
+      int v = *(mmio + 0);
+      if ((v & 0xFF) == (acc & 0xFF)) { int z = 0; *z = acc; }
+      return 0;
+    }
+    int driver_entry(void) {
+      chars[0] = initialize;
+      return NdisMRegisterMiniport(chars);
+    }
+  |} in
+  let image = Ddt_minicc.Codegen.compile ~name:"rc" src in
+  let go dbt =
+    Solver.clear_cache ();
+    Session.run
+      (Ddt_core.Config.make ~driver_name:"rc" ~image
+         ~driver_class:Config.Network
+         ~workload:Config.[ W_initialize ]
+         ~jobs:1 ~dbt ~max_total_steps:60_000 ())
+  in
+  let off = go false in
+  let on = go true in
+  check_bool "rcache leg still finds the seeded crash" true
+    (List.exists
+       (fun b -> b.Report.b_kind = Report.Segfault)
+       on.Session.r_bugs);
+  check_bool "same bugs with the register cache" true
+    (bug_keys off = bug_keys on);
+  check_int "same invocations" off.Session.r_invocations
+    on.Session.r_invocations;
+  check_bool "the hot loop actually compiled" true
+    (on.Session.r_stats.Exec.st_dbt_blocks > 0)
+
 let parity_case ?chaos (e : Corpus.entry) () =
   Solver.clear_cache ();
   let off = Session.run (quick_cfg ?chaos ~dbt:false e) in
@@ -479,5 +529,7 @@ let () =
          Alcotest.test_case "superblock chaining" `Quick
            test_superblock_chaining;
          Alcotest.test_case "call_function parity" `Quick
-           test_call_function_parity ]);
+           test_call_function_parity;
+         Alcotest.test_case "sdbt register cache parity" `Quick
+           test_sdbt_rcache_parity ]);
       ("corpus parity", corpus_cases) ]

@@ -464,6 +464,9 @@ let test_report_json_roundtrip () =
       j_dbt_decompiled = 1;
       j_dbt_compiled_steps = 70_000;
       j_total_steps = 100_000;
+      j_merged_states = 46;
+      j_merge_ites = 424;
+      j_merge_forks_avoided = 2_541;
     }
   in
   (match J.of_string (J.to_string s) with
