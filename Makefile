@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-dbt bench-merge clean
+.PHONY: all build test check bench bench-dbt bench-merge bench-staticrace clean
 
 all: build
 
@@ -17,18 +17,38 @@ test:
 # on/off must report identical bug sets, with and without chaos), a
 # quick state-merging parity run (fusing states at post-dominators must
 # leave the bug sets unchanged while collapsing the deep-loop driver's
-# frontier), the
+# frontier), a quick static-race run (lockset/IRQL + race rules fire on
+# the seeded corpus, are false-positive-free on every fixed variant, and
+# at least one race warning is confirmed by directed symbolic
+# execution), the
 # static pre-analysis on two known-clean drivers (nonzero universe,
-# zero findings), and a warning-clean doc build.
+# zero findings under the syntactic rules; rtl8029's buggy variant
+# legitimately fires the interprocedural race rule, so the clean smoke
+# is scoped to the syntactic families), a full-rule FP smoke over every
+# fixed-variant image, and a warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
 	dune exec bench/main.exe -- chaos --quick
 	dune exec bench/main.exe -- incr --quick
 	dune exec bench/main.exe -- dbt --quick
 	dune exec bench/main.exe -- merge --quick
-	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean > /dev/null
+	dune exec bench/main.exe -- staticrace --quick
+	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean \
+	  --rules unreachable-code,stack-imbalance,const-arg-contract > /dev/null
 	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
+	for d in pro1000 pro100 ac97 audiopci pcnet rtl8029 deeploop; do \
+	  dune exec bin/ddt_cli.exe -- analyze $$d --fixed --expect-clean \
+	    > /dev/null || exit 1; \
+	done
 	dune build @doc
+
+# Full static-race experiment: per-driver warning counts (buggy vs fixed,
+# new interprocedural rules vs the baseline absint), the zero-FP check on
+# every fixed variant, and a directed-confirmation session on rtl8029
+# (the race warning must come back dynamically confirmed); writes
+# BENCH_staticrace.json.
+bench-staticrace:
+	dune exec bench/main.exe -- staticrace --json
 
 bench:
 	dune exec bench/main.exe

@@ -1541,6 +1541,190 @@ let micro () =
         ignore (Ddt_symexec.Symmem.read_u32 child (0x1000 + (4 * i)))
       done)
 
+(* --- static race / lockset experiment -------------------------------------------- *)
+
+type staticrace_row = {
+  sr_driver : string;
+  sr_buggy_warnings : int;       (* interprocedural (lock/irql/race) rules *)
+  sr_fixed_warnings : int;       (* same rules on the fixed variant: FPs *)
+  sr_baseline_buggy : int;       (* intraprocedural absint baseline *)
+  sr_baseline_fixed : int;
+  sr_rules : string list;        (* rules that fired on the buggy variant *)
+}
+
+(* The interprocedural rule families added by [Ddt_staticx.Lockirql] and
+   [Ddt_staticx.Racepair]; the syntactic [Sfind] rules are excluded so
+   the comparison is new-analysis vs the absint baseline. *)
+let interproc_rules = [ "lock-"; "irql-"; "race-" ]
+
+let is_interproc rule =
+  List.exists (fun p -> String.starts_with ~prefix:p rule) interproc_rules
+
+let staticx_warnings entry ~fixed =
+  let image =
+    if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+  in
+  let icfg = Ddt_staticx.Icfg.build image in
+  let contracts, model =
+    match entry.Corpus.driver_class with
+    | Config.Network ->
+        (Ddt_annot.Ndis_annotations.contracts, Ddt_annot.Ndis_annotations.model)
+    | Config.Audio ->
+        ( Ddt_annot.Portcls_annotations.contracts,
+          Ddt_annot.Portcls_annotations.model )
+  in
+  List.filter
+    (fun f -> is_interproc f.Ddt_staticx.Sfind.f_rule)
+    (Ddt_staticx.Sfind.analyze ~contracts ~model icfg)
+
+let write_staticrace_json rows ~fixed_fps ~confirm_driver ~confirm_rule
+    ~confirmed_by ~unconfirmed path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"experiment\": \"staticrace\",\n";
+  pr
+    "  \"note\": \"interprocedural lockset/IRQL + race warnings (buggy vs \
+     fixed variants) against the intraprocedural absint baseline; \
+     fixed-variant warnings are false positives and must be zero\",\n";
+  pr "  \"fixed_variant_false_positives\": %d,\n" fixed_fps;
+  pr "  \"confirmation\": {\"driver\": %S, \"rule\": %S, \"confirmed_by\": %S, \
+      \"unconfirmed_warnings\": %d},\n"
+    confirm_driver confirm_rule confirmed_by unconfirmed;
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S, \"staticx_buggy\": %d, \"staticx_fixed\": %d, \
+         \"baseline_buggy\": %d, \"baseline_fixed\": %d, \"rules\": [%s]}%s\n"
+        r.sr_driver r.sr_buggy_warnings r.sr_fixed_warnings r.sr_baseline_buggy
+        r.sr_baseline_fixed
+        (String.concat ", " (List.map (Printf.sprintf "%S") r.sr_rules))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let staticrace_bench () =
+  section
+    (if !quick_mode then
+       "Static race/lockset smoke test (--quick): seeded corpus + \
+        fixed-variant FP check + one directed confirmation"
+     else
+       "Static race/lockset analysis: interprocedural warnings (buggy vs \
+        fixed) vs the absint baseline, with directed symbolic confirmation");
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "ac97" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  Printf.printf "%-12s %12s %12s %14s %14s\n" "Driver" "staticx/bug"
+    "staticx/fix" "baseline/bug" "baseline/fix";
+  let rows =
+    List.map
+      (fun short ->
+        let e = Corpus.find short in
+        let wb = staticx_warnings e ~fixed:false in
+        let wf = staticx_warnings e ~fixed:true in
+        let base ~fixed =
+          let image = if fixed then e.Corpus.fixed_image () else e.Corpus.image () in
+          List.length
+            (Ddt_baseline.Static.analyze ~name:short image)
+              .Ddt_baseline.Static.st_findings
+        in
+        let bb = base ~fixed:false and bf = base ~fixed:true in
+        Printf.printf "%-12s %12d %12d %14d %14d\n" short (List.length wb)
+          (List.length wf) bb bf;
+        {
+          sr_driver = short;
+          sr_buggy_warnings = List.length wb;
+          sr_fixed_warnings = List.length wf;
+          sr_baseline_buggy = bb;
+          sr_baseline_fixed = bf;
+          sr_rules =
+            List.sort_uniq compare
+              (List.map (fun f -> f.Ddt_staticx.Sfind.f_rule) wb);
+        })
+      drivers
+  in
+  (* The sdv sample: the lockset rules must flag all six statically-
+     visible seeded lock/IRQL defects, none on the fixed image. *)
+  let sdv_rules img =
+    let icfg = Ddt_staticx.Icfg.build img in
+    List.filter is_interproc
+      (List.map
+         (fun f -> f.Ddt_staticx.Sfind.f_rule)
+         (Ddt_staticx.Sfind.analyze
+            ~contracts:Ddt_annot.Ndis_annotations.contracts
+            ~model:Ddt_annot.Ndis_annotations.model icfg))
+  in
+  let sdv_buggy = sdv_rules (Ddt_drivers.Sdv_sample.image ()) in
+  let sdv_fixed = sdv_rules (Ddt_drivers.Sdv_sample.fixed_image ()) in
+  Printf.printf "%-12s %12d %12d %14s %14s\n" "sdv_sample"
+    (List.length sdv_buggy) (List.length sdv_fixed) "-" "-";
+  let fixed_fps =
+    List.fold_left (fun a r -> a + r.sr_fixed_warnings) 0 rows
+    + List.length sdv_fixed
+  in
+  (* Directed confirmation: a guided session on rtl8029's buggy variant.
+     Its static race warning (the timer armed from interrupt context
+     before initialization) becomes a permanent distance goal; the
+     dynamic race the session finds in the same function must promote the
+     warning to Confirmed. *)
+  let e = Corpus.find "rtl8029" in
+  let cfg = Corpus.config e in
+  let cfg =
+    { cfg with
+      Config.exec_config =
+        { cfg.Config.exec_config with
+          Exec.static_guidance = true;
+          strategy = Ddt_symexec.Sched.Min_dist } }
+  in
+  let r = Ddt_core.Ddt.test_driver cfg in
+  let confirmed, unconfirmed =
+    List.partition
+      (fun sf ->
+        match sf.Report.sf_confirm with Report.Confirmed _ -> true | _ -> false)
+      (List.filter
+         (fun sf -> is_interproc sf.Report.sf_rule)
+         r.Session.r_static)
+  in
+  let confirm_rule, confirmed_by =
+    match confirmed with
+    | sf :: _ ->
+        ( sf.Report.sf_rule,
+          match sf.Report.sf_confirm with
+          | Report.Confirmed k -> k
+          | _ -> "" )
+    | [] -> ("", "")
+  in
+  Printf.printf
+    "\nsdv_sample lock/IRQL warnings: %d buggy / %d fixed (expect 6 / 0)\n"
+    (List.length sdv_buggy) (List.length sdv_fixed);
+  Printf.printf "fixed-variant false positives: %d (must be 0)\n" fixed_fps;
+  Printf.printf
+    "directed confirmation on rtl8029: %d confirmed, %d unconfirmed%s\n"
+    (List.length confirmed) (List.length unconfirmed)
+    (match confirmed with
+     | sf :: _ ->
+         Printf.sprintf " (%s -> %s)" sf.Report.sf_rule
+           (match sf.Report.sf_confirm with
+            | Report.Confirmed k -> k
+            | _ -> "?")
+     | [] -> "");
+  if !json_mode then begin
+    write_staticrace_json rows ~fixed_fps ~confirm_driver:"rtl8029"
+      ~confirm_rule ~confirmed_by ~unconfirmed:(List.length unconfirmed)
+      "BENCH_staticrace.json";
+    Printf.printf "wrote BENCH_staticrace.json\n"
+  end;
+  if fixed_fps > 0 then begin
+    Printf.printf "FAIL: static warnings on fixed variants\n";
+    exit 1
+  end;
+  if confirmed = [] then begin
+    Printf.printf "FAIL: no race warning was dynamically confirmed\n";
+    exit 1
+  end
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let all_experiments =
@@ -1549,7 +1733,8 @@ let all_experiments =
     ("ablation", ablation); ("sched", sched); ("parallel", parallel);
     ("memory", memory); ("solver", solver_bench); ("static", static_bench);
     ("chaos", chaos_bench); ("incr", incr_bench); ("dbt", dbt_bench);
-    ("merge", merge_bench); ("micro", micro) ]
+    ("merge", merge_bench); ("staticrace", staticrace_bench);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

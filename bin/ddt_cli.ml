@@ -190,44 +190,113 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "expect-clean" ] ~doc)
   in
-  let run short fixed expect_clean =
+  let json_flag =
+    let doc =
+      "Emit the findings as a machine-readable JSON document (same static \
+       row schema as the full session report) instead of the listing."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let rules_arg =
+    let doc =
+      Printf.sprintf
+        "Comma-separated rule filter; a name selects the rule or, as a \
+         prefix, a whole family (e.g. $(b,lock) selects every lock-* \
+         rule). Known rules: %s."
+        (String.concat ", " Ddt_staticx.Sfind.all_rules)
+    in
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"LIST" ~doc)
+  in
+  let run short fixed expect_clean json rules_opt =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
-        let image =
-          if fixed then entry.Corpus.fixed_image () else entry.Corpus.image ()
+        let rules =
+          Option.map
+            (fun s ->
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun r -> r <> ""))
+            rules_opt
         in
-        let icfg = Ddt_staticx.Icfg.build image in
-        let contracts =
-          match entry.Corpus.driver_class with
-          | Ddt_core.Config.Network -> Ddt_annot.Ndis_annotations.contracts
-          | Ddt_core.Config.Audio -> Ddt_annot.Portcls_annotations.contracts
+        let bad =
+          match rules with
+          | None -> []
+          | Some rs ->
+              List.filter
+                (fun r ->
+                  not
+                    (List.exists
+                       (fun known ->
+                         known = r || String.starts_with ~prefix:r known)
+                       Ddt_staticx.Sfind.all_rules))
+                rs
         in
-        let findings = Ddt_staticx.Sfind.analyze ~contracts icfg in
-        Format.printf "%a" Ddt_staticx.Icfg.pp icfg;
-        if findings = [] then Format.printf "no static findings@."
+        if bad <> [] then begin
+          Printf.eprintf "unknown rule(s): %s; known: %s\n"
+            (String.concat ", " bad)
+            (String.concat ", " Ddt_staticx.Sfind.all_rules);
+          1
+        end
         else begin
-          Format.printf "%d static finding(s):@." (List.length findings);
-          List.iter
-            (fun f -> Format.printf "  %a@." Ddt_staticx.Sfind.pp f)
-            findings
-        end;
-        if expect_clean then
-          if icfg.Ddt_staticx.Icfg.universe = [] then begin
-            prerr_endline "expect-clean: empty block universe";
-            3
-          end
-          else if findings <> [] then begin
-            prerr_endline "expect-clean: static findings present";
-            3
-          end
+          let image =
+            if fixed then entry.Corpus.fixed_image ()
+            else entry.Corpus.image ()
+          in
+          let icfg = Ddt_staticx.Icfg.build image in
+          let contracts, model =
+            match entry.Corpus.driver_class with
+            | Ddt_core.Config.Network ->
+                ( Ddt_annot.Ndis_annotations.contracts,
+                  Ddt_annot.Ndis_annotations.model )
+            | Ddt_core.Config.Audio ->
+                ( Ddt_annot.Portcls_annotations.contracts,
+                  Ddt_annot.Portcls_annotations.model )
+          in
+          let findings =
+            Ddt_staticx.Sfind.analyze ~contracts ~model ?rules icfg
+          in
+          if json then
+            print_string
+              (Ddt_core.Report_json.statics_to_string
+                 ~driver:entry.Corpus.name
+                 (List.map
+                    (fun f ->
+                      { Report.sf_rule = f.Ddt_staticx.Sfind.f_rule;
+                        sf_func = f.Ddt_staticx.Sfind.f_func;
+                        sf_pos = f.Ddt_staticx.Sfind.f_pos;
+                        sf_message = f.Ddt_staticx.Sfind.f_msg;
+                        sf_confirm = Report.Not_applicable })
+                    findings))
+          else begin
+            Format.printf "%a" Ddt_staticx.Icfg.pp icfg;
+            if findings = [] then Format.printf "no static findings@."
+            else begin
+              Format.printf "%d static finding(s):@." (List.length findings);
+              List.iter
+                (fun f -> Format.printf "  %a@." Ddt_staticx.Sfind.pp f)
+                findings
+            end
+          end;
+          if expect_clean then
+            if icfg.Ddt_staticx.Icfg.universe = [] then begin
+              prerr_endline "expect-clean: empty block universe";
+              3
+            end
+            else if findings <> [] then begin
+              prerr_endline "expect-clean: static findings present";
+              3
+            end
+            else 0
           else 0
-        else 0
+        end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the interprocedural static pre-analysis on a driver")
-    Term.(const run $ driver_arg $ fixed_flag $ expect_clean_flag)
+    Term.(
+      const run $ driver_arg $ fixed_flag $ expect_clean_flag $ json_flag
+      $ rules_arg)
 
 let stress_cmd =
   let runs_arg =

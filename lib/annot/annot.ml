@@ -40,6 +40,44 @@ type arg_contract = {
 let contract ~api ~arg ~check ~doc =
   { c_api = api; c_arg = arg; c_check = check; c_doc = doc }
 
+(* --- declarative API model for the interprocedural static analyses --- *)
+
+type lock_variant = Lv_plain | Lv_dpr
+
+type lock_api = {
+  la_api : string;
+  la_acquire : bool;
+  la_variant : lock_variant;
+}
+
+type irql_contract = {
+  ic_api : string;
+  ic_doc : string;
+}
+
+type handler_role = Hr_main | Hr_isr | Hr_dpc
+
+type reg_contract =
+  | Reg_table of { rt_api : string; rt_roles : (int * handler_role) list }
+  | Reg_arg of { ra_api : string; ra_arg : int; ra_role : handler_role }
+
+type init_pair = {
+  ip_init : string;
+  ip_uses : string list;
+  ip_arg : int;
+  ip_doc : string;
+}
+
+type api_model = {
+  m_contracts : arg_contract list;
+  m_locks : lock_api list;
+  m_passive_only : irql_contract list;
+  m_registration : reg_contract list;
+  m_init_pairs : init_pair list;
+}
+
+let lock_api ~api ~acquire ~variant = { la_api = api; la_acquire = acquire; la_variant = variant }
+
 (* Undo a successful allocation on the forked failure path. The out value
    is a heap address for pool memory but an opaque handle for pools and
    sync objects. *)

@@ -69,3 +69,52 @@ type arg_contract = {
 
 val contract :
   api:string -> arg:int -> check:(int -> bool) -> doc:string -> arg_contract
+
+(** {1 Declarative API model}
+
+    The static-analysis sibling of the dynamic hook set: per driver class,
+    the kernel-API facts the interprocedural analyses
+    ({!Ddt_staticx.Lockirql}, {!Ddt_staticx.Racepair}) consume. Like
+    {!arg_contract}s these never fire at run time. *)
+
+type lock_variant = Lv_plain | Lv_dpr
+
+type lock_api = {
+  la_api : string;          (** kernel API name *)
+  la_acquire : bool;        (** acquire (true) or release (false) *)
+  la_variant : lock_variant;
+}
+
+type irql_contract = {
+  ic_api : string;          (** API callable at PASSIVE_LEVEL only *)
+  ic_doc : string;
+}
+
+type handler_role = Hr_main | Hr_isr | Hr_dpc
+(** Concurrency role of a registered driver entry point: [Hr_isr] and
+    [Hr_dpc] run at DISPATCH_LEVEL and may preempt the main path. *)
+
+type reg_contract =
+  | Reg_table of { rt_api : string; rt_roles : (int * handler_role) list }
+      (** argument 0 is a handler table; [rt_roles] maps word index to
+          role (unlisted indices are [Hr_main]) *)
+  | Reg_arg of { ra_api : string; ra_arg : int; ra_role : handler_role }
+      (** argument [ra_arg] is a code pointer registered with [ra_role] *)
+
+type init_pair = {
+  ip_init : string;         (** initializer API (publishes the resource) *)
+  ip_uses : string list;    (** APIs that require the resource initialized *)
+  ip_arg : int;             (** positional argument carrying the resource *)
+  ip_doc : string;
+}
+
+type api_model = {
+  m_contracts : arg_contract list;
+  m_locks : lock_api list;
+  m_passive_only : irql_contract list;
+  m_registration : reg_contract list;
+  m_init_pairs : init_pair list;
+}
+
+val lock_api :
+  api:string -> acquire:bool -> variant:lock_variant -> lock_api

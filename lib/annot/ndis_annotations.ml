@@ -62,3 +62,47 @@ let contracts : Annot.arg_contract list =
     Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:2
       ~check:(fun tag -> tag <> 0)
       ~doc:"pool tag must be non-zero (verifier convention)" ]
+
+(* Declarative API model for the interprocedural analyses: lock pairing,
+   IRQL contracts, handler registration (concurrency roles) and
+   init-before-use resource pairs over the mini-NDIS surface. *)
+let model : Annot.api_model =
+  let open Annot in
+  {
+    m_contracts = contracts;
+    m_locks =
+      [ lock_api ~api:"NdisAcquireSpinLock" ~acquire:true ~variant:Lv_plain;
+        lock_api ~api:"KeAcquireSpinLock" ~acquire:true ~variant:Lv_plain;
+        lock_api ~api:"NdisDprAcquireSpinLock" ~acquire:true ~variant:Lv_dpr;
+        lock_api ~api:"KeAcquireSpinLockAtDpcLevel" ~acquire:true
+          ~variant:Lv_dpr;
+        lock_api ~api:"NdisReleaseSpinLock" ~acquire:false ~variant:Lv_plain;
+        lock_api ~api:"KeReleaseSpinLock" ~acquire:false ~variant:Lv_plain;
+        lock_api ~api:"NdisDprReleaseSpinLock" ~acquire:false ~variant:Lv_dpr;
+        lock_api ~api:"KeReleaseSpinLockFromDpcLevel" ~acquire:false
+          ~variant:Lv_dpr ];
+    m_passive_only =
+      [ { ic_api = "NdisOpenConfiguration";
+          ic_doc = "configuration access requires PASSIVE_LEVEL" };
+        { ic_api = "NdisReadConfiguration";
+          ic_doc = "configuration access requires PASSIVE_LEVEL" };
+        { ic_api = "NdisCloseConfiguration";
+          ic_doc = "configuration access requires PASSIVE_LEVEL" };
+        { ic_api = "NdisMMapIoSpace";
+          ic_doc = "mapping I/O space requires PASSIVE_LEVEL" } ];
+    m_registration =
+      (* miniport characteristics table: word 4 = isr, word 5 = interrupt
+         DPC (see [Ddt_kernel.Ndis.entry_point_names]); timer callbacks
+         registered through NdisMInitializeTimer run as DPCs *)
+      [ Reg_table { rt_api = "NdisMRegisterMiniport";
+                    rt_roles = [ (4, Hr_isr); (5, Hr_dpc) ] };
+        Reg_arg { ra_api = "NdisMInitializeTimer"; ra_arg = 1;
+                  ra_role = Hr_dpc } ];
+    m_init_pairs =
+      [ { ip_init = "NdisMInitializeTimer";
+          ip_uses = [ "NdisMSetTimer"; "NdisMSetPeriodicTimer";
+                      "NdisMCancelTimer" ];
+          ip_arg = 0;
+          ip_doc = "the timer object must be initialized with \
+                    NdisMInitializeTimer before being set or cancelled" } ];
+  }

@@ -34,3 +34,28 @@ let contracts : Annot.arg_contract list =
     Annot.contract ~api:"ExAllocatePoolWithTag" ~arg:2
       ~check:(fun tag -> tag <> 0)
       ~doc:"pool tag must be non-zero (verifier convention)" ]
+
+(* Declarative API model over the portcls surface (see
+   {!Ndis_annotations.model} for the field semantics). *)
+let model : Annot.api_model =
+  let open Annot in
+  {
+    m_contracts = contracts;
+    m_locks =
+      [ lock_api ~api:"KeAcquireSpinLock" ~acquire:true ~variant:Lv_plain;
+        lock_api ~api:"KeAcquireSpinLockAtDpcLevel" ~acquire:true
+          ~variant:Lv_dpr;
+        lock_api ~api:"KeReleaseSpinLock" ~acquire:false ~variant:Lv_plain;
+        lock_api ~api:"KeReleaseSpinLockFromDpcLevel" ~acquire:false
+          ~variant:Lv_dpr ];
+    m_passive_only = [];
+    m_registration =
+      (* miniport table: word 3 = isr, word 4 = dpc (see
+         [Ddt_kernel.Portcls.entry_point_names]); PcNewInterruptSync
+         registers its argument-1 service routine as the ISR *)
+      [ Reg_table { rt_api = "PcRegisterMiniport";
+                    rt_roles = [ (3, Hr_isr); (4, Hr_dpc) ] };
+        Reg_arg { ra_api = "PcNewInterruptSync"; ra_arg = 1;
+                  ra_role = Hr_isr } ];
+    m_init_pairs = [];
+  }

@@ -8,3 +8,7 @@ val set : Annot.set
 val contracts : Annot.arg_contract list
 (** Static argument contracts over the same API surface, consumed by the
     pre-analysis ({!Ddt_staticx.Sfind}). *)
+
+val model : Annot.api_model
+(** Declarative lock / IRQL / registration / init-pair facts consumed by
+    the interprocedural analyses; includes {!contracts}. *)

@@ -66,7 +66,18 @@ let arg0_token instrs_before =
   | _ -> Tok_unknown
 
 let build (img : Image.t) =
-  let instrs = Ddt_dvm.Disasm.disassemble img in
+  (* decode-once: index the shared per-image instruction array rather
+     than re-decoding the text section. *)
+  let instrs =
+    let code = Image.code_array img in
+    let acc = ref [] in
+    for i = Array.length code - 1 downto 0 do
+      match code.(i) with
+      | Some instr -> acc := (i * Isa.instr_size, instr) :: !acc
+      | None -> ()
+    done;
+    !acc
+  in
   let funcs_sorted =
     List.sort (fun (_, a) (_, b) -> compare a b) img.Image.funcs
   in

@@ -16,18 +16,30 @@ let string_of_kind = function
   | Kernel_crash -> "Kernel crash"
   | Infinite_loop -> "Infinite loop"
 
-type severity = Dynamic | Static
+type severity = Dynamic | Static | Static_unconfirmed
 
 let string_of_severity = function
   | Dynamic -> "dynamic"
   | Static -> "static"
+  | Static_unconfirmed -> "static-unconfirmed"
+
+type confirmation =
+  | Not_applicable
+  | Unconfirmed
+  | Confirmed of string
 
 type static_finding = {
   sf_rule : string;
   sf_func : string;
   sf_pos : int;
   sf_message : string;
+  sf_confirm : confirmation;
 }
+
+let severity_of_static f =
+  match f.sf_confirm with
+  | Unconfirmed -> Static_unconfirmed
+  | Not_applicable | Confirmed _ -> Static
 
 let static_key f = Printf.sprintf "%s@%x:%s" f.sf_rule f.sf_pos f.sf_func
 
@@ -110,6 +122,12 @@ let static_findings sink =
   Mutex.unlock sink.mu;
   List.rev r
 
+let confirm_statics sink f =
+  Mutex.lock sink.mu;
+  sink.statics <-
+    List.map (fun sf -> { sf with sf_confirm = f sf }) sink.statics;
+  Mutex.unlock sink.mu
+
 let clear sink =
   Mutex.lock sink.mu;
   sink.found <- [];
@@ -130,10 +148,20 @@ let pp_bug fmt b =
     b.b_message
 
 let pp_static_finding fmt f =
-  Format.fprintf fmt "[static:%s] %s%s@.    %s" f.sf_rule
+  let tag =
+    match f.sf_confirm with
+    | Not_applicable -> "static"
+    | Unconfirmed -> "static, unconfirmed"
+    | Confirmed _ -> "static, CONFIRMED"
+  in
+  Format.fprintf fmt "[%s:%s] %s%s@.    %s%s" tag f.sf_rule
     (if f.sf_func = "" then "" else f.sf_func ^ " ")
     (Printf.sprintf "at 0x%x" f.sf_pos)
     f.sf_message
+    (match f.sf_confirm with
+     | Confirmed key ->
+         Printf.sprintf "\n    confirmed dynamically by %s" key
+     | _ -> "")
 
 let pp_incident fmt (i : incident) =
   let open Ddt_symexec.Guard in

@@ -15,20 +15,34 @@ type kind =
 
 val string_of_kind : kind -> string
 
-type severity = Dynamic | Static
+type severity = Dynamic | Static | Static_unconfirmed
 (** [Dynamic] findings come from executing the driver (the bug list);
     [Static] findings come from the pre-analysis ([Ddt_staticx]) and are
     kept in a separate list so they can never perturb dynamic bug keys,
-    deduplication or ordering. *)
+    deduplication or ordering.  [Static_unconfirmed] is the distinct
+    reporting tier for warnings that directed symbolic confirmation was
+    attempted on but could not witness dynamically. *)
 
 val string_of_severity : severity -> string
 
+type confirmation =
+  | Not_applicable
+      (** no confirmation attempted (pure [analyze] runs, or rules with
+          no dynamic witness class) *)
+  | Unconfirmed
+      (** directed symbolic execution sought a witness and found none *)
+  | Confirmed of string
+      (** a dynamic bug with this key witnessed the warning *)
+
 type static_finding = {
-  sf_rule : string;     (** e.g. "unreachable-code", "stack-imbalance" *)
+  sf_rule : string;     (** e.g. "unreachable-code", "race-unguarded-use" *)
   sf_func : string;     (** enclosing function name, or "" *)
   sf_pos : int;         (** image-relative text offset *)
   sf_message : string;
+  sf_confirm : confirmation;
 }
+
+val severity_of_static : static_finding -> severity
 
 val static_key : static_finding -> string
 (** Deduplication key: rule + position + function. *)
@@ -73,6 +87,10 @@ val report_static : sink -> static_finding -> unit
 
 val static_findings : sink -> static_finding list
 (** In first-reported order. *)
+
+val confirm_statics : sink -> (static_finding -> confirmation) -> unit
+(** Rewrite every collected static finding's confirmation status (used
+    once after the dynamic phase has run against the warnings). *)
 
 val clear : sink -> unit
 

@@ -5,7 +5,7 @@
 
 module Report = Ddt_checkers.Report
 
-let schema_version = 4
+let schema_version = 5
 
 type bug_row = {
   jb_kind : string;
@@ -20,6 +20,11 @@ type static_row = {
   js_func : string;
   js_pos : int;
   js_message : string;
+  (* schema 5: confirmation tier ("n/a" | "unconfirmed" | "confirmed")
+     and, when confirmed, the key of the witnessing dynamic bug *)
+  js_severity : string;
+  js_confirm : string;
+  js_confirmed_by : string;
 }
 
 type incident_row = {
@@ -65,6 +70,19 @@ type summary = {
   j_merge_forks_avoided : int;
 }
 
+let confirm_strings = function
+  | Report.Not_applicable -> ("n/a", "")
+  | Report.Unconfirmed -> ("unconfirmed", "")
+  | Report.Confirmed key -> ("confirmed", key)
+
+let static_row_of_finding (f : Report.static_finding) =
+  let confirm, by = confirm_strings f.Report.sf_confirm in
+  { js_rule = f.Report.sf_rule; js_func = f.Report.sf_func;
+    js_pos = f.Report.sf_pos; js_message = f.Report.sf_message;
+    js_severity =
+      Report.string_of_severity (Report.severity_of_static f);
+    js_confirm = confirm; js_confirmed_by = by }
+
 let of_result (r : Session.result) =
   {
     j_schema = schema_version;
@@ -81,8 +99,7 @@ let of_result (r : Session.result) =
     j_static =
       List.map
         (fun (f : Report.static_finding) ->
-          { js_rule = f.Report.sf_rule; js_func = f.Report.sf_func;
-            js_pos = f.Report.sf_pos; js_message = f.Report.sf_message })
+          static_row_of_finding f)
         r.Session.r_static;
     j_total_blocks = r.Session.r_total_blocks;
     j_reachable_blocks = r.Session.r_reachable_blocks;
@@ -156,7 +173,10 @@ let bug_row_json b =
 let static_row_json s =
   jobj
     [ ("rule", jstr s.js_rule); ("func", jstr s.js_func);
-      ("pos", string_of_int s.js_pos); ("message", jstr s.js_message) ]
+      ("pos", string_of_int s.js_pos); ("message", jstr s.js_message);
+      ("severity", jstr s.js_severity);
+      ("confirm", jstr s.js_confirm);
+      ("confirmed_by", jstr s.js_confirmed_by) ]
 
 let incident_row_json i =
   jobj
@@ -329,7 +349,10 @@ let bug_row_of j =
 
 let static_row_of j =
   { js_rule = as_str (field "rule" j); js_func = as_str (field "func" j);
-    js_pos = as_int (field "pos" j); js_message = as_str (field "message" j) }
+    js_pos = as_int (field "pos" j); js_message = as_str (field "message" j);
+    js_severity = as_str (field "severity" j);
+    js_confirm = as_str (field "confirm" j);
+    js_confirmed_by = as_str (field "confirmed_by" j) }
 
 let incident_row_of j =
   { ji_kind = as_str (field "kind" j); ji_worker = as_int (field "worker" j);
@@ -381,3 +404,12 @@ let of_string str =
                 as_int (field "merge_forks_avoided" j);
             }
       with Bad _ -> None)
+
+(* Standalone static-analysis report: the static rows only, under the
+   same schema version (for [ddt_cli analyze --json]). *)
+let statics_to_string ~driver (findings : Report.static_finding list) =
+  jobj
+    [ ("schema", string_of_int schema_version);
+      ("driver", jstr driver);
+      ("static",
+       jlist static_row_json (List.map static_row_of_finding findings)) ]

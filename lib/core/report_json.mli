@@ -21,6 +21,12 @@ type static_row = {
   js_func : string;
   js_pos : int;
   js_message : string;
+  js_severity : string;
+  (** "static" | "static-unconfirmed" (schema 5) *)
+  js_confirm : string;
+  (** "n/a" | "unconfirmed" | "confirmed" (schema 5) *)
+  js_confirmed_by : string;
+  (** key of the witnessing dynamic bug, or "" (schema 5) *)
 }
 
 type incident_row = {
@@ -70,3 +76,8 @@ val to_string : summary -> string
 val of_string : string -> summary option
 (** Parse a document emitted by {!to_string}. [None] on malformed input
     or a schema-version mismatch. *)
+
+val statics_to_string :
+  driver:string -> Ddt_checkers.Report.static_finding list -> string
+(** Standalone static-analysis report (for [ddt_cli analyze --json]):
+    the schema version, driver name and static rows only. *)

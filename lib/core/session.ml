@@ -100,22 +100,49 @@ let run (cfg : Config.t) =
      when [static_guidance] is on it additionally feeds the scheduler a
      distance-to-uncovered oracle. *)
   let icfg = Icfg.build cfg.Config.image in
-  let contracts =
+  let contracts, model =
     match cfg.Config.driver_class with
-    | Config.Network -> Ddt_annot.Ndis_annotations.contracts
-    | Config.Audio -> Ddt_annot.Portcls_annotations.contracts
+    | Config.Network ->
+        (Ddt_annot.Ndis_annotations.contracts,
+         Ddt_annot.Ndis_annotations.model)
+    | Config.Audio ->
+        (Ddt_annot.Portcls_annotations.contracts,
+         Ddt_annot.Portcls_annotations.model)
+  in
+  (* Rules with a dynamic witness class start [Unconfirmed] and are
+     promoted by the post-run confirmation pass; purely structural rules
+     have nothing to witness. *)
+  let confirmable rule =
+    List.exists
+      (fun p -> String.starts_with ~prefix:p rule)
+      [ "lock-"; "irql-"; "race-" ]
   in
   let statics =
     List.map
       (fun (f : Sfind.finding) ->
         { Report.sf_rule = f.Sfind.f_rule; sf_func = f.Sfind.f_func;
-          sf_pos = f.Sfind.f_pos; sf_message = f.Sfind.f_msg })
-      (Sfind.analyze ~contracts icfg)
+          sf_pos = f.Sfind.f_pos; sf_message = f.Sfind.f_msg;
+          sf_confirm =
+            (if confirmable f.Sfind.f_rule then Report.Unconfirmed
+             else Report.Not_applicable) })
+      (Sfind.analyze ~contracts ~model icfg)
   in
   List.iter (Report.report_static sink) statics;
   let distmap =
     if exec_config.Exec.static_guidance then begin
-      let dm = Distmap.create icfg in
+      (* Directed confirmation: static-warning positions become
+         permanent distance goals, so the Min_dist scheduler keeps
+         pulling states toward the flagged code even after plain
+         coverage has visited it once. *)
+      let goals =
+        List.filter_map
+          (fun sf ->
+            if sf.Report.sf_confirm = Report.Unconfirmed then
+              Some sf.Report.sf_pos
+            else None)
+          statics
+      in
+      let dm = Distmap.create ~goals icfg in
       Exec.set_distance_fn eng (fun pc ->
           Distmap.dist dm (pc - loaded.Image.base));
       Some dm
@@ -243,6 +270,42 @@ let run (cfg : Config.t) =
         (Report.bugs sink)
     else Report.bugs sink
   in
+  (* Confirmation pass: a static warning is witnessed by a dynamic bug
+     of a compatible kind whose pc falls in the warned function.  The
+     position is matched at function granularity — the crash site of a
+     race or deadlock is rarely the exact flagged instruction. *)
+  let func_of_relpc rel =
+    match Hashtbl.find_opt icfg.Icfg.leader_of rel with
+    | Some l ->
+        Option.map (fun f -> f.Icfg.fn_name) (Icfg.func_of_block icfg l)
+    | None -> None
+  in
+  let kind_compatible rule (k : Report.kind) =
+    if String.starts_with ~prefix:"race-" rule then
+      match k with
+      | Report.Race_condition | Report.Segfault | Report.Memory_error
+      | Report.Kernel_crash -> true
+      | _ -> false
+    else
+      match k with
+      | Report.Lock_misuse | Report.Kernel_crash -> true
+      | _ -> false
+  in
+  Report.confirm_statics sink (fun sf ->
+      match sf.Report.sf_confirm with
+      | Report.Not_applicable -> Report.Not_applicable
+      | Report.Unconfirmed | Report.Confirmed _ -> (
+          match
+            List.find_opt
+              (fun (b : Report.bug) ->
+                kind_compatible sf.Report.sf_rule b.Report.b_kind
+                && func_of_relpc (b.Report.b_pc - loaded.Image.base)
+                   = Some sf.Report.sf_func)
+              bugs
+          with
+          | Some b -> Report.Confirmed b.Report.b_key
+          | None -> Report.Unconfirmed));
+  let statics = Report.static_findings sink in
   (* Reachable-universe coverage: intersect the covered block set with the
      static universe (both image-relative leaders). *)
   let covered_rel = Hashtbl.create 256 in

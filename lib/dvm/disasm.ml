@@ -4,25 +4,25 @@
    explicit gap runs instead of being silently skipped, so clients can
    tell "code" from "bytes that happen to sit in the text section". *)
 let linear_sweep (img : Image.t) =
+  let code = Image.code_array img in
   let n = Bytes.length img.Image.text in
-  let rec go pos acc gaps =
-    if pos + Isa.instr_size > n then
-      let gaps = if pos < n then (pos, n - pos) :: gaps else gaps in
-      (List.rev acc, gaps)
-    else
-      match Isa.decode img.Image.text pos with
-      | i -> go (pos + Isa.instr_size) ((pos, i) :: acc) gaps
-      | exception Isa.Invalid_opcode _ ->
-          let gaps =
-            match gaps with
-            | (s, l) :: rest when s + l = pos ->
-                (s, l + Isa.instr_size) :: rest
-            | _ -> (pos, Isa.instr_size) :: gaps
-          in
-          go (pos + Isa.instr_size) acc gaps
+  let decoded = ref [] and gaps = ref [] in
+  let add_gap pos len =
+    match !gaps with
+    | (s, l) :: rest when s + l = pos -> gaps := (s, l + len) :: rest
+    | g -> gaps := (pos, len) :: g
   in
-  let decoded, gaps = go 0 [] [] in
-  (decoded, List.rev gaps)
+  Array.iteri
+    (fun i slot ->
+      let pos = i * Isa.instr_size in
+      match slot with
+      | Some instr -> decoded := (pos, instr) :: !decoded
+      | None -> add_gap pos Isa.instr_size)
+    code;
+  (* trailing partial slot: can never hold an instruction *)
+  let tail = Array.length code * Isa.instr_size in
+  if tail < n then add_gap tail (n - tail);
+  (List.rev !decoded, List.rev !gaps)
 
 let disassemble img = fst (linear_sweep img)
 

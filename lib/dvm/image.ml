@@ -34,6 +34,42 @@ let decode_text mem ~base ~len =
       | instr -> Some instr
       | exception Isa.Invalid_opcode _ -> None)
 
+(* Pre-load sibling of [loaded.code]: decode the *unrelocated* text once
+   per image and share the array across every static consumer (linear
+   sweep, baseline CFG, interprocedural ICFG). Address-carrying
+   immediates are image-relative here, which is exactly what the static
+   analyses want. The memo is an ephemeron so cached arrays die with
+   their image; keys compare physically (images are plain records with
+   no identity of their own) and hash on the name. *)
+module Code_memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash img = Hashtbl.hash img.name
+end)
+
+let code_memo : Isa.instr option array Code_memo.t = Code_memo.create 16
+let code_memo_lock = Mutex.create ()
+
+let code_array img =
+  Mutex.lock code_memo_lock;
+  let arr =
+    match Code_memo.find_opt code_memo img with
+    | Some a -> a
+    | None ->
+        let slots = Bytes.length img.text / Isa.instr_size in
+        let a =
+          Array.init slots (fun i ->
+              match Isa.decode img.text (i * Isa.instr_size) with
+              | instr -> Some instr
+              | exception Isa.Invalid_opcode _ -> None)
+        in
+        Code_memo.replace code_memo img a;
+        a
+  in
+  Mutex.unlock code_memo_lock;
+  arr
+
 let load img mem ~base =
   Mem.load_bytes mem base img.text;
   let data_start = base + Bytes.length img.text in

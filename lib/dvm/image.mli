@@ -39,6 +39,13 @@ type loaded = {
 val load : t -> Mem.t -> base:int -> loaded
 (** Copies sections into memory at [base] and patches relocations. *)
 
+val code_array : t -> Isa.instr option array
+(** Pre-load sibling of {!field-loaded.code}: the {e unrelocated} text
+    decoded once per image (address immediates stay image-relative).
+    Memoized per image value, so the linear sweep, the baseline CFG and
+    the interprocedural ICFG all index one shared array instead of
+    re-decoding the text section. Do not mutate the result. *)
+
 val export_addr : loaded -> string -> int
 (** Absolute address of an exported symbol. @raise Not_found *)
 

@@ -6,12 +6,17 @@ type t = {
   addrs : int array;                   (* dense id -> leader *)
   radj : (int * int) list array;       (* id -> (pred id, weight) list *)
   covered : bool array;
+  goals : bool array;
+  (* permanent Dijkstra sources (directed-confirmation targets): they
+     keep pulling states even once covered — reaching the block once
+     does not witness the warning, a bug-triggering path through it
+     might still be pending *)
   dist_tbl : int array;                (* by dense id *)
   mutable dirty : bool;
   mu : Mutex.t;
 }
 
-let create icfg =
+let create ?(goals = []) icfg =
   let addrs = Array.of_list icfg.Icfg.universe in
   let n = Array.length addrs in
   let ids = Hashtbl.create (2 * n) in
@@ -23,12 +28,25 @@ let create icfg =
       | Some s, Some d -> radj.(d) <- (s, w) :: radj.(d)
       | _ -> ())
     (Icfg.edges icfg);
+  let goal_arr = Array.make (max 1 n) false in
+  List.iter
+    (fun off ->
+      (* accept mid-block offsets: resolve through the leader *)
+      let leader =
+        if Hashtbl.mem ids off then Some off
+        else Hashtbl.find_opt icfg.Icfg.leader_of off
+      in
+      match Option.bind leader (Hashtbl.find_opt ids) with
+      | Some i -> goal_arr.(i) <- true
+      | None -> ())
+    goals;
   {
     icfg;
     ids;
     addrs;
     radj;
     covered = Array.make (max 1 n) false;
+    goals = goal_arr;
     dist_tbl = Array.make (max 1 n) 0;
     dirty = true;
     mu = Mutex.create ();
@@ -102,7 +120,7 @@ let recompute t =
   let d = t.dist_tbl in
   let heap = Heap.make (max 1 n) in
   for i = 0 to n - 1 do
-    if t.covered.(i) then d.(i) <- infinity_dist
+    if t.covered.(i) && not t.goals.(i) then d.(i) <- infinity_dist
     else begin
       d.(i) <- 0;
       Heap.push heap 0 i

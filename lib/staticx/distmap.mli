@@ -16,8 +16,12 @@
 
 type t
 
-val create : Icfg.t -> t
-(** Every block starts uncovered. *)
+val create : ?goals:int list -> Icfg.t -> t
+(** Every block starts uncovered.  [goals] (image-relative offsets,
+    mid-block accepted) are permanent Dijkstra sources — typically
+    static-warning positions for directed confirmation: unlike ordinary
+    uncovered blocks they keep attracting states after being covered,
+    since executing the block once does not witness the warning. *)
 
 val infinity_dist : int
 (** Returned when no uncovered block is reachable from [pc] (or when

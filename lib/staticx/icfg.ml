@@ -48,11 +48,10 @@ let build (img : Image.t) =
   let valid off =
     off >= 0 && off + Isa.instr_size <= text_len && off mod Isa.instr_size = 0
   in
-  let decode off =
-    match Isa.decode text off with
-    | i -> Some i
-    | exception Isa.Invalid_opcode _ -> None
-  in
+  (* decode-once: index the shared per-image instruction array instead of
+     re-decoding the text section here. *)
+  let code = Image.code_array img in
+  let decode off = code.(off / Isa.instr_size) in
   let vsa = Vsa.analyze img in
   (* Seeds: the entry point, declared functions and every address-taken
      code target. Plain exported labels are deliberately NOT seeds: the

@@ -1,0 +1,194 @@
+(* Static race-pair detection: interrupt-context uses of a shared
+   resource against its main-path initialization.
+
+   This targets the DDT paper's "interrupt arrives before the timer /
+   DPC state is initialized" class (Table 2): an ISR or DPC fires as
+   soon as the handler is registered, typically mid-[initialize], so
+   any resource it touches must be ordered after publication by a
+   guarding flag, a common spin lock, or publication inside the handler
+   itself.
+
+   Two rules, both evaluated on {!Lockirql.site}s (every event of every
+   analysis instance, tagged with the instance's DISPATCH/PASSIVE role
+   and must-held lockset):
+
+   - [race-unguarded-deref]: an interrupt-context load/store through a
+     pointer read from a driver global.
+   - [race-unguarded-use]: an interrupt-context call of an API from an
+     [init_pair]'s use set (e.g. [NdisMSetTimer]) racing the pair's
+     initializer on the main path.
+
+   A use is safe when one of:
+   - self-guard: the dereferenced global itself is in the branch-guard
+     set (tested nonzero on this path);
+   - local publication: the handler stores the global earlier in its
+     own body;
+   - no publication: nothing ever stores the resource (pre-initialized
+     data — nothing to order against);
+   - common lock: the use's must-lockset intersects the must-lockset of
+     every publication site;
+   - valid flag: some guard flag f is only ever raised after the
+     resource is published (every potentially-nonzero store to f is
+     preceded, in its own function, by a publication), so f nonzero
+     implies initialized.  A flag raised before the publication — the
+     seeded rtl8029/ac97 defect — fails this check. *)
+
+module Df = Dataflow
+module Li = Lockirql
+module Annot = Ddt_annot.Annot
+
+(* (function entry, function name, event offset, must-lockset) per
+   publication / flag-store site; locksets intersect across instances *)
+type psite = {
+  p_fn : int;
+  p_name : string;
+  p_off : int;
+  p_lockset : Li.tok list;
+}
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* Group duplicate (same event, different instance) occurrences:
+   must-lockset is the intersection. *)
+let group (l : psite list) =
+  let tbl : (int, psite) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt tbl p.p_off with
+      | None -> Hashtbl.replace tbl p.p_off p
+      | Some q ->
+          Hashtbl.replace tbl p.p_off
+            { q with p_lockset = inter q.p_lockset p.p_lockset })
+    l;
+  List.sort compare (Hashtbl.fold (fun _ p acc -> p :: acc) tbl [])
+
+let definitely_zero (v : Df.av) = v.Df.base = Df.Bconst && v.Df.disp = 0
+
+let analyze ~(model : Annot.api_model) ~(sites : Li.site list) =
+  let psite (s : Li.site) off =
+    { p_fn = s.Li.s_fn.Icfg.fn_entry; p_name = s.Li.s_fn.Icfg.fn_name;
+      p_off = off; p_lockset = s.Li.s_lockset }
+  in
+  (* main-path stores to image word g (publications of a global) *)
+  let stores_to g =
+    group
+      (List.filter_map
+         (fun s ->
+           match s.Li.s_event with
+           | Df.E_store { ev_off; addr; _ }
+             when (not s.Li.s_interrupt)
+                  && addr.Df.base = Df.Bimage && addr.Df.disp = g ->
+               Some (psite s ev_off)
+           | _ -> None)
+         sites)
+  in
+  (* every potentially-nonzero store to flag word f, any context *)
+  let flag_raises f =
+    group
+      (List.filter_map
+         (fun s ->
+           match s.Li.s_event with
+           | Df.E_store { ev_off; addr; value; _ }
+             when addr.Df.base = Df.Bimage && addr.Df.disp = f
+                  && not (definitely_zero value) ->
+               Some (psite s ev_off)
+           | _ -> None)
+         sites)
+  in
+  (* main-path calls of an init_pair's initializer *)
+  let init_calls ip =
+    group
+      (List.filter_map
+         (fun s ->
+           match s.Li.s_event with
+           | Df.E_kcall { ev_off; name; _ }
+             when (not s.Li.s_interrupt) && name = ip.Annot.ip_init ->
+               Some (psite s ev_off)
+           | _ -> None)
+         sites)
+  in
+  let common_lock use_lockset pubs =
+    pubs <> []
+    && List.exists
+         (fun t ->
+           List.for_all (fun p -> List.mem t p.p_lockset) pubs)
+         use_lockset
+  in
+  let valid_flag f pubs =
+    let raises = flag_raises f in
+    raises <> []
+    && List.for_all
+         (fun r ->
+           List.exists
+             (fun p -> p.p_fn = r.p_fn && p.p_off < r.p_off)
+             pubs)
+         raises
+  in
+  let safe_via_flag guards pubs =
+    List.exists (fun f -> valid_flag f pubs) guards
+  in
+  let findings = ref [] in
+  let add rule (s : Li.site) pos msg =
+    findings := (rule, s.Li.s_fn.Icfg.fn_name, pos, msg) :: !findings
+  in
+  List.iter
+    (fun (s : Li.site) ->
+      if s.Li.s_interrupt then
+        match s.Li.s_event with
+        | Df.E_load { ev_off; addr; guards }
+        | Df.E_store { ev_off; addr; guards; _ } -> (
+            match addr.Df.base with
+            | Df.Bglobal g ->
+                let pubs = stores_to g in
+                let self_guard = List.mem g guards in
+                let local_pub =
+                  List.exists
+                    (fun (s' : Li.site) ->
+                      s'.Li.s_interrupt
+                      && s'.Li.s_fn.Icfg.fn_entry = s.Li.s_fn.Icfg.fn_entry
+                      &&
+                      match s'.Li.s_event with
+                      | Df.E_store { ev_off = o; addr = a; _ } ->
+                          a.Df.base = Df.Bimage && a.Df.disp = g
+                          && o < ev_off
+                      | _ -> false)
+                    sites
+                in
+                if
+                  pubs <> [] && (not self_guard) && (not local_pub)
+                  && (not (common_lock s.Li.s_lockset pubs))
+                  && not (safe_via_flag guards pubs)
+                then
+                  add "race-unguarded-deref" s ev_off
+                    (Printf.sprintf
+                       "interrupt-context access through global pointer \
+                        g0x%x is not ordered after its initialization in \
+                        %s (no guarding flag, no common lock)"
+                       g
+                       (String.concat ", "
+                          (List.sort_uniq compare
+                             (List.map (fun p -> p.p_name) pubs))))
+            | _ -> ())
+        | Df.E_kcall { ev_off; name; guards; _ } ->
+            List.iter
+              (fun ip ->
+                if List.mem name ip.Annot.ip_uses then begin
+                  let pubs = init_calls ip in
+                  if
+                    pubs <> []
+                    && (not (common_lock s.Li.s_lockset pubs))
+                    && not (safe_via_flag guards pubs)
+                  then
+                    add "race-unguarded-use" s ev_off
+                      (Printf.sprintf
+                         "%s called in interrupt context may run before \
+                          %s completes in %s (no guarding flag orders the \
+                          use after initialization)"
+                         name ip.Annot.ip_init
+                         (String.concat ", "
+                            (List.sort_uniq compare
+                               (List.map (fun p -> p.p_name) pubs))))
+                end)
+              model.Annot.m_init_pairs)
+    sites;
+  List.sort_uniq compare !findings

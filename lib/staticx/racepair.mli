@@ -1,0 +1,17 @@
+(** Static race-pair detection: interrupt-context uses of a shared
+    resource against its main-path initialization (the DDT paper's
+    "interrupt before timer/DPC state is initialized" defect class).
+
+    Rules: [race-unguarded-deref] (interrupt-context access through a
+    pointer read from a driver global) and [race-unguarded-use]
+    (interrupt-context call of an {!Ddt_annot.Annot.init_pair} use API
+    racing the pair's initializer).  A use is exempt when the global is
+    its own branch guard, the handler publishes it locally first, a
+    must-held lock is common with every publication site, or a guard
+    flag is provably only raised after publication. *)
+
+val analyze :
+  model:Ddt_annot.Annot.api_model ->
+  sites:Lockirql.site list ->
+  (string * string * int * string) list
+(** (rule, function, position, message), sorted, deduplicated. *)

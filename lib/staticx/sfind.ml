@@ -346,11 +346,44 @@ let contract_findings ?(contracts = []) (icfg : Icfg.t) =
     !findings
   end
 
-let analyze ?contracts icfg =
+(* --- interprocedural model-driven rules ---------------------------------- *)
+
+(* Lockset/IRQL and race-pair findings from the {!Dataflow} framework,
+   available when the caller supplies the kernel-API model of the
+   driver's class. *)
+let model_findings ~model icfg =
+  let vals = Dataflow.analyze icfg in
+  let roles = Dataflow.roles vals ~model in
+  let li = Lockirql.analyze vals ~model ~roles in
+  let races = Racepair.analyze ~model ~sites:li.Lockirql.r_sites in
+  List.map
+    (fun (rule, func, pos, msg) ->
+      { f_rule = rule; f_func = func; f_pos = pos; f_msg = msg })
+    (li.Lockirql.r_findings @ races)
+
+let all_rules =
+  [ "unreachable-code"; "stack-imbalance"; "const-arg-contract";
+    "lock-double-acquire"; "lock-extra-release"; "lock-wrong-variant";
+    "lock-out-of-order"; "lock-forgotten-release"; "irql-passive-api";
+    "race-unguarded-deref"; "race-unguarded-use" ]
+
+let rule_matches requested rule =
+  List.exists (fun r -> r = rule || String.starts_with ~prefix:r rule)
+    requested
+
+let analyze ?contracts ?model ?rules icfg =
   let all =
     gap_findings icfg
     @ stack_findings icfg
     @ contract_findings ?contracts icfg
+    @ (match model with
+       | Some model -> model_findings ~model icfg
+       | None -> [])
+  in
+  let all =
+    match rules with
+    | None -> all
+    | Some req -> List.filter (fun f -> rule_matches req f.f_rule) all
   in
   List.sort_uniq
     (fun a b ->

@@ -1,7 +1,7 @@
 (** Purely static findings over the {!Icfg}.
 
-    Three rule families, all conservative enough to be false-positive-free
-    on clean drivers (asserted by the CI smoke):
+    Three intraprocedural rule families, all conservative enough to be
+    false-positive-free on clean drivers (asserted by the CI smoke):
 
     - [unreachable-code]: text byte runs no recursive-descent path reaches
       (decodable dead code as well as data-in-text; the finding reports
@@ -12,8 +12,17 @@
     - [const-arg-contract]: a kernel-API call site whose argument is a
       statically-evident constant violating an {!Ddt_annot.Annot.arg_contract}.
 
-    Findings are deterministic: a pure function of the image and contract
-    list, sorted by (position, rule). *)
+    Plus, when the kernel-API [model] of the driver's class is supplied,
+    the interprocedural {!Dataflow} rules — must-lockset/IRQL
+    ({!Lockirql}: [lock-double-acquire], [lock-extra-release],
+    [lock-wrong-variant], [lock-out-of-order], [lock-forgotten-release],
+    [irql-passive-api]) and static race pairs ({!Racepair}:
+    [race-unguarded-deref], [race-unguarded-use]).  These also hold the
+    no-false-positive line on the fixed corpus: every rule fires on
+    must-facts only.
+
+    Findings are deterministic: a pure function of the image, contract
+    list and model, sorted by (position, rule). *)
 
 type finding = {
   f_rule : string;
@@ -22,9 +31,17 @@ type finding = {
   f_msg : string;
 }
 
+val all_rules : string list
+(** Every rule name {!analyze} can emit, for CLI help and validation. *)
+
 val analyze :
   ?contracts:Ddt_annot.Annot.arg_contract list ->
+  ?model:Ddt_annot.Annot.api_model ->
+  ?rules:string list ->
   Icfg.t ->
   finding list
+(** [rules] filters the result: a finding is kept when some requested
+    name equals its rule or is a prefix of it (so ["lock"] selects the
+    whole lockset family).  [None] keeps everything. *)
 
 val pp : Format.formatter -> finding -> unit

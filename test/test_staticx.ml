@@ -336,6 +336,127 @@ let test_corpus_statically_clean () =
         (List.length (Sfind.analyze ~contracts icfg)))
     Corpus.all
 
+(* --- interprocedural lockset / IRQL / race rules ---------------------------- *)
+
+let class_annot = function
+  | Config.Network ->
+      (Ddt_annot.Ndis_annotations.contracts, Ddt_annot.Ndis_annotations.model)
+  | Config.Audio ->
+      ( Ddt_annot.Portcls_annotations.contracts,
+        Ddt_annot.Portcls_annotations.model )
+
+let interproc ?rules ~cls img =
+  let contracts, model = class_annot cls in
+  List.filter
+    (fun f ->
+      List.exists
+        (fun p -> String.starts_with ~prefix:p f.Sfind.f_rule)
+        [ "lock-"; "irql-"; "race-" ])
+    (Sfind.analyze ~contracts ~model ?rules (Icfg.build img))
+
+let rules_of fs = List.sort_uniq compare (List.map (fun f -> f.Sfind.f_rule) fs)
+
+let test_sdv_lockirql_rules () =
+  let fs = interproc ~cls:Config.Network (Ddt_drivers.Sdv_sample.image ()) in
+  check_int "six lock/IRQL defects flagged" 6 (List.length fs);
+  Alcotest.(check (list string))
+    "one finding per seeded rule"
+    [ "irql-passive-api"; "lock-double-acquire"; "lock-extra-release";
+      "lock-forgotten-release"; "lock-out-of-order"; "lock-wrong-variant" ]
+    (rules_of fs);
+  check_int "fixed sample clean" 0
+    (List.length
+       (interproc ~cls:Config.Network (Ddt_drivers.Sdv_sample.fixed_image ())))
+
+let test_synthetics_fire_intended_rules () =
+  let intended = function
+    | "deadlock" -> "lock-double-acquire"
+    | "out_of_order" -> "lock-out-of-order"
+    | "extra_release" -> "lock-extra-release"
+    | "forgotten_release" -> "lock-forgotten-release"
+    | "wrong_irql" -> "irql-passive-api"
+    | n -> Alcotest.failf "unknown synthetic %s" n
+  in
+  List.iter
+    (fun (name, img) ->
+      let fs = interproc ~cls:Config.Network img in
+      check_bool
+        (Printf.sprintf "%s fires %s" name (intended name))
+        true
+        (List.exists (fun f -> f.Sfind.f_rule = intended name) fs))
+    (Ddt_drivers.Sdv_sample.synthetic_images ())
+
+(* The seeded corpus: the interprocedural rules statically flag defects
+   the intraprocedural baseline misses — the pro100 wrong-variant
+   release inside a helper, the rtl8029 timer-before-init race (the
+   paper's RTL8029 defect), and the audio drivers' unguarded ISR state
+   derefs — while every fixed variant stays clean (the FP gate). *)
+let test_corpus_interproc_rules () =
+  let expect =
+    [ ("pro1000", []); ("pro100", [ "lock-wrong-variant" ]);
+      ("ac97", [ "race-unguarded-deref" ]);
+      ("audiopci", [ "race-unguarded-deref" ]); ("pcnet", []);
+      ("rtl8029", [ "race-unguarded-use" ]); ("deeploop", []) ]
+  in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let fs = interproc ~cls:e.Corpus.driver_class (e.Corpus.image ()) in
+      (match List.assoc_opt e.Corpus.short expect with
+       | Some rules ->
+           Alcotest.(check (list string))
+             (e.Corpus.short ^ " buggy rules") rules (rules_of fs)
+       | None -> ());
+      check_int
+        (e.Corpus.short ^ " fixed clean")
+        0
+        (List.length
+           (interproc ~cls:e.Corpus.driver_class (e.Corpus.fixed_image ()))))
+    Corpus.all
+
+let test_rules_filter () =
+  let img = Ddt_drivers.Sdv_sample.image () in
+  let locks = interproc ~rules:[ "lock" ] ~cls:Config.Network img in
+  check_int "prefix selects the lock family" 5 (List.length locks);
+  check_bool "irql rule filtered out" true
+    (not (List.exists (fun f -> f.Sfind.f_rule = "irql-passive-api") locks));
+  let one =
+    interproc ~rules:[ "lock-double-acquire" ] ~cls:Config.Network img
+  in
+  Alcotest.(check (list string))
+    "exact name selects one rule" [ "lock-double-acquire" ] (rules_of one)
+
+(* --- warning-directed confirmation ----------------------------------------- *)
+
+(* End to end: the rtl8029 static race warning becomes a distance goal,
+   the guided session triggers the dynamic timer crash in the same
+   function, and the warning comes back [Confirmed] with the witnessing
+   bug's key; lock rules without a dynamic witness stay [Unconfirmed]
+   and report under the static-unconfirmed severity tier. *)
+let test_race_warning_confirmed () =
+  let cfg = Corpus.config (Corpus.find "rtl8029") in
+  let cfg =
+    { cfg with
+      Config.exec_config =
+        { cfg.Config.exec_config with
+          Exec.static_guidance = true;
+          strategy = Ddt_symexec.Sched.Min_dist } }
+  in
+  let r = Session.run cfg in
+  let race =
+    List.filter
+      (fun sf -> sf.Report.sf_rule = "race-unguarded-use")
+      r.Session.r_static
+  in
+  check_int "one race warning" 1 (List.length race);
+  match (List.hd race).Report.sf_confirm with
+  | Report.Confirmed key ->
+      check_bool "confirming bug is in the report" true
+        (List.exists (fun b -> b.Report.b_key = key) r.Session.r_bugs);
+      check_bool "confirmed severity is plain static" true
+        (Report.severity_of_static (List.hd race) = Report.Static)
+  | Report.Unconfirmed -> Alcotest.fail "race warning left unconfirmed"
+  | Report.Not_applicable -> Alcotest.fail "race warning not goal-directed"
+
 (* --- distance map ---------------------------------------------------------- *)
 
 let test_distmap_monotone () =
@@ -439,7 +560,16 @@ let test_report_json_roundtrip () =
             jb_entry = "send"; jb_pc = 0x1234; jb_message = "oob \"write\"" } ];
       j_static =
         [ { J.js_rule = "stack-imbalance"; js_func = "f"; js_pos = 8;
-            js_message = "displaced" } ];
+            js_message = "displaced"; js_severity = "static";
+            js_confirm = "n/a"; js_confirmed_by = "" };
+          { J.js_rule = "race-unguarded-use"; js_func = "isr"; js_pos = 416;
+            js_message = "timer armed early";
+            js_severity = "static"; js_confirm = "confirmed";
+            js_confirmed_by = "crash:RTL8029:BAD_TIMER_OBJECT:0x4001a8" };
+          { J.js_rule = "lock-double-acquire"; js_func = "g"; js_pos = 64;
+            js_message = "still held";
+            js_severity = "static-unconfirmed"; js_confirm = "unconfirmed";
+            js_confirmed_by = "" } ];
       j_total_blocks = 97;
       j_reachable_blocks = 88;
       j_covered_blocks = 80;
@@ -563,6 +693,17 @@ let () =
            test_const_arg_clean_when_ok;
          Alcotest.test_case "corpus statically clean" `Quick
            test_corpus_statically_clean ]);
+      ("lockirql",
+       [ Alcotest.test_case "sdv sample: six seeded defects" `Quick
+           test_sdv_lockirql_rules;
+         Alcotest.test_case "synthetics fire intended rules" `Quick
+           test_synthetics_fire_intended_rules;
+         Alcotest.test_case "corpus rules buggy vs fixed" `Quick
+           test_corpus_interproc_rules;
+         Alcotest.test_case "rules filter" `Quick test_rules_filter ]);
+      ("confirmation",
+       [ Alcotest.test_case "rtl8029 race confirmed dynamically" `Quick
+           test_race_warning_confirmed ]);
       ("distmap",
        [ Alcotest.test_case "monotone distances" `Quick test_distmap_monotone;
          Alcotest.test_case "heap matches naive reference on corpus" `Quick
