@@ -1,4 +1,5 @@
-.PHONY: all build test check bench bench-dbt bench-merge bench-staticrace clean
+.PHONY: all build test check bench bench-dbt bench-merge bench-staticrace \
+  bench-resume clean
 
 all: build
 
@@ -25,7 +26,11 @@ test:
 # zero findings under the syntactic rules; rtl8029's buggy variant
 # legitimately fires the interprocedural race rule, so the clean smoke
 # is scoped to the syntactic families), a full-rule FP smoke over every
-# fixed-variant image, and a warning-clean doc build.
+# fixed-variant image, a durability smoke (a quick checkpoint/resume +
+# warm-start parity run, then a real SIGKILL mid-exploration followed
+# by `ddt_cli resume` that must reproduce the uninterrupted oracle's
+# report byte for byte, then a second run against the persistent store
+# that must actually hit it), and a warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
 	dune exec bench/main.exe -- chaos --quick
@@ -33,6 +38,25 @@ check: build test
 	dune exec bench/main.exe -- dbt --quick
 	dune exec bench/main.exe -- merge --quick
 	dune exec bench/main.exe -- staticrace --quick
+	dune exec bench/main.exe -- resume --quick
+	@set -e; dir=$$(mktemp -d); cli=./_build/default/bin/ddt_cli.exe; \
+	$$cli test pro100 --json-out $$dir/oracle.json >/dev/null || [ $$? -eq 2 ]; \
+	$$cli test pro100 --checkpoint-every 1000 \
+	  --checkpoint $$dir/p.ckpt >/dev/null 2>&1 & pid=$$!; \
+	sleep 0.3; kill -9 $$pid 2>/dev/null || true; wait $$pid || true; \
+	test -f $$dir/p.ckpt; \
+	$$cli resume $$dir/p.ckpt --json-out $$dir/resumed.json >/dev/null \
+	  || [ $$? -eq 2 ]; \
+	cmp $$dir/oracle.json $$dir/resumed.json; \
+	echo "kill-resume smoke: resumed report byte-identical"; \
+	$$cli test rtl8029 --store-dir $$dir/store \
+	  --json-out $$dir/cold.json >/dev/null || [ $$? -eq 2 ]; \
+	$$cli test rtl8029 --store-dir $$dir/store \
+	  --json-out $$dir/warm.json >$$dir/warm.out || [ $$? -eq 2 ]; \
+	grep -q "solver store:" $$dir/warm.out; \
+	cmp $$dir/cold.json $$dir/warm.json; \
+	echo "warm-start smoke: persistent store hit, identical report"; \
+	rm -rf $$dir
 	dune exec bin/ddt_cli.exe -- analyze rtl8029 --expect-clean \
 	  --rules unreachable-code,stack-imbalance,const-arg-contract > /dev/null
 	dune exec bin/ddt_cli.exe -- analyze pcnet --expect-clean > /dev/null
@@ -49,6 +73,13 @@ check: build test
 # BENCH_staticrace.json.
 bench-staticrace:
 	dune exec bench/main.exe -- staticrace --json
+
+# Full durability experiment: checkpoint overhead at the default
+# interval, kill-resume wall time vs from-scratch with byte-identical
+# reports, and the warm-start bit-blast reduction from the persistent
+# solver store, across the corpus; writes BENCH_resume.json.
+bench-resume:
+	dune exec bench/main.exe -- resume --json
 
 bench:
 	dune exec bench/main.exe

@@ -1725,6 +1725,159 @@ let staticrace_bench () =
     exit 1
   end
 
+(* --- durable exploration: checkpoint overhead, resume, warm start --------------- *)
+
+type resume_row = {
+  du_driver : string;
+  du_scratch_wall : float;       (* uninterrupted, no checkpointing *)
+  du_ckpt_wall : float;          (* same run with periodic checkpoints *)
+  du_resume_wall : float;        (* resumed from the leftover mid-run ckpt *)
+  du_resume_identical : bool;    (* resumed JSON = oracle JSON, byte for byte *)
+  du_cold_blasts : int;          (* bit-blasts with an empty store *)
+  du_warm_blasts : int;          (* bit-blasts with the store warmed *)
+  du_warm_hits : int;            (* persistent-store cache hits *)
+  du_warm_identical : bool;      (* warm JSON = cold JSON *)
+}
+
+let write_resume_json rows path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"experiment\": \"resume\",\n";
+  pr
+    "  \"note\": \"durable exploration: periodic checkpoint overhead at \
+     ~4 checkpoints per run, kill-resume wall time vs from-scratch (the \
+     resumed report must be byte-identical), and warm-start bit-blast \
+     reduction from the persistent solver store\",\n";
+  pr "  \"drivers\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"driver\": %S, \"wall_scratch_s\": %.4f, \"wall_ckpt_s\": \
+         %.4f, \"ckpt_overhead_pct\": %.1f, \"wall_resume_s\": %.4f, \
+         \"resume_identical\": %b, \"bitblasts_cold\": %d, \
+         \"bitblasts_warm\": %d, \"warm_store_hits\": %d, \
+         \"warm_identical\": %b}%s\n"
+        r.du_driver r.du_scratch_wall r.du_ckpt_wall
+        (100.0
+         *. ((r.du_ckpt_wall -. r.du_scratch_wall)
+             /. Float.max 1e-6 r.du_scratch_wall))
+        r.du_resume_wall r.du_resume_identical r.du_cold_blasts
+        r.du_warm_blasts r.du_warm_hits r.du_warm_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ]\n}\n";
+  close_out oc
+
+let resume_bench () =
+  section
+    (if !quick_mode then
+       "Durable exploration smoke test (--quick): checkpoint/resume + \
+        warm start on 2 drivers"
+     else
+       "Durable exploration: checkpoint overhead, kill-resume parity and \
+        persistent-store warm start across the corpus");
+  let drivers =
+    if !quick_mode then [ "rtl8029"; "pro100" ]
+    else List.map (fun e -> e.Corpus.short) Corpus.all
+  in
+  let workdir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ddt_bench_resume_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let base_cfg short =
+    let cfg = Corpus.config (Corpus.find short) in
+    { cfg with
+      Config.exec_config = { cfg.Config.exec_config with Exec.jobs = 1 } }
+  in
+  let timed f =
+    Ddt_solver.Solver.clear_cache ();
+    Ddt_solver.Expr.reset_var_counter ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let json r = Ddt_core.Report_json.to_string (Ddt_core.Report_json.of_result r) in
+  let blasts (r : Session.result) =
+    r.Session.r_stats.Exec.st_solver.Ddt_solver.Solver.s_bitblast_solves
+  in
+  let phits (r : Session.result) =
+    r.Session.r_stats.Exec.st_solver.Ddt_solver.Solver.s_cache_persist_hits
+  in
+  Printf.printf "\n%-12s %9s %9s %7s %9s %6s %7s %7s %6s %5s\n" "Driver"
+    "scratch" "w/ckpt" "ovh%" "resume" "ident" "blast-c" "blast-w" "hits"
+    "warm";
+  let rows =
+    List.map
+      (fun short ->
+        let ckpt = Filename.concat workdir (short ^ ".ckpt") in
+        let store = Filename.concat workdir (short ^ ".store") in
+        (try Sys.remove ckpt with Sys_error _ -> ());
+        let oracle, t_scratch = timed (fun () -> Session.run (base_cfg short)) in
+        (* Interval scaled to the driver's actual step count so every
+           driver takes a handful of checkpoints (deeploop runs only a
+           few thousand steps; a fixed interval would never fire). *)
+        let every =
+          max 500 (oracle.Session.r_stats.Exec.st_total_steps / 4)
+        in
+        let ck_cfg =
+          { (base_cfg short) with
+            Config.checkpoint_every = every; checkpoint_path = Some ckpt }
+        in
+        let _, t_ck = timed (fun () -> Session.run ck_cfg) in
+        let resumed, t_resume =
+          timed (fun () ->
+              match Session.resume ck_cfg ~path:ckpt with
+              | Ok r -> r
+              | Error e -> failwith ("resume: " ^ e))
+        in
+        let resume_identical = json resumed = json oracle in
+        let st_cfg = { (base_cfg short) with Config.store_dir = Some store } in
+        let cold, _ = timed (fun () -> Session.run st_cfg) in
+        let warm, _ = timed (fun () -> Session.run st_cfg) in
+        let warm_identical = json warm = json cold in
+        let row =
+          { du_driver = short; du_scratch_wall = t_scratch;
+            du_ckpt_wall = t_ck; du_resume_wall = t_resume;
+            du_resume_identical = resume_identical;
+            du_cold_blasts = blasts cold; du_warm_blasts = blasts warm;
+            du_warm_hits = phits warm; du_warm_identical = warm_identical }
+        in
+        Printf.printf
+          "%-12s %8.2fs %8.2fs %6.1f%% %8.2fs %6s %7d %7d %6d %5s\n" short
+          t_scratch t_ck
+          (100.0 *. ((t_ck -. t_scratch) /. Float.max 1e-6 t_scratch))
+          t_resume
+          (if resume_identical then "yes" else "NO")
+          (blasts cold) (blasts warm) (phits warm)
+          (if warm_identical then "yes" else "NO");
+        row)
+      drivers
+  in
+  let bad_resume = List.filter (fun r -> not r.du_resume_identical) rows in
+  let bad_warm = List.filter (fun r -> not r.du_warm_identical) rows in
+  let no_hits = List.filter (fun r -> r.du_warm_hits = 0) rows in
+  Printf.printf
+    "\ntotals: resume byte-identical on %d/%d drivers, warm start \
+     identical on %d/%d, store hits on %d/%d\n"
+    (List.length rows - List.length bad_resume)
+    (List.length rows)
+    (List.length rows - List.length bad_warm)
+    (List.length rows)
+    (List.length rows - List.length no_hits)
+    (List.length rows);
+  if !json_mode then begin
+    write_resume_json rows "BENCH_resume.json";
+    Printf.printf "wrote BENCH_resume.json\n"
+  end;
+  if bad_resume <> [] || bad_warm <> [] then begin
+    Printf.printf "FAIL: durability parity broken\n";
+    exit 1
+  end
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let all_experiments =
@@ -1734,7 +1887,7 @@ let all_experiments =
     ("memory", memory); ("solver", solver_bench); ("static", static_bench);
     ("chaos", chaos_bench); ("incr", incr_bench); ("dbt", dbt_bench);
     ("merge", merge_bench); ("staticrace", staticrace_bench);
-    ("micro", micro) ]
+    ("resume", resume_bench); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -4,6 +4,7 @@
      list                      show the bundled driver corpus
      test <driver>             run DDT on a corpus driver (buggy variant)
      test --fixed <driver>     ... on the repaired variant
+     resume <ckpt>             resume an interrupted test session
      static <driver>           run the static-analysis baseline
      analyze <driver>          run the DXE static pre-analysis (ICFG)
      stress <driver>           run the concrete stress baseline
@@ -103,9 +104,109 @@ let no_merge_flag =
   in
   Arg.(value & flag & info [ "no-merge" ] ~doc)
 
+let checkpoint_every_arg =
+  let doc =
+    "Write a session checkpoint every $(docv) engine steps (0 disables). \
+     Only effective with a single worker, fully symbolic hardware and no \
+     replay script; a SIGKILL'd run restarted with $(b,resume) produces \
+     the same report as an uninterrupted one."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"STEPS" ~doc)
+
+let checkpoint_path_arg =
+  let doc = "Checkpoint file path (default $(i,<driver>.ckpt))." in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+
+let store_dir_arg =
+  let doc =
+    "Root of the persistent solver store: query-cache entries and unsat \
+     cores survive across runs of the same driver, so a second run starts \
+     with a warm cache. Corrupt store files are skipped, never trusted."
+  in
+  Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+
+let no_persist_flag =
+  let doc =
+    "Disable the persistent solver store even when $(b,--store-dir) is set \
+     (neither loads nor writes entries)."
+  in
+  Arg.(value & flag & info [ "no-persist" ] ~doc)
+
+let json_out_arg =
+  let doc =
+    "Also write the machine-readable session report (JSON, schema v5) to \
+     $(docv), atomically (tmp + rename)."
+  in
+  Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"PATH" ~doc)
+
+(* Flag application shared by `test' and `resume': for a resumed run to
+   converge with the uninterrupted one, both must build their config the
+   same way from the same flags. *)
+let apply_session_flags cfg ~jobs ~guided ~chaos ~no_incr ~no_dbt ~no_merge
+    ~checkpoint_every ~checkpoint_path ~store_dir ~persist =
+  let cfg =
+    { cfg with
+      Ddt_core.Config.exec_config =
+        { cfg.Ddt_core.Config.exec_config with
+          Ddt_symexec.Exec.jobs = max 1 jobs;
+          solver_incr = not no_incr;
+          dbt = not no_dbt;
+          state_merging = not no_merge };
+      checkpoint_every;
+      checkpoint_path;
+      store_dir;
+      persist }
+  in
+  let cfg =
+    if guided then
+      { cfg with
+        Ddt_core.Config.exec_config =
+          { cfg.Ddt_core.Config.exec_config with
+            Ddt_symexec.Exec.static_guidance = true;
+            strategy = Ddt_symexec.Sched.Min_dist } }
+    else cfg
+  in
+  if chaos then
+    { cfg with
+      Ddt_core.Config.governor =
+        Some
+          { Ddt_core.Governor.default_limits with
+            Ddt_core.Governor.soft_live_words = 1;
+            min_states = 8; max_retire_per_trip = 1 };
+      exec_config =
+        { cfg.Ddt_core.Config.exec_config with
+          Ddt_symexec.Exec.chaos =
+            Some
+              { Ddt_symexec.Guard.chaos_worker_crash_period = 25;
+                chaos_solver_exhaust_period = 3;
+                chaos_pressure_words = 50_000_000 } } }
+  else cfg
+
+let report_result ~traces ~json_out r =
+  Format.printf "%a" Ddt_core.Ddt.pp_report r;
+  if traces then
+    List.iter
+      (fun b ->
+        Format.printf "@.%a@.%a%a" Ddt_core.Ddt.pp_bug_detail b
+          Ddt_trace.Replay.pp b.Report.b_replay
+          Ddt_checkers.Diagnose.pp
+          (Ddt_checkers.Diagnose.analyze b))
+      r.Ddt_core.Session.r_bugs;
+  (match json_out with
+   | None -> ()
+   | Some path -> (
+       match
+         Ddt_core.Report_json.write_file path
+           (Ddt_core.Report_json.of_result r)
+       with
+       | Ok () -> ()
+       | Error e -> Printf.eprintf "json-out: %s\n" e));
+  if r.Ddt_core.Session.r_bugs = [] then 0 else 2
+
 let test_cmd =
   let run short fixed no_annot traces jobs guided chaos no_incr no_dbt
-      no_merge =
+      no_merge checkpoint_every checkpoint_path store_dir no_persist
+      json_out =
     match find_entry short with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
@@ -113,58 +214,70 @@ let test_cmd =
           Corpus.config ~fixed ~use_annotations:(not no_annot) entry
         in
         let cfg =
-          { cfg with
-            Ddt_core.Config.exec_config =
-              { cfg.Ddt_core.Config.exec_config with
-                Ddt_symexec.Exec.jobs = max 1 jobs;
-                solver_incr = not no_incr;
-                dbt = not no_dbt;
-                state_merging = not no_merge } }
-        in
-        let cfg =
-          if guided then
-            { cfg with
-              Ddt_core.Config.exec_config =
-                { cfg.Ddt_core.Config.exec_config with
-                  Ddt_symexec.Exec.static_guidance = true;
-                  strategy = Ddt_symexec.Sched.Min_dist } }
-          else cfg
-        in
-        let cfg =
-          if chaos then
-            { cfg with
-              Ddt_core.Config.governor =
-                Some
-                  { Ddt_core.Governor.default_limits with
-                    Ddt_core.Governor.soft_live_words = 1;
-                    min_states = 8; max_retire_per_trip = 1 };
-              exec_config =
-                { cfg.Ddt_core.Config.exec_config with
-                  Ddt_symexec.Exec.chaos =
-                    Some
-                      { Ddt_symexec.Guard.chaos_worker_crash_period = 25;
-                        chaos_solver_exhaust_period = 3;
-                        chaos_pressure_words = 50_000_000 } } }
-          else cfg
+          apply_session_flags cfg ~jobs ~guided ~chaos ~no_incr ~no_dbt
+            ~no_merge ~checkpoint_every ~checkpoint_path ~store_dir
+            ~persist:(not no_persist)
         in
         let r = Ddt_core.Ddt.test_driver cfg in
-        Format.printf "%a" Ddt_core.Ddt.pp_report r;
-        if traces then
-          List.iter
-            (fun b ->
-              Format.printf "@.%a@.%a%a" Ddt_core.Ddt.pp_bug_detail b
-                Ddt_trace.Replay.pp b.Report.b_replay
-                Ddt_checkers.Diagnose.pp
-                (Ddt_checkers.Diagnose.analyze b))
-            r.Ddt_core.Session.r_bugs;
-        if r.Ddt_core.Session.r_bugs = [] then 0 else 2
+        report_result ~traces ~json_out r
   in
   Cmd.v
     (Cmd.info "test" ~doc:"Test a driver binary with DDT")
     Term.(
       const run $ driver_arg $ fixed_flag $ no_annot_flag $ traces_flag
       $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag $ no_dbt_flag
-      $ no_merge_flag)
+      $ no_merge_flag $ checkpoint_every_arg $ checkpoint_path_arg
+      $ store_dir_arg $ no_persist_flag $ json_out_arg)
+
+let resume_cmd =
+  let ckpt_arg =
+    let doc =
+      "Checkpoint file written by $(b,test --checkpoint-every). The \
+       resumed session must be given the same flags (e.g. $(b,--fixed), \
+       $(b,--no-annotations)) as the run that wrote it."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CKPT" ~doc)
+  in
+  let run ckpt fixed no_annot traces jobs guided chaos no_incr no_dbt
+      no_merge checkpoint_every checkpoint_path store_dir no_persist
+      json_out =
+    match Ddt_core.Session.checkpoint_driver ckpt with
+    | Error e -> Printf.eprintf "cannot read checkpoint: %s\n" e; 1
+    | Ok name -> (
+        match
+          List.find_opt (fun e -> e.Corpus.name = name) Corpus.all
+        with
+        | None ->
+            Printf.eprintf "checkpoint driver %S is not in the corpus\n"
+              name;
+            1
+        | Some entry ->
+            let cfg =
+              Corpus.config ~fixed ~use_annotations:(not no_annot) entry
+            in
+            let cfg =
+              apply_session_flags cfg ~jobs ~guided ~chaos ~no_incr
+                ~no_dbt ~no_merge ~checkpoint_every
+                (* keep checkpointing into the file being resumed unless
+                   told otherwise *)
+                ~checkpoint_path:
+                  (Some (Option.value checkpoint_path ~default:ckpt))
+                ~store_dir ~persist:(not no_persist)
+            in
+            (match Ddt_core.Session.resume cfg ~path:ckpt with
+             | Error e -> Printf.eprintf "resume: %s\n" e; 1
+             | Ok r -> report_result ~traces ~json_out r))
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume an interrupted (e.g. SIGKILL'd) test session from its \
+          checkpoint and run it to completion")
+    Term.(
+      const run $ ckpt_arg $ fixed_flag $ no_annot_flag $ traces_flag
+      $ jobs_arg $ guided_flag $ chaos_flag $ no_incr_flag $ no_dbt_flag
+      $ no_merge_flag $ checkpoint_every_arg $ checkpoint_path_arg
+      $ store_dir_arg $ no_persist_flag $ json_out_arg)
 
 let static_cmd =
   let run short fixed =
@@ -438,5 +551,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ddt_cli" ~doc)
-          [ list_cmd; test_cmd; static_cmd; analyze_cmd; stress_cmd;
-            disasm_cmd; info_cmd; evidence_cmd; replay_cmd ]))
+          [ list_cmd; test_cmd; resume_cmd; static_cmd; analyze_cmd;
+            stress_cmd; disasm_cmd; info_cmd; evidence_cmd; replay_cmd ]))

@@ -29,6 +29,15 @@ type t = {
   replay : Ddt_trace.Replay.script option;
   collect_crashdumps : bool;
   governor : Governor.limits option;
+  checkpoint_every : int;
+  (* checkpoint the session every N engine steps (0 = never); only
+     effective with [jobs = 1] and fully symbolic hardware *)
+  checkpoint_path : string option;
+  (* where the checkpoint blob goes; default "<driver>.ckpt" *)
+  store_dir : string option;
+  (* root of the persistent solver store; None = no store *)
+  persist : bool;
+  (* master switch for the persistent store (still needs [store_dir]) *)
 }
 
 let default_network_workload =
@@ -47,7 +56,8 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     ?jobs ?static_guidance ?solver_incr ?dbt ?state_merging
     ?(max_total_steps = 3_000_000) ?(plateau_steps = 250_000)
     ?(max_bases_per_phase = 3) ?concrete_device ?replay
-    ?(collect_crashdumps = false) ?governor () =
+    ?(collect_crashdumps = false) ?governor ?(checkpoint_every = 0)
+    ?checkpoint_path ?store_dir ?(persist = true) () =
   let exec_config =
     match jobs with
     | None -> exec_config
@@ -93,7 +103,8 @@ let make ~driver_name ~image ~driver_class ?(descriptor = default_descriptor)
     driver_name; image; driver_class; descriptor; registry; workload;
     use_annotations; annotations; exec_config; max_total_steps;
     plateau_steps; max_bases_per_phase; concrete_device; replay;
-    collect_crashdumps; governor;
+    collect_crashdumps; governor; checkpoint_every; checkpoint_path;
+    store_dir; persist;
   }
 
 let workload_name = function

@@ -44,6 +44,19 @@ type t = {
   governor : Governor.limits option;
   (** resource-governor soft caps ({!Governor}); [None] (the default)
       leaves only the engine's hard [max_states] cap *)
+  checkpoint_every : int;
+  (** checkpoint the whole session every N engine steps (0, the
+      default, never checkpoints). Mid-run checkpoints need a quiescent
+      frontier, so the knob is only effective with [jobs = 1] and fully
+      symbolic hardware; it is ignored otherwise. *)
+  checkpoint_path : string option;
+  (** checkpoint blob location; default ["<driver_name>.ckpt"] *)
+  store_dir : string option;
+  (** root directory of the persistent solver store ({!Ddt_solver.Pstore});
+      [None] (the default) runs without one *)
+  persist : bool;
+  (** master switch for the persistent store — [false] ignores
+      [store_dir] entirely (the [--no-persist] ablation) *)
 }
 
 val default_network_workload : workload_item list
@@ -77,6 +90,10 @@ val make :
   ?replay:Ddt_trace.Replay.script ->
   ?collect_crashdumps:bool ->
   ?governor:Governor.limits ->
+  ?checkpoint_every:int ->
+  ?checkpoint_path:string ->
+  ?store_dir:string ->
+  ?persist:bool ->
   unit -> t
 
 val workload_name : workload_item -> string

@@ -83,6 +83,11 @@ let pp_report fmt (r : Session.result) =
     sv.Ddt_solver.Solver.s_queries sv.Ddt_solver.Solver.s_group_solves
     (100.0 *. Ddt_solver.Solver.cache_hit_rate sv)
     sv.Ddt_solver.Solver.s_bitblast_solves;
+  if sv.Ddt_solver.Solver.s_cache_persist_hits > 0 then
+    Format.fprintf fmt
+      "solver store: %d hit(s) on entries loaded from the persistent \
+       store@."
+      sv.Ddt_solver.Solver.s_cache_persist_hits;
   if sv.Ddt_solver.Solver.s_incr_queries > 0 then
     Format.fprintf fmt
       "solver sessions: %d incremental queries (%d model hits, %d SAT \

@@ -73,3 +73,29 @@ let decide t (p : Exec.pressure) =
     end;
     n
   end
+
+(* Checkpoint cadence ---------------------------------------------------
+
+   Durability is a resource-governance concern too: checkpoints cost a
+   frontier sweep plus a marshal of every live state, so the governor
+   owns the pacing decision. The engine's checkpoint hook fires at
+   every quiescent pick boundary; [checkpoint_due] turns that firehose
+   into "every N engine steps". *)
+
+type cadence = {
+  c_every : int;
+  mutable c_last : int;
+  mutable c_taken : int;
+}
+
+let cadence every = { c_every = max 0 every; c_last = 0; c_taken = 0 }
+
+let checkpoint_due c ~now =
+  if c.c_every > 0 && now - c.c_last >= c.c_every then begin
+    c.c_last <- now;
+    c.c_taken <- c.c_taken + 1;
+    true
+  end
+  else false
+
+let checkpoints_taken c = c.c_taken

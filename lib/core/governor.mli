@@ -41,3 +41,20 @@ val trips : t -> int
 val requested : t -> int
 (** Total retirements requested (the engine may retire fewer if states
     were picked before removal). *)
+
+(** {1 Checkpoint cadence}
+
+    Durability pacing: the engine offers a checkpoint opportunity at
+    every quiescent pick boundary; a cadence admits one every
+    [every] engine steps. *)
+
+type cadence
+
+val cadence : int -> cadence
+(** [cadence every]; [every <= 0] never admits a checkpoint. *)
+
+val checkpoint_due : cadence -> now:int -> bool
+(** [checkpoint_due c ~now] with [now] the engine's step counter;
+    [true] (at most once per window) means "checkpoint now". *)
+
+val checkpoints_taken : cadence -> int

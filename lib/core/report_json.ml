@@ -413,3 +413,21 @@ let statics_to_string ~driver (findings : Report.static_finding list) =
       ("driver", jstr driver);
       ("static",
        jlist static_row_json (List.map static_row_of_finding findings)) ]
+
+(* Crash-safe report emission: the document lands under a temporary name
+   and is renamed into place, so a reader (or a crash mid-write) never
+   observes a half-written report — the same discipline as every other
+   durability artifact ([Ddt_solver.Blob]). *)
+let write_file path s =
+  let doc = to_string s in
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc doc);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error e

@@ -81,3 +81,8 @@ val statics_to_string :
   driver:string -> Ddt_checkers.Report.static_finding list -> string
 (** Standalone static-analysis report (for [ddt_cli analyze --json]):
     the schema version, driver name and static rows only. *)
+
+val write_file : string -> summary -> (unit, string) result
+(** Serialize with {!to_string} and write atomically (tmp + rename): a
+    crash mid-write leaves either the previous file or the new one,
+    never a torn document. [Error reason] on I/O failure. *)

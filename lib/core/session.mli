@@ -49,6 +49,34 @@ type result = {
 
 val run : Config.t -> result
 
+(** {1 Durability}
+
+    With [Config.checkpoint_every > 0] (and a single worker, fully
+    symbolic hardware, no replay script) the session writes a
+    checkpoint blob — engine image, phase bases, report sink, query
+    cache, session counters — every N engine steps, at quiescent
+    scheduler boundaries, via atomic tmp+rename ({!Ddt_solver.Blob}).
+    A SIGKILL'd run restarted with {!resume} finishes the interrupted
+    phase and the remaining workload, producing the same report the
+    uninterrupted run would have: with one worker, byte-identical
+    schema-v5 JSON. Checkpoint writes are best-effort — a full disk
+    costs durability, never the run. *)
+
+val default_checkpoint_path : Config.t -> string
+(** [Config.checkpoint_path], or ["<driver>.ckpt"]. *)
+
+val checkpoint_driver : string -> (string, string) Stdlib.result
+(** Peek a checkpoint file's driver name (to rebuild the matching
+    config) without restoring it. Corrupt, truncated or version-skewed
+    files are [Error _]. *)
+
+val resume : Config.t -> path:string -> (result, string) Stdlib.result
+(** [resume cfg ~path] rebuilds the session over [cfg] (which must name
+    the same driver the checkpoint was taken from), restores the
+    checkpointed progress, and runs to completion. [Error _] if the
+    checkpoint cannot be read or belongs to another driver; a resumed
+    session keeps checkpointing to the same path. *)
+
 val coverage_percent : result -> float
 (** Final dynamic coverage against the linear-sweep block count. *)
 

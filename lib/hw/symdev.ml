@@ -43,6 +43,11 @@ let fresh_read t addr =
 
 let reads_made t = Atomic.get t.reads
 
+(* Checkpoint restore: the reads ledger is session-global state that a
+   resumed run must carry over, or replay scripts for pre-checkpoint
+   findings would name variables the device never minted. *)
+let restore_reads t l = Atomic.set t.reads l
+
 type concrete_mode =
   | Zeros
   | Random of int

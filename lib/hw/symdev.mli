@@ -21,6 +21,10 @@ val fresh_read : t -> int -> Ddt_solver.Expr.t
 val reads_made : t -> (string * Ddt_solver.Expr.var) list
 (** Every symbolic variable created by device reads, newest first. *)
 
+val restore_reads : t -> (string * Ddt_solver.Expr.var) list -> unit
+(** Checkpoint restore: replace the reads ledger with a saved one
+    (as returned by {!reads_made}). *)
+
 (** {1 Concrete stand-ins} *)
 
 type concrete_mode =

@@ -44,6 +44,12 @@ let fresh_var ?(name = "v") w =
 
 let reset_var_counter () = Atomic.set var_counter 0
 
+(* Checkpoint/restore of the allocator position: a resumed run must mint
+   fresh variables from exactly where the killed run stopped, or restored
+   states' inputs would collide with newly created ones. *)
+let var_counter_value () = Atomic.get var_counter
+let set_var_counter n = Atomic.set var_counter (max 0 n)
+
 (* Canonical variables for cache normalization: ids live in a small dense
    namespace separate from [fresh_var]'s counter, names are erased (the
    name participates in structural equality, so two renamings agree only

@@ -40,6 +40,13 @@ val fresh_var : ?name:string -> width -> var
 val reset_var_counter : unit -> unit
 (** For test isolation only. *)
 
+val var_counter_value : unit -> int
+(** Current allocator position, captured into checkpoints. *)
+
+val set_var_counter : int -> unit
+(** Restore the allocator position from a checkpoint so resumed states'
+    variables never collide with freshly minted ones. *)
+
 val canon_var : int -> width -> var
 (** A canonical variable for cache normalization up to renaming: the name
     is erased and the id is the caller's dense index (first-occurrence

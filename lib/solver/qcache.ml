@@ -8,9 +8,10 @@ type outcome =
 type info = {
   i_renamed : bool;
   i_owner : int;
+  i_persisted : bool;
 }
 
-let no_info = { i_renamed = false; i_owner = -1 }
+let no_info = { i_renamed = false; i_owner = -1; i_persisted = false }
 
 module Key = struct
   type t = Expr.t list
@@ -43,6 +44,7 @@ type entry = {
   e_verdict : verdict;
   e_size : int;
   mutable e_last_use : int;
+  e_persisted : bool;        (* loaded from the on-disk store (warm start) *)
 }
 
 type t = {
@@ -309,7 +311,8 @@ let lookup_prepared t p =
   | Some e -> (
       e.e_last_use <- t.tick;
       let info =
-        { i_renamed = not (Key.equal e.e_orig p.p_key); i_owner = e.e_domain }
+        { i_renamed = not (Key.equal e.e_orig p.p_key); i_owner = e.e_domain;
+          i_persisted = e.e_persisted }
       in
       match e.e_verdict with
       | V_sat pairs -> (Exact_sat (orig_env p.p_fwd (env_of pairs)), info)
@@ -317,7 +320,9 @@ let lookup_prepared t p =
   | None -> (
       match subset_winner t p.p_key with
       | Some e ->
-          (Subset_unsat, { i_renamed = false; i_owner = e.e_domain })
+          (Subset_unsat,
+           { i_renamed = false; i_owner = e.e_domain;
+             i_persisted = e.e_persisted })
       | None ->
           (* Superset rule: re-check recent models by evaluation — against
              the renamed query, so a model minted for a differently-named
@@ -328,7 +333,7 @@ let lookup_prepared t p =
                 let renv = env_of m in
                 if List.for_all (fun c -> Expr.eval renv c = 1) p.p_rkey then
                   (Reuse_sat (orig_env p.p_fwd renv),
-                   { i_renamed = false; i_owner = owner })
+                   { i_renamed = false; i_owner = owner; i_persisted = false })
                 else try_models rest
           in
           try_models t.models)
@@ -340,7 +345,7 @@ let rec take n = function
   | [] -> []
   | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
-let add_entry t p verdict =
+let add_entry ?(persisted = false) t p verdict =
   t.tick <- t.tick + 1;
   t.next_id <- t.next_id + 1;
   let e =
@@ -352,6 +357,7 @@ let add_entry t p verdict =
       e_verdict = verdict;
       e_size = List.length p.p_key;
       e_last_use = t.tick;
+      e_persisted = persisted;
     }
   in
   KH.replace t.table p.p_rkey e;
@@ -388,6 +394,67 @@ let store_unsat_prepared t p =
 
 let store_sat t cs m = store_sat_prepared t (prepare cs) m
 let store_unsat t cs = store_unsat_prepared t (prepare cs)
+
+(* --- persistence --------------------------------------------------------- *)
+(* A [pentry] is the process-independent projection of an entry: the
+   renamed key is already in the canonical dense-id space, so it means
+   the same thing in any process; the original key only serves the
+   subset index (and only matches across runs when the producing run was
+   deterministic, which the engine is). Verdicts are plain data —
+   [V_sat] stores (var, value) pairs, never closures. *)
+
+type pentry = {
+  pe_key : Expr.t list;      (* renamed canonical key *)
+  pe_orig : Expr.t list;     (* original-space key, for subset indexing *)
+  pe_verdict : verdict;
+}
+
+(* Loading is defensive even though the container layer already CRC-
+   checked the bytes: a Sat model is re-verified by evaluation against
+   the stored key, so a stale or forged model can cost a miss but never
+   hand back a non-model. (Unsat cores are protected by the store's
+   version key: any change to solver semantics bumps it and orphans the
+   old entries.) *)
+let import_pentry t pe =
+  let sat_ok pairs =
+    let renv = env_of pairs in
+    match List.for_all (fun c -> Expr.eval renv c = 1) pe.pe_key with
+    | ok -> ok
+    | exception _ -> false
+  in
+  let well_formed =
+    pe.pe_key <> [] && pe.pe_orig <> []
+    && (match pe.pe_verdict with V_unsat -> true | V_sat pairs -> sat_ok pairs)
+  in
+  if (not well_formed) || KH.mem t.table pe.pe_key then false
+  else begin
+    t.tick <- t.tick + 1;
+    t.next_id <- t.next_id + 1;
+    let e =
+      {
+        e_id = t.next_id;
+        e_key = pe.pe_key;
+        e_orig = pe.pe_orig;
+        e_domain = self_domain ();
+        e_verdict = pe.pe_verdict;
+        e_size = List.length pe.pe_orig;
+        e_last_use = t.tick;
+        e_persisted = true;
+      }
+    in
+    KH.replace t.table pe.pe_key e;
+    (match pe.pe_verdict with
+    | V_unsat ->
+        List.iter
+          (fun c ->
+            match EH.find_opt t.unsat_index c with
+            | Some r -> r := e :: !r
+            | None -> EH.replace t.unsat_index c (ref [ e ]))
+          pe.pe_orig
+    | V_sat _ -> ());
+    maybe_evict t;
+    true
+  end
 
 (* --- the mutex-sharded shared cache -------------------------------------- *)
 (* One process-wide cache shared by every worker domain: shard by the hash
@@ -508,7 +575,9 @@ module Sharded = struct
           match cross_shard_subset sc s p with
           | Some e ->
               Atomic.incr sc.bloom_hits;
-              (Subset_unsat, { i_renamed = false; i_owner = e.e_domain })
+              (Subset_unsat,
+               { i_renamed = false; i_owner = e.e_domain;
+                 i_persisted = e.e_persisted })
           | None -> (outcome, info))
       | _ -> (outcome, info)
     in
@@ -548,6 +617,105 @@ module Sharded = struct
     Array.iter (fun w -> Atomic.set w 0) sc.bloom
 
   let n_shards sc = Array.length sc.shards
+
+  (* --- warm start (content-addressed store) ----------------------------- *)
+
+  (* Entries born in this process, i.e. worth persisting ([e_persisted]
+     ones are already on disk). *)
+  let export_entries sc =
+    Array.fold_left
+      (fun acc s ->
+        with_shard s (fun () ->
+            KH.fold
+              (fun _ e acc ->
+                if e.e_persisted then acc
+                else
+                  { pe_key = e.e_key; pe_orig = e.e_orig;
+                    pe_verdict = e.e_verdict }
+                  :: acc)
+              s.cache.table acc))
+      [] sc.shards
+
+  (* Loaded entries land in the exact/subset tables only — never in the
+     model-reuse list — so a warm start can turn misses into hits but
+     cannot reorder the speculative model scan a cold run would do. *)
+  let import_pentry sc pe =
+    let s = sc.shards.(abs (Key.hash pe.pe_key) mod Array.length sc.shards) in
+    let ok = with_shard s (fun () -> import_pentry s.cache pe) in
+    if ok then
+      (match pe.pe_verdict with
+      | V_unsat -> List.iter (bloom_add sc) pe.pe_orig
+      | V_sat _ -> ());
+    ok
+
+  (* --- checkpoint dump/import ------------------------------------------- *)
+
+  (* The full sharded cache as plain data, for session checkpoints: a
+     resumed run must replay the exact lookup outcomes (including model-
+     reuse order and LRU ticks) the killed run would have seen, or its
+     concretizations — and therefore its exploration — could diverge.
+     The dump aliases the live shard tables, so it must be serialized
+     (or dropped) before any further solver activity; checkpoints are
+     taken at quiescent points, where that holds. *)
+  type dump = {
+    d_shards : t array;
+    d_bloom : int array;
+    d_lookups : int;
+    d_hits : int;
+    d_misses : int;
+    d_renamed_hits : int;
+    d_cross_hits : int;
+    d_bloom_hits : int;
+  }
+
+  let dump sc =
+    {
+      d_shards = Array.map (fun s -> with_shard s (fun () -> s.cache)) sc.shards;
+      d_bloom = Array.map Atomic.get sc.bloom;
+      d_lookups = Atomic.get sc.lookups;
+      d_hits = Atomic.get sc.hits;
+      d_misses = Atomic.get sc.misses;
+      d_renamed_hits = Atomic.get sc.renamed_hits;
+      d_cross_hits = Atomic.get sc.cross_hits;
+      d_bloom_hits = Atomic.get sc.bloom_hits;
+    }
+
+  (* Import a dump into a freshly created sharded cache of the same
+     geometry. Entry identity inside each shard (table vs unsat index)
+     survives the Marshal round-trip, so LRU updates keep touching one
+     object per entry, as in the original run. Returns [false] (and
+     imports nothing) on a geometry mismatch — the caller falls back to
+     a cold cache, which costs solve time but changes no verdict. *)
+  let import sc d =
+    if
+      Array.length d.d_shards <> Array.length sc.shards
+      || Array.length d.d_bloom <> Array.length sc.bloom
+    then false
+    else begin
+      Array.iteri
+        (fun i s ->
+          let src = d.d_shards.(i) in
+          with_shard s (fun () ->
+              let c = s.cache in
+              KH.reset c.table;
+              EH.reset c.unsat_index;
+              KH.iter (fun k e -> KH.replace c.table k e) src.table;
+              EH.iter (fun k r -> EH.replace c.unsat_index k r)
+                src.unsat_index;
+              c.models <- src.models;
+              c.tick <- src.tick;
+              c.next_id <- src.next_id;
+              c.evicted <- src.evicted))
+        sc.shards;
+      Array.iteri (fun i w -> Atomic.set sc.bloom.(i) w) d.d_bloom;
+      Atomic.set sc.lookups d.d_lookups;
+      Atomic.set sc.hits d.d_hits;
+      Atomic.set sc.misses d.d_misses;
+      Atomic.set sc.renamed_hits d.d_renamed_hits;
+      Atomic.set sc.cross_hits d.d_cross_hits;
+      Atomic.set sc.bloom_hits d.d_bloom_hits;
+      true
+    end
 
   type counts = {
     sc_lookups : int;

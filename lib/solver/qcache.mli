@@ -40,6 +40,9 @@ type info = {
   i_owner : int;
       (** domain id that stored the winning entry or model; [-1] when
           unknown or on a miss *)
+  i_persisted : bool;
+      (** the winning entry was loaded from the on-disk store (a
+          warm-start hit, not an in-process one) *)
 }
 
 val no_info : info
@@ -63,6 +66,26 @@ val store_unsat : t -> Expr.t list -> unit
 val size : t -> int
 val evictions : t -> int
 val clear : t -> unit
+
+(** {1 Persistence} *)
+
+type verdict = V_sat of (Expr.var * int) list | V_unsat
+(** A stored answer as plain data; [V_sat] pairs are in renamed space. *)
+
+type pentry = {
+  pe_key : Expr.t list;   (** renamed canonical key (process-independent) *)
+  pe_orig : Expr.t list;  (** original-space key, feeds the subset index *)
+  pe_verdict : verdict;
+}
+(** The process-independent projection of a cache entry, what the
+    on-disk store holds. Contains no closures and no process-local ids. *)
+
+val import_pentry : t -> pentry -> bool
+(** Insert a persisted entry. Sat models are re-verified by evaluation
+    against the stored key and malformed entries are refused — [false]
+    means skipped (also returned when the key is already present). A
+    loaded entry is flagged [e_persisted], so hits on it are reported
+    via {!info.i_persisted}; it never joins the model-reuse list. *)
 
 (** A process-wide cache shared by all worker domains: shard by the hash
     of the renamed canonical key, one mutex per shard, atomics for the
@@ -105,4 +128,31 @@ module Sharded : sig
   (** Always satisfies [sc_hits + sc_misses = sc_lookups]. *)
 
   val bloom_recoveries : sharded -> int
+
+  (** {1 Warm start} *)
+
+  val export_entries : sharded -> pentry list
+  (** Every entry born in this process (already-persisted entries are
+      skipped), for writing to the on-disk store. Order is unspecified
+      — the store is content-addressed. *)
+
+  val import_pentry : sharded -> pentry -> bool
+  (** Shard-aware {!Qcache.import_pentry}; Unsat cores also join the
+      cross-shard Bloom filter. *)
+
+  (** {1 Checkpointing} *)
+
+  type dump
+  (** The complete cache state as marshal-safe data — entries, subset
+      indexes, model-reuse lists in order, LRU ticks, Bloom bits and
+      statistics — so a resumed run replays the killed run's lookup
+      outcomes exactly. The dump aliases live tables: serialize it
+      before any further solver activity. *)
+
+  val dump : sharded -> dump
+
+  val import : sharded -> dump -> bool
+  (** Load a dump into a freshly created cache of the same geometry.
+      [false] (nothing imported) on a shard/Bloom geometry mismatch;
+      the caller proceeds cold. *)
 end

@@ -175,6 +175,13 @@ type engine = {
   (* states rescued from a dead worker's queue by the reaper *)
   mutable governor : (pressure -> int) option;
   (* returns how many queued states to concretize-and-retire now *)
+  mutable checkpoint_hook : (unit -> unit) option;
+  (* called by worker 0 at pick boundaries (only when [jobs = 1], the
+     one configuration where a pick boundary is a quiescent point); the
+     session's checkpointer decides its own cadence inside the hook *)
+  mutable run_start_steps : int;
+  (* [run]'s budget baseline ([total_steps] at entry); persisted in
+     checkpoints so a resumed run charges the same budget window *)
   priority_fn : St.t -> int;
   (* the frontier's priority function, kept for governor victim ranking *)
   solver_base : Solver.stats;
@@ -293,6 +300,8 @@ let create ?(config = default_config) img base_mem symdev =
     soft_retired = Atomic.make 0;
     rehomed = Atomic.make 0;
     governor = None;
+    checkpoint_hook = None;
+    run_start_steps = 0;
     priority_fn = priority;
     solver_base = Solver.stats ();
   }
@@ -315,6 +324,8 @@ let set_replay eng script = eng.replay <- Some script
 let set_distance_fn eng f = eng.dist_fn := f
 let set_merge_points eng f = eng.merge_points <- f
 let set_governor eng f = eng.governor <- Some f
+let set_checkpoint_hook eng f = eng.checkpoint_hook <- Some f
+let run_start eng = eng.run_start_steps
 let incidents eng = Guard.incidents eng.guard_st
 let worker_restarts eng = Guard.restarts eng.guard_st
 let soft_retired eng = Atomic.get eng.soft_retired
@@ -1368,7 +1379,13 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive wid =
         Atomic.get eng.total_steps - Atomic.get eng.last_new_block_step
         >= plateau_steps
       then ignore (Atomic.compare_and_set stop None (Some Stop_plateau))
-      else
+      else begin
+        (* Pick boundary: with one worker nothing is inflight here, so
+           this is a quiescent point — the only mid-run moment a
+           checkpoint can capture every live path. *)
+        (match eng.checkpoint_hook with
+         | Some f when wid = 0 && eng.cfg.jobs <= 1 -> f ()
+         | _ -> ());
         match Frontier.pick eng.frontier ~worker:wid with
         | Some st ->
             let picks = Atomic.fetch_and_add eng.picks 1 + 1 in
@@ -1404,6 +1421,7 @@ let worker_loop eng ~stop ~start ~max_total_steps ~plateau_steps ~alive wid =
               Unix.sleepf 2e-4;
               loop ()
             end
+      end
   in
   (* Worker supervision: a crashed loop is relaunched on a fresh stack
      after a short exponential backoff. The restart budget only burns
@@ -1467,10 +1485,23 @@ let drain_retire eng f =
   in
   go ()
 
-let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000) () =
+let run eng ?(max_total_steps = 20_000_000) ?(plateau_steps = 150_000)
+    ?start_steps () =
   ensure_dbt eng;
-  let start = Atomic.get eng.total_steps in
-  Atomic.set eng.last_new_block_step start;
+  let start =
+    match start_steps with
+    | Some s ->
+        (* Resuming a checkpointed run: the budget baseline is the
+           *original* run's entry point, and [last_new_block_step] was
+           restored from the checkpoint — clobbering it would restart
+           the plateau clock and diverge from the uninterrupted run. *)
+        s
+    | None ->
+        let s = Atomic.get eng.total_steps in
+        Atomic.set eng.last_new_block_step s;
+        s
+  in
+  eng.run_start_steps <- start;
   let stop : stop_reason option Atomic.t = Atomic.make None in
   let jobs = max 1 eng.cfg.jobs in
   let alive = Array.init jobs (fun _ -> Atomic.make true) in
@@ -1677,3 +1708,150 @@ let stats eng =
     st_merge_forks_avoided = (let _, _, f, _ = Merge.stats eng.pool in f);
     st_merge_refusals = (let _, _, _, r = Merge.stats eng.pool in r);
   }
+
+(* --- checkpointing -------------------------------------------------------
+
+   The engine's whole mutable universe as marshal-safe data. Only valid
+   at quiescent points (no inflight states): the [jobs = 1] pick
+   boundary where [set_checkpoint_hook] fires, or between workload
+   phases. The immutable scaffolding — config, loaded image, base
+   memory, hooks, the static maps the session installs — is *not* in
+   the image; a resume rebuilds it by re-running session setup and then
+   pouring the image into the fresh engine.
+
+   Every [St.image] in one engine image must be marshalled in a single
+   blob: sibling states share constraint-list tails and copy-on-write
+   ancestors physically, the merge pool matches suffixes by [==], and
+   Marshal only preserves sharing within one call. *)
+
+type image = {
+  ei_queues : ((St.image * int * int) list * int) array;
+  (* per worker: scheduler entries (state, priority, seq) and the seq
+     high-water mark, exactly as [Sched.dump_entries] reports them *)
+  ei_steals : int;
+  ei_dropped : int;
+  ei_rr : int;
+  ei_pool : St.image Merge.dump;
+  ei_guard : Guard.dump;
+  ei_dbt : Sdbt.dump option;
+  ei_done : St.image list;                  (* newest first *)
+  ei_lineage : (int * int * string * int) list;
+  ei_injected_sites : int list;
+  ei_block_counts : (int * int) list;
+  ei_covered : int array;
+  ei_next_id : int;
+  ei_total_steps : int;
+  ei_states_created : int;
+  ei_max_cow_depth : int;
+  ei_peak_live_words : int;
+  ei_picks : int;
+  ei_last_new_block_step : int;
+  ei_run_start : int;
+  ei_soft_retired : int;
+  ei_rehomed : int;
+  ei_symdev_reads : (string * Expr.var) list;
+}
+
+let checkpoint_image eng =
+  let jobs = Frontier.n_workers eng.frontier in
+  (* Fold the per-worker block-count shards into the merged table so
+     the image needs only one view (shards restore empty). *)
+  for w = 0 to jobs - 1 do
+    flush_shard eng w
+  done;
+  let queues =
+    Array.init jobs (fun w ->
+        let entries, hseq = Frontier.dump_queue eng.frontier ~worker:w in
+        (List.map (fun (st, p, s) -> (St.to_image st, p, s)) entries, hseq))
+  in
+  Mutex.lock eng.glock;
+  let block_counts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) eng.block_counts []
+  in
+  let injected =
+    Hashtbl.fold (fun k () acc -> k :: acc) eng.injected_sites_global []
+  in
+  let done_states = eng.done_states in
+  let lineage = eng.lineage in
+  Mutex.unlock eng.glock;
+  {
+    ei_queues = queues;
+    ei_steals = Frontier.steals eng.frontier;
+    ei_dropped = Frontier.dropped eng.frontier;
+    ei_rr = Frontier.rr_cursor eng.frontier;
+    ei_pool = Merge.dump eng.pool ~f:St.to_image;
+    ei_guard = Guard.dump eng.guard_st;
+    ei_dbt = Option.map Sdbt.dump eng.dbt;
+    ei_done = List.map St.to_image done_states;
+    ei_lineage = lineage;
+    ei_injected_sites = List.sort compare injected;
+    ei_block_counts = List.sort compare block_counts;
+    ei_covered = Array.map Atomic.get eng.covered;
+    ei_next_id = Atomic.get eng.next_id;
+    ei_total_steps = Atomic.get eng.total_steps;
+    ei_states_created = Atomic.get eng.states_created;
+    ei_max_cow_depth = Atomic.get eng.max_cow_depth;
+    ei_peak_live_words = Atomic.get eng.peak_live_words;
+    ei_picks = Atomic.get eng.picks;
+    ei_last_new_block_step = Atomic.get eng.last_new_block_step;
+    ei_run_start = eng.run_start_steps;
+    ei_soft_retired = Atomic.get eng.soft_retired;
+    ei_rehomed = Atomic.get eng.rehomed;
+    ei_symdev_reads = Ddt_hw.Symdev.reads_made eng.symdev;
+  }
+
+let revive_image eng imst =
+  let st =
+    St.of_image ~base:eng.base_mem
+      ~symdev:(if eng.cfg.concrete_hardware then None else Some eng.symdev)
+      imst
+  in
+  install_sym_hook eng st;
+  st
+
+let restore_image eng im =
+  let jobs = Frontier.n_workers eng.frontier in
+  let revive = revive_image eng in
+  Array.iteri
+    (fun w (entries, hseq) ->
+      if w < jobs then
+        Frontier.restore_queue eng.frontier ~worker:w
+          (List.map (fun (imst, p, s) -> (revive imst, p, s)) entries)
+          ~hseq)
+    im.ei_queues;
+  Frontier.restore_counters eng.frontier ~steals:im.ei_steals
+    ~dropped:im.ei_dropped ~rr:im.ei_rr;
+  Merge.restore eng.pool ~f:revive im.ei_pool;
+  Guard.restore eng.guard_st im.ei_guard;
+  (match im.ei_dbt with
+   | Some d -> (
+       ensure_dbt eng;
+       match eng.dbt with Some t -> Sdbt.restore t d | None -> ())
+   | None -> ());
+  Mutex.lock eng.glock;
+  eng.done_states <- List.map revive im.ei_done;
+  eng.lineage <- im.ei_lineage;
+  Hashtbl.reset eng.block_counts;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace eng.block_counts k v)
+    im.ei_block_counts;
+  Hashtbl.reset eng.injected_sites_global;
+  List.iter
+    (fun k -> Hashtbl.replace eng.injected_sites_global k ())
+    im.ei_injected_sites;
+  Mutex.unlock eng.glock;
+  let n = min (Array.length eng.covered) (Array.length im.ei_covered) in
+  for i = 0 to n - 1 do
+    Atomic.set eng.covered.(i) im.ei_covered.(i)
+  done;
+  Atomic.set eng.next_id im.ei_next_id;
+  Atomic.set eng.total_steps im.ei_total_steps;
+  Atomic.set eng.states_created im.ei_states_created;
+  Atomic.set eng.max_cow_depth im.ei_max_cow_depth;
+  Atomic.set eng.peak_live_words im.ei_peak_live_words;
+  Atomic.set eng.picks im.ei_picks;
+  Atomic.set eng.last_new_block_step im.ei_last_new_block_step;
+  eng.run_start_steps <- im.ei_run_start;
+  Atomic.set eng.soft_retired im.ei_soft_retired;
+  Atomic.set eng.rehomed im.ei_rehomed;
+  Ddt_hw.Symdev.restore_reads eng.symdev im.ei_symdev_reads

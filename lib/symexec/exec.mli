@@ -213,12 +213,19 @@ val start_interrupt_fire : engine -> Symstate.t -> unit
     timing a concrete stress tool exercises, as opposed to the
     boundary-crossing injection of symbolic interrupts. *)
 
-val run : engine -> ?max_total_steps:int -> ?plateau_steps:int -> unit -> unit
+val run :
+  engine -> ?max_total_steps:int -> ?plateau_steps:int -> ?start_steps:int ->
+  unit -> unit
 (** Explore until the worklist empties, the step budget is exhausted
     (leftover states are marked [Exhausted]), or no new basic block has
     been covered for [plateau_steps] instructions — the paper's stopping
     rule (§5.2); plateau leftovers are redundant siblings and are dropped
-    silently. *)
+    silently.
+
+    [start_steps] resumes a checkpointed run: it overrides the budget
+    baseline (normally [total_steps] at entry) with the original run's,
+    and keeps the restored plateau clock instead of resetting it — so
+    the resumed run stops exactly where the uninterrupted one would. *)
 
 val execution_tree : engine -> Ddt_trace.Tree.t
 (** The tree of every explored path (§3.5): nodes are states, children are
@@ -290,3 +297,42 @@ val block_coverage : engine -> int
 (** Number of distinct basic blocks executed so far. *)
 
 val covered_blocks : engine -> int list
+
+(** {1 Checkpointing}
+
+    The engine's whole mutable universe — frontier queues with exact
+    scheduler keys, merge pool, guard ledger, DBT dispositions,
+    finished states, lineage, coverage, counters, the device's reads
+    ledger — as one marshal-safe value. Only meaningful at quiescent
+    points: the [jobs = 1] pick boundary where the checkpoint hook
+    fires, or between workload phases. Config, loaded image, base
+    memory and hooks are {e not} captured; a resume re-runs session
+    setup on a fresh engine and then pours the image in. The image must
+    be marshalled in a single blob so the physical sharing that sibling
+    states and merge-token bases rely on survives. *)
+
+type image
+
+val checkpoint_image : engine -> image
+(** Non-destructive; per-worker block-count shards are flushed first. *)
+
+val revive_image : engine -> Symstate.image -> Symstate.t
+(** Rebuild one session-owned state (e.g. a workload-phase base) over
+    this engine's base memory and device, with the engine's sym-read
+    hook installed. *)
+
+val restore_image : engine -> image -> unit
+(** Pour a checkpoint into a freshly created engine for the same image
+    and configuration. States get live memories over the engine's base
+    image and device, and fresh sym-read hooks; incremental solver
+    sessions rebuild lazily. *)
+
+val set_checkpoint_hook : engine -> (unit -> unit) -> unit
+(** Install a callback invoked by worker 0 at every pick boundary while
+    [config.jobs = 1] (the only mid-run quiescent points). The callback
+    owns its cadence. Never fired with [jobs > 1] — multicore runs
+    checkpoint between phases only. *)
+
+val run_start : engine -> int
+(** The running (or last) [run]'s budget baseline — [total_steps] at
+    its entry — for checkpoints ({!run}'s [start_steps]). *)

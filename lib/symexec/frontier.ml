@@ -173,6 +173,29 @@ let queue_length t ~worker =
 
 let quiescent t = Atomic.get t.size = 0 && Atomic.get t.inflight = 0
 
+(* --- checkpoint dump/restore --------------------------------------------- *)
+(* Per-queue entry dumps preserve each scheduler key exactly (see
+   Sched.dump_entries); the counters ride along so a resumed report's
+   steals/dropped totals match the uninterrupted run's. Dumping is only
+   meaningful at a quiescent point (no inflight states — an inflight
+   state would simply be missing from the checkpoint). *)
+
+let dump_queue t ~worker =
+  let wq = t.workers.(worker mod Array.length t.workers) in
+  with_wq wq (fun () -> Sched.dump_entries wq.wq_q)
+
+let restore_queue t ~worker entries ~hseq =
+  let wq = t.workers.(worker mod Array.length t.workers) in
+  with_wq wq (fun () -> Sched.restore_entries wq.wq_q entries ~hseq);
+  ignore (Atomic.fetch_and_add t.size (List.length entries))
+
+let rr_cursor t = Atomic.get t.rr
+
+let restore_counters t ~steals ~dropped ~rr =
+  Atomic.set t.steals steals;
+  Atomic.set t.dropped dropped;
+  Atomic.set t.rr rr
+
 (* Only sound once all workers have stopped; used by the main domain to
    retire leftovers after a budget/plateau stop. *)
 let drain_all t =

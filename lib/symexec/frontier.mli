@@ -76,3 +76,21 @@ val queue_length : t -> worker:int -> int
 val drain_all : t -> Symstate.t list
 (** Remove every queued state (worker-index order). Only sound once all
     workers have stopped. *)
+
+(** {1 Checkpointing}
+
+    Dumps are only meaningful at quiescent points — an inflight state
+    would be missing from the checkpoint. *)
+
+val dump_queue : t -> worker:int -> (Symstate.t * int * int) list * int
+(** One worker queue's {!Sched.dump_entries}. Non-destructive. *)
+
+val restore_queue :
+  t -> worker:int -> (Symstate.t * int * int) list -> hseq:int -> unit
+(** Refill one (empty) worker queue and account the states in [size]. *)
+
+val rr_cursor : t -> int
+(** The round-robin seeding cursor, for checkpoints. *)
+
+val restore_counters : t -> steals:int -> dropped:int -> rr:int -> unit
+(** Restore the statistics and seeding cursor of a fresh frontier. *)

@@ -150,6 +150,40 @@ let absorbable = function
   | Stdlib.Exit -> false
   | _ -> true
 
+(* Checkpointing ------------------------------------------------------- *)
+
+(* Everything in the guard is data except the mutex, so a dump is a
+   plain record. The incidents list keeps its recording order (newest
+   first) so a resumed run's [incidents] sort sees the same multiset. *)
+type dump = {
+  gd_incidents : incident list;
+  gd_solver_flagged : int list;
+  gd_restarts : int;
+  gd_crash_ticks : int;
+  gd_chaos_solver_ticks : int;
+}
+
+let dump t =
+  Mutex.lock t.mu;
+  let incidents = t.incidents in
+  let flagged = Hashtbl.fold (fun id () acc -> id :: acc) t.solver_flagged [] in
+  Mutex.unlock t.mu;
+  { gd_incidents = incidents;
+    gd_solver_flagged = List.sort compare flagged;
+    gd_restarts = Atomic.get t.restarts;
+    gd_crash_ticks = Atomic.get t.crash_ticks;
+    gd_chaos_solver_ticks = Atomic.get t.chaos_solver_ticks }
+
+let restore t d =
+  Mutex.lock t.mu;
+  t.incidents <- d.gd_incidents;
+  Hashtbl.reset t.solver_flagged;
+  List.iter (fun id -> Hashtbl.replace t.solver_flagged id ()) d.gd_solver_flagged;
+  Mutex.unlock t.mu;
+  Atomic.set t.restarts d.gd_restarts;
+  Atomic.set t.crash_ticks d.gd_crash_ticks;
+  Atomic.set t.chaos_solver_ticks d.gd_chaos_solver_ticks
+
 let describe exn =
   match exn with
   | Ddt_dvm.Interp.Fault (f, pc) ->

@@ -100,3 +100,22 @@ val absorbable : exn -> bool
     ({!Chaos_crash} and [Stdlib.Exit] must propagate). *)
 
 val describe : exn -> string
+
+(** {1 Checkpointing}
+
+    Everything in the guard is marshal-safe data once the mutex is
+    projected away; a dump carries the incident list (recording order),
+    the per-state solver-exhaustion flags and the counters. *)
+
+type dump = {
+  gd_incidents : incident list;
+  gd_solver_flagged : int list;
+  gd_restarts : int;
+  gd_crash_ticks : int;
+  gd_chaos_solver_ticks : int;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** Replace a fresh guard's contents with the dump's. *)

@@ -261,3 +261,39 @@ let drain q =
     match next with None -> List.rev acc | Some st -> go (st :: acc)
   in
   go []
+
+(* --- checkpoint dump/restore --------------------------------------------- *)
+(* Pop order must survive a checkpoint exactly. For a heap that means the
+   recorded (priority, sequence) keys and the sequence counter — NOT the
+   array layout: keys are unique ((prio, seq) with unique seq), so any
+   valid heap over the same entry set pops in the same order, but a
+   re-push with fresh sequence numbers would tie-break future
+   equal-priority entries differently than the uninterrupted run. For a
+   deque, order is just front-to-back. *)
+
+let dump_entries q =
+  match q.q_store with
+  | S_deque d ->
+      let entries = ref [] in
+      for i = d.len - 1 downto 0 do
+        entries := (dq_get d i, 0, i) :: !entries
+      done;
+      (!entries, 0)
+  | S_heap h ->
+      let entries = ref [] in
+      for i = h.hlen - 1 downto 0 do
+        let e = Option.get h.harr.(i) in
+        entries := (e.h_st, e.h_prio, e.h_seq) :: !entries
+      done;
+      (!entries, h.hseq)
+
+(* Only meaningful on a freshly created (empty) queue. *)
+let restore_entries q entries ~hseq =
+  match q.q_store with
+  | S_deque d -> List.iter (fun (st, _, _) -> dq_push_back d st) entries
+  | S_heap h ->
+      List.iter
+        (fun (st, prio, seq) ->
+          hp_insert_entry h { h_prio = prio; h_seq = seq; h_st = st })
+        entries;
+      h.hseq <- max h.hseq hseq

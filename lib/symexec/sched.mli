@@ -66,3 +66,17 @@ val iter : queue -> (Symstate.t -> unit) -> unit
 val drain : queue -> Symstate.t list
 (** Remove and return everything (used to retire leftovers on budget or
     plateau stops). *)
+
+val dump_entries : queue -> (Symstate.t * int * int) list * int
+(** Checkpoint support: every queued state with its recorded (priority,
+    sequence) key, plus the queue's sequence counter. Non-destructive.
+    For deques the triples are (state, 0, position) front-to-back and
+    the counter is 0. Restoring these exactly (rather than re-pushing
+    with fresh keys) is what keeps future equal-priority tie-breaks
+    identical to the uninterrupted run. *)
+
+val restore_entries :
+  queue -> (Symstate.t * int * int) list -> hseq:int -> unit
+(** Refill a freshly created (empty) queue from {!dump_entries} output:
+    heap entries keep their recorded keys and [hseq] restores the
+    sequence counter; deque entries are appended in list order. *)

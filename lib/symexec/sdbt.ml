@@ -692,3 +692,72 @@ let stats t =
     sd_st_bails = Atomic.get t.sd_bails;
     sd_st_decompiled = Atomic.get t.sd_decompiled;
     sd_st_compiled_steps = Atomic.get t.sd_compiled_steps }
+
+(* --- checkpointing -------------------------------------------------------
+
+   Compiled superblocks are closures and cannot travel in a snapshot;
+   what can is each cell's *disposition* — hotness count, run/bail
+   tallies, or a rejection verdict. Restore replays that disposition
+   onto a freshly created table: Ready cells are recompiled through the
+   normal path (the plan is deterministic, so the same chains come
+   back), and the global counters are then overwritten with the dump's
+   values so recompilation does not inflate them. *)
+
+type cell_dump =
+  | Cd_cold of int                (* entries counted toward threshold *)
+  | Cd_ready of int * int         (* runs, bails *)
+  | Cd_rejected
+
+type dump = {
+  sdd_cells : (int * cell_dump) list;   (* (slot, disposition), non-default only *)
+  sdd_compiled : int;
+  sdd_chained : int;
+  sdd_bails : int;
+  sdd_decompiled : int;
+  sdd_compiled_steps : int;
+}
+
+let dump t =
+  let cells = ref [] in
+  for slot = Array.length t.sd_cells - 1 downto 0 do
+    match Atomic.get (Array.unsafe_get t.sd_cells slot) with
+    | Not_leader -> ()
+    | Cold n ->
+        let c = Atomic.get n in
+        if c > 0 then cells := (slot, Cd_cold c) :: !cells
+    | Ready r -> cells := (slot, Cd_ready (r.r_runs, r.r_bails)) :: !cells
+    | Rejected -> cells := (slot, Cd_rejected) :: !cells
+  done;
+  { sdd_cells = !cells;
+    sdd_compiled = Atomic.get t.sd_compiled;
+    sdd_chained = Atomic.get t.sd_chained;
+    sdd_bails = Atomic.get t.sd_bails;
+    sdd_decompiled = Atomic.get t.sd_decompiled;
+    sdd_compiled_steps = Atomic.get t.sd_compiled_steps }
+
+let restore t d =
+  List.iter
+    (fun (slot, cd) ->
+      if slot >= 0 && slot < Array.length t.sd_cells then begin
+        let cell = t.sd_cells.(slot) in
+        match Atomic.get cell with
+        | Not_leader -> ()    (* plan disagreement: structure wins *)
+        | _ ->
+            (match cd with
+             | Cd_cold n -> Atomic.set cell (Cold (Atomic.make n))
+             | Cd_rejected -> Atomic.set cell Rejected
+             | Cd_ready (runs, bails) ->
+                 let pc = t.sd_text_start + (slot * Isa.instr_size) in
+                 compile_cell t cell pc;
+                 (match Atomic.get cell with
+                  | Ready r ->
+                      r.r_runs <- runs;
+                      r.r_bails <- bails
+                  | _ -> ()))
+      end)
+    d.sdd_cells;
+  Atomic.set t.sd_compiled d.sdd_compiled;
+  Atomic.set t.sd_chained d.sdd_chained;
+  Atomic.set t.sd_bails d.sdd_bails;
+  Atomic.set t.sd_decompiled d.sdd_decompiled;
+  Atomic.set t.sd_compiled_steps d.sdd_compiled_steps

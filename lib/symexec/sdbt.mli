@@ -56,3 +56,31 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Checkpointing}
+
+    Compiled closures cannot be marshalled; a dump records each cell's
+    disposition (hotness, run/bail tallies, rejection) plus the global
+    counters. [restore] recompiles Ready cells through the normal path
+    — the block plan is deterministic — and then overwrites the
+    counters with the dump's values, so recompilation is invisible in
+    the statistics. *)
+
+type cell_dump =
+  | Cd_cold of int                (** entries counted toward threshold *)
+  | Cd_ready of int * int         (** runs, bails *)
+  | Cd_rejected
+
+type dump = {
+  sdd_cells : (int * cell_dump) list;
+  sdd_compiled : int;
+  sdd_chained : int;
+  sdd_bails : int;
+  sdd_decompiled : int;
+  sdd_compiled_steps : int;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** Replay a dump onto a freshly created table for the same image. *)

@@ -139,3 +139,27 @@ let live_words t =
     | Some n -> go (acc + Hashtbl.length n.writes) n.parent
   in
   go 0 (Some t.node)
+
+(* --- snapshot projection -------------------------------------------------- *)
+(* The marshal-safe part of a memory: the COW node chain and the read
+   cache — pure data. The shared base image, the symbolic device and the
+   read hook are session infrastructure, reattached at restore; dropping
+   them here is also what keeps sibling snapshots small (they share every
+   node below their fork points, and Marshal preserves that sharing when
+   siblings travel in one blob). *)
+
+type image = {
+  im_node : node;
+  im_cache : (int, Expr.t) Hashtbl.t;
+}
+
+let to_image t = { im_node = t.node; im_cache = t.cache }
+
+let of_image ~base ~symdev im =
+  {
+    node = im.im_node;
+    base;
+    cache = im.im_cache;
+    symdev;
+    sym_read_hook = (fun _ _ -> ());
+  }

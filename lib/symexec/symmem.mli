@@ -42,3 +42,20 @@ val chain_depth : t -> int
 
 val live_words : t -> int
 (** Total entries across this leaf's chain (memory accounting, E5). *)
+
+(** {1 Snapshots} *)
+
+type image
+(** The marshal-safe projection of a memory: its copy-on-write node
+    chain and read cache, without the shared base image, device or read
+    hook (session infrastructure, reattached at restore). Sibling
+    images marshalled in one blob keep sharing their common ancestor
+    nodes. *)
+
+val to_image : t -> image
+(** Non-destructive; the image aliases the live node chain. *)
+
+val of_image :
+  base:Ddt_dvm.Mem.t -> symdev:Ddt_hw.Symdev.t option -> image -> t
+(** Rebuild a memory over the session's base image and device. The
+    sym-read hook is reset to a no-op; the engine reinstalls its own. *)
