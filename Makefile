@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-dbt bench-merge bench-staticrace \
-  bench-resume clean
+  bench-resume bench-dist clean
 
 all: build
 
@@ -30,7 +30,10 @@ test:
 # warm-start parity run, then a real SIGKILL mid-exploration followed
 # by `ddt_cli resume` that must reproduce the uninterrupted oracle's
 # report byte for byte, then a second run against the persistent store
-# that must actually hit it), and a warning-clean doc build.
+# that must actually hit it), a multi-process smoke (a 2-worker-process
+# coordinator run on two drivers must report the same bug set as one
+# process, plus a serve/submit round-trip over a Unix socket), and a
+# warning-clean doc build.
 check: build test
 	dune exec bench/main.exe -- parallel --quick
 	dune exec bench/main.exe -- chaos --quick
@@ -39,6 +42,26 @@ check: build test
 	dune exec bench/main.exe -- merge --quick
 	dune exec bench/main.exe -- staticrace --quick
 	dune exec bench/main.exe -- resume --quick
+	dune exec bench/main.exe -- dist --quick
+	@set -e; dir=$$(mktemp -d); cli=./_build/default/bin/ddt_cli.exe; \
+	$$cli test rtl8029 --json-out $$dir/seq.json >/dev/null || [ $$? -eq 2 ]; \
+	$$cli test rtl8029 --dist-workers 2 --json-out $$dir/dist.json \
+	  >/dev/null || [ $$? -eq 2 ]; \
+	grep -o '"key":"[^"]*"' $$dir/seq.json | sort > $$dir/seq.keys; \
+	grep -o '"key":"[^"]*"' $$dir/dist.json | sort > $$dir/dist.keys; \
+	cmp $$dir/seq.keys $$dir/dist.keys; \
+	echo "dist smoke: 2-worker bug set identical to one process"; \
+	$$cli serve --socket $$dir/ddt.sock --max-jobs 1 >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do test -S $$dir/ddt.sock && break; \
+	  sleep 0.05; done; \
+	$$cli submit rtl8029 --socket $$dir/ddt.sock --workers 2 \
+	  > $$dir/served.out; \
+	wait $$pid || true; \
+	grep -q '"serve":"done"' $$dir/served.out; \
+	grep -q '"schema"' $$dir/served.out; \
+	echo "serve smoke: submitted job round-tripped a schema report"; \
+	rm -rf $$dir
 	@set -e; dir=$$(mktemp -d); cli=./_build/default/bin/ddt_cli.exe; \
 	$$cli test pro100 --json-out $$dir/oracle.json >/dev/null || [ $$? -eq 2 ]; \
 	$$cli test pro100 --checkpoint-every 1000 \
@@ -80,6 +103,13 @@ bench-staticrace:
 # solver store, across the corpus; writes BENCH_resume.json.
 bench-resume:
 	dune exec bench/main.exe -- resume --json
+
+# Full multi-process experiment: coordinator wall time at 1/2/4 worker
+# processes vs one process and vs a 4-process redundant portfolio,
+# states shipped / stolen / re-shipped, and cross-process persistent-
+# store hits, across the corpus; writes BENCH_dist.json.
+bench-dist:
+	dune exec bench/main.exe -- dist --json
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,32 @@
+(** Unix-socket job daemon ([ddt_cli serve]) and its client
+    ([ddt_cli submit]).
+
+    The server accepts one framed {!job} per connection, resolves it to
+    a configuration (corpus lookup lives in the caller), forces the
+    resource {!Ddt_core.Governor} onto it — admission control: a served
+    job can never run ungoverned — runs it through {!Dist.run}, and
+    streams newline-delimited JSON back: an acceptance object, a
+    completion object with the distribution counters, then the full
+    schema report ({!Ddt_core.Report_json}). Jobs run one at a time;
+    the coordinator already saturates the machine. *)
+
+type job = {
+  jq_driver : string;
+  jq_fixed : bool;       (** run the repaired variant *)
+  jq_workers : int;      (** worker processes for this job *)
+}
+
+val serve :
+  socket_path:string ->
+  ?max_jobs:int ->
+  resolve:(job -> (Ddt_core.Config.t, string) result) ->
+  unit ->
+  (int, string) result
+(** Bind [socket_path] (unlinking any stale socket first) and serve
+    jobs sequentially. [max_jobs > 0] exits cleanly after that many
+    jobs (the smoke-test mode); 0 serves forever. Returns the number of
+    jobs handled. *)
+
+val submit : socket_path:string -> job -> (string list, string) result
+(** Send one job and return the server's response lines (JSON objects;
+    the last is the full report). *)

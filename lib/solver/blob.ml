@@ -104,8 +104,17 @@ let decode s =
           | v -> Ok v
           | exception _ -> fail "undecodable payload"
 
+(* Unique tmp names: two processes (or domains) writing the same target
+   concurrently must never share a tmp file, or interleaved writes could
+   get renamed into place as a torn blob. The rename itself stays atomic;
+   concurrent writers of identical content converge by last-writer-wins. *)
+let tmp_seq = Atomic.make 0
+
 let write_file path v =
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   match
     let data = encode v in
     let oc =

@@ -7,7 +7,15 @@
     total. A bad store can only cost solve time, never change a verdict:
     corrupt entries are skipped, Sat models are re-verified at import,
     and a failed write (e.g. disk full) makes the store silently
-    read-only for the rest of the run. *)
+    read-only for the rest of the run.
+
+    Safe under concurrent multi-process access: writers use unique tmp
+    files + atomic rename (same digest means same content, so racing
+    writers converge), readers racing writers see either no file or a
+    complete file, and a file that vanishes mid-scan is skipped and
+    counted. Distributed workers share solver work by flushing with
+    {!save} and lazily importing each other's flushes with
+    {!refresh}. *)
 
 type t
 
@@ -16,10 +24,18 @@ val store_version : int
 val open_store : dir:string -> key:string -> (t, string) result
 (** Create or open the scoped entry directory [dir/<key>.v<version>]. *)
 
-val load : t -> Qcache.Sharded.sharded -> int
+val load : ?index_subsets:bool -> t -> Qcache.Sharded.sharded -> int
 (** Import every readable entry into the cache (deterministic filename
     order); returns how many were imported. Unreadable or refused
-    entries are counted in {!skipped}. *)
+    entries are counted in {!skipped}. [index_subsets] is forwarded to
+    {!Qcache.Sharded.import_pentry} — pass [false] when the store is
+    shared with processes minting variable ids in other lanes. *)
+
+val refresh : ?index_subsets:bool -> t -> Qcache.Sharded.sharded -> int
+(** Import only the entries that appeared in the directory since this
+    handle's last [load]/[refresh] (and that this handle did not itself
+    {!save}) — the lazy cross-process import distributed workers run
+    mid-exploration. Returns how many were imported. *)
 
 val save : t -> Qcache.Sharded.sharded -> int
 (** Write every entry born in this process that is not already on disk;
